@@ -1,0 +1,91 @@
+// E2 — Figures 1 & 2: the STGs of designs D and C, initializing sequences,
+// and the delayed design C^1 (Section 3.4: C^1 is equivalent to D).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/paper_circuits.hpp"
+#include "io/dot_export.hpp"
+#include "stg/stg.hpp"
+
+namespace rtv {
+
+void report() {
+  bench::heading("E2 / Figures 1-2", "STGs of D and C; initialization");
+  const Netlist dn = figure1_original();
+  const Netlist cn = figure1_retimed();
+  const Stg d = Stg::extract(dn);
+  const Stg c = Stg::extract(cn);
+
+  std::printf("design D (%s):\n%s", dn.summary().c_str(),
+              d.to_string().c_str());
+  std::printf("design C (%s):\n%s", cn.summary().c_str(),
+              c.to_string().c_str());
+
+  std::printf("input 0 initializes D: %s (paper: yes)\n",
+              initializes(d, {0}) ? "yes" : "no");
+  std::printf("input 0 initializes C: %s (paper: no)\n",
+              initializes(c, {0}) ? "yes" : "no");
+
+  std::vector<std::uint64_t> seq;
+  if (find_initializing_sequence(c, 8, &seq)) {
+    std::printf("shortest initializing sequence for C has length %zu: ",
+                seq.size());
+    for (const auto a : seq) std::printf("%llu.", static_cast<unsigned long long>(a));
+    std::printf("\n");
+  }
+
+  const auto after1 = states_after_delay(c, 1);
+  std::printf("states of C after 1 arbitrary cycle: ");
+  for (std::uint64_t s = 0; s < c.num_states(); ++s) {
+    if (after1[s]) std::printf("s%llu ", static_cast<unsigned long long>(s));
+  }
+  const Stg c1 = delayed_design(c, 1);
+  std::printf("\nC^1 ⊑ D: %s, D ⊑ C^1: %s  (paper: C^1 equivalent to D)\n",
+              implies(c1, d) ? "yes" : "no", implies(d, c1) ? "yes" : "no");
+  std::printf("C ⊑ D: %s, C ≼ D: %s  (paper: both fail)\n",
+              implies(c, d) ? "yes" : "no",
+              safe_replacement(c, d) ? "yes" : "no");
+  std::printf("\nGraphviz (design C STG):\n%s", stg_to_dot(c).c_str());
+}
+
+namespace {
+
+void BM_StgExtract(benchmark::State& state) {
+  const Netlist c = figure1_retimed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Stg::extract(c));
+  }
+}
+BENCHMARK(BM_StgExtract);
+
+void BM_SafeReplacementCheck(benchmark::State& state) {
+  const Stg d = Stg::extract(figure1_original());
+  const Stg c = Stg::extract(figure1_retimed());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(safe_replacement(c, d));
+  }
+}
+BENCHMARK(BM_SafeReplacementCheck);
+
+void BM_DelayedDesign(benchmark::State& state) {
+  const Stg c = Stg::extract(figure1_retimed());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delayed_design(c, 1));
+  }
+}
+BENCHMARK(BM_DelayedDesign);
+
+void BM_FindInitializingSequence(benchmark::State& state) {
+  const Stg c = Stg::extract(figure1_retimed());
+  std::vector<std::uint64_t> seq;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_initializing_sequence(c, 8, &seq));
+  }
+}
+BENCHMARK(BM_FindInitializingSequence);
+
+}  // namespace
+}  // namespace rtv
+
+RTV_BENCH_MAIN(rtv::report)

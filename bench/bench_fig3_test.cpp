@@ -1,0 +1,83 @@
+// E3 — Figure 3 / Section 2.2: retiming invalidates the test sequence 0.1
+// for the AND1-output stuck-at-1 fault; prepending one arbitrary cycle
+// restores detection (Theorem 4.6), distinguishing on the 3rd clock cycle.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/test_preserve.hpp"
+#include "fault/test_eval.hpp"
+#include "gen/paper_circuits.hpp"
+
+namespace rtv {
+
+void report() {
+  bench::heading("E3 / Figure 3", "test-sequence preservation under retiming");
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  const Fault fd = fault_on(d, kFigure3FaultGate, 0, true);
+  const Fault fc = fault_on(c, kFigure3FaultGate, 0, true);
+
+  const auto show = [](const char* label, const Netlist& n, const Fault& f,
+                       const char* test_str) {
+    const BitsSeq test = bits_seq_from_string(test_str);
+    const TritsSeq good = exact_response(n, test);
+    const TritsSeq bad = exact_response(inject_fault(n, f), test);
+    std::printf("  %-28s test %-7s fault-free %-8s faulty %-8s -> %s\n",
+                label, test_str, sequence_to_string(good).c_str(),
+                sequence_to_string(bad).c_str(),
+                responses_distinguish(good, bad) ? "DETECTED" : "missed");
+  };
+
+  std::printf("fault: %s (the AND gate-1 output net)\n\n",
+              describe(d, fd).c_str());
+  show("original D", d, fd, "0.1");
+  show("retimed C", c, fc, "0.1");
+  std::printf("\nTheorem 4.6: delay the test by one arbitrary cycle:\n");
+  show("retimed C", c, fc, "0.0.1");
+  show("retimed C", c, fc, "1.0.1");
+
+  const auto r =
+      check_test_preservation(d, c, fd, bits_seq_from_string("0.1"), 1);
+  std::printf("\nchecker verdict: %s\n", r.summary().c_str());
+  std::printf("(paper: 0.1 detects in D, fails in C; 0.0.1 and 1.0.1 detect "
+              "in C on the 3rd cycle)\n");
+}
+
+namespace {
+
+void BM_TestDetectsExact(benchmark::State& state) {
+  const Netlist c = figure1_retimed();
+  const Fault f = fault_on(c, kFigure3FaultGate, 0, true);
+  const BitsSeq test = bits_seq_from_string("0.0.1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test_detects(c, f, test));
+  }
+}
+BENCHMARK(BM_TestDetectsExact);
+
+void BM_TestDetectsDelayed(benchmark::State& state) {
+  const Netlist c = figure1_retimed();
+  const Fault f = fault_on(c, kFigure3FaultGate, 0, true);
+  const BitsSeq test = bits_seq_from_string("0.1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test_detects_delayed(c, f, test, 1));
+  }
+}
+BENCHMARK(BM_TestDetectsDelayed);
+
+void BM_CheckTestPreservation(benchmark::State& state) {
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  const Fault f = fault_on(d, kFigure3FaultGate, 0, true);
+  const BitsSeq test = bits_seq_from_string("0.1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_test_preservation(d, c, f, test, 1));
+  }
+}
+BENCHMARK(BM_CheckTestPreservation);
+
+}  // namespace
+}  // namespace rtv
+
+RTV_BENCH_MAIN(rtv::report)

@@ -1,0 +1,123 @@
+// E5 — Figures 5-6: junctions as multi-output JUNC cells and the atomic
+// forward/backward retiming moves; classification census over generated
+// circuits and move-engine throughput.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/random_circuits.hpp"
+#include "retime/moves.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+
+void report() {
+  bench::heading("E5 / Figures 5-6",
+                 "atomic move census over random junction-normal netlists");
+  std::printf("%-8s %-8s %-10s %-10s %-12s %-14s\n", "gates", "latches",
+              "enabled", "fwd", "bwd", "fwd-non-just");
+  Rng rng(2025);
+  for (const unsigned gates : {20u, 80u, 320u}) {
+    RandomCircuitOptions opt;
+    opt.num_inputs = 4;
+    opt.num_outputs = 4;
+    opt.num_gates = gates;
+    opt.num_latches = gates / 4;
+    opt.latch_after_gate_probability = 0.3;
+    const Netlist n = random_netlist(opt, rng);
+    const auto moves = enabled_moves(n);
+    std::size_t fwd = 0, bwd = 0, fwd_nj = 0;
+    for (const auto& m : moves) {
+      const MoveClass cls = classify_move(n, m);
+      if (cls.direction == MoveDirection::kForward) {
+        ++fwd;
+        if (!cls.justifiable) ++fwd_nj;
+      } else {
+        ++bwd;
+      }
+    }
+    std::printf("%-8zu %-8zu %-10zu %-10zu %-12zu %-14zu\n", n.num_gates(),
+                n.num_latches(), moves.size(), fwd, bwd, fwd_nj);
+  }
+  std::printf("\n(forward moves across non-justifiable elements are the only\n"
+              "move kind that can violate safe replacement — Section 4)\n");
+}
+
+namespace {
+
+Netlist bench_circuit(unsigned gates) {
+  Rng rng(7);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 4;
+  opt.num_outputs = 4;
+  opt.num_gates = gates;
+  opt.num_latches = gates / 4;
+  opt.latch_after_gate_probability = 0.3;
+  return random_netlist(opt, rng);
+}
+
+void BM_EnumerateEnabledMoves(benchmark::State& state) {
+  const Netlist n = bench_circuit(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enabled_moves(n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EnumerateEnabledMoves)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_ApplyUndoMovePair(benchmark::State& state) {
+  // Apply a forward move and its inverse backward move repeatedly.
+  Netlist n = bench_circuit(128);
+  // Find a persistent forward-capable element.
+  RetimingMove fwd{NodeId(), MoveDirection::kForward};
+  for (const auto& m : enabled_moves(n)) {
+    if (m.direction == MoveDirection::kForward && n.num_pins(m.element) > 0) {
+      fwd = m;
+      break;
+    }
+  }
+  if (!fwd.element.valid()) {
+    state.SkipWithError("no forward move available");
+    return;
+  }
+  const RetimingMove bwd{fwd.element, MoveDirection::kBackward};
+  for (auto _ : state) {
+    apply_move(n, fwd);
+    apply_move(n, bwd);
+  }
+}
+BENCHMARK(BM_ApplyUndoMovePair);
+
+void BM_ClassifyMove(benchmark::State& state) {
+  const Netlist n = bench_circuit(128);
+  const auto moves = enabled_moves(n);
+  if (moves.empty()) {
+    state.SkipWithError("no moves");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_move(n, moves[i % moves.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyMove);
+
+void BM_Junctionize(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    RandomCircuitOptions opt;
+    opt.num_gates = static_cast<unsigned>(state.range(0));
+    opt.num_latches = opt.num_gates / 4;
+    Netlist n = random_netlist(opt, rng);  // already junctionized inside
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(n.junctionize());
+  }
+}
+BENCHMARK(BM_Junctionize)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace rtv
+
+RTV_BENCH_MAIN(rtv::report)

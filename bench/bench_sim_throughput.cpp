@@ -1,0 +1,145 @@
+// E11 — simulator substrate throughput: 2-valued vs 64-way bit-parallel vs
+// conservative 3-valued (CLS) vs exact 3-valued, across circuit sizes.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/random_circuits.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+#include "sim/exact_sim.hpp"
+#include "sim/parallel_sim.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+
+namespace {
+
+Netlist workload(unsigned gates, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 8;
+  opt.num_outputs = 8;
+  opt.num_gates = gates;
+  opt.num_latches = gates / 8;
+  opt.latch_after_gate_probability = 0.25;
+  return random_netlist(opt, rng);
+}
+
+}  // namespace
+
+void report() {
+  bench::heading("E11 / simulators",
+                 "gate-evaluations per second by simulator kind");
+  std::printf("%-10s %-10s %-14s %-14s %-14s\n", "gates", "latches",
+              "binary Geval/s", "parallel64", "CLS Geval/s");
+  for (const unsigned gates : {256u, 2048u, 16384u}) {
+    const Netlist n = workload(gates, 42);
+    const unsigned cycles = 2000;
+    Rng rng(7);
+    Bits in(n.primary_inputs().size());
+
+    BinarySimulator bsim(n);
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned t = 0; t < cycles; ++t) {
+      for (auto& v : in) v = rng.coin();
+      benchmark::DoNotOptimize(bsim.step(in));
+    }
+    const double bin_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    ParallelBinarySimulator psim(n, 64);
+    t0 = std::chrono::steady_clock::now();
+    for (unsigned t = 0; t < cycles; ++t) {
+      for (auto& v : in) v = rng.coin();
+      psim.step_broadcast(in);
+    }
+    const double par_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    ClsSimulator csim(n);
+    t0 = std::chrono::steady_clock::now();
+    for (unsigned t = 0; t < cycles; ++t) {
+      for (auto& v : in) v = rng.coin();
+      benchmark::DoNotOptimize(csim.step(in));
+    }
+    const double cls_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const double evals = static_cast<double>(n.num_gates()) * cycles;
+    std::printf("%-10zu %-10zu %-14.3g %-14.3g %-14.3g\n", n.num_gates(),
+                n.num_latches(), evals / bin_s / 1e9,
+                evals * 64 / par_s / 1e9, evals / cls_s / 1e9);
+  }
+  std::printf("\n(parallel64 counts 64 lanes of gate evaluations per step;\n"
+              "exact 3-valued simulation is benchmarked below — its cost\n"
+              "scales with the tracked power-up state-set size)\n");
+}
+
+namespace {
+
+void BM_BinaryStep(benchmark::State& state) {
+  const Netlist n = workload(static_cast<unsigned>(state.range(0)), 1);
+  BinarySimulator sim(n);
+  const Bits in(n.primary_inputs().size(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(in));
+  }
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(n.num_gates()), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BinaryStep)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_Parallel64Step(benchmark::State& state) {
+  const Netlist n = workload(static_cast<unsigned>(state.range(0)), 1);
+  ParallelBinarySimulator sim(n, 64);
+  const Bits in(n.primary_inputs().size(), 1);
+  for (auto _ : state) {
+    sim.step_broadcast(in);
+  }
+  state.counters["lane-gates/s"] = benchmark::Counter(
+      static_cast<double>(n.num_gates()) * 64,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Parallel64Step)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_ClsStep(benchmark::State& state) {
+  const Netlist n = workload(static_cast<unsigned>(state.range(0)), 1);
+  ClsSimulator sim(n);
+  const Trits in(n.primary_inputs().size(), Trit::kX);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(in));
+  }
+}
+BENCHMARK(BM_ClsStep)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_ExactStep(benchmark::State& state) {
+  // Exact sim on a circuit with state.range(0) latches from all power-up.
+  Rng rng(3);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 4;
+  opt.num_gates = 64;
+  opt.num_latches = static_cast<unsigned>(state.range(0));
+  opt.latch_after_gate_probability = 0.0;
+  const Netlist n = random_netlist(opt, rng);
+  ExactTernarySimulator sim(n);
+  const Bits in(n.primary_inputs().size(), 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim.reset_all_powerup();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.step(in));
+  }
+  state.counters["states"] =
+      static_cast<double>(std::uint64_t{1} << state.range(0));
+}
+BENCHMARK(BM_ExactStep)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+}  // namespace rtv
+
+RTV_BENCH_MAIN(rtv::report)

@@ -1,0 +1,90 @@
+// E1 — Table 1: simulation results for D and C on input sequence 0.1.1.1
+// from every power-up state, plus the "sufficiently powerful simulator"
+// (exact three-valued) rows the paper discusses below the table.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/paper_circuits.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+#include "sim/exact_sim.hpp"
+
+namespace rtv {
+
+const BitsSeq kInput = bits_seq_from_string("0.1.1.1");
+
+void report() {
+  bench::heading("E1 / Table 1",
+                 "simulation of D and C on input sequence 0.1.1.1");
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+
+  std::printf("%-22s %-16s | %-22s %-16s\n", "power-up state of D",
+              "output sequence", "power-up state of C", "output sequence");
+  const char* d_states[] = {"0", "1"};
+  const char* c_states[] = {"00", "11", "01", "10"};
+  for (int row = 0; row < 4; ++row) {
+    std::string dcol_state, dcol_out;
+    if (row < 2) {
+      BinarySimulator sim(d);
+      sim.set_state(bits_from_string(d_states[row]));
+      dcol_state = d_states[row];
+      dcol_out = sequence_to_string(sim.run(kInput));
+    }
+    BinarySimulator sim(c);
+    sim.set_state(bits_from_string(c_states[row]));
+    std::printf("%-22s %-16s | %-22s %-16s\n", dcol_state.c_str(),
+                dcol_out.c_str(), c_states[row],
+                sequence_to_string(sim.run(kInput)).c_str());
+  }
+
+  ExactTernarySimulator ed(d), ec(c);
+  std::printf("\npowerful (exact 3-valued) simulator, all power-up states:\n");
+  std::printf("  D: %s   (paper: 0.0.1.0)\n",
+              sequence_to_string(ed.run(kInput)).c_str());
+  std::printf("  C: %s   (paper: 0.X.X.X)\n",
+              sequence_to_string(ec.run(kInput)).c_str());
+
+  ClsSimulator cd(d), cc(c);
+  std::printf("\nconservative 3-valued simulator (CLS) from all-X:\n");
+  std::printf("  D: %s   C: %s   (identical — Corollary 5.3)\n",
+              sequence_to_string(cd.run(kInput)).c_str(),
+              sequence_to_string(cc.run(kInput)).c_str());
+}
+
+namespace {
+
+void BM_BinarySimStep(benchmark::State& state) {
+  const Netlist c = figure1_retimed();
+  BinarySimulator sim(c);
+  sim.set_state(bits_from_string("00"));
+  const Bits in = bits_from_string("1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(in));
+  }
+}
+BENCHMARK(BM_BinarySimStep);
+
+void BM_ExactSimRunTable1(benchmark::State& state) {
+  const Netlist c = figure1_retimed();
+  for (auto _ : state) {
+    ExactTernarySimulator sim(c);
+    benchmark::DoNotOptimize(sim.run(kInput));
+  }
+}
+BENCHMARK(BM_ExactSimRunTable1);
+
+void BM_ClsSimRunTable1(benchmark::State& state) {
+  const Netlist c = figure1_retimed();
+  for (auto _ : state) {
+    ClsSimulator sim(c);
+    benchmark::DoNotOptimize(sim.run(kInput));
+  }
+}
+BENCHMARK(BM_ClsSimRunTable1);
+
+}  // namespace
+}  // namespace rtv
+
+RTV_BENCH_MAIN(rtv::report)

@@ -1,0 +1,120 @@
+// E7 — Theorem 4.5 / Corollary 4.3: with at most k forward moves across any
+// non-justifiable element, C^k ⊑ D. Measures, for constructions with
+// k = 0..3, the exact minimal delay n with C^n ⊑ D and checks n <= k.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/safety.hpp"
+#include "gen/paper_circuits.hpp"
+#include "retime/moves.hpp"
+#include "stg/stg.hpp"
+
+namespace rtv {
+
+namespace {
+
+/// Loop circuit latch -> JUNC2 -> inverter -> latch with an observation
+/// branch (the k-lap testbed from the test suite, parameterized by laps).
+Netlist lap_circuit() {
+  Netlist n;
+  const NodeId o = n.add_output("o");
+  const NodeId inv = n.add_gate(CellKind::kNot, 0, "inv");
+  const NodeId j = n.add_junc(2, "J");
+  const NodeId latch = n.add_latch("L");
+  n.connect(PortRef(j, 0), PinRef(inv, 0));
+  n.connect(PortRef(inv, 0), PinRef(latch, 0));
+  n.connect(PortRef(latch, 0), PinRef(j, 0));
+  n.connect(PortRef(j, 1), PinRef(o, 0));
+  n.check_valid(true);
+  return n;
+}
+
+/// Moves that push the loop latch forward around `laps` times.
+std::vector<RetimingMove> lap_moves(const Netlist& n, int laps) {
+  std::vector<RetimingMove> moves;
+  const NodeId j = n.find_by_name("J");
+  const NodeId inv = n.find_by_name("inv");
+  for (int i = 0; i < laps; ++i) {
+    moves.push_back({j, MoveDirection::kForward});
+    moves.push_back({inv, MoveDirection::kForward});
+  }
+  if (laps > 0) moves.pop_back();  // end with the junction move
+  return moves;
+}
+
+}  // namespace
+
+void report() {
+  bench::heading("E7 / Thm 4.5",
+                 "k forward junction moves => C^k ⊑ D, measured exactly");
+  std::printf("%-28s %-6s %-14s %-14s %-10s\n", "construction", "k",
+              "measured n", "C ⊑ D", "bound ok");
+
+  // k = 0: backward-only retiming of the paper circuit C -> D direction.
+  {
+    const Netlist c = figure1_retimed();
+    Netlist d = c;
+    apply_move(d, {d.find_by_name("J1"), MoveDirection::kBackward});
+    const Stg sc = Stg::extract(d);        // retimed design (backward move)
+    const Stg sd = Stg::extract(c);        // original
+    const int n = min_delay_for_implication(sc, sd, 8);
+    std::printf("%-28s %-6d %-14d %-14s %-10s\n", "figure1 backward move", 0,
+                n, implies(sc, sd) ? "yes" : "no", n <= 0 ? "yes" : "NO");
+  }
+  // k = 1: the paper's own move.
+  {
+    Netlist c = figure1_original();
+    apply_move(c, {c.find_by_name("J1"), MoveDirection::kForward});
+    const Stg sd = Stg::extract(figure1_original());
+    const Stg sc = Stg::extract(c);
+    const int n = min_delay_for_implication(sc, sd, 8);
+    std::printf("%-28s %-6d %-14d %-14s %-10s\n", "figure1 forward move", 1,
+                n, implies(sc, sd) ? "yes" : "no", n <= 1 ? "yes" : "NO");
+  }
+  // k = 1..3 on the lap circuit.
+  for (int laps = 1; laps <= 3; ++laps) {
+    const Netlist d = lap_circuit();
+    Netlist retimed;
+    const SafetyReport r =
+        analyze_move_sequence(d, lap_moves(d, laps), &retimed);
+    const Stg sd = Stg::extract(d);
+    const Stg sc = Stg::extract(retimed);
+    const int n = min_delay_for_implication(sc, sd, 12);
+    std::printf("%-28s %-6zu %-14d %-14s %-10s\n",
+                ("loop circuit, " + std::to_string(laps) + " lap(s)").c_str(),
+                r.delay_bound, n, implies(sc, sd) ? "yes" : "no",
+                n >= 0 && static_cast<std::size_t>(n) <= r.delay_bound
+                    ? "yes"
+                    : "NO");
+  }
+  std::printf("\n(paper: measured n never exceeds the Thm 4.5 bound k; the\n"
+              "bound is tight for the figure-1 move)\n");
+}
+
+namespace {
+
+void BM_MinDelaySearch(benchmark::State& state) {
+  Netlist c = figure1_original();
+  apply_move(c, {c.find_by_name("J1"), MoveDirection::kForward});
+  const Stg sd = Stg::extract(figure1_original());
+  const Stg sc = Stg::extract(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_delay_for_implication(sc, sd, 8));
+  }
+}
+BENCHMARK(BM_MinDelaySearch);
+
+void BM_AnalyzeMoveSequence(benchmark::State& state) {
+  const Netlist d = lap_circuit();
+  const auto moves = lap_moves(d, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_move_sequence(d, moves, nullptr));
+  }
+}
+BENCHMARK(BM_AnalyzeMoveSequence);
+
+}  // namespace
+}  // namespace rtv
+
+RTV_BENCH_MAIN(rtv::report)

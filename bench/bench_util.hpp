@@ -1,0 +1,34 @@
+#pragma once
+// Shared scaffolding for the experiment benchmarks: every bench binary
+// first prints its paper-reproduction report (the table/figure data), then
+// runs its google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace rtv::bench {
+
+inline void heading(const std::string& experiment, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void line(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+}  // namespace rtv::bench
+
+/// Defines main(): print the report, then run registered benchmarks.
+#define RTV_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                     \
+    report_fn();                                        \
+    ::benchmark::Initialize(&argc, argv);               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();              \
+    ::benchmark::Shutdown();                            \
+    return 0;                                           \
+  }

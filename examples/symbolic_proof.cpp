@@ -1,0 +1,64 @@
+// Symbolic proof workflow: retime a design with a known initial state,
+// transport the state through the atomic moves ([TB93]-style justification)
+// and PROVE output equivalence by BDD reachability on the miter — then
+// contrast with the paper's Figure-1 counterexample state.
+//
+//   $ ./symbolic_proof
+
+#include <cstdio>
+
+#include "bdd/equivalence.hpp"
+#include "bdd/symbolic.hpp"
+#include "gen/iscas.hpp"
+#include "gen/paper_circuits.hpp"
+#include "retime/initial_state.hpp"
+#include "retime/moves.hpp"
+#include "util/rng.hpp"
+
+using namespace rtv;
+
+int main() {
+  // Part 1: s27 with a known initial state, retimed by random moves with
+  // the state transported; symbolic equivalence proof on the miter.
+  const Netlist s27 = iscas_s27();
+  Netlist retimed = s27;
+  Bits state{0, 0, 0};
+  Rng rng(7);
+  int applied = 0;
+  for (int step = 0; step < 8; ++step) {
+    const auto moves = enabled_moves(retimed);
+    if (moves.empty()) break;
+    if (apply_move_with_state(retimed, moves[rng.index(moves.size())],
+                              state)) {
+      ++applied;
+    }
+  }
+  std::printf("s27: applied %d atomic moves; latches %zu -> %zu\n", applied,
+              s27.num_latches(), retimed.num_latches());
+  std::printf("transported initial state: %s\n", to_string(state).c_str());
+  const bool proven = symbolically_equivalent_from(
+      s27, Bits{0, 0, 0}, retimed.compacted(), state);
+  std::printf("symbolic equivalence proof: %s\n\n",
+              proven ? "EQUIVALENT (exact, all input sequences)" : "FAILED");
+
+  // Part 2: the paper's pair. Matching start states are provably
+  // equivalent; the Section-2 counterexample state is provably not.
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  std::printf("figure-1, D@0 vs C@(0,0): %s\n",
+              symbolically_equivalent_from(d, Bits{0}, c, Bits{0, 0})
+                  ? "equivalent"
+                  : "NOT equivalent");
+  std::printf("figure-1, D@0 vs C@(1,0): %s   <- Table 1's rogue state\n",
+              symbolically_equivalent_from(d, Bits{0}, c, Bits{1, 0})
+                  ? "equivalent"
+                  : "NOT equivalent");
+
+  // Part 3: symbolic state-machine implication (no initial states at all).
+  SymbolicImplication sym(c, d);
+  std::printf("\nsymbolic check, no init states: C ⊑ D %s; least n with "
+              "C^n ⊑ D: %d\n",
+              sym.implies() ? "holds" : "fails",
+              sym.min_delay_for_implication(8));
+  return proven ? 0 : 1;
+}

@@ -1,0 +1,209 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rtv {
+
+BddManager::BddManager(unsigned num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  RTV_REQUIRE(num_vars <= 4096, "too many BDD variables");
+  // Slots 0/1 are the terminals; their var field is a sentinel.
+  nodes_.push_back(Node{num_vars_, kFalse, kFalse});
+  nodes_.push_back(Node{num_vars_, kTrue, kTrue});
+  var_refs_.resize(num_vars, kFalse);
+  for (unsigned v = 0; v < num_vars; ++v) {
+    var_refs_[v] = find_or_add(v, kFalse, kTrue);
+  }
+}
+
+BddManager::Ref BddManager::var(unsigned v) {
+  RTV_REQUIRE(v < num_vars_, "BDD variable out of range");
+  return var_refs_[v];
+}
+
+BddManager::Ref BddManager::nvar(unsigned v) {
+  return ite(var(v), kFalse, kTrue);
+}
+
+BddManager::Ref BddManager::find_or_add(unsigned var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const NodeKey key{var, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) {
+    throw CapacityError("BDD node limit exceeded");
+  }
+  nodes_.push_back(Node{var, lo, hi});
+  const Ref ref = static_cast<Ref>(nodes_.size() - 1);
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddManager::Ref BddManager::cofactor(Ref f, unsigned v, bool value) const {
+  if (f <= kTrue || nodes_[f].var != v) return f;
+  return value ? nodes_[f].hi : nodes_[f].lo;
+}
+
+BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
+  // Terminal rules.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const unsigned v = std::min({top_var(f), top_var(g), top_var(h)});
+  const Ref lo = ite(cofactor(f, v, false), cofactor(g, v, false),
+                     cofactor(h, v, false));
+  const Ref hi =
+      ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const Ref result = find_or_add(v, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddManager::Ref BddManager::exists(Ref f, const std::vector<unsigned>& vars) {
+  std::vector<bool> quantified(num_vars_, false);
+  for (const unsigned v : vars) {
+    RTV_REQUIRE(v < num_vars_, "quantified variable out of range");
+    quantified[v] = true;
+  }
+  std::unordered_map<Ref, Ref> cache;
+  const auto recurse = [&](auto&& self, Ref node) -> Ref {
+    if (node <= kTrue) return node;
+    const auto hit = cache.find(node);
+    if (hit != cache.end()) return hit->second;
+    const Node n = nodes_[node];  // copy: recursion may reallocate nodes_
+    const Ref lo = self(self, n.lo);
+    const Ref hi = self(self, n.hi);
+    const Ref result =
+        quantified[n.var] ? bdd_or(lo, hi) : find_or_add(n.var, lo, hi);
+    cache.emplace(node, result);
+    return result;
+  };
+  return recurse(recurse, f);
+}
+
+BddManager::Ref BddManager::rename(Ref f, const std::vector<unsigned>& map) {
+  RTV_REQUIRE(map.size() == num_vars_, "rename map size mismatch");
+  // Monotonicity on the support (checked as we go: children always have
+  // larger mapped var than the parent).
+  std::unordered_map<Ref, Ref> cache;
+  const auto recurse = [&](auto&& self, Ref node) -> Ref {
+    if (node <= kTrue) return node;
+    const auto hit = cache.find(node);
+    if (hit != cache.end()) return hit->second;
+    const Node n = nodes_[node];  // copy: recursion may reallocate nodes_
+    const unsigned target = map[n.var];
+    RTV_REQUIRE(target < num_vars_, "rename target out of range");
+    const Ref lo = self(self, n.lo);
+    const Ref hi = self(self, n.hi);
+    RTV_REQUIRE(top_var(lo) > target && top_var(hi) > target,
+                "rename map is not monotone on the support");
+    const Ref result = find_or_add(target, lo, hi);
+    cache.emplace(node, result);
+    return result;
+  };
+  return recurse(recurse, f);
+}
+
+BddManager::Ref BddManager::compose(Ref f,
+                                    const std::vector<Ref>& substitution) {
+  RTV_REQUIRE(substitution.size() == num_vars_,
+              "substitution vector size mismatch");
+  std::unordered_map<Ref, Ref> cache;
+  const auto recurse = [&](auto&& self, Ref node) -> Ref {
+    if (node <= kTrue) return node;
+    const auto hit = cache.find(node);
+    if (hit != cache.end()) return hit->second;
+    const Node n = nodes_[node];  // copy: ite below may reallocate nodes_
+    const Ref lo = self(self, n.lo);
+    const Ref hi = self(self, n.hi);
+    const Ref result = ite(substitution[n.var], hi, lo);
+    cache.emplace(node, result);
+    return result;
+  };
+  return recurse(recurse, f);
+}
+
+bool BddManager::evaluate(Ref f, const std::vector<bool>& assignment) const {
+  RTV_REQUIRE(assignment.size() >= num_vars_, "assignment too short");
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    f = assignment[n.var] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+double BddManager::count_sat(Ref f) const {
+  // Density formulation: the fraction of satisfying assignments is
+  // invariant under skipped (don't-care) variables, so no level-gap
+  // weighting is needed.
+  std::unordered_map<Ref, double> cache;
+  const auto recurse = [&](auto&& self, Ref node) -> double {
+    if (node == kFalse) return 0.0;
+    if (node == kTrue) return 1.0;
+    const auto hit = cache.find(node);
+    if (hit != cache.end()) return hit->second;
+    const Node& n = nodes_[node];
+    const double result = 0.5 * (self(self, n.lo) + self(self, n.hi));
+    cache.emplace(node, result);
+    return result;
+  };
+  return recurse(recurse, f) * std::pow(2.0, static_cast<double>(num_vars_));
+}
+
+std::vector<bool> BddManager::pick_model(Ref f) const {
+  RTV_REQUIRE(f != kFalse, "pick_model of the empty set");
+  std::vector<bool> model(num_vars_, false);
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.lo != kFalse) {
+      model[n.var] = false;
+      f = n.lo;
+    } else {
+      model[n.var] = true;
+      f = n.hi;
+    }
+  }
+  return model;
+}
+
+std::vector<unsigned> BddManager::support(Ref f) const {
+  std::unordered_set<Ref> seen;
+  std::vector<bool> in_support(num_vars_, false);
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    const Ref node = stack.back();
+    stack.pop_back();
+    if (node <= kTrue || !seen.insert(node).second) continue;
+    in_support[nodes_[node].var] = true;
+    stack.push_back(nodes_[node].lo);
+    stack.push_back(nodes_[node].hi);
+  }
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (in_support[v]) result.push_back(v);
+  }
+  return result;
+}
+
+std::size_t BddManager::size(Ref f) const {
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    const Ref node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second || node <= kTrue) continue;
+    stack.push_back(nodes_[node].lo);
+    stack.push_back(nodes_[node].hi);
+  }
+  return seen.size();
+}
+
+}  // namespace rtv

@@ -1,0 +1,131 @@
+#pragma once
+// A reduced ordered binary decision diagram (ROBDD) package — the symbolic
+// engine of the paper's verification era ([Pix92]'s sequential hardware
+// equivalence and [PSAB94]'s safe-replacement checking were BDD-based).
+// Hash-consed unique table, memoized ITE, existential quantification,
+// monotone variable renaming and model counting: enough to run symbolic
+// reachability on netlists (see bdd/symbolic.hpp) without explicit 2^L
+// state enumeration.
+//
+// Design notes: no complement edges and no garbage collection — nodes are
+// arena-allocated and live for the manager's lifetime, with a hard
+// node_limit guard (CapacityError) instead of reclamation. This keeps the
+// invariants tiny, and the experiment workloads comfortably fit.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rtv {
+
+class BddManager {
+ public:
+  /// Node handle. kFalse/kTrue are the terminals.
+  using Ref = std::uint32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  explicit BddManager(unsigned num_vars,
+                      std::size_t node_limit = std::size_t{1} << 22);
+
+  unsigned num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// The function of variable v / its complement.
+  Ref var(unsigned v);
+  Ref nvar(unsigned v);
+
+  /// Shannon if-then-else — the universal connective.
+  Ref ite(Ref f, Ref g, Ref h);
+
+  Ref bdd_not(Ref f) { return ite(f, kFalse, kTrue); }
+  Ref bdd_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+  Ref bdd_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+  Ref bdd_xor(Ref f, Ref g) { return ite(f, bdd_not(g), g); }
+  Ref bdd_xnor(Ref f, Ref g) { return ite(f, g, bdd_not(g)); }
+  Ref bdd_implies(Ref f, Ref g) { return ite(f, g, kTrue); }
+
+  /// Existential quantification over a set of variables.
+  Ref exists(Ref f, const std::vector<unsigned>& vars);
+
+  /// Variable renaming v -> map[v] (identity where map[v] == v). The
+  /// mapping must be strictly monotone on the support of f and the target
+  /// variables must not occur in f outside the mapping's image — both are
+  /// checked; violations throw InvalidArgument.
+  Ref rename(Ref f, const std::vector<unsigned>& map);
+
+  /// Simultaneous functional composition: substitutes every variable v in
+  /// f by substitution[v] (use var(v) for identity).
+  Ref compose(Ref f, const std::vector<Ref>& substitution);
+
+  /// Universal quantification (dual of exists).
+  Ref forall(Ref f, const std::vector<unsigned>& vars) {
+    return bdd_not(exists(bdd_not(f), vars));
+  }
+
+  /// Evaluates under a complete assignment (assignment[v] = value of v).
+  bool evaluate(Ref f, const std::vector<bool>& assignment) const;
+
+  /// Number of satisfying assignments over variables [0, num_vars).
+  double count_sat(Ref f) const;
+
+  /// Some satisfying assignment (lexicographically smallest by var order);
+  /// f must not be kFalse.
+  std::vector<bool> pick_model(Ref f) const;
+
+  /// Variables in the support of f, ascending.
+  std::vector<unsigned> support(Ref f) const;
+
+  /// BDD node count of a single function (reachable nodes incl terminals).
+  std::size_t size(Ref f) const;
+
+ private:
+  struct Node {
+    unsigned var;
+    Ref lo;
+    Ref hi;
+  };
+  struct NodeKey {
+    unsigned var;
+    Ref lo;
+    Ref hi;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::uint64_t h = k.var;
+      h = h * 0x9e3779b97f4a7c15ULL + k.lo;
+      h = h * 0x9e3779b97f4a7c15ULL + k.hi;
+      return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+  };
+  struct IteKey {
+    Ref f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t h = k.f;
+      h = h * 0x9e3779b97f4a7c15ULL + k.g;
+      h = h * 0x9e3779b97f4a7c15ULL + k.h;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  unsigned top_var(Ref f) const {
+    return f <= kTrue ? num_vars_ : nodes_[f].var;
+  }
+  Ref cofactor(Ref f, unsigned v, bool value) const;
+  Ref find_or_add(unsigned var, Ref lo, Ref hi);
+
+  unsigned num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::vector<Ref> var_refs_;
+  std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, Ref, IteKeyHash> ite_cache_;
+};
+
+}  // namespace rtv

@@ -1,0 +1,88 @@
+#include "bdd/equivalence.hpp"
+
+namespace rtv {
+
+SymbolicImplication::SymbolicImplication(const Netlist& c, const Netlist& d,
+                                         std::size_t node_limit)
+    : pair_(pair_designs(c, d)) {
+  RTV_REQUIRE(c.primary_outputs().size() == d.primary_outputs().size(),
+              "implication requires equal primary output counts");
+  machine_ = std::make_unique<SymbolicMachine>(pair_.netlist, node_limit);
+  for (unsigned j = 0; j < machine_->num_inputs(); ++j) {
+    input_vars_.push_back(machine_->input_var(j));
+  }
+  for (unsigned i = 0; i < pair_.a_latches; ++i) {
+    c_state_vars_.push_back(machine_->state_var(i));
+  }
+  for (unsigned i = 0; i < pair_.b_latches; ++i) {
+    d_state_vars_.push_back(
+        machine_->state_var(static_cast<unsigned>(pair_.a_latches) + i));
+  }
+}
+
+BddManager::Ref SymbolicImplication::forall_inputs(BddManager::Ref f) {
+  return machine_->manager().forall(f, input_vars_);
+}
+
+BddManager::Ref SymbolicImplication::equivalence_relation() {
+  if (relation_computed_) return relation_;
+  BddManager& m = machine_->manager();
+
+  // E0: outputs agree for every input.
+  BddManager::Ref outputs_agree = BddManager::kTrue;
+  for (std::size_t j = 0; j < pair_.a_outputs; ++j) {
+    outputs_agree = m.bdd_and(
+        outputs_agree,
+        m.bdd_xnor(machine_->output_function(static_cast<unsigned>(j)),
+                   machine_->output_function(
+                       static_cast<unsigned>(pair_.a_outputs + j))));
+  }
+  BddManager::Ref relation = forall_inputs(outputs_agree);
+
+  // Substitution s_i -> delta_i(s, x) for the inductive step (inputs and
+  // next-state variables map to themselves; E_k has no such vars anyway).
+  std::vector<BddManager::Ref> substitution(m.num_vars());
+  for (unsigned v = 0; v < m.num_vars(); ++v) substitution[v] = m.var(v);
+  for (unsigned i = 0; i < machine_->num_latches(); ++i) {
+    substitution[machine_->state_var(i)] = machine_->next_function(i);
+  }
+
+  for (;;) {
+    const BddManager::Ref step =
+        forall_inputs(m.compose(relation, substitution));
+    const BddManager::Ref refined = m.bdd_and(relation, step);
+    if (refined == relation) break;
+    relation = refined;
+  }
+  relation_ = relation;
+  relation_computed_ = true;
+  return relation_;
+}
+
+bool SymbolicImplication::all_covered(BddManager::Ref c_states) {
+  BddManager& m = machine_->manager();
+  const BddManager::Ref has_match =
+      m.exists(equivalence_relation(), d_state_vars_);
+  const BddManager::Ref uncovered =
+      m.bdd_and(c_states, m.bdd_not(has_match));
+  return uncovered == BddManager::kFalse;
+}
+
+bool SymbolicImplication::implies() { return all_covered(BddManager::kTrue); }
+
+int SymbolicImplication::min_delay_for_implication(unsigned max_cycles) {
+  BddManager& m = machine_->manager();
+  // The n-step image of all states in the paired machine factorizes as
+  // delayed_C(s) ∧ delayed_D(t); project out the D component.
+  BddManager::Ref current = BddManager::kTrue;
+  for (unsigned n = 0; n <= max_cycles; ++n) {
+    const BddManager::Ref c_part = m.exists(current, d_state_vars_);
+    if (all_covered(c_part)) return static_cast<int>(n);
+    const BddManager::Ref next = machine_->image(current);
+    if (next == current) break;  // fixpoint: no further delay can help
+    current = next;
+  }
+  return -1;
+}
+
+}  // namespace rtv

@@ -1,0 +1,53 @@
+#pragma once
+// Symbolic state-machine implication — the BDD-era decision procedure for
+// the paper's Section-3.3 relations ([Pix92]'s machinery applied to C ⊑ D).
+//
+// Over the paired product machine (shared inputs, disjoint state vars) the
+// greatest bisimulation-style equivalence E(s, t) between C states and D
+// states is the fixpoint of
+//     E_0(s, t)     = ∀x. outputs_C(s, x) ≡ outputs_D(t, x)
+//     E_{k+1}(s, t) = E_k(s, t) ∧ ∀x. E_k(δ_C(s, x), δ_D(t, x))
+// and C ⊑ D  ⟺  ∀s ∃t. E*(s, t). With the delayed-design state sets this
+// also answers the Thm 4.5 question — least n with C^n ⊑ D — fully
+// symbolically, with no 2^L enumeration anywhere.
+
+#include <memory>
+
+#include "bdd/symbolic.hpp"
+#include "core/miter.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+class SymbolicImplication {
+ public:
+  /// c and d need equal PI and PO counts.
+  SymbolicImplication(const Netlist& c, const Netlist& d,
+                      std::size_t node_limit = std::size_t{1} << 22);
+
+  /// The fixpoint relation E*(s, t) over (C state vars, D state vars).
+  BddManager::Ref equivalence_relation();
+
+  /// Exact C ⊑ D.
+  bool implies();
+
+  /// Least n <= max_cycles with C^n ⊑ D, or -1.
+  int min_delay_for_implication(unsigned max_cycles);
+
+  SymbolicMachine& machine() { return *machine_; }
+
+ private:
+  BddManager::Ref forall_inputs(BddManager::Ref f);
+  /// ∀s∈S ∃t. E*(s, t), where S is a set over C state variables.
+  bool all_covered(BddManager::Ref c_states);
+
+  PairedDesign pair_;
+  std::unique_ptr<SymbolicMachine> machine_;
+  std::vector<unsigned> input_vars_;
+  std::vector<unsigned> c_state_vars_;
+  std::vector<unsigned> d_state_vars_;
+  BddManager::Ref relation_ = BddManager::kFalse;
+  bool relation_computed_ = false;
+};
+
+}  // namespace rtv

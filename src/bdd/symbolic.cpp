@@ -1,0 +1,288 @@
+#include "bdd/symbolic.hpp"
+
+#include <cmath>
+
+#include "core/miter.hpp"
+#include "sim/port_map.hpp"
+#include "util/bits.hpp"
+
+namespace rtv {
+
+SymbolicMachine::SymbolicMachine(const Netlist& netlist,
+                                 std::size_t node_limit)
+    : num_latches_(static_cast<unsigned>(netlist.latches().size())),
+      num_inputs_(static_cast<unsigned>(netlist.primary_inputs().size())),
+      num_outputs_(static_cast<unsigned>(netlist.primary_outputs().size())) {
+  RTV_REQUIRE(num_latches_ <= 256 && num_inputs_ <= 256,
+              "SymbolicMachine capacity exceeded");
+  mgr_ = std::make_unique<BddManager>(2 * num_latches_ + num_inputs_,
+                                      node_limit);
+  BddManager& m = *mgr_;
+
+  // Evaluate the combinational cones over per-port BDDs.
+  const PortMap ports(netlist);
+  std::vector<BddManager::Ref> values(ports.size(), BddManager::kFalse);
+  std::vector<std::uint32_t> io_pos(netlist.num_slots(), 0);
+  const auto fill = [&](const std::vector<NodeId>& ids) {
+    for (std::uint32_t i = 0; i < ids.size(); ++i) io_pos[ids[i].value] = i;
+  };
+  fill(netlist.primary_inputs());
+  fill(netlist.primary_outputs());
+  fill(netlist.latches());
+
+  out_fn_.assign(num_outputs_, BddManager::kFalse);
+  next_fn_.assign(num_latches_, BddManager::kFalse);
+
+  for (const NodeId id : combinational_topo_order(netlist)) {
+    const Node& n = netlist.node(id);
+    const std::uint32_t base = ports.index(PortRef(id, 0));
+    const auto value_of = [&](PortRef p) { return values[ports.index(p)]; };
+    switch (n.kind) {
+      case CellKind::kInput:
+        values[base] = m.var(input_var(io_pos[id.value]));
+        break;
+      case CellKind::kLatch:
+        values[base] = m.var(state_var(io_pos[id.value]));
+        break;
+      case CellKind::kOutput:
+        out_fn_[io_pos[id.value]] = value_of(n.fanin[0]);
+        break;
+      case CellKind::kConst0:
+        values[base] = BddManager::kFalse;
+        break;
+      case CellKind::kConst1:
+        values[base] = BddManager::kTrue;
+        break;
+      case CellKind::kBuf:
+        values[base] = value_of(n.fanin[0]);
+        break;
+      case CellKind::kNot:
+        values[base] = m.bdd_not(value_of(n.fanin[0]));
+        break;
+      case CellKind::kAnd:
+      case CellKind::kNand: {
+        BddManager::Ref acc = BddManager::kTrue;
+        for (const PortRef& d : n.fanin) acc = m.bdd_and(acc, value_of(d));
+        values[base] = n.kind == CellKind::kNand ? m.bdd_not(acc) : acc;
+        break;
+      }
+      case CellKind::kOr:
+      case CellKind::kNor: {
+        BddManager::Ref acc = BddManager::kFalse;
+        for (const PortRef& d : n.fanin) acc = m.bdd_or(acc, value_of(d));
+        values[base] = n.kind == CellKind::kNor ? m.bdd_not(acc) : acc;
+        break;
+      }
+      case CellKind::kXor:
+      case CellKind::kXnor: {
+        BddManager::Ref acc = BddManager::kFalse;
+        for (const PortRef& d : n.fanin) acc = m.bdd_xor(acc, value_of(d));
+        values[base] = n.kind == CellKind::kXnor ? m.bdd_not(acc) : acc;
+        break;
+      }
+      case CellKind::kMux:
+        values[base] = m.ite(value_of(n.fanin[0]), value_of(n.fanin[2]),
+                             value_of(n.fanin[1]));
+        break;
+      case CellKind::kJunc: {
+        const BddManager::Ref v = value_of(n.fanin[0]);
+        for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+          values[base + p] = v;
+        }
+        break;
+      }
+      case CellKind::kTable: {
+        // Minterm expansion per output.
+        const TruthTable& t = netlist.table(n.table);
+        std::vector<BddManager::Ref> pins(n.num_pins());
+        for (std::uint32_t pin = 0; pin < n.num_pins(); ++pin) {
+          pins[pin] = value_of(n.fanin[pin]);
+        }
+        for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+          BddManager::Ref acc = BddManager::kFalse;
+          for (std::uint64_t x = 0; x < pow2(n.num_pins()); ++x) {
+            if (!t.eval_bit(x, p)) continue;
+            BddManager::Ref term = BddManager::kTrue;
+            for (std::uint32_t pin = 0; pin < n.num_pins(); ++pin) {
+              term = m.bdd_and(
+                  term, get_bit(x, pin) ? pins[pin] : m.bdd_not(pins[pin]));
+            }
+            acc = m.bdd_or(acc, term);
+          }
+          values[base + p] = acc;
+        }
+        break;
+      }
+    }
+  }
+
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    const Node& latch = netlist.node(netlist.latches()[i]);
+    next_fn_[i] = values[ports.index(latch.fanin[0])];
+  }
+
+  // T(s, x, s') = AND_i (s'_i XNOR f_i(s, x)).
+  transition_ = BddManager::kTrue;
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    transition_ = m.bdd_and(
+        transition_, m.bdd_xnor(m.var(next_var(i)), next_fn_[i]));
+  }
+
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    quantify_sx_.push_back(state_var(i));
+  }
+  for (unsigned j = 0; j < num_inputs_; ++j) {
+    quantify_sx_.push_back(input_var(j));
+  }
+  rename_ns_.resize(m.num_vars());
+  for (unsigned v = 0; v < m.num_vars(); ++v) rename_ns_[v] = v;
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    rename_ns_[next_var(i)] = state_var(i);
+  }
+}
+
+BddManager::Ref SymbolicMachine::state_cube(const Bits& state) {
+  RTV_REQUIRE(state.size() == num_latches_, "state vector size mismatch");
+  BddManager::Ref cube = BddManager::kTrue;
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    cube = mgr_->bdd_and(cube, state[i] != 0 ? mgr_->var(state_var(i))
+                                             : mgr_->nvar(state_var(i)));
+  }
+  return cube;
+}
+
+BddManager::Ref SymbolicMachine::image(BddManager::Ref states) {
+  const BddManager::Ref conj = mgr_->bdd_and(states, transition_);
+  const BddManager::Ref next = mgr_->exists(conj, quantify_sx_);
+  return mgr_->rename(next, rename_ns_);
+}
+
+BddManager::Ref SymbolicMachine::reachable(BddManager::Ref init) {
+  BddManager::Ref frontier = init;
+  BddManager::Ref all = init;
+  while (frontier != BddManager::kFalse) {
+    const BddManager::Ref next = image(frontier);
+    const BddManager::Ref fresh = mgr_->bdd_and(next, mgr_->bdd_not(all));
+    all = mgr_->bdd_or(all, fresh);
+    frontier = fresh;
+  }
+  return all;
+}
+
+BddManager::Ref SymbolicMachine::states_after_delay(unsigned cycles) {
+  BddManager::Ref current = all_states();
+  for (unsigned k = 0; k < cycles; ++k) {
+    const BddManager::Ref next = image(current);
+    if (next == current) break;  // monotone chain hit its fixpoint
+    current = next;
+  }
+  return current;
+}
+
+double SymbolicMachine::count_states(BddManager::Ref states) {
+  // count_sat ranges over all variables; divide out next-state and input
+  // variables (a state set depends only on state variables).
+  const double total = mgr_->count_sat(states);
+  const double divisor =
+      std::pow(2.0, static_cast<double>(num_latches_ + num_inputs_));
+  return total / divisor;
+}
+
+SymbolicExactSimulator::SymbolicExactSimulator(const Netlist& netlist,
+                                               std::size_t node_limit)
+    : machine_(netlist, node_limit) {
+  reset_all_powerup();
+}
+
+void SymbolicExactSimulator::reset_all_powerup() {
+  reset_from_ternary(Trits(machine_.num_latches(), Trit::kX));
+}
+
+void SymbolicExactSimulator::reset_from_ternary(const Trits& state) {
+  RTV_REQUIRE(state.size() == machine_.num_latches(),
+              "state vector size mismatch");
+  BddManager& m = machine_.manager();
+  state_fn_.assign(machine_.num_latches(), BddManager::kFalse);
+  for (unsigned i = 0; i < machine_.num_latches(); ++i) {
+    switch (state[i]) {
+      case Trit::kZero:
+        state_fn_[i] = BddManager::kFalse;
+        break;
+      case Trit::kOne:
+        state_fn_[i] = BddManager::kTrue;
+        break;
+      case Trit::kX:
+        state_fn_[i] = m.var(machine_.state_var(i));
+        break;
+    }
+  }
+}
+
+Trits SymbolicExactSimulator::step(const Bits& inputs) {
+  RTV_REQUIRE(inputs.size() == machine_.num_inputs(),
+              "input vector size mismatch");
+  BddManager& m = machine_.manager();
+  // Substitute each state variable by the current symbolic latch value and
+  // each input variable by this cycle's constant.
+  std::vector<BddManager::Ref> substitution(m.num_vars());
+  for (unsigned v = 0; v < m.num_vars(); ++v) substitution[v] = m.var(v);
+  for (unsigned i = 0; i < machine_.num_latches(); ++i) {
+    substitution[machine_.state_var(i)] = state_fn_[i];
+  }
+  for (unsigned j = 0; j < machine_.num_inputs(); ++j) {
+    substitution[machine_.input_var(j)] =
+        inputs[j] != 0 ? BddManager::kTrue : BddManager::kFalse;
+  }
+
+  Trits outs(machine_.num_outputs(), Trit::kX);
+  for (unsigned j = 0; j < machine_.num_outputs(); ++j) {
+    const BddManager::Ref f =
+        m.compose(machine_.output_function(j), substitution);
+    if (f == BddManager::kTrue) {
+      outs[j] = Trit::kOne;
+    } else if (f == BddManager::kFalse) {
+      outs[j] = Trit::kZero;
+    }
+  }
+  std::vector<BddManager::Ref> next(machine_.num_latches());
+  for (unsigned i = 0; i < machine_.num_latches(); ++i) {
+    next[i] = m.compose(machine_.next_function(i), substitution);
+  }
+  state_fn_ = std::move(next);
+  return outs;
+}
+
+TritsSeq SymbolicExactSimulator::run(const BitsSeq& inputs) {
+  TritsSeq outs;
+  outs.reserve(inputs.size());
+  for (const Bits& in : inputs) outs.push_back(step(in));
+  return outs;
+}
+
+Trits SymbolicExactSimulator::state_abstraction() const {
+  Trits result(machine_.num_latches(), Trit::kX);
+  for (unsigned i = 0; i < machine_.num_latches(); ++i) {
+    if (state_fn_[i] == BddManager::kTrue) {
+      result[i] = Trit::kOne;
+    } else if (state_fn_[i] == BddManager::kFalse) {
+      result[i] = Trit::kZero;
+    }
+  }
+  return result;
+}
+
+bool symbolically_equivalent_from(const Netlist& a, const Bits& state_a,
+                                  const Netlist& b, const Bits& state_b,
+                                  std::size_t node_limit) {
+  const Miter miter = build_miter(a, b);
+  SymbolicMachine machine(miter.netlist, node_limit);
+  Bits joint = state_a;
+  joint.insert(joint.end(), state_b.begin(), state_b.end());
+  const BddManager::Ref reach = machine.reachable(machine.state_cube(joint));
+  // Disagreement: some reachable state and input with neq = 1.
+  const BddManager::Ref bad =
+      machine.manager().bdd_and(reach, machine.output_function(0));
+  return bad == BddManager::kFalse;
+}
+
+}  // namespace rtv

@@ -1,0 +1,146 @@
+#include "core/cls_equiv.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "sim/cls_sim.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+
+std::string ClsEquivalenceResult::summary() const {
+  std::ostringstream os;
+  os << (equivalent ? "CLS-equivalent" : "CLS-DISTINGUISHABLE") << " ("
+     << (exhaustive ? "exhaustive proof" : "bounded check") << ", "
+     << pairs_explored << " state pairs)";
+  if (counterexample) {
+    os << " counterexample inputs: " << sequence_to_string(*counterexample);
+  }
+  return os.str();
+}
+
+bool cls_outputs_match(const Netlist& a, const Netlist& b,
+                       const TritsSeq& inputs) {
+  ClsSimulator sa(a), sb(b);
+  for (const Trits& in : inputs) {
+    if (sa.step(in) != sb.step(in)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct PairKey {
+  std::uint64_t a;
+  std::uint64_t b;
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const {
+    std::uint64_t h = k.a * 0x9e3779b97f4a7c15ULL;
+    h ^= k.b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Enumerates all ternary vectors of the given width (3^width of them).
+Trits nth_ternary_vector(std::uint64_t index, unsigned width) {
+  return unpack_trits(index, width);
+}
+
+ClsEquivalenceResult bounded_check(const Netlist& a, const Netlist& b,
+                                   const ClsEquivOptions& options) {
+  ClsEquivalenceResult result;
+  result.exhaustive = false;
+  Rng rng(options.seed);
+  const unsigned width = static_cast<unsigned>(a.primary_inputs().size());
+  for (unsigned s = 0; s < options.random_sequences; ++s) {
+    ClsSimulator sa(a), sb(b);
+    TritsSeq applied;
+    for (unsigned t = 0; t < options.random_length; ++t) {
+      Trits in(width);
+      for (Trit& v : in) v = static_cast<Trit>(rng.below(3));
+      applied.push_back(in);
+      ++result.pairs_explored;
+      if (sa.step(in) != sb.step(in)) {
+        result.equivalent = false;
+        result.counterexample = std::move(applied);
+        return result;
+      }
+    }
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace
+
+ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
+                                           const ClsEquivOptions& options) {
+  RTV_REQUIRE(a.primary_inputs().size() == b.primary_inputs().size(),
+              "designs differ in primary input count");
+  RTV_REQUIRE(a.primary_outputs().size() == b.primary_outputs().size(),
+              "designs differ in primary output count");
+
+  const unsigned width = static_cast<unsigned>(a.primary_inputs().size());
+  const unsigned la = static_cast<unsigned>(a.latches().size());
+  const unsigned lb = static_cast<unsigned>(b.latches().size());
+  const bool can_exhaust =
+      width <= 12 && la <= 40 && lb <= 40 && pow3(width) <= options.max_branching;
+  if (!can_exhaust) return bounded_check(a, b, options);
+
+  ClsSimulator sa(a), sb(b);
+  const std::uint64_t branching = pow3(width);
+
+  struct Entry {
+    Trits state_a;
+    Trits state_b;
+    TritsSeq path;
+  };
+  std::unordered_set<PairKey, PairKeyHash> visited;
+  std::deque<Entry> queue;
+
+  Entry start{Trits(la, Trit::kX), Trits(lb, Trit::kX), {}};
+  visited.insert(PairKey{pack_trits(start.state_a), pack_trits(start.state_b)});
+  queue.push_back(std::move(start));
+
+  ClsEquivalenceResult result;
+  Trits out_a, out_b, next_a, next_b;
+  while (!queue.empty()) {
+    const Entry entry = std::move(queue.front());
+    queue.pop_front();
+    for (std::uint64_t i = 0; i < branching; ++i) {
+      const Trits in = nth_ternary_vector(i, width);
+      sa.eval(entry.state_a, in, out_a, next_a);
+      sb.eval(entry.state_b, in, out_b, next_b);
+      if (out_a != out_b) {
+        result.equivalent = false;
+        result.exhaustive = true;
+        result.pairs_explored = visited.size();
+        TritsSeq cex = entry.path;
+        cex.push_back(in);
+        result.counterexample = std::move(cex);
+        return result;
+      }
+      const PairKey key{pack_trits(next_a), pack_trits(next_b)};
+      if (visited.contains(key)) continue;
+      if (visited.size() >= options.max_pairs) {
+        // State space too large after all; fall back to sampling.
+        return bounded_check(a, b, options);
+      }
+      visited.insert(key);
+      Entry next{next_a, next_b, entry.path};
+      next.path.push_back(in);
+      queue.push_back(std::move(next));
+    }
+  }
+  result.equivalent = true;
+  result.exhaustive = true;
+  result.pairs_explored = visited.size();
+  return result;
+}
+
+}  // namespace rtv

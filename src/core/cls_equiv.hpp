@@ -1,0 +1,59 @@
+#pragma once
+// Conservative-three-valued-simulation equivalence (paper Section 5).
+//
+// Corollary 5.3: retiming never changes the CLS-observable behaviour from
+// the all-X power-up state. This checker decides, for two concrete designs,
+// whether any ternary input sequence can make their CLS outputs differ:
+//
+//  * exhaustive mode — BFS over *pairs* of ternary states reachable from
+//    (all-X, all-X), trying all 3^I ternary input vectors at each pair and
+//    asserting output equality. The reachable pair set is finite, so a
+//    completed search is a proof of CLS equivalence for this pair of
+//    designs (the executable form of the paper's relation R argument).
+//
+//  * bounded mode — randomized ternary input sequences, for designs whose
+//    input count or state space makes the BFS infeasible.
+
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+struct ClsEquivOptions {
+  /// Exhaustive BFS is used when 3^num_inputs <= max_branching and both
+  /// designs have <= 40 latches; otherwise bounded random checking.
+  std::uint64_t max_branching = 20000;
+  /// Cap on distinct reachable state pairs before falling back to bounded
+  /// mode mid-search.
+  std::size_t max_pairs = 200000;
+  /// Bounded mode: number of random sequences and their length.
+  unsigned random_sequences = 200;
+  unsigned random_length = 32;
+  std::uint64_t seed = 12345;
+};
+
+struct ClsEquivalenceResult {
+  bool equivalent = false;
+  /// True when the full pair-reachability BFS completed: `equivalent` is
+  /// then a theorem about all ternary input sequences, not a sample.
+  bool exhaustive = false;
+  /// Distinguishing ternary input sequence when !equivalent.
+  std::optional<TritsSeq> counterexample;
+  std::size_t pairs_explored = 0;
+
+  std::string summary() const;
+};
+
+/// Requires equal PI and PO counts. Both CLS runs start from all-X.
+ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
+                                           const ClsEquivOptions& options = {});
+
+/// Replays a ternary input sequence on both designs; true iff CLS outputs
+/// match cycle by cycle (sanity utility for counterexamples).
+bool cls_outputs_match(const Netlist& a, const Netlist& b,
+                       const TritsSeq& inputs);
+
+}  // namespace rtv

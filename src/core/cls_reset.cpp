@@ -1,0 +1,75 @@
+#include "core/cls_reset.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "sim/cls_sim.hpp"
+#include "util/bits.hpp"
+
+namespace rtv {
+
+bool cls_resets(const Netlist& netlist, const TritsSeq& sequence) {
+  ClsSimulator sim(netlist);
+  for (const Trits& in : sequence) sim.step(in);
+  return sim.is_fully_initialized();
+}
+
+std::optional<TritsSeq> find_cls_reset_sequence(
+    const Netlist& netlist, const ClsResetSearch& options) {
+  const unsigned latches = static_cast<unsigned>(netlist.latches().size());
+  const unsigned inputs =
+      static_cast<unsigned>(netlist.primary_inputs().size());
+  RTV_REQUIRE(latches <= 40, "find_cls_reset_sequence supports <= 40 latches");
+  RTV_REQUIRE(inputs <= 12, "find_cls_reset_sequence supports <= 12 inputs");
+
+  ClsSimulator sim(netlist);
+  const std::uint64_t branching =
+      options.definite_inputs_only ? pow2(inputs) : pow3(inputs);
+  const auto nth_input = [&](std::uint64_t i) {
+    if (!options.definite_inputs_only) return unpack_trits(i, inputs);
+    return to_trits(unpack_bits(i, inputs));
+  };
+  const auto fully_definite = [](const Trits& state) {
+    for (const Trit t : state) {
+      if (!is_definite(t)) return false;
+    }
+    return true;
+  };
+
+  struct Entry {
+    Trits state;
+    TritsSeq path;
+  };
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<Entry> queue;
+  Entry start{Trits(latches, Trit::kX), {}};
+  if (fully_definite(start.state)) return TritsSeq{};
+  visited.insert(pack_trits(start.state));
+  queue.push_back(std::move(start));
+
+  Trits out, next;
+  while (!queue.empty()) {
+    Entry entry = std::move(queue.front());
+    queue.pop_front();
+    if (entry.path.size() >= options.max_length) continue;
+    for (std::uint64_t i = 0; i < branching; ++i) {
+      const Trits in = nth_input(i);
+      sim.eval(entry.state, in, out, next);
+      if (fully_definite(next)) {
+        TritsSeq found = entry.path;
+        found.push_back(in);
+        return found;
+      }
+      const std::uint64_t key = pack_trits(next);
+      if (visited.contains(key)) continue;
+      if (visited.size() >= options.max_states) return std::nullopt;
+      visited.insert(key);
+      Entry e{next, entry.path};
+      e.path.push_back(in);
+      queue.push_back(std::move(e));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtv

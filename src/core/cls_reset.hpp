@@ -1,0 +1,42 @@
+#pragma once
+// CLS reset analysis — the last sentence of Corollary 5.3: "If π resets D0
+// then it also resets Dn and vice-versa."
+//
+// A ternary input sequence π *CLS-resets* a design when, starting from the
+// all-X state, every latch holds a definite value after π (the design
+// "appears initialized" to the three-valued simulator — the notion real
+// methodologies act on, per Section 5: "if simulation says the circuit
+// doesn't work, then the designer must assume the circuit doesn't work").
+//
+// Because retiming preserves CLS-observable behaviour but not latch
+// identity, "resets" is compared through the *outputs*: a design is
+// CLS-reset exactly when its ternary state has converged to a single
+// definite state, after which all outputs are definite for all definite
+// inputs. The searcher works on latch definiteness directly.
+
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+/// Does π drive the CLS from all-X to a fully definite latch state?
+bool cls_resets(const Netlist& netlist, const TritsSeq& sequence);
+
+struct ClsResetSearch {
+  /// BFS bound on the sequence length.
+  unsigned max_length = 16;
+  /// Cap on distinct ternary states explored.
+  std::size_t max_states = 100000;
+  /// Restrict the search to definite (0/1) inputs — the common DFT setting.
+  bool definite_inputs_only = true;
+};
+
+/// Breadth-first search for a shortest CLS-reset sequence. Returns nullopt
+/// when none exists within the bounds.
+std::optional<TritsSeq> find_cls_reset_sequence(
+    const Netlist& netlist, const ClsResetSearch& options = {});
+
+}  // namespace rtv

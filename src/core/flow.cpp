@@ -1,0 +1,83 @@
+#include "core/flow.hpp"
+
+#include <sstream>
+
+#include "core/redundancy.hpp"
+#include "retime/graph.hpp"
+#include "retime/min_area.hpp"
+#include "retime/min_period.hpp"
+#include "retime/sequencer.hpp"
+
+namespace rtv {
+
+std::string FlowReport::summary() const {
+  std::ostringstream os;
+  os << "period " << period_before << " -> " << period_after
+     << ", registers " << registers_before << " -> " << registers_after
+     << ", gates " << gates_before << " -> " << gates_after << "\n";
+  os << "retiming safety: " << safety.summary() << "\n";
+  os << "CLS gate:        " << cls.summary() << "\n";
+  os << (accepted() ? "ACCEPTED (three-valued methodology invariant holds)"
+                    : "REJECTED (CLS-visible change!)");
+  return os.str();
+}
+
+FlowReport run_synthesis_flow(const Netlist& design,
+                              const FlowOptions& options) {
+  FlowReport report;
+  report.gates_before = design.num_gates();
+  report.registers_before = design.num_latches();
+
+  Netlist work = design;
+  work.junctionize();
+
+  if (options.constant_propagation) work.propagate_constants();
+  if (options.sweep_unobservable) work.sweep_unobservable();
+  work.trim_dangling();  // restore every-port-driven for the move engine
+  work = work.compacted();
+
+  {
+    const RetimeGraph g0 = RetimeGraph::from_netlist(work);
+    report.period_before = g0.clock_period();
+
+    std::vector<int> lag(g0.num_vertices(), 0);
+    switch (options.objective) {
+      case FlowOptions::Objective::kMinArea:
+        lag = options.safe_replacement_only
+                  ? min_area_retime_safe(g0, work).lag
+                  : min_area_retime(g0).lag;
+        break;
+      case FlowOptions::Objective::kMinPeriod:
+        lag = min_period_retime_feas(g0).lag;
+        break;
+      case FlowOptions::Objective::kMinAreaAtMinPeriod: {
+        const int target = min_period_retime_feas(g0).period;
+        const auto r = min_area_retime_with_period(g0, target);
+        RTV_CHECK_MSG(r.has_value(), "own optimal period must be feasible");
+        lag = r->lag;
+        break;
+      }
+      case FlowOptions::Objective::kNone:
+        break;
+    }
+    SequencedRetiming seq;
+    report.safety = analyze_lag_retiming(work, g0, lag, &seq);
+    work = std::move(seq.retimed);
+  }
+
+  if (options.redundancy_removal) {
+    RedundancyOptions ropt;
+    ropt.cls = options.cls;
+    work = remove_cls_redundancies(work, ropt).optimized;
+  }
+  work = work.compacted();
+
+  report.period_after = RetimeGraph::from_netlist(work).clock_period();
+  report.registers_after = work.num_latches();
+  report.gates_after = work.num_gates();
+  report.cls = check_cls_equivalence(design, work, options.cls);
+  report.optimized = std::move(work);
+  return report;
+}
+
+}  // namespace rtv

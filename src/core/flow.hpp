@@ -1,0 +1,63 @@
+#pragma once
+// The synthesis methodology of the paper's conclusion, as a driver: apply
+// sequential optimizations (constant propagation, dead-logic sweep,
+// retiming, optional CLS-redundancy removal) and gate the result on the
+// Section-5 invariant — the optimized design must be indistinguishable
+// from the input by a conservative three-valued simulator started all-X.
+// "Because, in practice, all current design methodologies rely on this
+// type of three-valued simulation, we conclude that retiming of designs
+// without set and reset signals fits into a synthesis methodology."
+
+#include <string>
+
+#include "core/cls_equiv.hpp"
+#include "core/safety.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+struct FlowOptions {
+  enum class Objective {
+    kMinArea,             ///< fewest registers, period unconstrained
+    kMinPeriod,           ///< fastest clock
+    kMinAreaAtMinPeriod,  ///< [SR94]: fewest registers at the optimal clock
+    kNone,                ///< cleanup passes only, no retiming
+  };
+  Objective objective = Objective::kMinArea;
+  /// Restrict the retiming to moves that preserve safe replacement
+  /// (Cor 4.4): the optimized design is then a drop-in replacement for ANY
+  /// environment, not only CLS-based methodologies. Currently honored by
+  /// the kMinArea objective (lag >= 0 on non-justifiable elements).
+  bool safe_replacement_only = false;
+  bool constant_propagation = true;
+  bool sweep_unobservable = true;
+  /// CLS-preserving redundancy removal (expensive: per-fault equivalence
+  /// proofs); only sensible for small designs.
+  bool redundancy_removal = false;
+  ClsEquivOptions cls;
+};
+
+struct FlowReport {
+  Netlist optimized;
+  SafetyReport safety;          ///< Section-4 classification of the retiming
+  ClsEquivalenceResult cls;     ///< the methodology gate (must be equivalent)
+  int period_before = 0;
+  int period_after = 0;
+  std::size_t registers_before = 0;
+  std::size_t registers_after = 0;
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+
+  /// True iff the flow is safe to ship under the paper's criterion.
+  bool accepted() const { return cls.equivalent; }
+  std::string summary() const;
+};
+
+/// Runs the flow; never mutates the input. Throws only on structural
+/// errors — an optimization that broke the CLS invariant is reported via
+/// accepted() == false (and would falsify Theorem 5.1 if the only
+/// transformations were retiming moves).
+FlowReport run_synthesis_flow(const Netlist& design,
+                              const FlowOptions& options = {});
+
+}  // namespace rtv

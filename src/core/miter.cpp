@@ -1,0 +1,143 @@
+#include "core/miter.hpp"
+
+namespace rtv {
+
+namespace {
+
+/// Copies `src` into `dst`, remapping ids; primary inputs are not created
+/// (the caller supplies shared drivers), primary outputs are recorded
+/// rather than created. Returns the PO driver ports in order.
+std::vector<PortRef> splice_design(Netlist& dst, const Netlist& src,
+                                   const std::vector<PortRef>& shared_inputs,
+                                   const std::string& prefix) {
+  std::vector<PortRef> input_map(src.primary_inputs().size());
+  for (std::size_t i = 0; i < shared_inputs.size(); ++i) {
+    input_map[i] = shared_inputs[i];
+  }
+  std::vector<NodeId> map(src.num_slots());
+  for (std::uint32_t i = 0; i < src.num_slots(); ++i) {
+    const NodeId id(i);
+    if (src.is_dead(id)) continue;
+    const Node& node = src.node(id);
+    switch (node.kind) {
+      case CellKind::kInput:
+      case CellKind::kOutput:
+        break;  // handled via maps
+      case CellKind::kConst0:
+        map[i] = dst.add_const(false, prefix + node.name);
+        break;
+      case CellKind::kConst1:
+        map[i] = dst.add_const(true, prefix + node.name);
+        break;
+      case CellKind::kJunc:
+        map[i] = dst.add_junc(node.num_ports(), prefix + node.name);
+        break;
+      case CellKind::kLatch:
+        map[i] = dst.add_latch(prefix + node.name);
+        break;
+      case CellKind::kTable:
+        map[i] = dst.add_table_cell(dst.add_table(src.table(node.table)),
+                                    prefix + node.name);
+        break;
+      default:
+        map[i] = dst.add_gate(node.kind, node.num_pins(), prefix + node.name);
+        break;
+    }
+  }
+  const auto mapped_port = [&](PortRef p) {
+    if (src.kind(p.node) == CellKind::kInput) {
+      // Position of this PI in src's input list.
+      for (std::size_t i = 0; i < src.primary_inputs().size(); ++i) {
+        if (src.primary_inputs()[i] == p.node) return input_map[i];
+      }
+      throw InternalError("input not found in PI list");
+    }
+    return PortRef(map[p.node.value], p.port);
+  };
+  for (std::uint32_t i = 0; i < src.num_slots(); ++i) {
+    const NodeId id(i);
+    if (src.is_dead(id)) continue;
+    const Node& node = src.node(id);
+    if (node.kind == CellKind::kInput || node.kind == CellKind::kOutput) {
+      continue;
+    }
+    for (std::uint32_t pin = 0; pin < node.num_pins(); ++pin) {
+      dst.connect(mapped_port(node.fanin[pin]), PinRef(map[i], pin));
+    }
+  }
+  std::vector<PortRef> outputs;
+  for (const NodeId po : src.primary_outputs()) {
+    outputs.push_back(mapped_port(src.driver(PinRef(po, 0))));
+  }
+  return outputs;
+}
+
+}  // namespace
+
+PairedDesign pair_designs(const Netlist& a, const Netlist& b) {
+  RTV_REQUIRE(a.primary_inputs().size() == b.primary_inputs().size(),
+              "pairing requires equal primary input counts");
+  PairedDesign pair;
+  Netlist& n = pair.netlist;
+  std::vector<PortRef> shared;
+  for (const NodeId pi : a.primary_inputs()) {
+    shared.push_back(PortRef(n.add_input(a.name(pi)), 0));
+  }
+  const auto outs_a = splice_design(n, a, shared, "a_");
+  pair.a_latches = n.num_latches();
+  const auto outs_b = splice_design(n, b, shared, "b_");
+  pair.b_latches = n.num_latches() - pair.a_latches;
+  pair.a_outputs = outs_a.size();
+  pair.b_outputs = outs_b.size();
+  for (std::size_t i = 0; i < outs_a.size(); ++i) {
+    n.connect(outs_a[i], PinRef(n.add_output("a_o" + std::to_string(i)), 0));
+  }
+  for (std::size_t i = 0; i < outs_b.size(); ++i) {
+    n.connect(outs_b[i], PinRef(n.add_output("b_o" + std::to_string(i)), 0));
+  }
+  n.junctionize();
+  n.check_valid(/*require_junction_normal=*/true);
+  return pair;
+}
+
+Miter build_miter(const Netlist& a, const Netlist& b) {
+  RTV_REQUIRE(a.primary_inputs().size() == b.primary_inputs().size(),
+              "miter requires equal primary input counts");
+  RTV_REQUIRE(a.primary_outputs().size() == b.primary_outputs().size() &&
+                  !a.primary_outputs().empty(),
+              "miter requires equal non-empty primary output counts");
+  Miter miter;
+  Netlist& n = miter.netlist;
+  std::vector<PortRef> shared;
+  for (const NodeId pi : a.primary_inputs()) {
+    shared.push_back(PortRef(n.add_input(a.name(pi)), 0));
+  }
+  const auto outs_a = splice_design(n, a, shared, "a_");
+  miter.a_latches = n.num_latches();
+  const auto outs_b = splice_design(n, b, shared, "b_");
+  miter.b_latches = n.num_latches() - miter.a_latches;
+
+  const NodeId neq_po = n.add_output("neq");
+  PortRef disagree;
+  for (std::size_t i = 0; i < outs_a.size(); ++i) {
+    const NodeId x = n.add_gate(CellKind::kXor, 2,
+                                "diff_" + std::to_string(i));
+    n.connect(outs_a[i], PinRef(x, 0));
+    n.connect(outs_b[i], PinRef(x, 1));
+    if (i == 0) {
+      disagree = PortRef(x, 0);
+    } else {
+      const NodeId o = n.add_gate(CellKind::kOr, 2,
+                                  "any_" + std::to_string(i));
+      n.connect(disagree, PinRef(o, 0));
+      n.connect(PortRef(x, 0), PinRef(o, 1));
+      disagree = PortRef(o, 0);
+    }
+  }
+  n.connect(disagree, PinRef(neq_po, 0));
+  n.junctionize();
+  n.check_valid(/*require_junction_normal=*/true);
+  return miter;
+}
+
+}  // namespace rtv

@@ -1,0 +1,36 @@
+#pragma once
+// Sequential miter construction — the product-machine tool behind the
+// Theorem 4.6 proof sketch ("Create a circuit T = (G || F) ... each pair of
+// outputs fed to an XNOR gate"). Two designs with identical interfaces
+// share their primary inputs; every output pair feeds an XOR, and the OR
+// of all XORs is the single miter output: 1 whenever the designs disagree.
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+struct Miter {
+  Netlist netlist;
+  /// Latch layout: first `a_latches` entries of netlist.latches() belong to
+  /// design A, the rest to design B — pack joint states accordingly.
+  std::size_t a_latches = 0;
+  std::size_t b_latches = 0;
+};
+
+/// Builds the miter of two interface-compatible designs (same PI and PO
+/// counts). The result has A's PI names and a single PO "neq".
+Miter build_miter(const Netlist& a, const Netlist& b);
+
+/// The two designs side by side sharing primary inputs, with BOTH output
+/// sets exposed (A's POs first, then B's) — the product machine used by
+/// symbolic state-implication checking (bdd/equivalence.hpp).
+struct PairedDesign {
+  Netlist netlist;
+  std::size_t a_latches = 0;
+  std::size_t b_latches = 0;
+  std::size_t a_outputs = 0;
+  std::size_t b_outputs = 0;
+};
+PairedDesign pair_designs(const Netlist& a, const Netlist& b);
+
+}  // namespace rtv

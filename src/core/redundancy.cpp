@@ -1,0 +1,63 @@
+#include "core/redundancy.hpp"
+
+namespace rtv {
+
+namespace {
+
+bool is_cls_redundant(const Netlist& netlist, const Fault& fault,
+                      const RedundancyOptions& options) {
+  const Netlist faulty = inject_fault(netlist, fault);
+  const ClsEquivalenceResult r =
+      check_cls_equivalence(netlist, faulty, options.cls);
+  if (!r.equivalent) return false;
+  return r.exhaustive || !options.require_exhaustive;
+}
+
+}  // namespace
+
+std::vector<Fault> cls_redundant_faults(const Netlist& netlist,
+                                        const RedundancyOptions& options) {
+  std::vector<Fault> redundant;
+  for (const Fault& f : collapse_faults(netlist)) {
+    if (is_cls_redundant(netlist, f, options)) redundant.push_back(f);
+  }
+  return redundant;
+}
+
+RedundancyRemovalResult remove_cls_redundancies(
+    const Netlist& netlist, const RedundancyOptions& options,
+    std::size_t max_rounds) {
+  RedundancyRemovalResult result;
+  result.gates_before = netlist.num_gates();
+  Netlist current = netlist;
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool tied = false;
+    for (const Fault& f : collapse_faults(current)) {
+      // Skip fault sites on constants (tying them is a no-op churn).
+      const CellKind k = current.kind(f.site.node);
+      if (k == CellKind::kConst0 || k == CellKind::kConst1) continue;
+      if (!is_cls_redundant(current, f, options)) continue;
+      Netlist next = inject_fault(current, f);
+      next.propagate_constants();
+      result.nodes_swept += next.sweep_unobservable();
+      result.faults_tied += 1;
+      current = next.compacted();
+      tied = true;
+      break;  // re-enumerate faults on the updated design
+    }
+    if (!tied) break;
+  }
+
+  // Safety net: the optimized design must be CLS-equivalent to the input.
+  const ClsEquivalenceResult verdict =
+      check_cls_equivalence(netlist, current, options.cls);
+  RTV_CHECK_MSG(verdict.equivalent,
+                "redundancy removal changed CLS-observable behaviour");
+
+  result.gates_after = current.num_gates();
+  result.optimized = std::move(current);
+  return result;
+}
+
+}  // namespace rtv

@@ -1,0 +1,52 @@
+#pragma once
+// CLS-preserving redundancy removal — the paper's proposed future work
+// (Conclusions: "...other optimization algorithms which seek only to
+// preserve this invariant [equivalent output from a conservative
+// three-valued simulator] and not the invariant of safe replaceability"),
+// in the spirit of Cheng's reset-free redundancy removal [Che93].
+//
+// A stuck-at fault is *CLS-redundant* when the faulty design is
+// CLS-equivalent to the fault-free design from the all-X state: no ternary
+// input sequence makes a conservative three-valued simulator see a
+// difference. Tying the faulted net to the constant is then a legal
+// optimization under the paper's Section-5 correctness yardstick — even
+// when a two-valued simulator from some power-up state could tell the
+// difference.
+
+#include <vector>
+
+#include "core/cls_equiv.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+struct RedundancyOptions {
+  ClsEquivOptions cls;
+  /// Only faults whose equivalence was proven exhaustively count as
+  /// redundant when true; bounded-mode "equivalent" results are skipped
+  /// (they are evidence, not proof).
+  bool require_exhaustive = true;
+};
+
+/// All collapsed stuck-at faults that are CLS-redundant.
+std::vector<Fault> cls_redundant_faults(const Netlist& netlist,
+                                        const RedundancyOptions& options = {});
+
+struct RedundancyRemovalResult {
+  Netlist optimized;
+  std::size_t faults_tied = 0;          ///< redundant nets tied to constants
+  std::size_t nodes_swept = 0;          ///< dead logic removed afterwards
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+};
+
+/// Greedy removal: repeatedly tie one CLS-redundant net to its constant and
+/// sweep unobservable logic, until no redundancy remains (or `max_rounds`).
+/// The result is CLS-equivalent to the input by construction; the final
+/// designs are re-verified with check_cls_equivalence.
+RedundancyRemovalResult remove_cls_redundancies(
+    const Netlist& netlist, const RedundancyOptions& options = {},
+    std::size_t max_rounds = 64);
+
+}  // namespace rtv

@@ -1,0 +1,54 @@
+#include "core/safety.hpp"
+
+#include <sstream>
+
+namespace rtv {
+
+std::string SafetyReport::summary() const {
+  std::ostringstream os;
+  os << stats.summary() << " => ";
+  if (safe_replacement_guaranteed) {
+    os << "safe replacement (C ⊑ D, Cor 4.4)";
+  } else {
+    os << "delayed replacement C^" << delay_bound << " ⊑ D (Thm 4.5)";
+  }
+  return os.str();
+}
+
+namespace {
+
+SafetyReport report_from_stats(const MoveSequenceStats& stats) {
+  SafetyReport report;
+  report.stats = stats;
+  report.safe_replacement_guaranteed = stats.preserves_safe_replacement();
+  report.delay_bound = stats.max_forward_per_non_justifiable;
+  return report;
+}
+
+}  // namespace
+
+SafetyReport analyze_lag_retiming(const Netlist& netlist,
+                                  const RetimeGraph& graph,
+                                  const std::vector<int>& lag,
+                                  SequencedRetiming* sequenced) {
+  SequencedRetiming seq = sequence_retiming(netlist, graph, lag);
+  const SafetyReport report = report_from_stats(seq.stats);
+  if (sequenced != nullptr) *sequenced = std::move(seq);
+  return report;
+}
+
+SafetyReport analyze_move_sequence(const Netlist& netlist,
+                                   const std::vector<RetimingMove>& moves,
+                                   Netlist* retimed) {
+  Netlist work = netlist;
+  MoveSequenceStats stats;
+  std::vector<std::uint32_t> forward_counts(netlist.num_slots(), 0);
+  for (const RetimingMove& move : moves) {
+    const MoveClass cls = apply_move(work, move);
+    accumulate_move(move, cls, forward_counts, stats);
+  }
+  if (retimed != nullptr) *retimed = std::move(work);
+  return report_from_stats(stats);
+}
+
+}  // namespace rtv

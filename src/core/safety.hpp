@@ -1,0 +1,45 @@
+#pragma once
+// Retiming safety analysis (paper Section 4).
+//
+// Classifies a retiming — given either as a lag assignment or as an explicit
+// move sequence — into the paper's taxonomy and derives the guarantees:
+//   * no forward move across a non-justifiable element  =>  C ⊑ D, hence
+//     C ≼ D (Prop 4.1 + Cor 4.4): drop-in safe replacement.
+//   * otherwise, with at most k forward moves across any single
+//     non-justifiable element: C^k ⊑ D (Thm 4.5) — safe after k settle
+//     cycles; and test sets for D remain test sets for C^k (Thm 4.6).
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "retime/graph.hpp"
+#include "retime/moves.hpp"
+#include "retime/sequencer.hpp"
+
+namespace rtv {
+
+struct SafetyReport {
+  MoveSequenceStats stats;
+  /// Cor 4.4: every environment sees identical behaviour (C ≼ D).
+  bool safe_replacement_guaranteed = false;
+  /// Thm 4.5 bound: C^k ⊑ D. Zero when safe_replacement_guaranteed.
+  std::size_t delay_bound = 0;
+
+  std::string summary() const;
+};
+
+/// Analyzes a lag assignment by sequencing it into atomic moves; also
+/// returns the retimed netlist via `sequenced` if non-null.
+SafetyReport analyze_lag_retiming(const Netlist& netlist,
+                                  const RetimeGraph& graph,
+                                  const std::vector<int>& lag,
+                                  SequencedRetiming* sequenced = nullptr);
+
+/// Analyzes an explicit move sequence, applying it to a copy of the
+/// netlist; the result is written to `retimed` if non-null.
+SafetyReport analyze_move_sequence(const Netlist& netlist,
+                                   const std::vector<RetimingMove>& moves,
+                                   Netlist* retimed = nullptr);
+
+}  // namespace rtv

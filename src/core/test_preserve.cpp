@@ -1,0 +1,43 @@
+#include "core/test_preserve.hpp"
+
+#include <sstream>
+
+namespace rtv {
+
+std::string TestPreservationResult::summary() const {
+  std::ostringstream os;
+  os << "original: " << (detects_in_original ? "detected" : "missed")
+     << ", retimed: " << (detects_in_retimed ? "detected" : "missed")
+     << ", retimed after " << delay_used
+     << " cycle(s): " << (detects_in_retimed_delayed ? "detected" : "missed")
+     << " => Thm 4.6 " << (theorem_holds() ? "holds" : "VIOLATED");
+  return os.str();
+}
+
+TestPreservationResult check_test_preservation(const Netlist& original,
+                                               const Netlist& retimed,
+                                               const Fault& fault,
+                                               const BitsSeq& test,
+                                               unsigned delay) {
+  RTV_REQUIRE(
+      fault.site.node.value < original.num_slots() &&
+          !original.is_dead(fault.site.node) &&
+          is_combinational(original.kind(fault.site.node)),
+      "fault must sit on a combinational cell of the original design");
+  RTV_REQUIRE(
+      fault.site.node.value < retimed.num_slots() &&
+          !retimed.is_dead(fault.site.node) &&
+          retimed.kind(fault.site.node) == original.kind(fault.site.node),
+      "fault site does not exist in the retimed design (ids must be stable)");
+
+  TestPreservationResult r;
+  r.delay_used = delay;
+  r.detects_in_original = test_detects(original, fault, test);
+  r.detects_in_retimed = test_detects(retimed, fault, test);
+  r.detects_in_retimed_delayed =
+      delay == 0 ? r.detects_in_retimed
+                 : test_detects_delayed(retimed, fault, test, delay);
+  return r;
+}
+
+}  // namespace rtv

@@ -1,0 +1,45 @@
+#pragma once
+// Test-set preservation under retiming (paper Section 2.2 and Theorem 4.6).
+//
+// Section 2.2 refutes [MERM94]: a sequence testing a stuck-at fault in D
+// need not test the same fault in a retimed C. Theorem 4.6 repairs the
+// claim: with at most k forward moves, the test still works on the
+// k-cycle-delayed design C^k — i.e., applied after k arbitrary warm-up
+// cycles.
+//
+// Fault sites are (node, port) pairs on combinational cells; the sequencer
+// keeps combinational NodeIds stable between D and C, so the same Fault
+// value addresses the same physical net in both designs.
+
+#include <string>
+
+#include "fault/fault.hpp"
+#include "fault/test_eval.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+struct TestPreservationResult {
+  bool detects_in_original = false;
+  bool detects_in_retimed = false;          ///< same test, no warm-up
+  bool detects_in_retimed_delayed = false;  ///< after `delay_used` cycles
+  unsigned delay_used = 0;
+
+  /// Theorem 4.6 verdict: if the test detects in D, it must detect in C^k.
+  bool theorem_holds() const {
+    return !detects_in_original || detects_in_retimed_delayed;
+  }
+  std::string summary() const;
+};
+
+/// Checks preservation of one (fault, test) pair across a retiming with
+/// Thm 4.5/4.6 bound k = `delay`. The fault must sit on a combinational
+/// node alive in both designs.
+TestPreservationResult check_test_preservation(const Netlist& original,
+                                               const Netlist& retimed,
+                                               const Fault& fault,
+                                               const BitsSeq& test,
+                                               unsigned delay);
+
+}  // namespace rtv

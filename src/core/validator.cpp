@@ -1,0 +1,71 @@
+#include "core/validator.hpp"
+
+#include <sstream>
+
+#include "stg/stg.hpp"
+
+namespace rtv {
+
+std::string RetimingValidation::summary() const {
+  std::ostringstream os;
+  os << "safety:   " << safety.summary() << "\n";
+  os << "cls:      " << cls.summary() << "\n";
+  if (stg_checked) {
+    os << "stg:      C " << (implication ? "⊑" : "⋢") << " D, C "
+       << (safe_replacement ? "≼" : "⋠") << " D, min delay n with C^n ⊑ D: "
+       << min_delay_implication << "\n";
+    os << "theorems: " << (theorems_hold ? "consistent" : "VIOLATED") << "\n";
+  } else {
+    os << "stg:      skipped (design beyond exact-analysis caps)\n";
+  }
+  return os.str();
+}
+
+RetimingValidation validate_retiming(const Netlist& original,
+                                     const RetimeGraph& graph,
+                                     const std::vector<int>& lag,
+                                     const ValidationOptions& options) {
+  RetimingValidation v;
+  SequencedRetiming seq;
+  v.safety = analyze_lag_retiming(original, graph, lag, &seq);
+  v.retimed = std::move(seq.retimed);
+  v.cls = check_cls_equivalence(original, v.retimed, options.cls);
+
+  // Corollary 5.3 is unconditional (given the all-X-preserving library);
+  // a CLS mismatch falsifies the paper (or this implementation).
+  if (original.all_cells_preserve_all_x() &&
+      v.retimed.all_cells_preserve_all_x() && !v.cls.equivalent) {
+    v.theorems_hold = false;
+  }
+
+  const auto fits = [&](const Netlist& n) {
+    return n.latches().size() <= options.max_stg_latches &&
+           n.primary_inputs().size() <= options.max_stg_inputs;
+  };
+  if (fits(original) && fits(v.retimed)) {
+    const Stg d = Stg::extract(original);
+    const Stg c = Stg::extract(v.retimed);
+    v.stg_checked = true;
+    v.implication = implies(c, d);
+    v.safe_replacement = safe_replacement(c, d);
+    v.min_delay_implication =
+        min_delay_for_implication(c, d, options.max_delay_search);
+
+    // Cross-check the static guarantees against exact ground truth.
+    if (v.safety.safe_replacement_guaranteed &&
+        !(v.implication && v.safe_replacement)) {
+      v.theorems_hold = false;  // Prop 4.1 / Cor 4.4 violated
+    }
+    if (v.min_delay_implication < 0 ||
+        static_cast<std::size_t>(v.min_delay_implication) >
+            v.safety.delay_bound) {
+      v.theorems_hold = false;  // Thm 4.5 violated
+    }
+    if (v.implication && !v.safe_replacement) {
+      v.theorems_hold = false;  // Prop 3.1 violated
+    }
+  }
+  return v;
+}
+
+}  // namespace rtv

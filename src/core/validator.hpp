@@ -1,0 +1,55 @@
+#pragma once
+// End-to-end retiming validation: the executable form of the paper.
+//
+// Given an original design and a retiming (lag assignment), the validator
+//   1. sequences the retiming into classified atomic moves (Section 3.2),
+//   2. derives the static safety verdict (Cor 4.4 / Thm 4.5),
+//   3. checks CLS equivalence from all-X (Cor 5.3 — must always hold),
+//   4. when the designs are small enough, extracts both STGs and decides
+//      the exact relations: C ⊑ D, C ≼ D, and the minimal n with C^n ⊑ D,
+//      cross-checking the static bounds against ground truth.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cls_equiv.hpp"
+#include "core/safety.hpp"
+#include "netlist/netlist.hpp"
+#include "retime/graph.hpp"
+
+namespace rtv {
+
+struct ValidationOptions {
+  ClsEquivOptions cls;
+  /// Exact STG analysis runs only when both designs fit these caps.
+  unsigned max_stg_latches = 14;
+  unsigned max_stg_inputs = 8;
+  /// Horizon for the minimal-delay search (Thm 4.5 cross-check).
+  unsigned max_delay_search = 16;
+};
+
+struct RetimingValidation {
+  SafetyReport safety;
+  ClsEquivalenceResult cls;
+  Netlist retimed;
+
+  bool stg_checked = false;
+  bool implication = false;          ///< C ⊑ D (exact)
+  bool safe_replacement = false;     ///< C ≼ D (exact)
+  int min_delay_implication = -1;    ///< least n with C^n ⊑ D (exact)
+
+  /// True iff every exact result is consistent with the paper's theorems
+  /// (set by validate_retiming; a false value would falsify the paper).
+  bool theorems_hold = true;
+
+  std::string summary() const;
+};
+
+/// graph must be RetimeGraph::from_netlist(original); lag must be legal.
+RetimingValidation validate_retiming(const Netlist& original,
+                                     const RetimeGraph& graph,
+                                     const std::vector<int>& lag,
+                                     const ValidationOptions& options = {});
+
+}  // namespace rtv

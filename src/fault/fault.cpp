@@ -1,0 +1,63 @@
+#include "fault/fault.hpp"
+
+#include <sstream>
+
+namespace rtv {
+
+std::string describe(const Netlist& netlist, const Fault& fault) {
+  std::ostringstream os;
+  os << netlist.name(fault.site.node) << "." << fault.site.port << " s-a-"
+     << (fault.stuck_value ? 1 : 0);
+  return os.str();
+}
+
+std::vector<Fault> enumerate_faults(const Netlist& netlist) {
+  std::vector<Fault> faults;
+  for (std::uint32_t i = 0; i < netlist.num_slots(); ++i) {
+    const NodeId id(i);
+    if (netlist.is_dead(id)) continue;
+    for (std::uint32_t p = 0; p < netlist.num_ports(id); ++p) {
+      const PortRef port(id, p);
+      if (netlist.sinks(port).empty()) continue;
+      faults.push_back(Fault{port, false});
+      faults.push_back(Fault{port, true});
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& netlist) {
+  std::vector<Fault> kept;
+  for (const Fault& f : enumerate_faults(netlist)) {
+    const CellKind k = netlist.kind(f.site.node);
+    // A fault on a buffer's output is equivalent to the same fault on its
+    // input net; a fault on a junction's input net dominates nothing we
+    // keep (branch faults are distinct), but the junction *output* fault of
+    // a width-1 junction equals its input fault.
+    if (k == CellKind::kBuf) continue;
+    if (k == CellKind::kJunc && netlist.num_ports(f.site.node) == 1) continue;
+    kept.push_back(f);
+  }
+  return kept;
+}
+
+Netlist inject_fault(const Netlist& netlist, const Fault& fault) {
+  Netlist out = netlist;
+  const std::vector<PinRef> sinks = out.sinks(fault.site);
+  RTV_REQUIRE(!sinks.empty(), "fault site drives nothing");
+  const NodeId constant = out.add_const(fault.stuck_value, "fault");
+  for (const PinRef& sink : sinks) {
+    out.disconnect(sink);
+    out.connect(PortRef(constant, 0), sink);
+  }
+  return out;
+}
+
+Fault fault_on(const Netlist& netlist, const std::string& node_name,
+               std::uint32_t port, bool stuck_value) {
+  const NodeId id = netlist.find_by_name(node_name);
+  RTV_REQUIRE(id.valid(), "fault_on: no node named '" + node_name + "'");
+  return Fault{PortRef(id, port), stuck_value};
+}
+
+}  // namespace rtv

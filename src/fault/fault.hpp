@@ -1,0 +1,45 @@
+#pragma once
+// Single stuck-at faults on gate-level netlists (paper Section 2.2, and the
+// [MERM94] claim the paper refutes).
+//
+// In junction-normal form every net is the wire from one output port to its
+// single sink pin, so a fault site is identified by the driving PortRef.
+// Injection rewires the net's sinks to a constant cell, leaving the driver
+// dangling (classic stuck-at semantics: the fault is on the wire, the
+// driving gate still computes).
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+struct Fault {
+  PortRef site;       ///< driving port of the faulted net
+  bool stuck_value;   ///< stuck-at-1 if true, stuck-at-0 if false
+
+  bool operator==(const Fault&) const = default;
+};
+
+/// Human-readable "AND1.0 s-a-1" form (node name + port + value).
+std::string describe(const Netlist& netlist, const Fault& fault);
+
+/// All single stuck-at faults: both polarities on every live output port
+/// that has at least one sink.
+std::vector<Fault> enumerate_faults(const Netlist& netlist);
+
+/// Structural fault collapsing: drops faults that are trivially equivalent
+/// to a fault on the far side of a buffer or junction input (the dominated
+/// site remains). Keeps inverter-chain faults (polarity bookkeeping is
+/// cheap but obscures reports). Returns a subset of enumerate_faults().
+std::vector<Fault> collapse_faults(const Netlist& netlist);
+
+/// Returns a copy of `netlist` with the fault injected.
+Netlist inject_fault(const Netlist& netlist, const Fault& fault);
+
+/// Finds the fault site by node name + port (testing convenience).
+Fault fault_on(const Netlist& netlist, const std::string& node_name,
+               std::uint32_t port, bool stuck_value);
+
+}  // namespace rtv

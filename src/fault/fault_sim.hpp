@@ -1,0 +1,45 @@
+#pragma once
+// Batch fault simulation: detection status of a fault list under a test
+// set, exact (all power-up states, small designs) or sampled (bit-parallel
+// over random power-up states, scales to large designs).
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/test_eval.hpp"
+#include "sim/vectors.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+
+struct FaultSimOptions {
+  /// Exact mode enumerates all power-up states (requires few latches);
+  /// sampled mode simulates `sample_lanes` random power-up states
+  /// bit-parallel and reports detection over the sample — an
+  /// over-approximation of definite detection, useful for coverage trends.
+  bool exact = true;
+  unsigned sample_lanes = 256;
+  std::uint64_t sample_seed = 1;
+};
+
+struct FaultSimResult {
+  std::vector<bool> detected;    ///< per fault
+  std::size_t num_detected = 0;
+  double coverage = 0.0;         ///< num_detected / faults.size()
+};
+
+/// Runs every test in `tests` against every fault; a fault counts detected
+/// if any test detects it.
+FaultSimResult fault_simulate(const Netlist& netlist,
+                              const std::vector<Fault>& faults,
+                              const std::vector<BitsSeq>& tests,
+                              const FaultSimOptions& options = {});
+
+/// Sampled detection of one fault by one test: simulates good and faulty
+/// designs from `lanes` random shared power-up states; the fault counts
+/// detected if at some cycle an output is constant v over all good lanes
+/// and constant !v over all faulty lanes.
+bool sampled_test_detects(const Netlist& netlist, const Fault& fault,
+                          const BitsSeq& test, unsigned lanes, Rng& rng);
+
+}  // namespace rtv

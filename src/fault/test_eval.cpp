@@ -1,0 +1,96 @@
+#include "fault/test_eval.hpp"
+
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+#include "sim/exact_sim.hpp"
+#include "util/bits.hpp"
+
+namespace rtv {
+
+TritsSeq exact_response(const Netlist& netlist, const BitsSeq& test) {
+  ExactTernarySimulator sim(netlist);
+  return sim.run(test);
+}
+
+namespace {
+
+/// All states possible after `cycles` arbitrary-input steps from any
+/// power-up state (packed), by repeated image computation.
+std::vector<std::uint64_t> delayed_state_set(const Netlist& netlist,
+                                             unsigned cycles) {
+  const unsigned latches = static_cast<unsigned>(netlist.latches().size());
+  const unsigned pis = static_cast<unsigned>(netlist.primary_inputs().size());
+  RTV_REQUIRE(latches <= 20, "delayed_state_set supports <= 20 latches");
+  RTV_REQUIRE(pis <= 16, "delayed_state_set supports <= 16 inputs");
+  BinarySimulator sim(netlist);
+  std::vector<bool> current(pow2(latches), true);
+  for (unsigned k = 0; k < cycles; ++k) {
+    std::vector<bool> image(current.size(), false);
+    for (std::uint64_t s = 0; s < current.size(); ++s) {
+      if (!current[s]) continue;
+      for (std::uint64_t a = 0; a < pow2(pis); ++a) {
+        std::uint64_t out = 0, ns = 0;
+        sim.eval_packed(s, a, out, ns);
+        image[ns] = true;
+      }
+    }
+    if (image == current) break;
+    current = std::move(image);
+  }
+  std::vector<std::uint64_t> states;
+  for (std::uint64_t s = 0; s < current.size(); ++s) {
+    if (current[s]) states.push_back(s);
+  }
+  return states;
+}
+
+}  // namespace
+
+TritsSeq exact_response_delayed(const Netlist& netlist, const BitsSeq& test,
+                                unsigned delay_cycles) {
+  ExactTernarySimulator sim(netlist);
+  sim.reset_from_states(delayed_state_set(netlist, delay_cycles));
+  return sim.run(test);
+}
+
+TritsSeq cls_response(const Netlist& netlist, const BitsSeq& test) {
+  ClsSimulator sim(netlist);
+  return sim.run(test);
+}
+
+bool responses_distinguish(const TritsSeq& good, const TritsSeq& faulty) {
+  RTV_REQUIRE(good.size() == faulty.size(), "response length mismatch");
+  for (std::size_t t = 0; t < good.size(); ++t) {
+    RTV_REQUIRE(good[t].size() == faulty[t].size(), "response width mismatch");
+    for (std::size_t o = 0; o < good[t].size(); ++o) {
+      if (is_definite(good[t][o]) && is_definite(faulty[t][o]) &&
+          good[t][o] != faulty[t][o]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool test_detects(const Netlist& netlist, const Fault& fault,
+                  const BitsSeq& test) {
+  return responses_distinguish(exact_response(netlist, test),
+                               exact_response(inject_fault(netlist, fault), test));
+}
+
+bool test_detects_delayed(const Netlist& netlist, const Fault& fault,
+                          const BitsSeq& test, unsigned delay_cycles) {
+  return responses_distinguish(
+      exact_response_delayed(netlist, test, delay_cycles),
+      exact_response_delayed(inject_fault(netlist, fault), test,
+                             delay_cycles));
+}
+
+bool cls_test_detects(const Netlist& netlist, const Fault& fault,
+                      const BitsSeq& test) {
+  return responses_distinguish(
+      cls_response(netlist, test),
+      cls_response(inject_fault(netlist, fault), test));
+}
+
+}  // namespace rtv

@@ -1,0 +1,49 @@
+#pragma once
+// Sequential test evaluation under unknown power-up state.
+//
+// A test sequence *detects* a fault iff at some cycle some output is a
+// definite value in the fault-free design from EVERY power-up state and the
+// complementary definite value in the faulty design from every power-up
+// state — i.e. the exact three-valued responses differ 0-vs-1 at some
+// position (the criterion behind the paper's Section 2.2 example).
+//
+// The CLS variant replaces the exact responses with conservative
+// three-valued simulation from the all-X state; CLS detection implies exact
+// detection but not conversely.
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+/// Exact three-valued response of a design to a binary test sequence,
+/// starting from all power-up states.
+TritsSeq exact_response(const Netlist& netlist, const BitsSeq& test);
+
+/// Exact response starting from the states possible after `delay_cycles`
+/// arbitrary-input cycles (the C^n of Section 3.4). Requires the number of
+/// primary inputs to be small enough to enumerate (<= 16).
+TritsSeq exact_response_delayed(const Netlist& netlist, const BitsSeq& test,
+                                unsigned delay_cycles);
+
+/// CLS response from the all-X state.
+TritsSeq cls_response(const Netlist& netlist, const BitsSeq& test);
+
+/// True iff the two responses definitely differ at some (cycle, output).
+bool responses_distinguish(const TritsSeq& good, const TritsSeq& faulty);
+
+/// Exact detection of a fault by a test.
+bool test_detects(const Netlist& netlist, const Fault& fault,
+                  const BitsSeq& test);
+
+/// Exact detection when the design has been clocked `delay_cycles` cycles
+/// with arbitrary inputs before the test is applied (Theorem 4.6's C^k).
+bool test_detects_delayed(const Netlist& netlist, const Fault& fault,
+                          const BitsSeq& test, unsigned delay_cycles);
+
+/// CLS-based detection (conservative).
+bool cls_test_detects(const Netlist& netlist, const Fault& fault,
+                      const BitsSeq& test);
+
+}  // namespace rtv

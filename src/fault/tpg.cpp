@@ -1,0 +1,109 @@
+#include "fault/tpg.hpp"
+
+#include <sstream>
+
+namespace rtv {
+
+std::string TestSet::summary() const {
+  std::ostringstream os;
+  os << tests.size() << " tests, " << num_detected << "/" << faults.size()
+     << " faults detected (" << static_cast<int>(coverage * 100.0 + 0.5)
+     << "%)";
+  return os.str();
+}
+
+namespace {
+
+BitsSeq random_candidate(unsigned num_inputs, const TpgOptions& options,
+                         Rng& rng) {
+  const unsigned length = static_cast<unsigned>(
+      rng.range(options.min_length, options.max_length));
+  BitsSeq seq;
+  if (rng.chance(options.constant_probability)) {
+    Bits in(num_inputs);
+    for (auto& v : in) v = rng.coin();
+    seq.assign(length, in);
+  } else {
+    for (unsigned t = 0; t < length; ++t) {
+      Bits in(num_inputs);
+      for (auto& v : in) v = rng.coin();
+      seq.push_back(in);
+    }
+  }
+  return seq;
+}
+
+void finalize(TestSet& set) {
+  set.num_detected = 0;
+  for (const bool d : set.detected) set.num_detected += d;
+  set.coverage = set.faults.empty()
+                     ? 0.0
+                     : static_cast<double>(set.num_detected) /
+                           static_cast<double>(set.faults.size());
+}
+
+}  // namespace
+
+TestSet generate_tests(const Netlist& netlist, const TpgOptions& options) {
+  TestSet set;
+  set.faults = collapse_faults(netlist);
+  set.detected.assign(set.faults.size(), false);
+  set.detected_by.assign(set.faults.size(), -1);
+
+  Rng rng(options.seed);
+  const unsigned inputs =
+      static_cast<unsigned>(netlist.primary_inputs().size());
+  for (unsigned c = 0; c < options.max_candidates; ++c) {
+    if (set.num_detected == set.faults.size()) break;
+    const BitsSeq candidate = random_candidate(inputs, options, rng);
+    // Fault dropping: grade only the still-undetected faults.
+    bool kept = false;
+    for (std::size_t i = 0; i < set.faults.size(); ++i) {
+      if (set.detected[i]) continue;
+      if (!test_detects(netlist, set.faults[i], candidate)) continue;
+      if (!kept) {
+        set.tests.push_back(candidate);
+        kept = true;
+      }
+      set.detected[i] = true;
+      set.detected_by[i] = static_cast<int>(set.tests.size()) - 1;
+      ++set.num_detected;
+    }
+  }
+  finalize(set);
+  return set;
+}
+
+TestSet grade_tests(const Netlist& netlist, const std::vector<Fault>& faults,
+                    const std::vector<BitsSeq>& tests,
+                    unsigned delay_cycles) {
+  TestSet set;
+  set.faults = faults;
+  set.detected.assign(faults.size(), false);
+  set.detected_by.assign(faults.size(), -1);
+  set.tests = tests;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    // Skip faults whose site died in the graded design (e.g. swept logic).
+    if (faults[i].site.node.value >= netlist.num_slots() ||
+        netlist.is_dead(faults[i].site.node) ||
+        netlist.sinks(faults[i].site).empty()) {
+      continue;
+    }
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      const bool hit =
+          delay_cycles == 0
+              ? test_detects(netlist, faults[i], tests[t])
+              : test_detects_delayed(netlist, faults[i], tests[t],
+                                     delay_cycles);
+      if (hit) {
+        set.detected[i] = true;
+        set.detected_by[i] = static_cast<int>(t);
+        break;
+      }
+    }
+  }
+  finalize(set);
+  return set;
+}
+
+}  // namespace rtv

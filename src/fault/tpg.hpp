@@ -1,0 +1,52 @@
+#pragma once
+// Sequential test-pattern generation under unknown power-up state — the
+// DFT workflow of the paper's Section 2.2 context ([MERM94]). Random-search
+// ATPG with fault dropping: propose candidate sequences, keep each one that
+// definitely detects (exact three-valued criterion) at least one
+// yet-undetected fault, stop when coverage stalls.
+//
+// The generated test set is exactly the artifact Theorem 4.6 speaks about:
+// tests computed on D remain valid on the k-cycle-delayed retimed design.
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/test_eval.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+
+struct TpgOptions {
+  unsigned max_candidates = 400;   ///< candidate sequences to try
+  unsigned min_length = 2;         ///< candidate length range
+  unsigned max_length = 8;
+  /// Probability a candidate holds one random vector constant (good at
+  /// flushing pipelines) instead of using fresh random vectors per cycle.
+  double constant_probability = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct TestSet {
+  std::vector<BitsSeq> tests;             ///< the kept sequences
+  std::vector<Fault> faults;              ///< the collapsed fault list
+  std::vector<bool> detected;             ///< per fault
+  std::vector<int> detected_by;           ///< fault -> test index (or -1)
+  std::size_t num_detected = 0;
+  double coverage = 0.0;
+
+  std::string summary() const;
+};
+
+/// Generates a compact test set for all collapsed stuck-at faults of the
+/// design. Deterministic for a given option seed.
+TestSet generate_tests(const Netlist& netlist, const TpgOptions& options = {});
+
+/// Re-grades an existing test set against a (possibly retimed) design whose
+/// combinational NodeIds are compatible with the fault list, with
+/// `delay_cycles` warm-up cycles before each test (Thm 4.6's C^k).
+TestSet grade_tests(const Netlist& netlist, const std::vector<Fault>& faults,
+                    const std::vector<BitsSeq>& tests, unsigned delay_cycles);
+
+}  // namespace rtv

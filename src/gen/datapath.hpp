@@ -1,0 +1,65 @@
+#pragma once
+// Datapath workload generators: balanced pipelines built with a depth-
+// tracking helper, an array multiplier (the introduction's "pipelined
+// 32-bit multiplier with 4 pipeline stages" motivating example), and a
+// controller+datapath design where only the controller is reset — the
+// design style the paper argues synthesis must support.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+/// Builds combinational logic while tracking each signal's pipeline depth
+/// (number of register stages it has passed). Combining signals of unequal
+/// depth automatically pads the shallower ones with latches, so every
+/// generated pipeline is balanced by construction.
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(Netlist& netlist) : n_(&netlist) {}
+
+  struct Signal {
+    PortRef port;
+    unsigned depth = 0;
+  };
+
+  Signal input(const std::string& name);
+  Signal constant(bool value);
+  /// n-ary gate over signals; pads all operands to the deepest depth.
+  Signal gate(CellKind kind, const std::vector<Signal>& operands);
+  /// Adds `stages` extra registers to a signal.
+  Signal delay(Signal s, unsigned stages);
+  /// Pads to exactly `depth` (>= s.depth).
+  Signal pad_to(Signal s, unsigned depth);
+  /// Connects the signal (padded to `depth` if given) to a fresh PO.
+  void output(const std::string& name, Signal s);
+
+  /// Max depth over all signals produced so far.
+  unsigned max_depth() const { return max_depth_; }
+
+  /// Full-adder from gates: returns {sum, carry}.
+  std::pair<Signal, Signal> full_add(Signal a, Signal b, Signal c);
+
+ private:
+  Netlist* n_;
+  unsigned max_depth_ = 0;
+};
+
+/// Pipelined ripple-carry adder: 2*bits data inputs, bits+1 outputs,
+/// `stages` pipeline stages (stages-1 register boundaries on the carry
+/// chain, with operand/result skew registers keeping all paths balanced).
+Netlist pipelined_adder(unsigned bits, unsigned stages);
+
+/// Pipelined array multiplier: bits x bits -> 2*bits, one carry-save row
+/// per multiplier bit, a register boundary every `rows_per_stage` rows.
+Netlist pipelined_multiplier(unsigned bits, unsigned rows_per_stage);
+
+/// Controller + datapath in the style of the paper's introduction: a small
+/// one-hot controller with a synchronous reset input (reset modeled by
+/// gates around plain latches) steering an accumulator datapath whose
+/// latches have no reset at all. PIs: rst, data[width]; PO: msb of the
+/// accumulator plus a 'valid' flag from the controller.
+Netlist controller_datapath(unsigned width);
+
+}  // namespace rtv

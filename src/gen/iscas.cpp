@@ -1,0 +1,63 @@
+#include "gen/iscas.hpp"
+
+namespace rtv {
+
+Netlist iscas_s27() {
+  // Netlist from the standard s27.bench:
+  //   G14 = NOT(G0)        G17 = NOT(G11)
+  //   G8  = AND(G14, G6)   G15 = OR(G12, G8)   G16 = OR(G3, G8)
+  //   G9  = NAND(G16, G15) G10 = NOR(G14, G11) G11 = NOR(G5, G9)
+  //   G12 = NOR(G1, G7)    G13 = NAND(G2, G12)
+  //   G5 = DFF(G10), G6 = DFF(G11), G7 = DFF(G13)
+  Netlist n;
+  const NodeId g0 = n.add_input("G0");
+  const NodeId g1 = n.add_input("G1");
+  const NodeId g2 = n.add_input("G2");
+  const NodeId g3 = n.add_input("G3");
+  const NodeId g17_po = n.add_output("G17");
+
+  const NodeId g5 = n.add_latch("G5");
+  const NodeId g6 = n.add_latch("G6");
+  const NodeId g7 = n.add_latch("G7");
+
+  const NodeId g14 = n.add_gate(CellKind::kNot, 0, "G14");
+  const NodeId g17 = n.add_gate(CellKind::kNot, 0, "G17n");
+  const NodeId g8 = n.add_gate(CellKind::kAnd, 2, "G8");
+  const NodeId g15 = n.add_gate(CellKind::kOr, 2, "G15");
+  const NodeId g16 = n.add_gate(CellKind::kOr, 2, "G16");
+  const NodeId g9 = n.add_gate(CellKind::kNand, 2, "G9");
+  const NodeId g10 = n.add_gate(CellKind::kNor, 2, "G10");
+  const NodeId g11 = n.add_gate(CellKind::kNor, 2, "G11");
+  const NodeId g12 = n.add_gate(CellKind::kNor, 2, "G12");
+  const NodeId g13 = n.add_gate(CellKind::kNand, 2, "G13");
+
+  n.connect(g0, g14);
+  n.connect(g11, g17);
+  n.connect(g14, g8, 0);
+  n.connect(g6, g8, 1);
+  n.connect(g12, g15, 0);
+  n.connect(g8, g15, 1);
+  n.connect(g3, g16, 0);
+  n.connect(g8, g16, 1);
+  n.connect(g16, g9, 0);
+  n.connect(g15, g9, 1);
+  n.connect(g14, g10, 0);
+  n.connect(g11, g10, 1);
+  n.connect(g5, g11, 0);
+  n.connect(g9, g11, 1);
+  n.connect(g1, g12, 0);
+  n.connect(g7, g12, 1);
+  n.connect(g2, g13, 0);
+  n.connect(g12, g13, 1);
+
+  n.connect(g10, g5);
+  n.connect(g11, g6);
+  n.connect(g13, g7);
+  n.connect(PortRef(g17, 0), PinRef(g17_po, 0));
+
+  n.junctionize();
+  n.check_valid(/*require_junction_normal=*/true);
+  return n;
+}
+
+}  // namespace rtv

@@ -1,0 +1,16 @@
+#pragma once
+// Hand-encoded ISCAS-89 benchmark s27 — the smallest of the standard
+// sequential benchmark suite that 1990s retiming/test papers (including
+// [MERM94], whose theorem Section 2.2 refutes) evaluated on. Useful as a
+// realistic non-generated workload with reconvergent fanout and a mix of
+// gate types.
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+/// s27: 4 PIs (G0..G3), 1 PO (G17), 3 latches (G5, G6, G7), 10 gates.
+/// Junction-normal, fully connected, check_valid(true) clean.
+Netlist iscas_s27();
+
+}  // namespace rtv

@@ -1,0 +1,71 @@
+#include "gen/paper_circuits.hpp"
+
+namespace rtv {
+
+namespace {
+
+/// Everything except the latch placement is shared between D and C.
+struct FigureParts {
+  Netlist n;
+  NodeId x, o, jx, and_o, or1, not1, and1, j1, j2;
+};
+
+FigureParts figure_skeleton() {
+  FigureParts p;
+  Netlist& n = p.n;
+  p.x = n.add_input("x");
+  p.o = n.add_output("o");
+  p.jx = n.add_junc(2, "JX");
+  p.and_o = n.add_gate(CellKind::kAnd, 2, "AND_o");
+  p.or1 = n.add_gate(CellKind::kOr, 2, "OR1");
+  p.not1 = n.add_gate(CellKind::kNot, 0, "NOT1");
+  p.and1 = n.add_gate(CellKind::kAnd, 2, "AND1");
+  p.j1 = n.add_junc(2, "J1");
+  p.j2 = n.add_junc(2, "J2");
+
+  // x fans out to AND_o and OR1 through JX.
+  n.connect(PortRef(p.x, 0), PinRef(p.jx, 0));
+  n.connect(PortRef(p.jx, 0), PinRef(p.and_o, 1));
+  n.connect(PortRef(p.jx, 1), PinRef(p.or1, 1));
+  // J2 distributes the first J1 branch to AND_o and OR1.
+  n.connect(PortRef(p.j2, 0), PinRef(p.and_o, 0));
+  n.connect(PortRef(p.j2, 1), PinRef(p.or1, 0));
+  // AND gate-1: v = NOT(second J1 branch) AND (OR1 out).
+  n.connect(PortRef(p.not1, 0), PinRef(p.and1, 0));
+  n.connect(PortRef(p.or1, 0), PinRef(p.and1, 1));
+  // Primary output.
+  n.connect(PortRef(p.and_o, 0), PinRef(p.o, 0));
+  return p;
+}
+
+}  // namespace
+
+Netlist figure1_original() {
+  FigureParts p = figure_skeleton();
+  Netlist& n = p.n;
+  // v -> latch -> J1; J1 branches feed J2 and NOT1.
+  const NodeId latch = n.add_latch("L");
+  n.connect(PortRef(p.and1, 0), PinRef(latch, 0));
+  n.connect(PortRef(latch, 0), PinRef(p.j1, 0));
+  n.connect(PortRef(p.j1, 0), PinRef(p.j2, 0));
+  n.connect(PortRef(p.j1, 1), PinRef(p.not1, 0));
+  n.check_valid(/*require_junction_normal=*/true);
+  return n;
+}
+
+Netlist figure1_retimed() {
+  FigureParts p = figure_skeleton();
+  Netlist& n = p.n;
+  // v -> J1; each branch gets its own latch (forward move across J1).
+  const NodeId l1 = n.add_latch("L1");
+  const NodeId l2 = n.add_latch("L2");
+  n.connect(PortRef(p.and1, 0), PinRef(p.j1, 0));
+  n.connect(PortRef(p.j1, 0), PinRef(l1, 0));
+  n.connect(PortRef(p.j1, 1), PinRef(l2, 0));
+  n.connect(PortRef(l1, 0), PinRef(p.j2, 0));
+  n.connect(PortRef(l2, 0), PinRef(p.not1, 0));
+  n.check_valid(/*require_junction_normal=*/true);
+  return n;
+}
+
+}  // namespace rtv

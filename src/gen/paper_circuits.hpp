@@ -1,0 +1,44 @@
+#pragma once
+// The example circuits of the paper, reconstructed from the text and
+// Table 1 (the figures are lost in the source scan; the reconstruction is
+// pinned down by the table and the prose, see DESIGN.md / EXPERIMENTS.md).
+//
+// Design D (Figure 1, left): one latch holding s, primary input x,
+// primary output o:
+//
+//     o = x AND s                        ("AND_o")
+//     v = NOT(s) AND (s OR x)            ("AND gate-1", feeding the latch)
+//
+// The latch output s reaches its three uses through a junction tree:
+// J1 = JUNC2(s) -> {j1, j2};  J2 = JUNC2(j1) -> {AND_o, OR};  j2 -> NOT.
+// Binary: v == 0 whenever x == 0 (indeed NOT(s) AND s == 0), so input 0
+// resets D; but a CLS sees v = X AND X = X — the complement correlation the
+// CLS forgets is exactly what the forward junction move destroys.
+//
+// Design C (Figure 1, right) retimes the latch forward across J1: the wire
+// v feeds J1 directly and each branch gets its own latch (l1 feeding J2,
+// l2 feeding NOT). From power-up state (l1, l2) = (1, 0), C emits
+// 0·1·0·1 on input 0·1·1·1 — behaviour D cannot exhibit (Table 1).
+//
+// Figure 3 reuses the same pair ("see the STG for C in Figure 2"): the
+// stuck-at-1 fault is on the AND gate-1 output net v. Test 0·1 detects it
+// in D (fault-free 0·0 from every power-up state, faulty 0·1) but not in C;
+// prepending one arbitrary cycle (0·0·1 or 1·0·1) restores detection in C
+// on the 3rd cycle, as Theorem 4.6 predicts.
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+/// Figure 1 design D (1 latch). Junction-normal, fully connected.
+Netlist figure1_original();
+
+/// Figure 1 design C: D with the latch retimed forward across junction J1
+/// (2 latches).
+Netlist figure1_retimed();
+
+/// Name of the net carrying v (output port 0 of this node) on which
+/// Figure 3's stuck-at-1 fault sits, in both designs.
+inline constexpr const char* kFigure3FaultGate = "AND1";
+
+}  // namespace rtv

@@ -1,0 +1,31 @@
+#pragma once
+// Seeded random sequential netlists for property tests and benchmarks.
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+
+struct RandomCircuitOptions {
+  unsigned num_inputs = 3;
+  unsigned num_outputs = 2;
+  unsigned num_gates = 16;
+  unsigned num_latches = 4;
+  unsigned max_fanin = 3;
+  /// Probability that a generated cell is a random multi-output table cell
+  /// (2-3 inputs, 1-2 outputs) instead of a primitive gate. Table cells may
+  /// be non-justifiable, exercising the unsafe-move paths.
+  double table_probability = 0.0;
+  /// Probability that a latch is inserted directly after a gate output,
+  /// seeding latches throughout the circuit rather than only at the ends.
+  double latch_after_gate_probability = 0.25;
+};
+
+/// Generates a junction-normal, fully connected random netlist: gates draw
+/// operands from already-created ports (so the combinational graph is
+/// acyclic), latches draw their data inputs from anywhere, unconsumed ports
+/// are capped with extra primary outputs. Deterministic for a given
+/// (options, rng state).
+Netlist random_netlist(const RandomCircuitOptions& options, Rng& rng);
+
+}  // namespace rtv

@@ -1,0 +1,24 @@
+#pragma once
+// Small classic sequential structures used as workloads: shift registers,
+// LFSRs and twisted rings. All generators return junction-normal, fully
+// connected netlists that pass Netlist::check_valid(true).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+/// Serial-in/serial-out shift register with `length` latches.
+Netlist shift_register(unsigned length);
+
+/// Fibonacci LFSR with `length` latches. The feedback is
+/// XOR(taps..., serial input); output is the last latch.
+/// Tap indices are latch positions in [0, length).
+Netlist lfsr(unsigned length, const std::vector<unsigned>& taps);
+
+/// Twisted ring (Johnson-style): first latch gets NOT(last) XOR input;
+/// output is the last latch.
+Netlist twisted_ring(unsigned length);
+
+}  // namespace rtv

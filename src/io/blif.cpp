@@ -1,0 +1,335 @@
+#include "io/blif.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+namespace {
+
+[[noreturn]] void blif_fail(std::size_t line, const std::string& what) {
+  throw ParseError("blif line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& raw) {
+  std::vector<std::string> tokens;
+  std::istringstream is(raw);
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// One .names block being accumulated.
+struct NamesBlock {
+  std::vector<std::string> signals;  // inputs..., output last
+  std::vector<std::pair<std::string, char>> cover;  // (input cube, out)
+  std::size_t line = 0;
+};
+
+/// Expands a cover into a complete single-output truth table.
+TruthTable cover_to_table(const NamesBlock& block) {
+  const unsigned inputs = static_cast<unsigned>(block.signals.size() - 1);
+  if (inputs > kMaxTableInputs) {
+    blif_fail(block.line, ".names with too many inputs");
+  }
+  // BLIF covers are either all on-set (output '1') or all off-set ('0');
+  // the function defaults to the complement value elsewhere.
+  bool has1 = false, has0 = false;
+  for (const auto& [cube, out] : block.cover) {
+    (out == '1' ? has1 : has0) = true;
+  }
+  if (has1 && has0) blif_fail(block.line, "mixed on/off-set cover");
+  const bool cover_value = has1 || block.cover.empty();
+  const bool default_value = !cover_value;
+
+  TruthTable table(inputs, 1);
+  for (std::uint64_t x = 0; x < pow2(inputs); ++x) {
+    table.set_row(x, default_value ? 1 : 0);
+  }
+  for (const auto& [cube, out] : block.cover) {
+    (void)out;
+    if (cube.size() != inputs) blif_fail(block.line, "cube width mismatch");
+    // Expand don't-cares.
+    std::vector<unsigned> dashes;
+    std::uint64_t base = 0;
+    for (unsigned i = 0; i < inputs; ++i) {
+      if (cube[i] == '1') {
+        base |= (1ULL << i);
+      } else if (cube[i] == '-') {
+        dashes.push_back(i);
+      } else if (cube[i] != '0') {
+        blif_fail(block.line, std::string("bad cube character '") + cube[i] + "'");
+      }
+    }
+    for (std::uint64_t c = 0; c < pow2(static_cast<unsigned>(dashes.size()));
+         ++c) {
+      std::uint64_t x = base;
+      for (std::size_t j = 0; j < dashes.size(); ++j) {
+        if (get_bit(c, static_cast<unsigned>(j))) x |= (1ULL << dashes[j]);
+      }
+      table.set_row(x, cover_value ? 1 : 0);
+    }
+  }
+  return table;
+}
+
+/// Signal-name bookkeeping during parsing: every named signal becomes the
+/// output port of some node; consumers connect to it (implicit fanout,
+/// junctionized at the end).
+class SignalTable {
+ public:
+  explicit SignalTable(Netlist& netlist) : netlist_(netlist) {}
+
+  void define(std::size_t line, const std::string& name, PortRef port) {
+    if (!ports_.emplace(name, port).second) {
+      blif_fail(line, "signal '" + name + "' driven twice");
+    }
+  }
+
+  PortRef lookup(std::size_t line, const std::string& name) const {
+    const auto it = ports_.find(name);
+    if (it == ports_.end()) {
+      blif_fail(line, "undriven signal '" + name + "'");
+    }
+    return it->second;
+  }
+
+  bool defined(const std::string& name) const {
+    return ports_.count(name) != 0;
+  }
+
+ private:
+  Netlist& netlist_;
+  std::unordered_map<std::string, PortRef> ports_;
+};
+
+}  // namespace
+
+BlifDesign read_blif(const std::string& text) {
+  BlifDesign design;
+  Netlist& n = design.netlist;
+
+  // First pass: join continuation lines (trailing '\') and strip comments.
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  {
+    std::istringstream is(text);
+    std::string raw;
+    std::size_t line_no = 0;
+    std::string pending;
+    std::size_t pending_line = 0;
+    while (std::getline(is, raw)) {
+      ++line_no;
+      const std::size_t hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      const bool continues =
+          !raw.empty() && raw.back() == '\\';
+      if (continues) raw.pop_back();
+      if (pending.empty()) pending_line = line_no;
+      pending += raw;
+      if (continues) {
+        pending += ' ';
+        continue;
+      }
+      if (!pending.empty()) lines.emplace_back(pending_line, pending);
+      pending.clear();
+    }
+    if (!pending.empty()) lines.emplace_back(pending_line, pending);
+  }
+
+  SignalTable signals(n);
+  std::vector<std::string> input_names, output_names;
+  struct LatchDecl {
+    std::string in, out;
+    std::optional<bool> init;
+    NodeId node;
+    std::size_t line;
+  };
+  std::vector<LatchDecl> latches;
+  std::vector<NamesBlock> names_blocks;
+  bool saw_model = false, saw_end = false;
+
+  NamesBlock* open_block = nullptr;
+  for (const auto& [line_no, content] : lines) {
+    const auto tokens = tokenize(content);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head[0] != '.') {
+      // Cover row of the open .names block.
+      if (open_block == nullptr) blif_fail(line_no, "cover row outside .names");
+      if (open_block->signals.size() == 1) {
+        // Constant: single token '0'/'1'.
+        if (tokens.size() != 1 || (tokens[0] != "0" && tokens[0] != "1")) {
+          blif_fail(line_no, "bad constant cover");
+        }
+        open_block->cover.emplace_back("", tokens[0][0]);
+      } else {
+        if (tokens.size() != 2 || tokens[1].size() != 1) {
+          blif_fail(line_no, "cover row needs <cube> <value>");
+        }
+        open_block->cover.emplace_back(tokens[0], tokens[1][0]);
+      }
+      continue;
+    }
+    open_block = nullptr;
+    if (head == ".model") {
+      if (saw_model) blif_fail(line_no, "multiple .model");
+      saw_model = true;
+      if (tokens.size() > 1) design.model_name = tokens[1];
+    } else if (head == ".inputs") {
+      input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+    } else if (head == ".outputs") {
+      output_names.insert(output_names.end(), tokens.begin() + 1,
+                          tokens.end());
+    } else if (head == ".latch") {
+      if (tokens.size() < 3) blif_fail(line_no, ".latch needs <in> <out>");
+      LatchDecl decl;
+      decl.in = tokens[1];
+      decl.out = tokens[2];
+      decl.line = line_no;
+      // Optional [<type> <control>] [<init>]: the last token, if it is a
+      // single digit, is the init value.
+      if (tokens.size() > 3) {
+        const std::string& last = tokens.back();
+        if (last == "0") decl.init = false;
+        if (last == "1") decl.init = true;
+        // "2"/"3" and clock specs: reset-free reading, init stays nullopt.
+      }
+      latches.push_back(std::move(decl));
+    } else if (head == ".names") {
+      names_blocks.push_back(NamesBlock{
+          std::vector<std::string>(tokens.begin() + 1, tokens.end()),
+          {},
+          line_no});
+      if (names_blocks.back().signals.empty()) {
+        blif_fail(line_no, ".names needs at least an output");
+      }
+      open_block = &names_blocks.back();
+    } else if (head == ".end") {
+      saw_end = true;
+    } else {
+      blif_fail(line_no, "unsupported directive '" + head + "'");
+    }
+  }
+  if (!saw_model) blif_fail(0, "missing .model");
+  (void)saw_end;  // tolerated if absent
+
+  // Create nodes: inputs, latches, then .names cells (as table cells or
+  // primitives); wire fanins afterwards so order does not matter.
+  for (const std::string& name : input_names) {
+    signals.define(0, name, PortRef(n.add_input("pi_" + name), 0));
+  }
+  for (LatchDecl& decl : latches) {
+    decl.node = n.add_latch("lat_" + decl.out);
+    signals.define(decl.line, decl.out, PortRef(decl.node, 0));
+    design.latch_init.emplace(decl.node.value, decl.init);
+  }
+  std::vector<std::pair<const NamesBlock*, NodeId>> cells;
+  for (const NamesBlock& block : names_blocks) {
+    const TruthTable table = cover_to_table(block);
+    const NodeId cell =
+        n.add_table_cell(n.add_table(table), "fn_" + block.signals.back());
+    cells.emplace_back(&block, cell);
+    signals.define(block.line, block.signals.back(), PortRef(cell, 0));
+  }
+  // Wire cell fanins, latch data pins, and primary outputs.
+  for (const auto& [block, cell] : cells) {
+    for (std::size_t i = 0; i + 1 < block->signals.size(); ++i) {
+      n.connect(signals.lookup(block->line, block->signals[i]),
+                PinRef(cell, static_cast<std::uint32_t>(i)));
+    }
+  }
+  for (const LatchDecl& decl : latches) {
+    n.connect(signals.lookup(decl.line, decl.in), PinRef(decl.node, 0));
+  }
+  for (const std::string& name : output_names) {
+    const NodeId po = n.add_output("po_" + name);
+    n.connect(signals.lookup(0, name), PinRef(po, 0));
+  }
+
+  n.junctionize();
+  try {
+    n.check_valid(true);
+  } catch (const Error& e) {
+    throw ParseError(std::string("blif: ") + e.what());
+  }
+  return design;
+}
+
+std::string write_blif(const Netlist& netlist, const std::string& model_name) {
+  const Netlist n = netlist.compacted();
+  std::ostringstream os;
+  os << ".model " << model_name << "\n";
+
+  // Signal name of every port: node name for port 0, name_pN otherwise.
+  const auto signal = [&](PortRef p) {
+    std::string s = n.name(p.node);
+    if (p.port != 0) s += "_p" + std::to_string(p.port);
+    return s;
+  };
+  // Junctions are transparent in BLIF: resolve through them.
+  const auto resolve = [&](PortRef p) {
+    while (n.kind(p.node) == CellKind::kJunc) {
+      p = n.driver(PinRef(p.node, 0));
+    }
+    return p;
+  };
+
+  os << ".inputs";
+  for (const NodeId id : n.primary_inputs()) os << " " << n.name(id);
+  os << "\n.outputs";
+  for (const NodeId id : n.primary_outputs()) os << " " << n.name(id);
+  os << "\n";
+
+  for (const NodeId id : n.latches()) {
+    os << ".latch " << signal(resolve(n.driver(PinRef(id, 0)))) << " "
+       << n.name(id) << " 3\n";
+  }
+  // Primary outputs are aliases: emit a buffer cover.
+  for (const NodeId id : n.primary_outputs()) {
+    os << ".names " << signal(resolve(n.driver(PinRef(id, 0)))) << " "
+       << n.name(id) << "\n1 1\n";
+  }
+  for (const NodeId id : n.live_nodes()) {
+    const CellKind k = n.kind(id);
+    if (!is_combinational(k) || k == CellKind::kJunc) continue;
+    const TruthTable table = n.cell_function(id);
+    for (std::uint32_t port = 0; port < n.num_ports(id); ++port) {
+      os << ".names";
+      for (std::uint32_t pin = 0; pin < n.num_pins(id); ++pin) {
+        os << " " << signal(resolve(n.driver(PinRef(id, pin))));
+      }
+      os << " " << signal(PortRef(id, port)) << "\n";
+      for (std::uint64_t x = 0; x < pow2(table.num_inputs()); ++x) {
+        if (!table.eval_bit(x, port)) continue;
+        for (unsigned i = 0; i < table.num_inputs(); ++i) {
+          os << (get_bit(x, i) ? '1' : '0');
+        }
+        if (table.num_inputs() > 0) os << " ";
+        os << "1\n";
+      }
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+void save_blif(const Netlist& netlist, const std::string& path,
+               const std::string& model_name) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open '" + path + "' for writing");
+  f << write_blif(netlist, model_name);
+  if (!f) throw Error("write to '" + path + "' failed");
+}
+
+BlifDesign load_blif(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return read_blif(buffer.str());
+}
+
+}  // namespace rtv

@@ -1,0 +1,49 @@
+#pragma once
+// Berkeley Logic Interchange Format (BLIF) interop — the netlist format of
+// SIS-era tools (the paper's own ecosystem: [SR94]'s retiming ran inside
+// SIS on BLIF inputs).
+//
+// Supported subset:
+//   .model/.inputs/.outputs/.end
+//   .names  — single-output cover; converted to a table cell (or to the
+//             matching primitive gate when the function is one). Covers
+//             with '-' (don't care) inputs are expanded.
+//   .latch  — `.latch <in> <out> [<type> <control>] [<init>]`; the init
+//             value is parsed and returned out-of-band (this library's
+//             latches are reset-free by design — Section 1 of the paper).
+//   .exdc and unsupported directives raise ParseError.
+//
+// Writing emits .names covers from each cell's truth table (one .names per
+// output for multi-output cells) and reset-free .latch lines with init 3
+// ("unknown"), which is exactly the paper's model.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+struct BlifDesign {
+  Netlist netlist;
+  std::string model_name;
+  /// Parsed `.latch` init values by latch node; 0/1 recorded, 2 ("don't
+  /// care") and 3 ("unknown") map to nullopt — the reset-free reading.
+  std::unordered_map<std::uint32_t, std::optional<bool>> latch_init;
+};
+
+/// Parses the BLIF subset above. Throws ParseError with a line number.
+BlifDesign read_blif(const std::string& text);
+
+/// Serializes a netlist as BLIF. Junctions are transparent (BLIF has
+/// implicit fanout); table cells become .names covers.
+std::string write_blif(const Netlist& netlist,
+                       const std::string& model_name = "rtv");
+
+void save_blif(const Netlist& netlist, const std::string& path,
+               const std::string& model_name = "rtv");
+BlifDesign load_blif(const std::string& path);
+
+}  // namespace rtv

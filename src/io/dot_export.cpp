@@ -1,0 +1,62 @@
+#include "io/dot_export.hpp"
+
+#include <sstream>
+
+namespace rtv {
+
+std::string netlist_to_dot(const Netlist& netlist) {
+  std::ostringstream os;
+  os << "digraph netlist {\n  rankdir=LR;\n";
+  for (const NodeId id : netlist.live_nodes()) {
+    const Node& n = netlist.node(id);
+    const char* shape = "box";
+    switch (n.kind) {
+      case CellKind::kInput:
+      case CellKind::kOutput:
+        shape = "plaintext";
+        break;
+      case CellKind::kLatch:
+        shape = "doublecircle";
+        break;
+      case CellKind::kJunc:
+        shape = "diamond";
+        break;
+      default:
+        break;
+    }
+    os << "  n" << id.value << " [label=\"" << n.name << "\\n"
+       << cell_kind_name(n.kind) << "\" shape=" << shape << "];\n";
+  }
+  for (const NodeId id : netlist.live_nodes()) {
+    const Node& n = netlist.node(id);
+    for (std::uint32_t port = 0; port < n.num_ports(); ++port) {
+      for (const PinRef& sink : n.fanout[port]) {
+        os << "  n" << id.value << " -> n" << sink.node.value;
+        if (n.num_ports() > 1 || netlist.num_pins(sink.node) > 1) {
+          os << " [label=\"" << port << ">" << sink.pin << "\"]";
+        }
+        os << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string stg_to_dot(const Stg& stg) {
+  std::ostringstream os;
+  os << "digraph stg {\n";
+  for (std::uint64_t s = 0; s < stg.num_states(); ++s) {
+    os << "  s" << s << " [shape=circle];\n";
+  }
+  for (std::uint64_t s = 0; s < stg.num_states(); ++s) {
+    for (std::uint64_t a = 0; a < stg.num_inputs(); ++a) {
+      os << "  s" << s << " -> s" << stg.next_state(s, a) << " [label=\"" << a
+         << "/" << stg.output(s, a) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rtv

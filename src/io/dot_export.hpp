@@ -1,0 +1,19 @@
+#pragma once
+// Graphviz export for netlists and STGs (debugging / documentation aid).
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "stg/stg.hpp"
+
+namespace rtv {
+
+/// DOT digraph of a netlist: boxes for gates, double circles for latches,
+/// diamonds for junctions, plaintext for PIs/POs.
+std::string netlist_to_dot(const Netlist& netlist);
+
+/// DOT digraph of an STG: one node per state, edges labeled in/out.
+/// Intended for small machines (the paper's Figure 2 style).
+std::string stg_to_dot(const Stg& stg);
+
+}  // namespace rtv

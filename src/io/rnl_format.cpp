@@ -1,0 +1,286 @@
+#include "io/rnl_format.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+std::string write_rnl(const Netlist& netlist) {
+  // Work on a compacted copy so names and order are dense and stable.
+  const Netlist n = netlist.compacted();
+  std::ostringstream os;
+  os << "rnl 1\n";
+
+  // Tables referenced by live cells.
+  std::unordered_map<std::uint32_t, std::string> table_names;
+  for (const NodeId id : n.live_nodes()) {
+    if (n.kind(id) != CellKind::kTable) continue;
+    const TableId t = n.node(id).table;
+    if (table_names.count(t.value) != 0) continue;
+    const std::string name = "t" + std::to_string(table_names.size());
+    table_names.emplace(t.value, name);
+    const TruthTable& tt = n.table(t);
+    os << "table " << name << " " << tt.num_inputs() << " "
+       << tt.num_outputs() << "\n";
+    for (std::uint64_t x = 0; x < pow2(tt.num_inputs()); ++x) {
+      os << "row ";
+      for (unsigned i = 0; i < tt.num_inputs(); ++i) {
+        os << (get_bit(x, i) ? '1' : '0');
+      }
+      if (tt.num_inputs() == 0) os << '-';
+      os << " ";
+      const std::uint64_t row = tt.eval_row(x);
+      for (unsigned j = 0; j < tt.num_outputs(); ++j) {
+        os << (get_bit(row, j) ? '1' : '0');
+      }
+      os << "\n";
+    }
+  }
+
+  for (const NodeId id : n.live_nodes()) {
+    const Node& node = n.node(id);
+    os << "node " << node.name << " " << cell_kind_name(node.kind);
+    if (is_variadic_gate(node.kind)) {
+      os << " " << node.num_pins();
+    } else if (node.kind == CellKind::kJunc) {
+      os << " " << node.num_ports();
+    } else if (node.kind == CellKind::kTable) {
+      os << " " << table_names.at(node.table.value);
+    }
+    os << "\n";
+  }
+  for (const NodeId id : n.live_nodes()) {
+    const Node& node = n.node(id);
+    for (std::uint32_t pin = 0; pin < node.num_pins(); ++pin) {
+      const PortRef drv = node.fanin[pin];
+      if (!drv.valid()) continue;
+      os << "wire " << n.name(drv.node) << "." << drv.port << " "
+         << node.name << "." << pin << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& what) {
+  throw ParseError("rnl line " + std::to_string(line) + ": " + what);
+}
+
+/// Splits "name.index", validating both halves.
+std::pair<std::string, std::uint32_t> split_ref(std::size_t line,
+                                                const std::string& token) {
+  const std::size_t dot = token.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= token.size()) {
+    parse_fail(line, "expected <name>.<index>, got '" + token + "'");
+  }
+  const std::string name = token.substr(0, dot);
+  std::uint32_t index = 0;
+  for (std::size_t i = dot + 1; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c < '0' || c > '9') parse_fail(line, "bad index in '" + token + "'");
+    index = index * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return {name, index};
+}
+
+}  // namespace
+
+Netlist read_rnl(const std::string& text) {
+  Netlist n;
+  std::unordered_map<std::string, NodeId> nodes_by_name;
+  std::unordered_map<std::string, TableId> tables_by_name;
+
+  std::istringstream is(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+
+  // Pending table being read row by row.
+  std::string pending_table_name;
+  unsigned pending_inputs = 0, pending_outputs = 0;
+  std::vector<std::uint64_t> pending_rows;
+  std::uint64_t pending_expected = 0;
+
+  const auto finish_table = [&](std::size_t line) {
+    if (pending_table_name.empty()) return;
+    if (pending_rows.size() != pending_expected) {
+      parse_fail(line, "table '" + pending_table_name + "' has " +
+                           std::to_string(pending_rows.size()) + " rows, expected " +
+                           std::to_string(pending_expected));
+    }
+    tables_by_name.emplace(
+        pending_table_name,
+        n.add_table(TruthTable(pending_inputs, pending_outputs,
+                               std::move(pending_rows))));
+    pending_table_name.clear();
+    pending_rows = {};
+  };
+
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream ls(raw);
+    std::string cmd;
+    if (!(ls >> cmd)) continue;
+
+    if (cmd == "rnl") {
+      int version = 0;
+      if (!(ls >> version) || version != 1) parse_fail(line_no, "bad version");
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) parse_fail(line_no, "missing 'rnl 1' header");
+
+    if (cmd == "table") {
+      finish_table(line_no);
+      unsigned ins = 0, outs = 0;
+      if (!(ls >> pending_table_name >> ins >> outs)) {
+        parse_fail(line_no, "table needs <name> <inputs> <outputs>");
+      }
+      if (tables_by_name.count(pending_table_name) != 0) {
+        parse_fail(line_no, "duplicate table name");
+      }
+      pending_inputs = ins;
+      pending_outputs = outs;
+      pending_expected = pow2(ins);
+      pending_rows.clear();
+      pending_rows.reserve(pending_expected);
+    } else if (cmd == "row") {
+      if (pending_table_name.empty()) parse_fail(line_no, "row outside table");
+      std::string in_bits, out_bits;
+      if (!(ls >> in_bits >> out_bits)) {
+        parse_fail(line_no, "row needs <inputs> <outputs>");
+      }
+      // Rows must appear in minterm order; the input bits are a checksum.
+      const std::uint64_t x = pending_rows.size();
+      if (pending_inputs > 0) {
+        if (in_bits.size() != pending_inputs) {
+          parse_fail(line_no, "row input width mismatch");
+        }
+        for (unsigned i = 0; i < pending_inputs; ++i) {
+          if ((in_bits[i] == '1') != get_bit(x, i)) {
+            parse_fail(line_no, "rows out of minterm order");
+          }
+        }
+      }
+      if (out_bits.size() != pending_outputs) {
+        parse_fail(line_no, "row output width mismatch");
+      }
+      std::uint64_t row = 0;
+      for (unsigned j = 0; j < pending_outputs; ++j) {
+        if (out_bits[j] == '1') {
+          row |= (1ULL << j);
+        } else if (out_bits[j] != '0') {
+          parse_fail(line_no, "bad output bit");
+        }
+      }
+      pending_rows.push_back(row);
+    } else if (cmd == "node") {
+      finish_table(line_no);
+      std::string name, kind_name, param;
+      if (!(ls >> name >> kind_name)) {
+        parse_fail(line_no, "node needs <name> <kind>");
+      }
+      if (nodes_by_name.count(name) != 0) {
+        parse_fail(line_no, "duplicate node name '" + name + "'");
+      }
+      ls >> param;
+      const CellKind kind = cell_kind_from_name(kind_name);
+      NodeId id;
+      try {
+        switch (kind) {
+          case CellKind::kInput:
+            id = n.add_input(name);
+            break;
+          case CellKind::kOutput:
+            id = n.add_output(name);
+            break;
+          case CellKind::kConst0:
+            id = n.add_const(false, name);
+            break;
+          case CellKind::kConst1:
+            id = n.add_const(true, name);
+            break;
+          case CellKind::kLatch:
+            id = n.add_latch(name);
+            break;
+          case CellKind::kJunc:
+            id = n.add_junc(static_cast<unsigned>(std::stoul(param)), name);
+            break;
+          case CellKind::kTable: {
+            const auto it = tables_by_name.find(param);
+            if (it == tables_by_name.end()) {
+              parse_fail(line_no, "unknown table '" + param + "'");
+            }
+            id = n.add_table_cell(it->second, name);
+            break;
+          }
+          default:
+            id = n.add_gate(
+                kind,
+                param.empty() ? 0 : static_cast<unsigned>(std::stoul(param)),
+                name);
+            break;
+        }
+      } catch (const ParseError&) {
+        throw;
+      } catch (const Error& e) {
+        parse_fail(line_no, e.what());
+      } catch (const std::exception&) {
+        parse_fail(line_no, "bad node parameter '" + param + "'");
+      }
+      nodes_by_name.emplace(name, id);
+    } else if (cmd == "wire") {
+      finish_table(line_no);
+      std::string src, dst;
+      if (!(ls >> src >> dst)) parse_fail(line_no, "wire needs <src> <dst>");
+      const auto [src_name, port] = split_ref(line_no, src);
+      const auto [dst_name, pin] = split_ref(line_no, dst);
+      const auto src_it = nodes_by_name.find(src_name);
+      const auto dst_it = nodes_by_name.find(dst_name);
+      if (src_it == nodes_by_name.end()) {
+        parse_fail(line_no, "unknown node '" + src_name + "'");
+      }
+      if (dst_it == nodes_by_name.end()) {
+        parse_fail(line_no, "unknown node '" + dst_name + "'");
+      }
+      try {
+        n.connect(PortRef(src_it->second, port), PinRef(dst_it->second, pin));
+      } catch (const Error& e) {
+        parse_fail(line_no, e.what());
+      }
+    } else {
+      parse_fail(line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+  finish_table(line_no);
+  if (!saw_header) parse_fail(0, "empty input");
+  try {
+    n.check_valid();
+  } catch (const Error& e) {
+    throw ParseError(std::string("rnl: ") + e.what());
+  }
+  return n;
+}
+
+void save_rnl(const Netlist& netlist, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open '" + path + "' for writing");
+  f << write_rnl(netlist);
+  if (!f) throw Error("write to '" + path + "' failed");
+}
+
+Netlist load_rnl(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return read_rnl(buffer.str());
+}
+
+}  // namespace rtv

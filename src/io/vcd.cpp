@@ -1,0 +1,123 @@
+#include "io/vcd.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+
+namespace rtv {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+struct Channel {
+  std::string name;
+  std::string id;
+  char last = '?';  // emit only on change
+};
+
+class VcdBuilder {
+ public:
+  VcdBuilder(const Netlist& netlist, const std::string& top_name)
+      : netlist_(netlist) {
+    os_ << "$timescale 1ns $end\n$scope module " << top_name << " $end\n";
+    std::size_t index = 0;
+    const auto add = [&](const std::vector<NodeId>& ids, const char* prefix) {
+      for (const NodeId id : ids) {
+        Channel c;
+        c.name = std::string(prefix) + netlist.name(id);
+        c.id = vcd_id(index++);
+        os_ << "$var wire 1 " << c.id << " " << c.name << " $end\n";
+        channels_.push_back(std::move(c));
+      }
+    };
+    add(netlist.primary_inputs(), "pi_");
+    add(netlist.primary_outputs(), "po_");
+    add(netlist.latches(), "q_");
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+  }
+
+  /// One clock cycle's values, concatenated PI | PO | latch as chars
+  /// ('0', '1', 'x').
+  void sample(std::size_t cycle, const std::string& values) {
+    RTV_CHECK(values.size() == channels_.size());
+    os_ << "#" << cycle * 10 << "\n";
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (values[i] == channels_[i].last) continue;
+      channels_[i].last = values[i];
+      os_ << values[i] << channels_[i].id << "\n";
+    }
+  }
+
+  std::string str(std::size_t final_cycle) {
+    os_ << "#" << final_cycle * 10 << "\n";
+    return os_.str();
+  }
+
+ private:
+  const Netlist& netlist_;
+  std::ostringstream os_;
+  std::vector<Channel> channels_;
+};
+
+char bit_char(std::uint8_t b) { return b != 0 ? '1' : '0'; }
+
+}  // namespace
+
+std::string simulate_to_vcd(const Netlist& netlist, const Bits& initial_state,
+                            const BitsSeq& inputs,
+                            const std::string& top_name) {
+  VcdBuilder vcd(netlist, top_name);
+  BinarySimulator sim(netlist);
+  sim.set_state(initial_state);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const Bits state = sim.state();
+    const Bits outs = sim.step(inputs[t]);
+    std::string row;
+    for (const std::uint8_t b : inputs[t]) row.push_back(bit_char(b));
+    for (const std::uint8_t b : outs) row.push_back(bit_char(b));
+    for (const std::uint8_t b : state) row.push_back(bit_char(b));
+    vcd.sample(t, row);
+  }
+  return vcd.str(inputs.size());
+}
+
+std::string cls_simulate_to_vcd(const Netlist& netlist, const TritsSeq& inputs,
+                                const std::string& top_name) {
+  VcdBuilder vcd(netlist, top_name);
+  ClsSimulator sim(netlist);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const Trits state = sim.state();
+    const Trits outs = sim.step(inputs[t]);
+    std::string row;
+    const auto push = [&](const Trits& v) {
+      for (const Trit tr : v) {
+        row.push_back(tr == Trit::kX ? 'x' : to_char(tr));
+      }
+    };
+    push(inputs[t]);
+    push(outs);
+    push(state);
+    vcd.sample(t, row);
+  }
+  return vcd.str(inputs.size());
+}
+
+void save_vcd(const std::string& vcd_text, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open '" + path + "' for writing");
+  f << vcd_text;
+  if (!f) throw Error("write to '" + path + "' failed");
+}
+
+}  // namespace rtv

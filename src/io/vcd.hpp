@@ -1,0 +1,29 @@
+#pragma once
+// Value-change-dump (VCD) trace export: run a simulation and emit a
+// waveform viewable in GTKWave & friends. Both two-valued and conservative
+// three-valued traces are supported — VCD's 'x' literal renders the CLS's
+// unknown values directly, which makes the paper's Section-5 story visible
+// on a waveform: retime the design and the CLS trace does not change.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+/// Simulates `inputs` from `initial_state` with the two-valued simulator
+/// and returns a VCD document tracing PIs, POs and latches (one cycle per
+/// timestep, #10 per clock).
+std::string simulate_to_vcd(const Netlist& netlist, const Bits& initial_state,
+                            const BitsSeq& inputs,
+                            const std::string& top_name = "rtv");
+
+/// Same with the CLS from the all-X power-up state; unknown values appear
+/// as 'x' in the waveform.
+std::string cls_simulate_to_vcd(const Netlist& netlist, const TritsSeq& inputs,
+                                const std::string& top_name = "rtv");
+
+void save_vcd(const std::string& vcd_text, const std::string& path);
+
+}  // namespace rtv

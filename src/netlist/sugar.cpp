@@ -1,0 +1,41 @@
+#include "netlist/sugar.hpp"
+
+namespace rtv {
+
+NodeId add_latch_with_sync_reset(Netlist& netlist, PortRef reset, PortRef data,
+                                 const std::string& name) {
+  const NodeId inv = netlist.add_gate(CellKind::kNot, 0, name.empty() ? "" : name + "_nr");
+  const NodeId gate = netlist.add_gate(CellKind::kAnd, 2,
+                                       name.empty() ? "" : name + "_rst");
+  const NodeId latch = netlist.add_latch(name);
+  netlist.connect(reset, PinRef(inv, 0));
+  netlist.connect(PortRef(inv, 0), PinRef(gate, 0));
+  netlist.connect(data, PinRef(gate, 1));
+  netlist.connect(PortRef(gate, 0), PinRef(latch, 0));
+  return latch;
+}
+
+NodeId add_latch_with_sync_set(Netlist& netlist, PortRef set, PortRef data,
+                               const std::string& name) {
+  const NodeId gate =
+      netlist.add_gate(CellKind::kOr, 2, name.empty() ? "" : name + "_set");
+  const NodeId latch = netlist.add_latch(name);
+  netlist.connect(set, PinRef(gate, 0));
+  netlist.connect(data, PinRef(gate, 1));
+  netlist.connect(PortRef(gate, 0), PinRef(latch, 0));
+  return latch;
+}
+
+NodeId add_latch_with_enable(Netlist& netlist, PortRef enable, PortRef data,
+                             const std::string& name) {
+  const NodeId mux =
+      netlist.add_gate(CellKind::kMux, 0, name.empty() ? "" : name + "_en");
+  const NodeId latch = netlist.add_latch(name);
+  netlist.connect(enable, PinRef(mux, 0));           // select
+  netlist.connect(PortRef(latch, 0), PinRef(mux, 1));  // hold Q
+  netlist.connect(data, PinRef(mux, 2));             // load D
+  netlist.connect(PortRef(mux, 0), PinRef(latch, 0));
+  return latch;
+}
+
+}  // namespace rtv

@@ -1,0 +1,33 @@
+#pragma once
+// Modeling helpers for latches with synchronous control pins.
+//
+// The paper's introduction: "latches in the design which have synchronous
+// control pins (e.g., set, reset, load enable) are modelled as simple
+// latches surrounded by additional gates. For example, a synchronous reset
+// latch with positive logic reset signal R and data input signal D is
+// modelled by a simple latch and an AND gate with the AND gate fed by
+// not(R) and D." These helpers build exactly those shapes, so designs in
+// the common controller/datapath style can be assembled without hand-wiring
+// the control gates.
+//
+// Each helper returns the latch node; its output port 0 carries Q. Wiring
+// may create implicit multi-fanout (e.g. the enable feedback) — run
+// Netlist::junctionize() after building.
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+/// Q' = D and not R   (synchronous reset, active-high R).
+NodeId add_latch_with_sync_reset(Netlist& netlist, PortRef reset, PortRef data,
+                                 const std::string& name = "");
+
+/// Q' = D or S        (synchronous set, active-high S).
+NodeId add_latch_with_sync_set(Netlist& netlist, PortRef set, PortRef data,
+                               const std::string& name = "");
+
+/// Q' = E ? D : Q     (load enable; builds the Q feedback mux).
+NodeId add_latch_with_enable(Netlist& netlist, PortRef enable, PortRef data,
+                             const std::string& name = "");
+
+}  // namespace rtv

@@ -1,0 +1,59 @@
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+std::vector<NodeId> combinational_topo_order(const Netlist& netlist) {
+  const std::size_t slots = netlist.num_slots();
+  std::vector<NodeId> order;
+  order.reserve(slots);
+
+  // Sources: primary inputs and latches provide cycle-start values.
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    const NodeId id(i);
+    if (netlist.is_dead(id)) continue;
+    const CellKind k = netlist.kind(id);
+    if (k == CellKind::kInput || k == CellKind::kLatch) order.push_back(id);
+  }
+
+  // Kahn's algorithm over combinational nodes; only drivers that are
+  // themselves combinational contribute to the in-degree (latch and PI
+  // values are available before combinational evaluation starts).
+  std::vector<std::uint32_t> indegree(slots, 0);
+  std::size_t comb_total = 0;
+  std::vector<NodeId> ready;
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    const NodeId id(i);
+    if (netlist.is_dead(id) || !is_combinational(netlist.kind(id))) continue;
+    ++comb_total;
+    std::uint32_t deg = 0;
+    for (const PortRef& drv : netlist.node(id).fanin) {
+      RTV_REQUIRE(drv.valid(), "topo order requires fully connected pins");
+      if (is_combinational(netlist.kind(drv.node))) ++deg;
+    }
+    indegree[i] = deg;
+    if (deg == 0) ready.push_back(id);
+  }
+
+  std::size_t comb_emitted = 0;
+  while (!ready.empty()) {
+    const NodeId u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    ++comb_emitted;
+    for (const auto& port_sinks : netlist.node(u).fanout) {
+      for (const PinRef& s : port_sinks) {
+        if (!is_combinational(netlist.kind(s.node))) continue;
+        if (--indegree[s.node.value] == 0) ready.push_back(s.node);
+      }
+    }
+  }
+  if (comb_emitted != comb_total) {
+    throw InvalidArgument(
+        "combinational_topo_order: netlist contains a combinational cycle");
+  }
+
+  for (NodeId id : netlist.primary_outputs()) order.push_back(id);
+  return order;
+}
+
+}  // namespace rtv

@@ -1,0 +1,60 @@
+#include "retime/apply.hpp"
+
+namespace rtv {
+
+Netlist apply_retiming(const Netlist& netlist, const RetimeGraph& graph,
+                       const std::vector<int>& lag) {
+  RTV_REQUIRE(graph.legal_retiming(lag), "apply_retiming: illegal retiming");
+
+  // Copy every non-latch node; wires (graph edges) are re-made with the
+  // retimed latch counts.
+  Netlist out;
+  std::vector<NodeId> map(netlist.num_slots());
+  for (std::uint32_t i = 0; i < netlist.num_slots(); ++i) {
+    const NodeId id(i);
+    if (netlist.is_dead(id)) continue;
+    const Node& n = netlist.node(id);
+    switch (n.kind) {
+      case CellKind::kLatch:
+        break;  // re-created per edge below
+      case CellKind::kInput:
+        map[i] = out.add_input(n.name);
+        break;
+      case CellKind::kOutput:
+        map[i] = out.add_output(n.name);
+        break;
+      case CellKind::kConst0:
+        map[i] = out.add_const(false, n.name);
+        break;
+      case CellKind::kConst1:
+        map[i] = out.add_const(true, n.name);
+        break;
+      case CellKind::kJunc:
+        map[i] = out.add_junc(n.num_ports(), n.name);
+        break;
+      case CellKind::kTable:
+        map[i] = out.add_table_cell(out.add_table(netlist.table(n.table)),
+                                    n.name);
+        break;
+      default:
+        map[i] = out.add_gate(n.kind, n.num_pins(), n.name);
+        break;
+    }
+  }
+
+  for (std::size_t i = 0; i < graph.num_edges(); ++i) {
+    const RetimeGraph::Edge& e = graph.edge(i);
+    const int latches = graph.retimed_weight(i, lag);
+    PortRef from(map[e.src_port.node.value], e.src_port.port);
+    const PinRef to(map[e.dst_pin.node.value], e.dst_pin.pin);
+    for (int k = 0; k < latches; ++k) {
+      const NodeId latch = out.add_latch();
+      out.connect(from, PinRef(latch, 0));
+      from = PortRef(latch, 0);
+    }
+    out.connect(from, to);
+  }
+  return out;
+}
+
+}  // namespace rtv

@@ -1,0 +1,19 @@
+#pragma once
+// Applying a lag assignment to a netlist: rebuilds the circuit with
+// w_r(e) = w(e) + lag(to) - lag(from) latches on every wire chain.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "retime/graph.hpp"
+
+namespace rtv {
+
+/// Produces the retimed netlist for a legal lag assignment on
+/// RetimeGraph::from_netlist(netlist). The combinational structure is
+/// preserved node-for-node (names kept); only latch positions change.
+/// Throws InvalidArgument if the retiming is illegal.
+Netlist apply_retiming(const Netlist& netlist, const RetimeGraph& graph,
+                       const std::vector<int>& lag);
+
+}  // namespace rtv

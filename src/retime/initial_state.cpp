@@ -1,0 +1,78 @@
+#include "retime/initial_state.hpp"
+
+#include <unordered_map>
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+std::optional<MoveClass> apply_move_with_state(Netlist& netlist,
+                                               const RetimingMove& move,
+                                               Bits& state) {
+  RTV_REQUIRE(state.size() == netlist.latches().size(),
+              "state vector size mismatch");
+  RTV_REQUIRE(can_apply(netlist, move), "retiming move is not enabled");
+  const NodeId e = move.element;
+  const TruthTable function = netlist.cell_function(e);
+
+  // Values by latch node (stable across the structural edit).
+  std::unordered_map<std::uint32_t, std::uint8_t> value;
+  for (std::size_t i = 0; i < netlist.latches().size(); ++i) {
+    value[netlist.latches()[i].value] = state[i];
+  }
+
+  std::uint64_t transformed = 0;
+  if (move.direction == MoveDirection::kForward) {
+    // Consumed latches hold the element's input minterm x; the produced
+    // latches hold F(x).
+    std::uint64_t x = 0;
+    for (std::uint32_t pin = 0; pin < netlist.num_pins(e); ++pin) {
+      const NodeId latch = netlist.driver(PinRef(e, pin)).node;
+      if (value.at(latch.value) != 0) x |= (1ULL << pin);
+    }
+    transformed = function.eval_row(x);
+  } else {
+    // Produced latches must justify the consumed output vector y.
+    std::uint64_t y = 0;
+    for (std::uint32_t port = 0; port < netlist.num_ports(e); ++port) {
+      const NodeId latch = netlist.sole_sink(PortRef(e, port)).node;
+      if (value.at(latch.value) != 0) y |= (1ULL << port);
+    }
+    const auto x = function.justify(y);
+    if (!x) return std::nullopt;  // netlist and state left untouched
+    transformed = *x;
+  }
+
+  const MoveClass cls = apply_move(netlist, move);
+
+  if (move.direction == MoveDirection::kForward) {
+    for (std::uint32_t port = 0; port < netlist.num_ports(e); ++port) {
+      const NodeId latch = netlist.sole_sink(PortRef(e, port)).node;
+      RTV_CHECK(netlist.kind(latch) == CellKind::kLatch);
+      value[latch.value] = get_bit(transformed, port) ? 1 : 0;
+    }
+  } else {
+    for (std::uint32_t pin = 0; pin < netlist.num_pins(e); ++pin) {
+      const NodeId latch = netlist.driver(PinRef(e, pin)).node;
+      RTV_CHECK(netlist.kind(latch) == CellKind::kLatch);
+      value[latch.value] = get_bit(transformed, pin) ? 1 : 0;
+    }
+  }
+
+  state.resize(netlist.latches().size());
+  for (std::size_t i = 0; i < netlist.latches().size(); ++i) {
+    state[i] = value.at(netlist.latches()[i].value);
+  }
+  return cls;
+}
+
+std::optional<Bits> retime_initial_state(Netlist& netlist,
+                                         const std::vector<RetimingMove>& moves,
+                                         Bits state) {
+  for (const RetimingMove& move : moves) {
+    if (!apply_move_with_state(netlist, move, state)) return std::nullopt;
+  }
+  return state;
+}
+
+}  // namespace rtv

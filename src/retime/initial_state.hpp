@@ -1,0 +1,46 @@
+#pragma once
+// Carrying a known initial state through a retiming.
+//
+// The paper's model deliberately needs no initial states — that is the
+// whole point — but it cites Touati & Brayton [TB93] for the complementary
+// problem: if the designer DOES know an initial state s0 of D, what state
+// should the retimed C start in? Atomic moves answer it locally:
+//
+//   * a forward move across F consumes the latches on F's inputs (holding
+//     x) and produces latches on its outputs — their values are F(x),
+//     computed deterministically;
+//   * a backward move consumes the latches on F's outputs (holding y) and
+//     must *justify* them: find any x with F(x) = y. For justifiable
+//     elements some x always exists; for non-justifiable elements (or
+//     unreachable y) the justification can fail — exactly the asymmetry
+//     the paper's Section 4 classification captures.
+//
+// Failure of justification does not mean the retiming is wrong; it means
+// no equivalent initial state exists for this s0 (the [TB93] problem is
+// genuinely partial).
+
+#include <optional>
+
+#include "netlist/netlist.hpp"
+#include "retime/moves.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+/// Applies one atomic move while transforming a latch-state vector
+/// (layout: Netlist::latches() order, kept consistent as latches are
+/// destroyed/created). Returns nullopt — and leaves netlist and state
+/// untouched — when a backward move's justification fails.
+std::optional<MoveClass> apply_move_with_state(Netlist& netlist,
+                                               const RetimingMove& move,
+                                               Bits& state);
+
+/// Transforms an initial state of `netlist` through a whole move sequence;
+/// returns the retimed netlist's state, or nullopt if some backward move
+/// cannot be justified. `netlist` is advanced to the retimed design on
+/// success and left in a partially-moved state on failure (pass a copy).
+std::optional<Bits> retime_initial_state(Netlist& netlist,
+                                         const std::vector<RetimingMove>& moves,
+                                         Bits state);
+
+}  // namespace rtv

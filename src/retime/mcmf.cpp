@@ -1,0 +1,127 @@
+#include "retime/mcmf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace rtv {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(std::uint32_t num_nodes)
+    : n_(num_nodes), graph_(num_nodes), potential_(num_nodes, 0) {}
+
+std::uint32_t MinCostFlow::add_arc(std::uint32_t from, std::uint32_t to,
+                                   std::int64_t capacity, std::int64_t cost) {
+  RTV_REQUIRE(from < n_ && to < n_, "arc endpoint out of range");
+  RTV_REQUIRE(capacity >= 0, "negative capacity");
+  if (cost < 0) has_negative_cost_ = true;
+  const std::uint32_t id = static_cast<std::uint32_t>(arc_location_.size());
+  arc_location_.emplace_back(from, static_cast<std::uint32_t>(graph_[from].size()));
+  original_capacity_.push_back(capacity);
+  graph_[from].push_back(
+      Arc{to, static_cast<std::uint32_t>(graph_[to].size()), capacity, cost});
+  graph_[to].push_back(
+      Arc{from, static_cast<std::uint32_t>(graph_[from].size() - 1), 0, -cost});
+  return id;
+}
+
+void MinCostFlow::bellman_ford_potentials(std::uint32_t source) {
+  std::vector<std::int64_t> dist(n_, kInf);
+  dist[source] = 0;
+  for (std::uint32_t round = 0; round + 1 < std::max<std::uint32_t>(n_, 2);
+       ++round) {
+    bool changed = false;
+    for (std::uint32_t u = 0; u < n_; ++u) {
+      if (dist[u] >= kInf) continue;
+      for (const Arc& a : graph_[u]) {
+        if (a.capacity > 0 && dist[u] + a.cost < dist[a.to]) {
+          dist[a.to] = dist[u] + a.cost;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    potential_[v] = dist[v] >= kInf ? 0 : dist[v];
+  }
+}
+
+bool MinCostFlow::dijkstra(std::uint32_t source, std::uint32_t sink,
+                           std::vector<std::uint32_t>& prev_node,
+                           std::vector<std::uint32_t>& prev_arc) {
+  std::vector<std::int64_t> dist(n_, kInf);
+  prev_node.assign(n_, 0xffffffffu);
+  prev_arc.assign(n_, 0);
+  using Item = std::pair<std::int64_t, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (std::uint32_t i = 0; i < graph_[u].size(); ++i) {
+      const Arc& a = graph_[u][i];
+      if (a.capacity <= 0) continue;
+      const std::int64_t reduced = a.cost + potential_[u] - potential_[a.to];
+      RTV_CHECK_MSG(reduced >= 0, "negative reduced cost in Dijkstra");
+      if (dist[u] + reduced < dist[a.to]) {
+        dist[a.to] = dist[u] + reduced;
+        prev_node[a.to] = u;
+        prev_arc[a.to] = i;
+        heap.emplace(dist[a.to], a.to);
+      }
+    }
+  }
+  if (dist[sink] >= kInf) return false;
+  // Clamping to dist[sink] keeps reduced costs non-negative on every
+  // residual arc, including arcs leaving nodes the search did not reach —
+  // required because min-area retiming reads the final potentials as the
+  // LP dual solution.
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    potential_[v] += std::min(dist[v], dist[sink]);
+  }
+  return true;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::uint32_t source,
+                                       std::uint32_t sink,
+                                       std::int64_t max_flow) {
+  RTV_REQUIRE(source < n_ && sink < n_ && source != sink,
+              "bad source/sink");
+  if (has_negative_cost_) bellman_ford_potentials(source);
+
+  Result result;
+  std::vector<std::uint32_t> prev_node, prev_arc;
+  while (result.flow < max_flow) {
+    if (!dijkstra(source, sink, prev_node, prev_arc)) break;
+    // Bottleneck along the augmenting path.
+    std::int64_t push = max_flow - result.flow;
+    for (std::uint32_t v = sink; v != source; v = prev_node[v]) {
+      RTV_CHECK(prev_node[v] != 0xffffffffu);
+      push = std::min(push, graph_[prev_node[v]][prev_arc[v]].capacity);
+    }
+    for (std::uint32_t v = sink; v != source; v = prev_node[v]) {
+      Arc& a = graph_[prev_node[v]][prev_arc[v]];
+      a.capacity -= push;
+      graph_[v][a.rev].capacity += push;
+      result.cost += push * a.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+std::int64_t MinCostFlow::flow_on(std::uint32_t id) const {
+  RTV_REQUIRE(id < arc_location_.size(), "arc id out of range");
+  const auto [node, idx] = arc_location_[id];
+  return original_capacity_[id] - graph_[node][idx].capacity;
+}
+
+}  // namespace rtv

@@ -1,0 +1,58 @@
+#pragma once
+// Generic min-cost max-flow (successive shortest augmenting paths with
+// Johnson potentials). Used as the LP engine behind min-area retiming
+// (the dual of the register-minimization LP is a transshipment problem).
+
+#include <cstdint>
+#include <vector>
+
+namespace rtv {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::uint32_t num_nodes);
+
+  /// Adds a directed arc; returns its id. cost may be any integer >= 0
+  /// for the SSP-with-potentials fast path; negative costs are handled by a
+  /// Bellman–Ford bootstrap of the potentials.
+  std::uint32_t add_arc(std::uint32_t from, std::uint32_t to,
+                        std::int64_t capacity, std::int64_t cost);
+
+  /// Sends up to max_flow units from source to sink; returns (flow, cost).
+  struct Result {
+    std::int64_t flow = 0;
+    std::int64_t cost = 0;
+  };
+  Result solve(std::uint32_t source, std::uint32_t sink,
+               std::int64_t max_flow);
+
+  /// Flow on arc `id` after solve().
+  std::int64_t flow_on(std::uint32_t id) const;
+
+  /// Node potentials after solve(). For every arc (u, v) with residual
+  /// capacity, cost + pi[u] - pi[v] >= 0 — these are the dual variables the
+  /// min-area retimer turns into lags.
+  const std::vector<std::int64_t>& potentials() const { return potential_; }
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;       ///< index of the reverse arc in graph_[to]
+    std::int64_t capacity;   ///< residual capacity
+    std::int64_t cost;
+  };
+
+  bool dijkstra(std::uint32_t source, std::uint32_t sink,
+                std::vector<std::uint32_t>& prev_node,
+                std::vector<std::uint32_t>& prev_arc);
+  void bellman_ford_potentials(std::uint32_t source);
+
+  std::uint32_t n_;
+  std::vector<std::vector<Arc>> graph_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arc_location_;
+  std::vector<std::int64_t> original_capacity_;
+  std::vector<std::int64_t> potential_;
+  bool has_negative_cost_ = false;
+};
+
+}  // namespace rtv

@@ -1,0 +1,61 @@
+#include "retime/wd.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rtv {
+
+std::vector<int> WdMatrices::candidate_periods() const {
+  std::vector<int> values;
+  values.reserve(d.size());
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (reachable(u, v)) values.push_back(D(u, v));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+WdMatrices compute_wd(const RetimeGraph& graph, std::uint32_t vertex_cap) {
+  const std::uint32_t n = graph.num_vertices();
+  if (n > vertex_cap) {
+    throw CapacityError("compute_wd: graph exceeds the vertex cap");
+  }
+  WdMatrices m;
+  m.n = n;
+  m.w.assign(static_cast<std::size_t>(n) * n, WdMatrices::kUnreachable);
+  m.d.assign(static_cast<std::size_t>(n) * n, 0);
+
+  const auto relax = [&](std::uint32_t u, std::uint32_t v, int w, int d) {
+    auto& wr = m.w[static_cast<std::size_t>(u) * n + v];
+    auto& dr = m.d[static_cast<std::size_t>(u) * n + v];
+    // Lexicographic: minimize registers, then maximize delay.
+    if (w < wr || (w == wr && d > dr)) {
+      wr = w;
+      dr = d;
+    }
+  };
+
+  for (std::uint32_t v = 0; v < n; ++v) relax(v, v, 0, graph.delay(v));
+  for (const RetimeGraph::Edge& e : graph.edges()) {
+    relax(e.from, e.to, e.weight, graph.delay(e.from) + graph.delay(e.to));
+  }
+  for (std::uint32_t k = 0; k < n; ++k) {
+    for (std::uint32_t u = 0; u < n; ++u) {
+      const int wuk = m.W(u, k);
+      if (wuk >= WdMatrices::kUnreachable) continue;
+      const int duk = m.D(u, k);
+      for (std::uint32_t v = 0; v < n; ++v) {
+        const int wkv = m.W(k, v);
+        if (wkv >= WdMatrices::kUnreachable) continue;
+        relax(u, v, wuk + wkv, duk + m.D(k, v) - graph.delay(k));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace rtv

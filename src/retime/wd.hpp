@@ -1,0 +1,41 @@
+#pragma once
+// The Leiserson–Saxe W and D matrices [LS83].
+//
+// W(u,v) = minimum register count over all u->v paths; D(u,v) = maximum
+// total vertex delay over the minimum-register u->v paths (endpoints
+// included). Computed with Floyd–Warshall on the lexicographic weight
+// (w, -d): O(V^3) time, O(V^2) memory — intended for the exact OPT-style
+// min-period algorithm on small/medium graphs (the FEAS path in
+// min_period.hpp needs no matrices and scales much further).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "retime/graph.hpp"
+
+namespace rtv {
+
+struct WdMatrices {
+  std::uint32_t n = 0;
+  /// kUnreachable in W marks "no path".
+  static constexpr int kUnreachable = std::numeric_limits<int>::max() / 4;
+  std::vector<int> w;  ///< n*n, row-major: w[u*n+v]
+  std::vector<int> d;  ///< n*n
+
+  int W(std::uint32_t u, std::uint32_t v) const { return w[u * n + v]; }
+  int D(std::uint32_t u, std::uint32_t v) const { return d[u * n + v]; }
+  bool reachable(std::uint32_t u, std::uint32_t v) const {
+    return W(u, v) < kUnreachable;
+  }
+
+  /// Sorted distinct finite D values — the candidate clock periods for the
+  /// binary search in min-period retiming.
+  std::vector<int> candidate_periods() const;
+};
+
+/// Computes W and D. Caps at vertex_cap vertices (quadratic memory).
+WdMatrices compute_wd(const RetimeGraph& graph,
+                      std::uint32_t vertex_cap = 4096);
+
+}  // namespace rtv

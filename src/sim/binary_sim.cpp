@@ -1,0 +1,150 @@
+#include "sim/binary_sim.hpp"
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+BinarySimulator::BinarySimulator(const Netlist& netlist)
+    : netlist_(netlist),
+      ports_(netlist),
+      topo_(combinational_topo_order(netlist)),
+      io_pos_(netlist.num_slots(), 0),
+      state_(netlist.latches().size(), 0),
+      values_(ports_.size(), 0) {
+  const auto fill = [&](const std::vector<NodeId>& ids) {
+    for (std::uint32_t i = 0; i < ids.size(); ++i) io_pos_[ids[i].value] = i;
+  };
+  fill(netlist.primary_inputs());
+  fill(netlist.primary_outputs());
+  fill(netlist.latches());
+}
+
+void BinarySimulator::set_state(const Bits& latch_values) {
+  RTV_REQUIRE(latch_values.size() == state_.size(),
+              "state vector size mismatch");
+  state_ = latch_values;
+}
+
+Bits BinarySimulator::step(const Bits& inputs) {
+  Bits outputs, next_state;
+  eval_into(state_, inputs, outputs, next_state, values_);
+  state_ = std::move(next_state);
+  return outputs;
+}
+
+BitsSeq BinarySimulator::run(const BitsSeq& inputs) {
+  BitsSeq outputs;
+  outputs.reserve(inputs.size());
+  for (const Bits& in : inputs) outputs.push_back(step(in));
+  return outputs;
+}
+
+void BinarySimulator::eval(const Bits& state, const Bits& inputs,
+                           Bits& outputs, Bits& next_state) const {
+  eval_into(state, inputs, outputs, next_state, values_);
+}
+
+void BinarySimulator::eval_packed(std::uint64_t state, std::uint64_t inputs,
+                                  std::uint64_t& outputs,
+                                  std::uint64_t& next_state) const {
+  const unsigned nl = num_latches();
+  const unsigned ni = num_inputs();
+  RTV_REQUIRE(nl <= 64 && ni <= 64, "eval_packed capacity exceeded");
+  Bits out_bits, next_bits;
+  eval_into(unpack_bits(state, nl), unpack_bits(inputs, ni), out_bits,
+            next_bits, values_);
+  outputs = pack_bits(out_bits);
+  next_state = pack_bits(next_bits);
+}
+
+void BinarySimulator::eval_into(const Bits& state, const Bits& inputs,
+                                Bits& outputs, Bits& next_state,
+                                std::vector<std::uint8_t>& values) const {
+  RTV_REQUIRE(state.size() == netlist_.latches().size(),
+              "state vector size mismatch");
+  RTV_REQUIRE(inputs.size() == netlist_.primary_inputs().size(),
+              "input vector size mismatch");
+  outputs.assign(netlist_.primary_outputs().size(), 0);
+  next_state.assign(state.size(), 0);
+
+  const auto value_of = [&](PortRef p) -> std::uint8_t {
+    return values[ports_.index(p)];
+  };
+
+  for (const NodeId id : topo_) {
+    const Node& n = netlist_.node(id);
+    const std::uint32_t base = ports_.index(PortRef(id, 0));
+    switch (n.kind) {
+      case CellKind::kInput:
+        values[base] = inputs[io_pos_[id.value]];
+        break;
+      case CellKind::kLatch:
+        values[base] = state[io_pos_[id.value]];
+        break;
+      case CellKind::kOutput:
+        outputs[io_pos_[id.value]] = value_of(n.fanin[0]);
+        break;
+      case CellKind::kConst0:
+        values[base] = 0;
+        break;
+      case CellKind::kConst1:
+        values[base] = 1;
+        break;
+      case CellKind::kBuf:
+        values[base] = value_of(n.fanin[0]);
+        break;
+      case CellKind::kNot:
+        values[base] = value_of(n.fanin[0]) ^ 1;
+        break;
+      case CellKind::kAnd:
+      case CellKind::kNand: {
+        std::uint8_t acc = 1;
+        for (const PortRef& d : n.fanin) acc &= value_of(d);
+        values[base] = (n.kind == CellKind::kNand) ? acc ^ 1 : acc;
+        break;
+      }
+      case CellKind::kOr:
+      case CellKind::kNor: {
+        std::uint8_t acc = 0;
+        for (const PortRef& d : n.fanin) acc |= value_of(d);
+        values[base] = (n.kind == CellKind::kNor) ? acc ^ 1 : acc;
+        break;
+      }
+      case CellKind::kXor:
+      case CellKind::kXnor: {
+        std::uint8_t acc = 0;
+        for (const PortRef& d : n.fanin) acc ^= value_of(d);
+        values[base] = (n.kind == CellKind::kXnor) ? acc ^ 1 : acc;
+        break;
+      }
+      case CellKind::kMux: {
+        const std::uint8_t s = value_of(n.fanin[0]);
+        values[base] = s != 0 ? value_of(n.fanin[2]) : value_of(n.fanin[1]);
+        break;
+      }
+      case CellKind::kJunc: {
+        const std::uint8_t v = value_of(n.fanin[0]);
+        for (std::uint32_t p = 0; p < n.num_ports(); ++p) values[base + p] = v;
+        break;
+      }
+      case CellKind::kTable: {
+        std::uint64_t minterm = 0;
+        for (std::uint32_t pin = 0; pin < n.num_pins(); ++pin) {
+          if (value_of(n.fanin[pin]) != 0) minterm |= (1ULL << pin);
+        }
+        const std::uint64_t row = netlist_.table(n.table).eval_row(minterm);
+        for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+          values[base + p] = get_bit(row, p) ? 1 : 0;
+        }
+        break;
+      }
+    }
+  }
+
+  for (std::uint32_t i = 0; i < netlist_.latches().size(); ++i) {
+    const Node& latch = netlist_.node(netlist_.latches()[i]);
+    next_state[i] = values[ports_.index(latch.fanin[0])];
+  }
+}
+
+}  // namespace rtv

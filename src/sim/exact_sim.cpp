@@ -1,0 +1,105 @@
+#include "sim/exact_sim.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+ExactTernarySimulator::ExactTernarySimulator(const Netlist& netlist,
+                                             std::size_t state_cap)
+    : netlist_(netlist), sim_(netlist), state_cap_(state_cap) {
+  RTV_REQUIRE(num_latches() <= 63,
+              "ExactTernarySimulator supports at most 63 latches");
+  reset_all_powerup();
+}
+
+void ExactTernarySimulator::reset_all_powerup() {
+  reset_from_ternary(Trits(num_latches(), Trit::kX));
+}
+
+void ExactTernarySimulator::reset_from_ternary(const Trits& state) {
+  RTV_REQUIRE(state.size() == num_latches(), "state vector size mismatch");
+  unsigned num_x = 0;
+  std::uint64_t base = 0;
+  std::vector<unsigned> x_positions;
+  for (unsigned i = 0; i < state.size(); ++i) {
+    if (state[i] == Trit::kX) {
+      ++num_x;
+      x_positions.push_back(i);
+    } else if (state[i] == Trit::kOne) {
+      base |= (1ULL << i);
+    }
+  }
+  RTV_REQUIRE(num_x < 64 && pow2(num_x) <= state_cap_,
+              "too many X latches for exact enumeration");
+  std::vector<std::uint64_t> states;
+  states.reserve(pow2(num_x));
+  for (std::uint64_t c = 0; c < pow2(num_x); ++c) {
+    std::uint64_t s = base;
+    for (unsigned j = 0; j < num_x; ++j) {
+      if (get_bit(c, j)) s |= (1ULL << x_positions[j]);
+    }
+    states.push_back(s);
+  }
+  reset_from_states(std::move(states));
+}
+
+void ExactTernarySimulator::reset_from_states(
+    std::vector<std::uint64_t> states) {
+  RTV_REQUIRE(!states.empty(), "state set must be non-empty");
+  std::sort(states.begin(), states.end());
+  states.erase(std::unique(states.begin(), states.end()), states.end());
+  RTV_REQUIRE(states.size() <= state_cap_, "state set exceeds cap");
+  RTV_REQUIRE(states.back() < pow2(num_latches()) || num_latches() == 0,
+              "packed state wider than the latch count");
+  states_ = std::move(states);
+}
+
+Trits ExactTernarySimulator::step(const Bits& inputs) {
+  const std::uint64_t packed_in = pack_bits(inputs);
+  std::uint64_t ones = 0;
+  std::uint64_t zeros = 0;
+  std::vector<std::uint64_t> next;
+  next.reserve(states_.size());
+  for (const std::uint64_t s : states_) {
+    std::uint64_t out = 0, ns = 0;
+    sim_.eval_packed(s, packed_in, out, ns);
+    ones |= out;
+    zeros |= ~out & low_mask(num_outputs());
+    next.push_back(ns);
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  states_ = std::move(next);
+
+  Trits result(num_outputs());
+  for (unsigned j = 0; j < num_outputs(); ++j) {
+    const bool saw1 = get_bit(ones, j);
+    const bool saw0 = get_bit(zeros, j);
+    result[j] = (saw1 && saw0) ? Trit::kX : to_trit(saw1);
+  }
+  return result;
+}
+
+TritsSeq ExactTernarySimulator::run(const BitsSeq& inputs) {
+  TritsSeq outputs;
+  outputs.reserve(inputs.size());
+  for (const Bits& in : inputs) outputs.push_back(step(in));
+  return outputs;
+}
+
+Trits ExactTernarySimulator::state_abstraction() const {
+  Trits result(num_latches(), Trit::kX);
+  for (unsigned i = 0; i < num_latches(); ++i) {
+    bool saw0 = false, saw1 = false;
+    for (const std::uint64_t s : states_) {
+      (get_bit(s, i) ? saw1 : saw0) = true;
+      if (saw0 && saw1) break;
+    }
+    result[i] = (saw0 && saw1) ? Trit::kX : to_trit(saw1);
+  }
+  return result;
+}
+
+}  // namespace rtv

@@ -1,0 +1,67 @@
+#pragma once
+// Exact three-valued simulator — the paper's "sufficiently powerful
+// simulator" (Section 2.1).
+//
+// For a given input sequence it reports, per cycle and per output:
+//   1  iff every tracked power-up state outputs 1 at that cycle,
+//   0  iff every tracked power-up state outputs 0,
+//   X  otherwise (two power-up states disagree).
+// Unlike the CLS it keeps full correlation information: it tracks the exact
+// set of states the design could currently be in, so it can (for example)
+// distinguish the paper's Figure-1 circuits D (0·0·1·0) and C (0·X·X·X).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+/// Default cap on the tracked state-set size (2^20 states).
+inline constexpr std::size_t kDefaultExactStateCap = std::size_t{1} << 20;
+
+class ExactTernarySimulator {
+ public:
+  /// The netlist needs <= 63 latches (states are packed into words); the
+  /// initial enumeration additionally must respect `state_cap`.
+  explicit ExactTernarySimulator(const Netlist& netlist,
+                                 std::size_t state_cap = kDefaultExactStateCap);
+
+  unsigned num_inputs() const { return sim_.num_inputs(); }
+  unsigned num_outputs() const { return sim_.num_outputs(); }
+  unsigned num_latches() const { return sim_.num_latches(); }
+
+  /// Tracks all 2^L power-up states (requires 2^L <= state_cap).
+  void reset_all_powerup();
+
+  /// Tracks every Boolean completion of a ternary latch state.
+  void reset_from_ternary(const Trits& state);
+
+  /// Tracks an explicit set of packed states (duplicates removed).
+  void reset_from_states(std::vector<std::uint64_t> states);
+
+  /// The currently possible states (sorted, unique, packed little-endian in
+  /// Netlist::latches() order).
+  const std::vector<std::uint64_t>& current_states() const { return states_; }
+
+  /// One clock cycle: aggregates outputs over all tracked states, then
+  /// advances the tracked set through the transition function.
+  Trits step(const Bits& inputs);
+
+  /// Runs a whole input sequence.
+  TritsSeq run(const BitsSeq& inputs);
+
+  /// The per-latch ternary abstraction of the tracked set: latch i is 0/1 if
+  /// all tracked states agree, X otherwise.
+  Trits state_abstraction() const;
+
+ private:
+  const Netlist& netlist_;
+  BinarySimulator sim_;
+  std::size_t state_cap_;
+  std::vector<std::uint64_t> states_;
+};
+
+}  // namespace rtv

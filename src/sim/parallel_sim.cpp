@@ -1,0 +1,226 @@
+#include "sim/parallel_sim.hpp"
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+ParallelBinarySimulator::ParallelBinarySimulator(const Netlist& netlist,
+                                                 unsigned lanes)
+    : netlist_(netlist),
+      ports_(netlist),
+      topo_(combinational_topo_order(netlist)),
+      io_pos_(netlist.num_slots(), 0),
+      lanes_(lanes),
+      words_(static_cast<unsigned>(words_for_bits(lanes))) {
+  RTV_REQUIRE(lanes >= 1, "need at least one lane");
+  const auto fill = [&](const std::vector<NodeId>& ids) {
+    for (std::uint32_t i = 0; i < ids.size(); ++i) io_pos_[ids[i].value] = i;
+  };
+  fill(netlist.primary_inputs());
+  fill(netlist.primary_outputs());
+  fill(netlist.latches());
+  state_.assign(static_cast<std::size_t>(num_latches()) * words_, 0);
+  inputs_.assign(static_cast<std::size_t>(num_inputs()) * words_, 0);
+  outputs_.assign(static_cast<std::size_t>(num_outputs()) * words_, 0);
+  values_.assign(static_cast<std::size_t>(ports_.size()) * words_, 0);
+}
+
+void ParallelBinarySimulator::set_state_bit(unsigned latch, unsigned lane,
+                                            bool value) {
+  RTV_REQUIRE(latch < num_latches() && lane < lanes_, "index out of range");
+  Word& w = state_[static_cast<std::size_t>(latch) * words_ + lane / 64];
+  w = set_bit(w, lane % 64, value);
+}
+
+bool ParallelBinarySimulator::state_bit(unsigned latch, unsigned lane) const {
+  RTV_REQUIRE(latch < num_latches() && lane < lanes_, "index out of range");
+  return get_bit(state_[static_cast<std::size_t>(latch) * words_ + lane / 64],
+                 lane % 64);
+}
+
+void ParallelBinarySimulator::set_state_broadcast(const Bits& latch_values) {
+  RTV_REQUIRE(latch_values.size() == num_latches(),
+              "state vector size mismatch");
+  for (unsigned l = 0; l < num_latches(); ++l) {
+    const Word fill = latch_values[l] != 0 ? ~0ULL : 0ULL;
+    for (unsigned w = 0; w < words_; ++w) {
+      state_[static_cast<std::size_t>(l) * words_ + w] = fill;
+    }
+  }
+}
+
+Bits ParallelBinarySimulator::state_lane(unsigned lane) const {
+  Bits out(num_latches());
+  for (unsigned l = 0; l < num_latches(); ++l) {
+    out[l] = state_bit(l, lane) ? 1 : 0;
+  }
+  return out;
+}
+
+void ParallelBinarySimulator::step_broadcast(const Bits& inputs) {
+  RTV_REQUIRE(inputs.size() == num_inputs(), "input vector size mismatch");
+  for (unsigned i = 0; i < num_inputs(); ++i) {
+    const Word fill = inputs[i] != 0 ? ~0ULL : 0ULL;
+    for (unsigned w = 0; w < words_; ++w) {
+      inputs_[static_cast<std::size_t>(i) * words_ + w] = fill;
+    }
+  }
+  eval_and_clock();
+}
+
+void ParallelBinarySimulator::step_packed(const std::vector<Word>& packed) {
+  RTV_REQUIRE(packed.size() == inputs_.size(), "packed input size mismatch");
+  inputs_ = packed;
+  eval_and_clock();
+}
+
+bool ParallelBinarySimulator::output_bit(unsigned output, unsigned lane) const {
+  RTV_REQUIRE(output < num_outputs() && lane < lanes_, "index out of range");
+  return get_bit(
+      outputs_[static_cast<std::size_t>(output) * words_ + lane / 64],
+      lane % 64);
+}
+
+const ParallelBinarySimulator::Word* ParallelBinarySimulator::output_words(
+    unsigned output) const {
+  RTV_REQUIRE(output < num_outputs(), "output index out of range");
+  return &outputs_[static_cast<std::size_t>(output) * words_];
+}
+
+void ParallelBinarySimulator::eval_and_clock() {
+  const unsigned W = words_;
+  Word* const vals = values_.data();
+  const auto port_words = [&](PortRef p) -> Word* {
+    return vals + static_cast<std::size_t>(ports_.index(p)) * W;
+  };
+
+  for (const NodeId id : topo_) {
+    const Node& n = netlist_.node(id);
+    Word* const out = vals + static_cast<std::size_t>(ports_.index(PortRef(id, 0))) * W;
+    switch (n.kind) {
+      case CellKind::kInput: {
+        const Word* src = &inputs_[static_cast<std::size_t>(io_pos_[id.value]) * W];
+        for (unsigned w = 0; w < W; ++w) out[w] = src[w];
+        break;
+      }
+      case CellKind::kLatch: {
+        const Word* src = &state_[static_cast<std::size_t>(io_pos_[id.value]) * W];
+        for (unsigned w = 0; w < W; ++w) out[w] = src[w];
+        break;
+      }
+      case CellKind::kOutput: {
+        Word* dst = &outputs_[static_cast<std::size_t>(io_pos_[id.value]) * W];
+        const Word* src = port_words(n.fanin[0]);
+        for (unsigned w = 0; w < W; ++w) dst[w] = src[w];
+        break;
+      }
+      case CellKind::kConst0:
+        for (unsigned w = 0; w < W; ++w) out[w] = 0;
+        break;
+      case CellKind::kConst1:
+        for (unsigned w = 0; w < W; ++w) out[w] = ~0ULL;
+        break;
+      case CellKind::kBuf: {
+        const Word* a = port_words(n.fanin[0]);
+        for (unsigned w = 0; w < W; ++w) out[w] = a[w];
+        break;
+      }
+      case CellKind::kNot: {
+        const Word* a = port_words(n.fanin[0]);
+        for (unsigned w = 0; w < W; ++w) out[w] = ~a[w];
+        break;
+      }
+      case CellKind::kAnd:
+      case CellKind::kNand: {
+        for (unsigned w = 0; w < W; ++w) out[w] = ~0ULL;
+        for (const PortRef& d : n.fanin) {
+          const Word* a = port_words(d);
+          for (unsigned w = 0; w < W; ++w) out[w] &= a[w];
+        }
+        if (n.kind == CellKind::kNand) {
+          for (unsigned w = 0; w < W; ++w) out[w] = ~out[w];
+        }
+        break;
+      }
+      case CellKind::kOr:
+      case CellKind::kNor: {
+        for (unsigned w = 0; w < W; ++w) out[w] = 0;
+        for (const PortRef& d : n.fanin) {
+          const Word* a = port_words(d);
+          for (unsigned w = 0; w < W; ++w) out[w] |= a[w];
+        }
+        if (n.kind == CellKind::kNor) {
+          for (unsigned w = 0; w < W; ++w) out[w] = ~out[w];
+        }
+        break;
+      }
+      case CellKind::kXor:
+      case CellKind::kXnor: {
+        for (unsigned w = 0; w < W; ++w) out[w] = 0;
+        for (const PortRef& d : n.fanin) {
+          const Word* a = port_words(d);
+          for (unsigned w = 0; w < W; ++w) out[w] ^= a[w];
+        }
+        if (n.kind == CellKind::kXnor) {
+          for (unsigned w = 0; w < W; ++w) out[w] = ~out[w];
+        }
+        break;
+      }
+      case CellKind::kMux: {
+        const Word* s = port_words(n.fanin[0]);
+        const Word* a = port_words(n.fanin[1]);
+        const Word* b = port_words(n.fanin[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          out[w] = (s[w] & b[w]) | (~s[w] & a[w]);
+        }
+        break;
+      }
+      case CellKind::kJunc: {
+        const Word* a = port_words(n.fanin[0]);
+        for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+          Word* dst = vals + static_cast<std::size_t>(ports_.index(PortRef(id, p))) * W;
+          for (unsigned w = 0; w < W; ++w) dst[w] = a[w];
+        }
+        break;
+      }
+      case CellKind::kTable: {
+        // Minterm expansion: for each input combination x whose row has
+        // output bit j set, OR in the AND of the (possibly complemented)
+        // input words.
+        const TruthTable& t = netlist_.table(n.table);
+        const unsigned pins = n.num_pins();
+        for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+          Word* dst = vals + static_cast<std::size_t>(ports_.index(PortRef(id, p))) * W;
+          for (unsigned w = 0; w < W; ++w) dst[w] = 0;
+        }
+        for (std::uint64_t x = 0; x < pow2(pins); ++x) {
+          const std::uint64_t row = t.eval_row(x);
+          if (row == 0) continue;
+          for (unsigned w = 0; w < W; ++w) {
+            Word term = ~0ULL;
+            for (unsigned pin = 0; pin < pins; ++pin) {
+              const Word v = port_words(n.fanin[pin])[w];
+              term &= get_bit(x, pin) ? v : ~v;
+            }
+            if (term == 0) continue;
+            for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+              if (get_bit(row, p)) {
+                vals[static_cast<std::size_t>(ports_.index(PortRef(id, p))) * W + w] |= term;
+              }
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  for (std::uint32_t i = 0; i < num_latches(); ++i) {
+    const Node& latch = netlist_.node(netlist_.latches()[i]);
+    const Word* src = port_words(latch.fanin[0]);
+    Word* dst = &state_[static_cast<std::size_t>(i) * W];
+    for (unsigned w = 0; w < W; ++w) dst[w] = src[w];
+  }
+}
+
+}  // namespace rtv

@@ -1,0 +1,69 @@
+#pragma once
+// Bit-parallel two-valued simulator: 64 independent machine instances per
+// word. Used by the exact three-valued simulator (one lane per power-up
+// completion), by the fault simulator (one lane per power-up state), and by
+// the throughput benchmarks.
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "sim/port_map.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+class ParallelBinarySimulator {
+ public:
+  using Word = std::uint64_t;
+  static constexpr unsigned kLanesPerWord = 64;
+
+  /// `lanes` independent instances of the netlist (rounded up to whole words
+  /// internally; lanes beyond `lanes()` hold unspecified values).
+  ParallelBinarySimulator(const Netlist& netlist, unsigned lanes);
+
+  unsigned lanes() const { return lanes_; }
+  unsigned words() const { return words_; }
+  unsigned num_inputs() const { return static_cast<unsigned>(netlist_.primary_inputs().size()); }
+  unsigned num_outputs() const { return static_cast<unsigned>(netlist_.primary_outputs().size()); }
+  unsigned num_latches() const { return static_cast<unsigned>(netlist_.latches().size()); }
+
+  /// Sets latch `latch` of lane `lane`.
+  void set_state_bit(unsigned latch, unsigned lane, bool value);
+  bool state_bit(unsigned latch, unsigned lane) const;
+
+  /// Sets every lane's state to the same vector.
+  void set_state_broadcast(const Bits& latch_values);
+
+  /// Reads back one lane's full latch state.
+  Bits state_lane(unsigned lane) const;
+
+  /// One clock cycle with the same input vector on every lane.
+  void step_broadcast(const Bits& inputs);
+
+  /// One clock cycle with per-lane inputs: inputs_packed is laid out
+  /// [input_index * words() + word]; bit b of a word is lane 64*word+b.
+  void step_packed(const std::vector<Word>& inputs_packed);
+
+  /// Output `output` of lane `lane` from the most recent step.
+  bool output_bit(unsigned output, unsigned lane) const;
+
+  /// Packed output words of output `output` from the most recent step
+  /// (words() entries).
+  const Word* output_words(unsigned output) const;
+
+ private:
+  void eval_and_clock();
+
+  const Netlist& netlist_;
+  PortMap ports_;
+  std::vector<NodeId> topo_;
+  std::vector<std::uint32_t> io_pos_;
+  unsigned lanes_;
+  unsigned words_;
+  std::vector<Word> state_;    ///< [latch * words_ + word]
+  std::vector<Word> inputs_;   ///< [input * words_ + word]
+  std::vector<Word> outputs_;  ///< [output * words_ + word]
+  std::vector<Word> values_;   ///< [port_index * words_ + word]
+};
+
+}  // namespace rtv

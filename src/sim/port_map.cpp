@@ -1,0 +1,16 @@
+#include "sim/port_map.hpp"
+
+namespace rtv {
+
+PortMap::PortMap(const Netlist& netlist) {
+  offsets_.resize(netlist.num_slots(), 0);
+  std::uint32_t next = 0;
+  for (std::uint32_t i = 0; i < netlist.num_slots(); ++i) {
+    offsets_[i] = next;
+    const NodeId id(i);
+    if (!netlist.is_dead(id)) next += netlist.num_ports(id);
+  }
+  total_ = next;
+}
+
+}  // namespace rtv

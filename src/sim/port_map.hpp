@@ -1,0 +1,30 @@
+#pragma once
+// Dense indexing of netlist output ports for simulation value storage.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+/// Assigns every output port of every node slot a dense index so simulators
+/// can keep per-port values in a flat array. Built once per netlist; the
+/// netlist must not be structurally modified while the map is in use.
+class PortMap {
+ public:
+  explicit PortMap(const Netlist& netlist);
+
+  std::uint32_t index(PortRef port) const {
+    return offsets_[port.node.value] + port.port;
+  }
+
+  /// Total number of indexed ports.
+  std::uint32_t size() const { return total_; }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::uint32_t total_ = 0;
+};
+
+}  // namespace rtv

@@ -1,0 +1,130 @@
+#include "sim/vectors.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace rtv {
+
+Bits bits_from_string(const std::string& s) {
+  Bits out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '0') {
+      out.push_back(0);
+    } else if (c == '1') {
+      out.push_back(1);
+    } else {
+      throw ParseError(std::string("invalid bit character: '") + c + "'");
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Bits& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (std::uint8_t b : bits) s.push_back(b != 0 ? '1' : '0');
+  return s;
+}
+
+std::string sequence_to_string(const BitsSeq& seq) {
+  std::string s;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i != 0) s.push_back('.');
+    s += to_string(seq[i]);
+  }
+  return s;
+}
+
+namespace {
+std::vector<std::string> split_dots(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = s.find('.', start);
+    if (dot == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, dot - start));
+    start = dot + 1;
+  }
+}
+}  // namespace
+
+BitsSeq bits_seq_from_string(const std::string& s) {
+  BitsSeq seq;
+  if (s.empty()) return seq;
+  for (const std::string& part : split_dots(s)) {
+    seq.push_back(bits_from_string(part));
+  }
+  return seq;
+}
+
+TritsSeq trits_seq_from_string(const std::string& s) {
+  TritsSeq seq;
+  if (s.empty()) return seq;
+  for (const std::string& part : split_dots(s)) {
+    seq.push_back(trits_from_string(part));
+  }
+  return seq;
+}
+
+std::uint64_t pack_bits(const Bits& bits) {
+  RTV_REQUIRE(bits.size() <= 64, "pack_bits supports at most 64 bits");
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != 0) word |= (1ULL << i);
+  }
+  return word;
+}
+
+Bits unpack_bits(std::uint64_t word, unsigned width) {
+  RTV_REQUIRE(width <= 64, "unpack_bits supports at most 64 bits");
+  Bits bits(width);
+  for (unsigned i = 0; i < width; ++i) bits[i] = get_bit(word, i) ? 1 : 0;
+  return bits;
+}
+
+Trits to_trits(const Bits& bits) {
+  Trits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) out[i] = to_trit(bits[i] != 0);
+  return out;
+}
+
+TritsSeq to_trits(const BitsSeq& seq) {
+  TritsSeq out;
+  out.reserve(seq.size());
+  for (const Bits& b : seq) out.push_back(to_trits(b));
+  return out;
+}
+
+bool try_lower_to_bits(const Trits& trits, Bits& out) {
+  out.resize(trits.size());
+  for (std::size_t i = 0; i < trits.size(); ++i) {
+    if (!is_definite(trits[i])) return false;
+    out[i] = trits[i] == Trit::kOne ? 1 : 0;
+  }
+  return true;
+}
+
+std::uint64_t pack_trits(const Trits& trits) {
+  RTV_REQUIRE(trits.size() <= 40, "pack_trits supports at most 40 trits");
+  std::uint64_t code = 0;
+  for (std::size_t i = trits.size(); i > 0; --i) {
+    code = code * 3 + static_cast<std::uint64_t>(trits[i - 1]);
+  }
+  return code;
+}
+
+Trits unpack_trits(std::uint64_t code, unsigned width) {
+  Trits out(width);
+  for (unsigned i = 0; i < width; ++i) {
+    out[i] = static_cast<Trit>(code % 3);
+    code /= 3;
+  }
+  RTV_REQUIRE(code == 0, "unpack_trits: code wider than requested width");
+  return out;
+}
+
+}  // namespace rtv

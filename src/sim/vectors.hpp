@@ -1,0 +1,57 @@
+#pragma once
+// Value-vector types shared by all simulators.
+//
+// Bit vectors are std::vector<std::uint8_t> holding 0/1 (not vector<bool>,
+// whose proxy references pessimize the inner simulation loops). Trit vectors
+// hold three-valued values. Sequences are per-cycle vectors, index 0 first.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ternary/trit.hpp"
+
+namespace rtv {
+
+using Bits = std::vector<std::uint8_t>;      ///< one 0/1 value per signal
+using BitsSeq = std::vector<Bits>;           ///< one Bits per clock cycle
+using Trits = std::vector<Trit>;             ///< one ternary value per signal
+using TritsSeq = std::vector<Trits>;         ///< one Trits per clock cycle
+
+/// Parses "0101" into {0,1,0,1}. Throws ParseError on other characters.
+Bits bits_from_string(const std::string& s);
+
+/// Renders {0,1,0,1} as "0101".
+std::string to_string(const Bits& bits);
+
+/// Renders a sequence joined with '.', e.g. "0.0.1.0".
+std::string sequence_to_string(const BitsSeq& seq);
+
+/// Parses a '.'-separated sequence of bit vectors, e.g. "01.11.00".
+BitsSeq bits_seq_from_string(const std::string& s);
+
+/// Parses a '.'-separated sequence of trit vectors, e.g. "0X.11".
+TritsSeq trits_seq_from_string(const std::string& s);
+
+/// Packs bits (bit i of the result = bits[i]) — requires size <= 64.
+std::uint64_t pack_bits(const Bits& bits);
+
+/// Unpacks the low `width` bits of `word`.
+Bits unpack_bits(std::uint64_t word, unsigned width);
+
+/// Lifts a bit vector to trits.
+Trits to_trits(const Bits& bits);
+
+/// Lifts a bit sequence to a trit sequence.
+TritsSeq to_trits(const BitsSeq& seq);
+
+/// True iff every trit is definite; fills `out` with the Boolean values.
+bool try_lower_to_bits(const Trits& trits, Bits& out);
+
+/// Packs a trit vector base-3 (trit i contributes digit 3^i); size <= 40.
+std::uint64_t pack_trits(const Trits& trits);
+
+/// Unpacks a base-3 packed trit vector of the given width.
+Trits unpack_trits(std::uint64_t code, unsigned width);
+
+}  // namespace rtv

@@ -1,0 +1,57 @@
+// Delayed designs (paper Section 3.4): D^n is D restricted to the states
+// still possible after n clock cycles of arbitrary inputs from an arbitrary
+// power-up state. D^n discards transient behaviour only; its state set is
+// the n-fold image of the full state set under the transition relation.
+
+#include "stg/stg.hpp"
+#include "util/error.hpp"
+
+namespace rtv {
+
+std::vector<bool> states_after_delay(const Stg& stg, unsigned cycles) {
+  std::vector<bool> current(stg.num_states(), true);
+  for (unsigned k = 0; k < cycles; ++k) {
+    std::vector<bool> image(stg.num_states(), false);
+    bool changed = false;
+    for (std::uint64_t s = 0; s < stg.num_states(); ++s) {
+      if (!current[s]) continue;
+      for (std::uint64_t a = 0; a < stg.num_inputs(); ++a) {
+        image[stg.next_state(s, a)] = true;
+      }
+    }
+    for (std::uint64_t s = 0; s < stg.num_states(); ++s) {
+      if (current[s] != image[s]) {
+        changed = true;
+        break;
+      }
+    }
+    current = std::move(image);
+    if (!changed) break;  // image reached a fixpoint; further delay is a no-op
+  }
+  return current;
+}
+
+Stg delayed_design(const Stg& stg, unsigned cycles) {
+  // Image_0 = all states, Image_{k+1} = T(Image_k). The chain is monotone
+  // decreasing (Image_1 ⊆ Image_0, and T preserves inclusion), so Image_n is
+  // closed under transitions: next(s, a) ∈ Image_{n+1} ⊆ Image_n.
+  return stg.restrict(states_after_delay(stg, cycles));
+}
+
+int min_delay_for_implication(const Stg& c, const Stg& d,
+                              unsigned max_cycles) {
+  for (unsigned n = 0; n <= max_cycles; ++n) {
+    if (implies(delayed_design(c, n), d)) return static_cast<int>(n);
+  }
+  return -1;
+}
+
+int min_delay_for_safe_replacement(const Stg& c, const Stg& d,
+                                   unsigned max_cycles) {
+  for (unsigned n = 0; n <= max_cycles; ++n) {
+    if (safe_replacement(delayed_design(c, n), d)) return static_cast<int>(n);
+  }
+  return -1;
+}
+
+}  // namespace rtv

@@ -1,0 +1,136 @@
+// Replaceability relations between designs (paper Section 3.3).
+//
+// implies (C ⊑ D): classical state-machine implication — every C state is
+// Mealy-equivalent to some D state. Decided by refining the disjoint union
+// of the two machines and checking each C class contains a D state.
+//
+// safe_replacement (C ≼ D) [PSAB94]: for any C state s1 and any input
+// sequence, some D state matches s1's outputs on that sequence; the D state
+// may depend on the sequence. Because "matches on π·a" implies "matches on
+// π", the set of still-consistent D states shrinks monotonically along a
+// run, so C ≼ D is decidable by a subset construction over pairs
+// (current C state, set of consistent current D states): a violation is
+// reachable iff some pair with an empty set is.
+
+#include <deque>
+#include <unordered_set>
+
+#include "stg/stg.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace rtv {
+
+bool implies(const Stg& c, const Stg& d) {
+  RTV_REQUIRE(c.compatible_with(d), "implies on incompatible machines");
+  const Stg u = Stg::disjoint_union(c, d);
+  const std::vector<std::uint32_t> cls = equivalence_classes(u);
+  const std::uint32_t k = num_classes(cls);
+  std::vector<bool> has_d_state(k, false);
+  for (std::uint64_t s = 0; s < d.num_states(); ++s) {
+    has_d_state[cls[c.num_states() + s]] = true;
+  }
+  for (std::uint64_t s = 0; s < c.num_states(); ++s) {
+    if (!has_d_state[cls[s]]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// A (C state, D state set) pair in the subset construction.
+struct PairKey {
+  std::uint32_t c_state;
+  std::vector<std::uint64_t> d_set;  // bitset over D states
+
+  bool operator==(const PairKey& other) const = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const {
+    std::uint64_t h = 1469598103934665603ULL ^ k.c_state;
+    for (const std::uint64_t w : k.d_set) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+bool set_empty(const std::vector<std::uint64_t>& set) {
+  for (const std::uint64_t w : set) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool find_safe_replacement_violation(const Stg& c, const Stg& d,
+                                     SafeReplacementViolation* witness) {
+  RTV_REQUIRE(c.compatible_with(d), "safe_replacement on incompatible machines");
+  const std::uint64_t nd = d.num_states();
+  const std::size_t set_words = words_for_bits(nd);
+
+  std::vector<std::uint64_t> full(set_words, 0);
+  for (std::uint64_t s = 0; s < nd; ++s) {
+    full[s / 64] |= (1ULL << (s % 64));
+  }
+
+  struct QueueEntry {
+    PairKey key;
+    std::uint32_t c_start;
+    std::vector<std::uint64_t> inputs;  // path from the start (for witness)
+  };
+  std::unordered_set<PairKey, PairKeyHash> visited;
+  std::deque<QueueEntry> queue;
+  const bool want_witness = witness != nullptr;
+
+  for (std::uint64_t s1 = 0; s1 < c.num_states(); ++s1) {
+    PairKey key{static_cast<std::uint32_t>(s1), full};
+    if (visited.insert(key).second) {
+      queue.push_back({std::move(key), static_cast<std::uint32_t>(s1), {}});
+    }
+  }
+
+  while (!queue.empty()) {
+    QueueEntry entry = std::move(queue.front());
+    queue.pop_front();
+    for (std::uint64_t a = 0; a < c.num_inputs(); ++a) {
+      const std::uint64_t c_out = c.output(entry.key.c_state, a);
+      std::vector<std::uint64_t> next_set(set_words, 0);
+      for (std::uint64_t s0 = 0; s0 < nd; ++s0) {
+        if (!get_bit(entry.key.d_set[s0 / 64], s0 % 64)) continue;
+        if (d.output(s0, a) != c_out) continue;
+        const std::uint32_t t = d.next_state(s0, a);
+        next_set[t / 64] |= (1ULL << (t % 64));
+      }
+      if (set_empty(next_set)) {
+        if (want_witness) {
+          witness->c_start = entry.c_start;
+          witness->inputs = entry.inputs;
+          witness->inputs.push_back(a);
+        }
+        return true;
+      }
+      PairKey next_key{c.next_state(entry.key.c_state, a), std::move(next_set)};
+      if (visited.insert(next_key).second) {
+        QueueEntry next_entry;
+        next_entry.c_start = entry.c_start;
+        if (want_witness) {
+          next_entry.inputs = entry.inputs;
+          next_entry.inputs.push_back(a);
+        }
+        next_entry.key = std::move(next_key);
+        queue.push_back(std::move(next_entry));
+      }
+    }
+  }
+  return false;
+}
+
+bool safe_replacement(const Stg& c, const Stg& d) {
+  return !find_safe_replacement_violation(c, d, nullptr);
+}
+
+}  // namespace rtv

@@ -1,0 +1,99 @@
+// Tarjan's strongly-connected-components algorithm (iterative) over STG
+// transition edges, plus Pixley's essential-resettability test [Pix92]:
+// collapse equivalent states, then require a unique terminal SCC — the
+// machine's steady-state behaviour under random power-up.
+
+#include <algorithm>
+
+#include "stg/stg.hpp"
+#include "util/error.hpp"
+
+namespace rtv {
+
+SccResult strongly_connected_components(const Stg& stg) {
+  const std::uint64_t n = stg.num_states();
+  const std::uint64_t ni = stg.num_inputs();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    std::uint32_t v;
+    std::uint64_t edge;  // next input symbol to follow
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::uint64_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({static_cast<std::uint32_t>(root), 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(static_cast<std::uint32_t>(root));
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      if (f.edge < ni) {
+        const std::uint32_t w = stg.next_state(f.v, f.edge);
+        ++f.edge;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+        continue;
+      }
+      // All edges of f.v explored: close the frame.
+      const std::uint32_t v = f.v;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink[call_stack.back().v] =
+            std::min(lowlink[call_stack.back().v], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        const std::uint32_t comp = result.num_components++;
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component_of[w] = comp;
+          if (w == v) break;
+        }
+      }
+    }
+  }
+
+  // Terminal components: no edge leaves the component.
+  result.is_terminal.assign(result.num_components, true);
+  for (std::uint64_t s = 0; s < n; ++s) {
+    for (std::uint64_t a = 0; a < ni; ++a) {
+      const std::uint32_t t = stg.next_state(s, a);
+      if (result.component_of[s] != result.component_of[t]) {
+        result.is_terminal[result.component_of[s]] = false;
+      }
+    }
+  }
+  return result;
+}
+
+bool essentially_resettable(const Stg& stg) {
+  const Stg minimized = quotient(stg, equivalence_classes(stg));
+  const SccResult scc = strongly_connected_components(minimized);
+  std::uint32_t terminals = 0;
+  for (const bool t : scc.is_terminal) {
+    if (t) ++terminals;
+  }
+  RTV_CHECK_MSG(terminals >= 1, "finite graph must have a terminal SCC");
+  return terminals == 1;
+}
+
+}  // namespace rtv

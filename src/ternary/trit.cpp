@@ -1,0 +1,58 @@
+#include "ternary/trit.hpp"
+
+#include <ostream>
+
+namespace rtv {
+
+char to_char(Trit t) {
+  switch (t) {
+    case Trit::kZero:
+      return '0';
+    case Trit::kOne:
+      return '1';
+    case Trit::kX:
+      return 'X';
+  }
+  throw InternalError("corrupt Trit value");
+}
+
+Trit trit_from_char(char c) {
+  switch (c) {
+    case '0':
+      return Trit::kZero;
+    case '1':
+      return Trit::kOne;
+    case 'x':
+    case 'X':
+      return Trit::kX;
+    default:
+      throw ParseError(std::string("invalid trit character: '") + c + "'");
+  }
+}
+
+std::string to_string(const std::vector<Trit>& v) {
+  std::string s;
+  s.reserve(v.size());
+  for (Trit t : v) s.push_back(to_char(t));
+  return s;
+}
+
+std::string sequence_to_string(const std::vector<std::vector<Trit>>& seq) {
+  std::string s;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i != 0) s.push_back('.');
+    s += to_string(seq[i]);
+  }
+  return s;
+}
+
+std::vector<Trit> trits_from_string(const std::string& s) {
+  std::vector<Trit> v;
+  v.reserve(s.size());
+  for (char c : s) v.push_back(trit_from_char(c));
+  return v;
+}
+
+std::ostream& operator<<(std::ostream& os, Trit t) { return os << to_char(t); }
+
+}  // namespace rtv

@@ -1,0 +1,242 @@
+#include "ternary/truth_table.hpp"
+
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+
+TruthTable::TruthTable(unsigned num_inputs, unsigned num_outputs)
+    : num_inputs_(num_inputs),
+      num_outputs_(num_outputs),
+      output_mask_(low_mask(num_outputs)),
+      rows_(pow2(num_inputs), 0) {
+  RTV_REQUIRE(num_inputs <= kMaxTableInputs, "too many truth-table inputs");
+  RTV_REQUIRE(num_outputs >= 1 && num_outputs <= kMaxTableOutputs,
+              "truth-table output count out of range");
+}
+
+TruthTable::TruthTable(unsigned num_inputs, unsigned num_outputs,
+                       std::vector<std::uint64_t> rows)
+    : TruthTable(num_inputs, num_outputs) {
+  RTV_REQUIRE(rows.size() == pow2(num_inputs),
+              "rows.size() must equal 2^num_inputs");
+  for (auto& r : rows) r &= output_mask_;
+  rows_ = std::move(rows);
+}
+
+std::uint64_t TruthTable::eval_row(std::uint64_t x) const {
+  RTV_REQUIRE(x < rows_.size(), "truth-table minterm out of range");
+  return rows_[x];
+}
+
+void TruthTable::set_row(std::uint64_t x, std::uint64_t outputs) {
+  RTV_REQUIRE(x < rows_.size(), "truth-table minterm out of range");
+  rows_[x] = outputs & output_mask_;
+}
+
+bool TruthTable::eval_bit(std::uint64_t x, unsigned output) const {
+  RTV_REQUIRE(output < num_outputs_, "truth-table output index out of range");
+  return get_bit(eval_row(x), output);
+}
+
+std::vector<Trit> TruthTable::eval_ternary(
+    const std::vector<Trit>& inputs) const {
+  RTV_REQUIRE(inputs.size() == num_inputs_,
+              "ternary eval arity mismatch");
+  // Partition inputs into definite bits and X positions, then fold the
+  // output word over every completion of the X positions. ones/zeros
+  // accumulate, per output bit, whether any completion produced a 1 / a 0.
+  std::uint64_t base = 0;
+  std::vector<unsigned> x_positions;
+  for (unsigned i = 0; i < num_inputs_; ++i) {
+    if (inputs[i] == Trit::kX) {
+      x_positions.push_back(i);
+    } else if (inputs[i] == Trit::kOne) {
+      base |= (1ULL << i);
+    }
+  }
+  std::uint64_t ones = 0;
+  std::uint64_t zeros = 0;
+  const std::uint64_t completions = pow2(static_cast<unsigned>(x_positions.size()));
+  for (std::uint64_t c = 0; c < completions; ++c) {
+    std::uint64_t x = base;
+    for (std::size_t j = 0; j < x_positions.size(); ++j) {
+      if (get_bit(c, static_cast<unsigned>(j))) x |= (1ULL << x_positions[j]);
+    }
+    const std::uint64_t out = rows_[x];
+    ones |= out;
+    zeros |= ~out & output_mask_;
+  }
+  std::vector<Trit> result(num_outputs_);
+  for (unsigned j = 0; j < num_outputs_; ++j) {
+    const bool saw1 = get_bit(ones, j);
+    const bool saw0 = get_bit(zeros, j);
+    result[j] = (saw1 && saw0) ? Trit::kX : to_trit(saw1);
+  }
+  return result;
+}
+
+std::vector<bool> TruthTable::reachable_output_vectors() const {
+  RTV_REQUIRE(num_outputs_ <= 24,
+              "reachable_output_vectors requires <= 24 outputs");
+  std::vector<bool> reachable(pow2(num_outputs_), false);
+  for (std::uint64_t row : rows_) reachable[row] = true;
+  return reachable;
+}
+
+bool TruthTable::is_justifiable() const {
+  if (num_outputs_ > 24) {
+    // More outputs than 2^num_inputs rows can ever cover.
+    if (num_outputs_ > num_inputs_) return false;
+    throw CapacityError("is_justifiable: output arity beyond bitmap capacity");
+  }
+  // Pigeonhole shortcut: 2^n rows cannot cover 2^m vectors when m > n.
+  if (num_outputs_ > num_inputs_) return false;
+  const auto reachable = reachable_output_vectors();
+  for (bool r : reachable) {
+    if (!r) return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> TruthTable::justify(std::uint64_t outputs) const {
+  outputs &= output_mask_;
+  for (std::uint64_t x = 0; x < rows_.size(); ++x) {
+    if (rows_[x] == outputs) return x;
+  }
+  return std::nullopt;
+}
+
+bool TruthTable::preserves_all_x() const {
+  const std::vector<Trit> all_x(num_inputs_, Trit::kX);
+  for (Trit t : eval_ternary(all_x)) {
+    if (t != Trit::kX) return false;
+  }
+  return true;
+}
+
+TruthTable TruthTable::const0() { return TruthTable(0, 1, {0}); }
+
+TruthTable TruthTable::const1() { return TruthTable(0, 1, {1}); }
+
+TruthTable TruthTable::buf() { return TruthTable(1, 1, {0, 1}); }
+
+TruthTable TruthTable::inv() { return TruthTable(1, 1, {1, 0}); }
+
+namespace {
+TruthTable reduce_gate(unsigned fanin, bool(*fold)(std::uint64_t x, unsigned n),
+                       bool invert) {
+  RTV_REQUIRE(fanin >= 1, "gate fanin must be >= 1");
+  TruthTable t(fanin, 1);
+  for (std::uint64_t x = 0; x < pow2(fanin); ++x) {
+    const bool v = fold(x, fanin) != invert;
+    t.set_row(x, v ? 1 : 0);
+  }
+  return t;
+}
+bool fold_and(std::uint64_t x, unsigned n) { return x == low_mask(n); }
+bool fold_or(std::uint64_t x, unsigned n) {
+  (void)n;
+  return x != 0;
+}
+bool fold_xor(std::uint64_t x, unsigned n) {
+  (void)n;
+  return (popcount64(x) & 1) != 0;
+}
+}  // namespace
+
+TruthTable TruthTable::and_gate(unsigned fanin) {
+  return reduce_gate(fanin, fold_and, false);
+}
+TruthTable TruthTable::or_gate(unsigned fanin) {
+  return reduce_gate(fanin, fold_or, false);
+}
+TruthTable TruthTable::nand_gate(unsigned fanin) {
+  return reduce_gate(fanin, fold_and, true);
+}
+TruthTable TruthTable::nor_gate(unsigned fanin) {
+  return reduce_gate(fanin, fold_or, true);
+}
+TruthTable TruthTable::xor_gate(unsigned fanin) {
+  return reduce_gate(fanin, fold_xor, false);
+}
+TruthTable TruthTable::xnor_gate(unsigned fanin) {
+  return reduce_gate(fanin, fold_xor, true);
+}
+
+TruthTable TruthTable::mux() {
+  // Inputs: bit0 = s, bit1 = a, bit2 = b. Output = s ? b : a.
+  TruthTable t(3, 1);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const bool s = get_bit(x, 0), a = get_bit(x, 1), b = get_bit(x, 2);
+    t.set_row(x, (s ? b : a) ? 1 : 0);
+  }
+  return t;
+}
+
+TruthTable TruthTable::junc(unsigned k) {
+  RTV_REQUIRE(k >= 1, "junction width must be >= 1");
+  TruthTable t(1, k);
+  t.set_row(0, 0);
+  t.set_row(1, low_mask(k));
+  return t;
+}
+
+TruthTable TruthTable::half_adder() {
+  // Inputs (a, b); outputs bit0 = sum, bit1 = carry.
+  TruthTable t(2, 2);
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    const unsigned a = get_bit(x, 0), b = get_bit(x, 1);
+    const unsigned s = a ^ b, c = a & b;
+    t.set_row(x, s | (c << 1));
+  }
+  return t;
+}
+
+TruthTable TruthTable::full_adder() {
+  // Inputs (a, b, cin); outputs bit0 = sum, bit1 = cout.
+  TruthTable t(3, 2);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const unsigned a = get_bit(x, 0), b = get_bit(x, 1), c = get_bit(x, 2);
+    const unsigned total = a + b + c;
+    t.set_row(x, (total & 1) | ((total >> 1) << 1));
+  }
+  return t;
+}
+
+TruthTable TruthTable::demux2() {
+  // Inputs (d, s); outputs (d & !s, d & s).
+  TruthTable t(2, 2);
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    const bool d = get_bit(x, 0), s = get_bit(x, 1);
+    const unsigned o0 = (d && !s) ? 1 : 0, o1 = (d && s) ? 1 : 0;
+    t.set_row(x, o0 | (o1 << 1));
+  }
+  return t;
+}
+
+TruthTable TruthTable::random(unsigned num_inputs, unsigned num_outputs,
+                              Rng& rng) {
+  TruthTable t(num_inputs, num_outputs);
+  for (std::uint64_t x = 0; x < pow2(num_inputs); ++x) {
+    t.set_row(x, rng.next() & low_mask(num_outputs));
+  }
+  return t;
+}
+
+std::string TruthTable::to_string() const {
+  std::ostringstream os;
+  os << num_inputs_ << " -> " << num_outputs_ << "\n";
+  for (std::uint64_t x = 0; x < rows_.size(); ++x) {
+    for (unsigned i = 0; i < num_inputs_; ++i) os << (get_bit(x, i) ? '1' : '0');
+    os << " | ";
+    for (unsigned j = 0; j < num_outputs_; ++j)
+      os << (get_bit(rows_[x], j) ? '1' : '0');
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtv

@@ -1,0 +1,118 @@
+#pragma once
+// Multi-output truth tables: the semantic object behind every combinational
+// cell in the library, and the carrier of the paper's central notion of
+// *justifiability* (Section 3.2).
+//
+// A cell F with n inputs and m outputs is *justifiable* iff its output
+// function is surjective onto 2^m — every output vector y in 2^m is F(x) for
+// some input x. Forward retiming across a non-justifiable element can
+// manufacture latch states that no input could have produced, which is
+// exactly the mechanism by which retiming violates safe replacement.
+//
+// The fanout junction JUNC_k (1 input copied to k outputs) is the canonical
+// non-justifiable cell for k >= 2: only 00..0 and 11..1 are reachable.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ternary/trit.hpp"
+#include "util/error.hpp"
+
+namespace rtv {
+
+/// Maximum inputs of a table cell (rows stored densely: 2^n entries).
+inline constexpr unsigned kMaxTableInputs = 16;
+/// Maximum outputs of a table cell (one bit per output in a 64-bit row).
+inline constexpr unsigned kMaxTableOutputs = 32;
+
+/// A completely-specified multi-output Boolean function.
+class TruthTable {
+ public:
+  /// Constructs the constant-0 function with the given arity (all rows 0).
+  TruthTable(unsigned num_inputs, unsigned num_outputs);
+
+  /// Constructs from explicit rows: rows[x] bit j = output j on minterm x.
+  /// rows.size() must be 2^num_inputs.
+  TruthTable(unsigned num_inputs, unsigned num_outputs,
+             std::vector<std::uint64_t> rows);
+
+  unsigned num_inputs() const { return num_inputs_; }
+  unsigned num_outputs() const { return num_outputs_; }
+
+  /// Full output word for input minterm x (bit j = output j).
+  std::uint64_t eval_row(std::uint64_t x) const;
+
+  /// Sets the full output word for minterm x.
+  void set_row(std::uint64_t x, std::uint64_t outputs);
+
+  /// Single-output evaluation.
+  bool eval_bit(std::uint64_t x, unsigned output) const;
+
+  /// Exact per-cell ternary evaluation: output j is 0 (resp. 1) iff it is 0
+  /// (resp. 1) under every Boolean completion of the X inputs, else X.
+  /// This is the "local propagation" step of the paper's CLS.
+  std::vector<Trit> eval_ternary(const std::vector<Trit>& inputs) const;
+
+  /// True iff every output vector in 2^m is produced by some input vector —
+  /// the paper's justifiability condition (Section 3.2).
+  bool is_justifiable() const;
+
+  /// A minterm x with F(x) == outputs, if one exists (the justification
+  /// step of backward retiming with known initial states, cf. [TB93]).
+  std::optional<std::uint64_t> justify(std::uint64_t outputs) const;
+
+  /// The set of reachable output vectors, as a bitmap over 2^m
+  /// (requires num_outputs <= 24).
+  std::vector<bool> reachable_output_vectors() const;
+
+  /// True iff all-X inputs yield all-X outputs. Section 5 of the paper
+  /// assumes every combinational element satisfies this (constants do not);
+  /// it is required for Corollary 5.3's all-X initial states to be related.
+  bool preserves_all_x() const;
+
+  /// Pointwise equality of functions.
+  bool operator==(const TruthTable& other) const = default;
+
+  // ---- Named constructors for the standard cell library -------------------
+
+  static TruthTable const0();
+  static TruthTable const1();
+  static TruthTable buf();
+  static TruthTable inv();
+  static TruthTable and_gate(unsigned fanin);
+  static TruthTable or_gate(unsigned fanin);
+  static TruthTable nand_gate(unsigned fanin);
+  static TruthTable nor_gate(unsigned fanin);
+  static TruthTable xor_gate(unsigned fanin);
+  static TruthTable xnor_gate(unsigned fanin);
+  /// 2:1 mux: inputs (s, a, b), output = s ? b : a.
+  static TruthTable mux();
+  /// Fanout junction: 1 input, k identical outputs (non-justifiable, k >= 2).
+  static TruthTable junc(unsigned k);
+  /// Half adder: inputs (a, b); outputs (sum, carry). Non-justifiable:
+  /// sum = carry = 1 is unreachable. Used as a realistic non-junction
+  /// non-justifiable multi-output cell in experiments.
+  static TruthTable half_adder();
+  /// Full adder: inputs (a, b, cin); outputs (sum, cout). Justifiable.
+  static TruthTable full_adder();
+  /// 1->2 demux with enable semantics: inputs (d, s); outputs
+  /// (d & !s, d & s). Non-justifiable (11 unreachable).
+  static TruthTable demux2();
+
+  /// Random completely-specified table (for property tests).
+  static TruthTable random(unsigned num_inputs, unsigned num_outputs,
+                           class Rng& rng);
+
+  /// Human-readable dump (one row per minterm).
+  std::string to_string() const;
+
+ private:
+  unsigned num_inputs_;
+  unsigned num_outputs_;
+  std::uint64_t output_mask_;
+  std::vector<std::uint64_t> rows_;
+};
+
+}  // namespace rtv

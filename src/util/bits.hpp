@@ -1,0 +1,50 @@
+#pragma once
+// Small bit-manipulation helpers shared by the simulators and STG engine.
+
+#include <bit>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace rtv {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+/// Extract bit `i` of `word`.
+constexpr bool get_bit(std::uint64_t word, unsigned i) {
+  return ((word >> i) & 1ULL) != 0;
+}
+
+/// Set bit `i` of `word` to `v`.
+constexpr std::uint64_t set_bit(std::uint64_t word, unsigned i, bool v) {
+  const std::uint64_t mask = 1ULL << i;
+  return v ? (word | mask) : (word & ~mask);
+}
+
+/// Population count.
+constexpr int popcount64(std::uint64_t x) { return std::popcount(x); }
+
+/// 2^n as uint64, checked against overflow.
+inline std::uint64_t pow2(unsigned n) {
+  RTV_REQUIRE(n < 64, "pow2 exponent must be < 64");
+  return 1ULL << n;
+}
+
+/// 3^n as uint64, checked against overflow (n <= 40).
+inline std::uint64_t pow3(unsigned n) {
+  RTV_REQUIRE(n <= 40, "pow3 exponent must be <= 40");
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < n; ++i) r *= 3;
+  return r;
+}
+
+/// Mask with the low `n` bits set (n <= 64).
+inline std::uint64_t low_mask(unsigned n) {
+  RTV_REQUIRE(n <= 64, "low_mask width must be <= 64");
+  return n == 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
+}  // namespace rtv

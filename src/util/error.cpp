@@ -1,0 +1,18 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace rtv::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: `" << expr << "` at " << file << ":"
+     << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace rtv::detail

@@ -1,0 +1,76 @@
+#pragma once
+// Error handling primitives for the retiming-validity library.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): programming-contract violations
+// and malformed inputs raise exceptions derived from rtv::Error; internal
+// invariants use RTV_CHECK which throws rtv::InternalError so that a broken
+// invariant in a long experiment run is reported with location context
+// instead of aborting the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace rtv {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad netlist, bad index, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Input text (netlist file, STG description) failed to parse.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A problem instance exceeds a documented capacity limit (e.g. exhaustive
+/// STG extraction over more than kMaxStgLatches latches).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace rtv
+
+/// Invariant check that survives NDEBUG builds. Throws rtv::InternalError.
+#define RTV_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rtv::detail::check_failed(#expr, __FILE__, __LINE__, "");         \
+    }                                                                     \
+  } while (false)
+
+/// Invariant check with an explanatory message (streamed into a string).
+#define RTV_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rtv::detail::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                     \
+  } while (false)
+
+/// Precondition check: throws rtv::InvalidArgument on failure.
+#define RTV_REQUIRE(expr, msg)                                            \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      throw ::rtv::InvalidArgument(std::string("precondition failed: ") + \
+                                   (msg));                                \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,172 @@
+// Tests for carrying initial states through retimings (retime/initial_state,
+// the [TB93]-flavoured extension).
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuits.hpp"
+#include "gen/random_circuits.hpp"
+#include "retime/initial_state.hpp"
+#include "sim/binary_sim.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+using testing::inverter_pipeline;
+
+/// Runs both designs from their respective states on random inputs and
+/// expects identical outputs (the defining property of a correctly
+/// transported initial state).
+void expect_equivalent_from(const Netlist& a, const Bits& sa,
+                            const Netlist& b, const Bits& sb,
+                            std::uint64_t seed) {
+  BinarySimulator sima(a), simb(b);
+  sima.set_state(sa);
+  simb.set_state(sb);
+  Rng rng(seed);
+  for (int t = 0; t < 24; ++t) {
+    Bits in(a.primary_inputs().size());
+    for (auto& v : in) v = rng.coin();
+    ASSERT_EQ(sima.step(in), simb.step(in)) << "cycle " << t;
+  }
+}
+
+TEST(InitialState, ForwardMoveComputesNewState) {
+  // Figure 1: D in state s retimes to C; the two branch latches both get
+  // JUNC(s) = (s, s).
+  for (const char* s0 : {"0", "1"}) {
+    Netlist d = figure1_original();
+    Bits state = bits_from_string(s0);
+    const auto cls = apply_move_with_state(
+        d, {d.find_by_name("J1"), MoveDirection::kForward}, state);
+    ASSERT_TRUE(cls.has_value());
+    EXPECT_FALSE(cls->justifiable);
+    ASSERT_EQ(state.size(), 2u);
+    EXPECT_EQ(state[0], state[1]);
+    EXPECT_EQ(state[0], bits_from_string(s0)[0]);
+    expect_equivalent_from(figure1_original(), bits_from_string(s0), d,
+                           state, 42);
+  }
+}
+
+TEST(InitialState, BackwardJunctionMoveJustifiesAgreeingLatches) {
+  // C in state (v, v) justifies to D in state v.
+  for (const char* s0 : {"00", "11"}) {
+    Netlist c = figure1_retimed();
+    Bits state = bits_from_string(s0);
+    const auto cls = apply_move_with_state(
+        c, {c.find_by_name("J1"), MoveDirection::kBackward}, state);
+    ASSERT_TRUE(cls.has_value());
+    ASSERT_EQ(state.size(), 1u);
+    EXPECT_EQ(state[0], bits_from_string(s0)[0]);
+    expect_equivalent_from(figure1_retimed(), bits_from_string(s0), c, state,
+                           43);
+  }
+}
+
+TEST(InitialState, BackwardJunctionMoveFailsOnDisagreeingLatches) {
+  // C in state (1, 0): no input to JUNC can produce it — the exact states
+  // retiming manufactured in Section 2.1 cannot be justified away.
+  for (const char* s0 : {"10", "01"}) {
+    Netlist c = figure1_retimed();
+    const Netlist before = c;
+    Bits state = bits_from_string(s0);
+    const auto cls = apply_move_with_state(
+        c, {c.find_by_name("J1"), MoveDirection::kBackward}, state);
+    EXPECT_FALSE(cls.has_value());
+    // Netlist and state untouched on failure.
+    EXPECT_EQ(state, bits_from_string(s0));
+    EXPECT_EQ(c.num_latches(), 2u);
+  }
+}
+
+TEST(InitialState, BackwardAcrossInverterInverts) {
+  Netlist n = inverter_pipeline();
+  Bits state = bits_from_string("10");  // L0 = 1, L1 = 0
+  const auto cls = apply_move_with_state(
+      n, {n.find_by_name("inv"), MoveDirection::kBackward}, state);
+  ASSERT_TRUE(cls.has_value());
+  expect_equivalent_from(inverter_pipeline(), bits_from_string("10"), n,
+                         state, 44);
+}
+
+TEST(InitialState, ForwardAcrossInverterInverts) {
+  Netlist n = inverter_pipeline();
+  Bits state = bits_from_string("10");
+  const auto cls = apply_move_with_state(
+      n, {n.find_by_name("inv"), MoveDirection::kForward}, state);
+  ASSERT_TRUE(cls.has_value());
+  // The latch moves across the inverter: its value flips.
+  expect_equivalent_from(inverter_pipeline(), bits_from_string("10"), n,
+                         state, 45);
+}
+
+TEST(InitialState, SequenceTransport) {
+  Netlist n = inverter_pipeline();
+  const std::vector<RetimingMove> moves{
+      {n.find_by_name("inv"), MoveDirection::kForward},
+      {n.find_by_name("inv"), MoveDirection::kBackward},
+      {n.find_by_name("inv"), MoveDirection::kBackward}};
+  Netlist work = n;
+  const auto state =
+      retime_initial_state(work, moves, bits_from_string("01"));
+  ASSERT_TRUE(state.has_value());
+  expect_equivalent_from(n, bits_from_string("01"), work, *state, 46);
+}
+
+TEST(InitialState, RandomizedTransportPreservesBehaviour) {
+  // Property: any applicable move sequence with transported state keeps
+  // the two designs output-equivalent from their respective states.
+  Rng rng(777);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 2;
+  opt.num_outputs = 2;
+  opt.num_gates = 14;
+  opt.num_latches = 4;
+  opt.latch_after_gate_probability = 0.3;
+  int transported = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Netlist original = random_netlist(opt, rng);
+    Netlist work = original;
+    Bits state(original.num_latches());
+    for (auto& v : state) v = rng.coin();
+    const Bits initial = state;
+    int applied = 0;
+    for (int step = 0; step < 8; ++step) {
+      const auto moves = enabled_moves(work);
+      if (moves.empty()) break;
+      const RetimingMove m = moves[rng.index(moves.size())];
+      if (apply_move_with_state(work, m, state)) ++applied;
+    }
+    if (applied == 0) continue;
+    ++transported;
+    expect_equivalent_from(original, initial, work, state, 1000 + trial);
+  }
+  EXPECT_GT(transported, 0);
+}
+
+TEST(InitialState, StateSizeMismatchRejected) {
+  Netlist n = inverter_pipeline();
+  Bits wrong(1, 0);
+  EXPECT_THROW(apply_move_with_state(
+                   n, {n.find_by_name("inv"), MoveDirection::kForward}, wrong),
+               InvalidArgument);
+}
+
+TEST(Justify, TruthTableJustification) {
+  const TruthTable junc = TruthTable::junc(2);
+  EXPECT_EQ(junc.justify(0b00), std::optional<std::uint64_t>{0});
+  EXPECT_EQ(junc.justify(0b11), std::optional<std::uint64_t>{1});
+  EXPECT_FALSE(junc.justify(0b01).has_value());
+  EXPECT_FALSE(junc.justify(0b10).has_value());
+  const TruthTable fa = TruthTable::full_adder();
+  for (std::uint64_t y = 0; y < 4; ++y) {
+    const auto x = fa.justify(y);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(fa.eval_row(*x), y);
+  }
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,316 @@
+// Tests for the second IO wave: BLIF interop, VCD traces, the s27
+// benchmark circuit and the sequential miter.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/cls_equiv.hpp"
+#include "core/miter.hpp"
+#include "gen/iscas.hpp"
+#include "gen/paper_circuits.hpp"
+#include "gen/random_circuits.hpp"
+#include "io/blif.hpp"
+#include "io/rnl_format.hpp"
+#include "io/vcd.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/exact_sim.hpp"
+#include "stg/stg.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+using testing::toggle_circuit;
+
+void expect_behaviour_equal(const Netlist& a, const Netlist& b,
+                            std::uint64_t seed) {
+  ASSERT_EQ(a.num_latches(), b.num_latches());
+  ASSERT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+  ASSERT_EQ(a.primary_outputs().size(), b.primary_outputs().size());
+  BinarySimulator sa(a), sb(b);
+  Rng rng(seed);
+  Bits state(a.num_latches());
+  for (auto& v : state) v = rng.coin();
+  sa.set_state(state);
+  sb.set_state(state);
+  for (int t = 0; t < 20; ++t) {
+    Bits in(a.primary_inputs().size());
+    for (auto& v : in) v = rng.coin();
+    ASSERT_EQ(sa.step(in), sb.step(in)) << "cycle " << t;
+  }
+}
+
+TEST(Blif, ParseMinimalModel) {
+  const BlifDesign d = read_blif(
+      ".model tiny\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "11 1\n"
+      ".end\n");
+  EXPECT_EQ(d.model_name, "tiny");
+  BinarySimulator sim(d.netlist);
+  EXPECT_EQ(sim.step(bits_from_string("11")), bits_from_string("1"));
+  EXPECT_EQ(sim.step(bits_from_string("01")), bits_from_string("0"));
+}
+
+TEST(Blif, DontCareCubesExpand) {
+  const BlifDesign d = read_blif(
+      ".model dc\n.inputs a b c\n.outputs y\n"
+      ".names a b c y\n"
+      "1-- 1\n"
+      "-11 1\n"
+      ".end\n");
+  BinarySimulator sim(d.netlist);
+  // y = a | (b & c)
+  EXPECT_EQ(sim.step(bits_from_string("100"))[0], 1);
+  EXPECT_EQ(sim.step(bits_from_string("011"))[0], 1);
+  EXPECT_EQ(sim.step(bits_from_string("010"))[0], 0);
+  EXPECT_EQ(sim.step(bits_from_string("000"))[0], 0);
+}
+
+TEST(Blif, OffsetCover) {
+  const BlifDesign d = read_blif(
+      ".model off\n.inputs a\n.outputs y\n"
+      ".names a y\n"
+      "1 0\n"  // off-set: y = 0 when a = 1, default 1 elsewhere
+      ".end\n");
+  BinarySimulator sim(d.netlist);
+  EXPECT_EQ(sim.step(bits_from_string("1"))[0], 0);
+  EXPECT_EQ(sim.step(bits_from_string("0"))[0], 1);
+}
+
+TEST(Blif, ConstantNames) {
+  const BlifDesign d = read_blif(
+      ".model k\n.inputs a\n.outputs y z w\n"
+      ".names one\n1\n"
+      ".names zero\n"
+      ".names a one y\n11 1\n"
+      ".names a zero z\n11 1\n"
+      ".names w\n1\n"
+      ".end\n");
+  BinarySimulator sim(d.netlist);
+  const Bits out = sim.step(bits_from_string("1"));
+  EXPECT_EQ(out[0], 1);  // a & 1
+  EXPECT_EQ(out[1], 0);  // a & 0
+  EXPECT_EQ(out[2], 1);  // constant one
+}
+
+TEST(Blif, LatchWithInitValue) {
+  const BlifDesign d = read_blif(
+      ".model seq\n.inputs a\n.outputs y\n"
+      ".latch a q 1\n"
+      ".names q y\n1 1\n"
+      ".end\n");
+  EXPECT_EQ(d.netlist.num_latches(), 1u);
+  const NodeId latch = d.netlist.latches()[0];
+  ASSERT_TRUE(d.latch_init.count(latch.value));
+  EXPECT_EQ(d.latch_init.at(latch.value), std::optional<bool>(true));
+}
+
+TEST(Blif, LatchUnknownInit) {
+  const BlifDesign d = read_blif(
+      ".model seq\n.inputs a\n.outputs y\n"
+      ".latch a q 3\n"
+      ".names q y\n1 1\n"
+      ".end\n");
+  EXPECT_EQ(d.latch_init.at(d.netlist.latches()[0].value), std::nullopt);
+}
+
+TEST(Blif, ContinuationLines) {
+  const BlifDesign d = read_blif(
+      ".model cont\n.inputs \\\na b\n.outputs y\n"
+      ".names a b y\n11 1\n.end\n");
+  EXPECT_EQ(d.netlist.primary_inputs().size(), 2u);
+}
+
+TEST(Blif, Errors) {
+  EXPECT_THROW(read_blif(""), ParseError);
+  EXPECT_THROW(read_blif(".inputs a\n"), ParseError);  // no .model
+  EXPECT_THROW(read_blif(".model m\n.exdc\n"), ParseError);
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs y\n"
+                         ".names a y\n11 1\n"),  // cube width
+               ParseError);
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs y\n"
+                         ".names a y\n1 1\n0 0\n"),  // mixed cover
+               ParseError);
+  EXPECT_THROW(read_blif(".model m\n.outputs y\n"),  // y undriven
+               ParseError);
+}
+
+TEST(Blif, RoundTripPaperCircuit) {
+  const Netlist d = figure1_original();
+  const BlifDesign back = read_blif(write_blif(d, "figure1"));
+  expect_behaviour_equal(d, back.netlist, 7);
+  // And behaviourally the STGs agree.
+  const Stg a = Stg::extract(d);
+  const Stg b = Stg::extract(back.netlist);
+  EXPECT_TRUE(implies(a, b));
+  EXPECT_TRUE(implies(b, a));
+}
+
+TEST(Blif, RoundTripRandomCircuits) {
+  Rng rng(88);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_outputs = 2;
+  opt.num_gates = 18;
+  opt.num_latches = 3;
+  opt.table_probability = 0.3;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Netlist n = random_netlist(opt, rng);
+    const BlifDesign back = read_blif(write_blif(n));
+    expect_behaviour_equal(n, back.netlist, 100 + trial);
+  }
+}
+
+TEST(Iscas, S27Shape) {
+  const Netlist n = iscas_s27();
+  EXPECT_EQ(n.primary_inputs().size(), 4u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_EQ(n.num_latches(), 3u);
+}
+
+TEST(Iscas, S27MatchesGateEquations) {
+  const Netlist n = iscas_s27();
+  BinarySimulator sim(n);
+  // Reference model of the s27 equations.
+  Rng rng(5);
+  std::uint8_t g5 = 0, g6 = 0, g7 = 0;
+  sim.set_state({g5, g6, g7});
+  for (int t = 0; t < 64; ++t) {
+    const std::uint8_t i0 = rng.coin(), i1 = rng.coin(), i2 = rng.coin(),
+                       i3 = rng.coin();
+    const std::uint8_t g14 = !i0;
+    const std::uint8_t g8 = g14 && g6;
+    const std::uint8_t g12 = !(i1 || g7);
+    const std::uint8_t g15 = g12 || g8;
+    const std::uint8_t g16 = i3 || g8;
+    const std::uint8_t g9 = !(g16 && g15);
+    const std::uint8_t g11 = !(g5 || g9);
+    const std::uint8_t g10 = !(g14 || g11);
+    const std::uint8_t g13 = !(i2 && g12);
+    const std::uint8_t g17 = !g11;
+    const Bits out = sim.step({i0, i1, i2, i3});
+    ASSERT_EQ(out[0], g17) << "cycle " << t;
+    g5 = g10;
+    g6 = g11;
+    g7 = g13;
+    ASSERT_EQ(sim.state(), (Bits{g5, g6, g7}));
+  }
+}
+
+TEST(Iscas, S27SurvivesBlifRoundTrip) {
+  const Netlist n = iscas_s27();
+  const BlifDesign back = read_blif(write_blif(n, "s27"));
+  expect_behaviour_equal(n, back.netlist, 27);
+}
+
+TEST(Miter, EquivalentDesignsNeverRaiseNeq) {
+  const Netlist a = toggle_circuit();
+  const Miter m = build_miter(a, a);
+  EXPECT_EQ(m.a_latches, 1u);
+  EXPECT_EQ(m.b_latches, 1u);
+  // From equal joint states, neq stays 0 on any input.
+  BinarySimulator sim(m.netlist);
+  Rng rng(9);
+  for (const std::uint8_t v : {0, 1}) {
+    sim.set_state({v, v});
+    for (int t = 0; t < 10; ++t) {
+      Bits in(1);
+      in[0] = rng.coin();
+      EXPECT_EQ(sim.step(in)[0], 0);
+    }
+  }
+}
+
+TEST(Miter, DetectsTheFigure1Difference) {
+  // Miter of D and C: from the joint state (D=0, C=(1,0)) the miter output
+  // must raise on the Table-1 input sequence.
+  const Miter m = build_miter(figure1_original(), figure1_retimed());
+  BinarySimulator sim(m.netlist);
+  sim.set_state({0, 1, 0});
+  const BitsSeq in = bits_seq_from_string("0.1.1.1");
+  const BitsSeq out = sim.run(in);
+  bool raised = false;
+  for (const Bits& o : out) raised |= o[0] != 0;
+  EXPECT_TRUE(raised);
+  // Whereas from agreeing steady states it never raises.
+  BinarySimulator sim2(m.netlist);
+  sim2.set_state({0, 0, 0});
+  for (const Bits& o : sim2.run(in)) EXPECT_EQ(o[0], 0);
+}
+
+TEST(Miter, ExactSimShowsDefiniteDisagreementPossibility) {
+  const Miter m = build_miter(figure1_original(), figure1_retimed());
+  ExactTernarySimulator sim(m.netlist);
+  // Over all joint power-up states, neq is X at cycle 2 of 0.1.1.1 (some
+  // joint states disagree, others agree).
+  const TritsSeq out = sim.run(bits_seq_from_string("0.1.1.1"));
+  EXPECT_EQ(out[1][0], kTX);
+}
+
+TEST(Miter, InterfaceMismatchRejected) {
+  EXPECT_THROW(build_miter(toggle_circuit(), testing::and2_circuit()),
+               InvalidArgument);
+}
+
+TEST(Vcd, BinaryTraceStructure) {
+  const std::string vcd = simulate_to_vcd(
+      toggle_circuit(), bits_from_string("0"), bits_seq_from_string("1.1.0"));
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find("pi_in"), std::string::npos);
+  EXPECT_NE(vcd.find("po_out"), std::string::npos);
+  EXPECT_NE(vcd.find("q_t"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#30"), std::string::npos);
+}
+
+TEST(Vcd, ClsTraceContainsUnknowns) {
+  const std::string vcd = cls_simulate_to_vcd(
+      figure1_original(), to_trits(bits_seq_from_string("0.1.1.1")));
+  EXPECT_NE(vcd.find('x'), std::string::npos);
+}
+
+TEST(Vcd, ClsTraceIdenticalAcrossRetiming) {
+  // Section 5 on a waveform: the CLS VCD of D and C differ only in the
+  // latch channel names, not in any PI/PO value line.
+  const auto strip_latches = [](std::string vcd) {
+    // Drop $var lines for latches and value lines of their ids (latch ids
+    // come after PI and PO ids; with 1 PI and 1 PO those are ids 0 and 1,
+    // i.e. '!' and '"'). Keep only value lines for '!' and '"'.
+    std::istringstream is(vcd);
+    std::string line, kept;
+    while (std::getline(is, line)) {
+      if (line.rfind("$var", 0) == 0 && line.find(" q_") != std::string::npos) {
+        continue;
+      }
+      if (!line.empty() && (line[0] == '0' || line[0] == '1' || line[0] == 'x')) {
+        const char id = line[1];
+        if (id != '!' && id != '"') continue;  // latch channels
+      }
+      kept += line + "\n";
+    }
+    return kept;
+  };
+  const TritsSeq inputs = to_trits(bits_seq_from_string("0.1.1.1"));
+  const std::string vd = strip_latches(cls_simulate_to_vcd(figure1_original(), inputs));
+  const std::string vc = strip_latches(cls_simulate_to_vcd(figure1_retimed(), inputs));
+  EXPECT_EQ(vd, vc);
+}
+
+TEST(Vcd, SaveToFile) {
+  const std::string path = ::testing::TempDir() + "/rtv_trace.vcd";
+  save_vcd(simulate_to_vcd(toggle_circuit(), bits_from_string("0"),
+                           bits_seq_from_string("1.0")),
+           path);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtv

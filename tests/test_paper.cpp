@@ -1,0 +1,285 @@
+// Executable reproduction of the paper's examples: Table 1, Figures 1-4,
+// and the Section 2/5 narrative claims. These tests pin the reconstruction
+// of the (lost) figures to the normative artifacts in the text.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cls_equiv.hpp"
+#include "core/test_preserve.hpp"
+#include "fault/test_eval.hpp"
+#include "gen/paper_circuits.hpp"
+#include "retime/graph.hpp"
+#include "retime/moves.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+#include "sim/exact_sim.hpp"
+#include "stg/stg.hpp"
+
+namespace rtv {
+namespace {
+
+const BitsSeq kTable1Input = bits_seq_from_string("0.1.1.1");
+
+TEST(Figure1, ShapesMatchThePaper) {
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  EXPECT_EQ(d.num_latches(), 1u);
+  EXPECT_EQ(c.num_latches(), 2u);
+  EXPECT_EQ(d.primary_inputs().size(), 1u);
+  EXPECT_EQ(d.primary_outputs().size(), 1u);
+  EXPECT_EQ(d.num_gates(), c.num_gates());  // retiming only moves latches
+}
+
+TEST(Table1, DesignDOutputsFromEveryPowerUpState) {
+  const Netlist d = figure1_original();
+  for (const std::string start : {"0", "1"}) {
+    BinarySimulator sim(d);
+    sim.set_state(bits_from_string(start));
+    EXPECT_EQ(sequence_to_string(sim.run(kTable1Input)), "0.0.1.0")
+        << "power-up state " << start;
+  }
+}
+
+TEST(Table1, DesignCOutputsFromEveryPowerUpState) {
+  const Netlist c = figure1_retimed();
+  const struct {
+    const char* state;  // (l1, l2) in latch creation order L1, L2
+    const char* expected;
+  } kRows[] = {
+      {"00", "0.0.1.0"},
+      {"11", "0.0.1.0"},
+      {"01", "0.0.1.0"},
+      {"10", "0.1.0.1"},  // the behaviour D cannot exhibit
+  };
+  for (const auto& row : kRows) {
+    BinarySimulator sim(c);
+    sim.set_state(bits_from_string(row.state));
+    EXPECT_EQ(sequence_to_string(sim.run(kTable1Input)), row.expected)
+        << "power-up state " << row.state;
+  }
+}
+
+TEST(Table1, PowerfulSimulatorSeparatesDandC) {
+  // The paper's "sufficiently powerful simulator": D yields 0.0.1.0,
+  // C yields 0.X.X.X on the same input sequence.
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  ExactTernarySimulator sd(d), sc(c);
+  EXPECT_EQ(sequence_to_string(sd.run(kTable1Input)), "0.0.1.0");
+  EXPECT_EQ(sequence_to_string(sc.run(kTable1Input)), "0.X.X.X");
+}
+
+TEST(Figure2, InputZeroInitializesDButNotC) {
+  const Stg d = Stg::extract(figure1_original());
+  const Stg c = Stg::extract(figure1_retimed());
+  EXPECT_TRUE(initializes(d, {0}));
+  EXPECT_FALSE(initializes(c, {0}));
+}
+
+TEST(Figure2, DesignDHasTwoStatesReachingStateZeroOnZero) {
+  const Stg d = Stg::extract(figure1_original());
+  ASSERT_EQ(d.num_states(), 2u);
+  EXPECT_EQ(d.next_state(0, 0), 0u);
+  EXPECT_EQ(d.next_state(1, 0), 0u);
+}
+
+TEST(Figure2, CHasNoLengthOneInitializingSequenceButALongerOne) {
+  const Stg c = Stg::extract(figure1_retimed());
+  std::vector<std::uint64_t> seq;
+  ASSERT_TRUE(find_initializing_sequence(c, 8, &seq));
+  EXPECT_GT(seq.size(), 1u);
+  EXPECT_TRUE(initializes(c, seq));
+}
+
+TEST(Figure2, DelayedCOneCycleIsEquivalentToD) {
+  // Section 3.4: "The delayed design C^1 consists of states 11 and 00 only
+  // and thus C^1 is equivalent to the design D."
+  const Stg d = Stg::extract(figure1_original());
+  const Stg c = Stg::extract(figure1_retimed());
+  const std::vector<bool> after1 = states_after_delay(c, 1);
+  std::size_t survivors = 0;
+  for (const bool b : after1) survivors += b;
+  EXPECT_EQ(survivors, 2u);
+  EXPECT_TRUE(after1[0b00]);
+  EXPECT_TRUE(after1[0b11]);
+  const Stg c1 = delayed_design(c, 1);
+  EXPECT_TRUE(implies(c1, d));
+  EXPECT_TRUE(implies(d, c1));  // full equivalence, both directions
+}
+
+TEST(Section2, RetimingViolatesSafeReplacement) {
+  const Stg d = Stg::extract(figure1_original());
+  const Stg c = Stg::extract(figure1_retimed());
+  EXPECT_FALSE(safe_replacement(c, d));
+  EXPECT_FALSE(implies(c, d));
+  // D is trivially replaceable by itself.
+  EXPECT_TRUE(safe_replacement(d, d));
+  SafeReplacementViolation witness;
+  ASSERT_TRUE(find_safe_replacement_violation(c, d, &witness));
+  EXPECT_EQ(witness.c_start, 0b01u);  // packed (l1, l2) = (1, 0)
+  EXPECT_FALSE(witness.inputs.empty());
+}
+
+TEST(Section2, MinDelayForImplicationIsOne) {
+  const Stg d = Stg::extract(figure1_original());
+  const Stg c = Stg::extract(figure1_retimed());
+  EXPECT_EQ(min_delay_for_implication(c, d, 4), 1);
+  EXPECT_EQ(min_delay_for_safe_replacement(c, d, 4), 1);
+}
+
+TEST(Figure3, TestZeroOneDetectsFaultInD) {
+  const Netlist d = figure1_original();
+  const Fault fault = fault_on(d, kFigure3FaultGate, 0, true);
+  const BitsSeq test = bits_seq_from_string("0.1");
+  // Fault-free D: 0.0 from every power-up state; faulty D: 0.1.
+  EXPECT_EQ(sequence_to_string(exact_response(d, test)), "0.0");
+  EXPECT_EQ(sequence_to_string(exact_response(inject_fault(d, fault), test)),
+            "0.1");
+  EXPECT_TRUE(test_detects(d, fault, test));
+}
+
+TEST(Figure3, SameTestFailsOnRetimedC) {
+  const Netlist c = figure1_retimed();
+  const Fault fault = fault_on(c, kFigure3FaultGate, 0, true);
+  const BitsSeq test = bits_seq_from_string("0.1");
+  // Fault-free C may answer 0.0 or 0.1 depending on power-up; the faulty C
+  // answers 0.1 — so the test no longer distinguishes them.
+  EXPECT_EQ(sequence_to_string(exact_response(c, test)), "0.X");
+  EXPECT_EQ(sequence_to_string(exact_response(inject_fault(c, fault), test)),
+            "0.1");
+  EXPECT_FALSE(test_detects(c, fault, test));
+}
+
+TEST(Figure3, FaultFreeCBehaviourDependsOnPowerUp) {
+  const Netlist c = figure1_retimed();
+  const BitsSeq test = bits_seq_from_string("0.1");
+  BinarySimulator good(c);
+  good.set_state(bits_from_string("10"));
+  EXPECT_EQ(sequence_to_string(good.run(test)), "0.1");
+  BinarySimulator good2(c);
+  good2.set_state(bits_from_string("00"));
+  EXPECT_EQ(sequence_to_string(good2.run(test)), "0.0");
+}
+
+TEST(Figure3, DelayedTestsDetectInC) {
+  // Theorem 4.6 in action: prepend one arbitrary cycle; both 0.0.1 and
+  // 1.0.1 detect the fault in C, distinguishing on the 3rd clock cycle.
+  const Netlist c = figure1_retimed();
+  const Fault fault = fault_on(c, kFigure3FaultGate, 0, true);
+  for (const char* t : {"0.0.1", "1.0.1"}) {
+    const BitsSeq test = bits_seq_from_string(t);
+    EXPECT_TRUE(test_detects(c, fault, test)) << t;
+    const TritsSeq good = exact_response(c, test);
+    const TritsSeq bad = exact_response(inject_fault(c, fault), test);
+    // Distinguished exactly at the 3rd cycle.
+    EXPECT_EQ(good[2][0], kT0) << t;
+    EXPECT_EQ(bad[2][0], kT1) << t;
+  }
+}
+
+TEST(Figure3, TheoremCheckerAgrees) {
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  const Fault fault = fault_on(d, kFigure3FaultGate, 0, true);
+  const auto r = check_test_preservation(d, c, fault,
+                                         bits_seq_from_string("0.1"), 1);
+  EXPECT_TRUE(r.detects_in_original);
+  EXPECT_FALSE(r.detects_in_retimed);
+  EXPECT_TRUE(r.detects_in_retimed_delayed);
+  EXPECT_TRUE(r.theorem_holds());
+}
+
+TEST(Figure4, BothDesignsMapToTheSameRetimingGraph) {
+  // The Leiserson–Saxe model cannot tell D from C apart structurally:
+  // identical vertex sets and edge connectivity; only the single weight on
+  // the retimed junction's edges differs — and Section 3.1's point is that
+  // the *graph* cannot express which side of the junction the latch is on.
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  const RetimeGraph gd = RetimeGraph::from_netlist(d);
+  const RetimeGraph gc = RetimeGraph::from_netlist(c);
+  EXPECT_EQ(gd.num_vertices(), gc.num_vertices());
+  EXPECT_EQ(gd.num_edges(), gc.num_edges());
+
+  // Compare edge multisets by (from-name, to-name).
+  const auto signature = [](const RetimeGraph& g, const Netlist& n) {
+    std::vector<std::string> sig;
+    for (const auto& e : g.edges()) {
+      const auto vname = [&](std::uint32_t v) {
+        return v <= RetimeGraph::kHostSink ? std::string("host")
+                                           : n.name(g.vertex_origin(v));
+      };
+      sig.push_back(vname(e.from) + "->" + vname(e.to));
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  EXPECT_EQ(signature(gd, d), signature(gc, c));
+}
+
+TEST(Section5, ClsCannotDistinguishDFromC) {
+  // Corollary 5.3 on the paper's own pair: CLS outputs agree on EVERY
+  // ternary input sequence (exhaustive pair-reachability proof).
+  const auto result =
+      check_cls_equivalence(figure1_original(), figure1_retimed());
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_TRUE(result.exhaustive);
+}
+
+TEST(Section5, ClsOutputMatchesOnTable1Input) {
+  // On 0.1.1.1 the CLS reports 0.X.X.X for both designs — for D that is
+  // strictly more conservative than reality (0.0.1.0), for C it is exact.
+  const Netlist d = figure1_original();
+  const Netlist c = figure1_retimed();
+  ClsSimulator sd(d), sc(c);
+  EXPECT_EQ(sequence_to_string(sd.run(kTable1Input)), "0.X.X.X");
+  EXPECT_EQ(sequence_to_string(sc.run(kTable1Input)), "0.X.X.X");
+}
+
+TEST(Section5, AllCellsPreserveAllXAssumptionHolds) {
+  EXPECT_TRUE(figure1_original().all_cells_preserve_all_x());
+  EXPECT_TRUE(figure1_retimed().all_cells_preserve_all_x());
+}
+
+TEST(Figure1, ForwardMoveAcrossJ1TurnsDIntoC) {
+  // Applying the atomic move on D's junction J1 must produce a netlist
+  // whose STG is equivalent to C's (checked via mutual implication).
+  Netlist d = figure1_original();
+  const RetimingMove move{d.find_by_name("J1"), MoveDirection::kForward};
+  ASSERT_TRUE(can_apply(d, move));
+  const MoveClass cls = apply_move(d, move);
+  EXPECT_EQ(cls.direction, MoveDirection::kForward);
+  EXPECT_FALSE(cls.justifiable);
+  EXPECT_FALSE(cls.preserves_safe_replacement());
+  EXPECT_EQ(d.num_latches(), 2u);
+
+  const Stg moved = Stg::extract(d);
+  const Stg c = Stg::extract(figure1_retimed());
+  EXPECT_TRUE(implies(moved, c));
+  EXPECT_TRUE(implies(c, moved));
+}
+
+TEST(Figure1, BackwardMoveAcrossJ1TurnsCBackIntoD) {
+  Netlist c = figure1_retimed();
+  const RetimingMove move{c.find_by_name("J1"), MoveDirection::kBackward};
+  ASSERT_TRUE(can_apply(c, move));
+  const MoveClass cls = apply_move(c, move);
+  EXPECT_TRUE(cls.preserves_safe_replacement());  // backward is always safe
+  EXPECT_EQ(c.num_latches(), 1u);
+  const Stg moved = Stg::extract(c);
+  const Stg d = Stg::extract(figure1_original());
+  EXPECT_TRUE(implies(moved, d));
+  EXPECT_TRUE(implies(d, moved));
+}
+
+TEST(Pixley, BothDesignsAreEssentiallyResettable) {
+  // SHE sanity: each design's minimized STG has a single terminal SCC
+  // (their steady-state behaviours coincide).
+  EXPECT_TRUE(essentially_resettable(Stg::extract(figure1_original())));
+  EXPECT_TRUE(essentially_resettable(Stg::extract(figure1_retimed())));
+}
+
+}  // namespace
+}  // namespace rtv

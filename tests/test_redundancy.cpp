@@ -1,0 +1,325 @@
+// Tests for CLS-preserving redundancy removal (core/redundancy) and the
+// supporting sweep_unobservable pass and control-pin latch sugar.
+
+#include <gtest/gtest.h>
+
+#include "core/redundancy.hpp"
+#include "gen/paper_circuits.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/sugar.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+#include "stg/stg.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+TEST(Sweep, RemovesDanglingCone) {
+  Netlist n = testing::and2_circuit();
+  // Add an unobservable cone: gate + latch reading the inputs.
+  const NodeId g = n.add_gate(CellKind::kOr, 2, "dead_or");
+  const NodeId l = n.add_latch("dead_latch");
+  n.connect(n.primary_inputs()[0], g, 0);
+  n.connect(n.primary_inputs()[1], g, 1);
+  n.connect(g, l);
+  n.junctionize();
+  const std::size_t removed = n.sweep_unobservable();
+  EXPECT_GE(removed, 2u);
+  EXPECT_FALSE(n.find_by_name("dead_or").valid());
+  EXPECT_EQ(n.num_latches(), 0u);
+  n.compacted().check_valid();
+}
+
+TEST(Sweep, KeepsEverythingObservable) {
+  Netlist n = figure1_original();
+  EXPECT_EQ(n.sweep_unobservable(), 0u);
+  n.check_valid(true);
+}
+
+TEST(Sweep, KeepsPrimaryInputs) {
+  Netlist n;
+  n.add_input("unused");
+  const NodeId o = n.add_output("o");
+  const NodeId c = n.add_const(true, "c");
+  n.connect(PortRef(c, 0), PinRef(o, 0));
+  EXPECT_EQ(n.sweep_unobservable(), 0u);
+  EXPECT_EQ(n.primary_inputs().size(), 1u);
+}
+
+TEST(Sweep, RemovesChainedDeadLogic) {
+  // dead chain: in -> g1 -> g2 -> latch (nothing reaches a PO).
+  Netlist n;
+  const NodeId in = n.add_input("in");
+  const NodeId o = n.add_output("o");
+  const NodeId keep = n.add_gate(CellKind::kBuf, 0, "keep");
+  n.connect(in, keep);
+  n.connect(PortRef(keep, 0), PinRef(o, 0));
+  const NodeId g1 = n.add_gate(CellKind::kNot, 0, "g1");
+  const NodeId g2 = n.add_gate(CellKind::kNot, 0, "g2");
+  const NodeId l = n.add_latch("l");
+  n.connect(in, g1);  // implicit fanout from the PI
+  n.connect(g1, g2);
+  n.connect(g2, l);
+  n.junctionize();
+  EXPECT_GE(n.sweep_unobservable(), 3u);
+  EXPECT_TRUE(n.find_by_name("keep").valid());
+}
+
+TEST(Redundancy, DetectsClassicClsRedundantNet) {
+  // Design D's AND1 output stuck-at-0: binary simulation can tell (v is 1
+  // when s=0, x=1), but can a CLS from all-X? v s-a-0 freezes the latch at
+  // 0 -> output o = x AND 0-or-s... CLS on the fault-free design keeps the
+  // latch X forever (Section 5), so outputs stay X where the faulty design
+  // answers definite 0 -> X vs 0 does NOT distinguish. The fault is
+  // CLS-redundant even though it is very much real.
+  const Netlist d = figure1_original();
+  const Fault f = fault_on(d, kFigure3FaultGate, 0, false);
+  const Netlist faulty = inject_fault(d, f);
+  const auto r = check_cls_equivalence(d, faulty);
+  // Validate directionally: fault-free CLS output refines to X where the
+  // faulty one may answer 0; equality means redundant.
+  const auto redundant = cls_redundant_faults(d);
+  const bool found = std::find(redundant.begin(), redundant.end(), f) !=
+                     redundant.end();
+  EXPECT_EQ(found, r.equivalent && r.exhaustive);
+  // And the stuck-at-1 fault is NOT CLS-redundant (Figure 3's tests see it).
+  const Fault f1 = fault_on(d, kFigure3FaultGate, 0, true);
+  EXPECT_EQ(std::count(redundant.begin(), redundant.end(), f1), 0);
+}
+
+TEST(Redundancy, RemovalPreservesClsBehaviour) {
+  const Netlist d = figure1_original();
+  const RedundancyRemovalResult r = remove_cls_redundancies(d);
+  // The safety net inside remove_cls_redundancies already asserts CLS
+  // equivalence; double-check from here with a fresh comparison.
+  const auto verdict = check_cls_equivalence(d, r.optimized);
+  EXPECT_TRUE(verdict.equivalent);
+  EXPECT_EQ(r.gates_before, d.num_gates());
+  r.optimized.check_valid();
+}
+
+TEST(Redundancy, NoFalseRemovalOnIrredundantDesign) {
+  // A shift register has no CLS-redundant fault: every net definitely
+  // propagates definite values to the output.
+  Netlist n;
+  const NodeId in = n.add_input("in");
+  const NodeId o = n.add_output("o");
+  const NodeId inv = n.add_gate(CellKind::kNot, 0, "inv");
+  const NodeId l = n.add_latch("L");
+  n.connect(in, inv);
+  n.connect(inv, l);
+  n.connect(PortRef(l, 0), PinRef(o, 0));
+  EXPECT_TRUE(cls_redundant_faults(n).empty());
+  const auto r = remove_cls_redundancies(n);
+  EXPECT_EQ(r.faults_tied, 0u);
+  EXPECT_EQ(r.gates_after, r.gates_before);
+}
+
+TEST(Redundancy, RandomCircuitsRemainClsEquivalent) {
+  Rng rng(606);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 2;
+  opt.num_outputs = 2;
+  opt.num_gates = 10;
+  opt.num_latches = 2;
+  opt.latch_after_gate_probability = 0.2;
+  for (int trial = 0; trial < 4; ++trial) {
+    const Netlist n = random_netlist(opt, rng);
+    const auto r = remove_cls_redundancies(n);
+    // Constant cells introduced by tying can linger when the freed cone
+    // stays observable elsewhere; the count may not shrink, but it can
+    // never grow beyond one constant per tied fault.
+    EXPECT_LE(r.gates_after, r.gates_before + r.faults_tied);
+    r.optimized.check_valid();
+  }
+}
+
+TEST(ConstProp, DominantValues) {
+  Netlist n;
+  const NodeId x = n.add_input("x");
+  const NodeId o1 = n.add_output("o_and0");
+  const NodeId o2 = n.add_output("o_or1");
+  const NodeId c0 = n.add_const(false, "c0");
+  const NodeId c1 = n.add_const(true, "c1");
+  const NodeId g1 = n.add_gate(CellKind::kAnd, 2, "and0");
+  const NodeId g2 = n.add_gate(CellKind::kOr, 2, "or1");
+  n.connect(x, g1, 0);
+  n.connect(c0, g1, 1);
+  n.connect(x, g2, 0);
+  n.connect(c1, g2, 1);
+  n.connect(PortRef(g1, 0), PinRef(o1, 0));
+  n.connect(PortRef(g2, 0), PinRef(o2, 0));
+  n.junctionize();
+  EXPECT_GE(n.propagate_constants(), 2u);
+  n.sweep_unobservable();
+  const Netlist c = n.compacted();
+  c.check_valid(true);
+  // Both outputs now come straight from constants.
+  BinarySimulator sim(c);
+  const Bits out = sim.step(bits_from_string("1"));
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_FALSE(c.find_by_name("and0").valid());
+  EXPECT_FALSE(c.find_by_name("or1").valid());
+}
+
+TEST(ConstProp, NeutralElementForwards) {
+  Netlist n;
+  const NodeId x = n.add_input("x");
+  const NodeId o = n.add_output("o");
+  const NodeId c1 = n.add_const(true, "c1");
+  const NodeId g = n.add_gate(CellKind::kAnd, 2, "g");
+  n.connect(x, g, 0);
+  n.connect(c1, g, 1);
+  n.connect(PortRef(g, 0), PinRef(o, 0));
+  EXPECT_EQ(n.propagate_constants(), 1u);
+  EXPECT_EQ(n.driver(PinRef(o, 0)), PortRef(x, 0));
+}
+
+TEST(ConstProp, MuxWithConstantSelect) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId o = n.add_output("o");
+  const NodeId c1 = n.add_const(true, "sel");
+  const NodeId m = n.add_gate(CellKind::kMux, 0, "m");
+  n.connect(c1, m, 0);
+  n.connect(a, m, 1);
+  n.connect(b, m, 2);
+  n.connect(PortRef(m, 0), PinRef(o, 0));
+  EXPECT_EQ(n.propagate_constants(), 1u);
+  EXPECT_EQ(n.driver(PinRef(o, 0)), PortRef(b, 0));  // select=1 -> b
+}
+
+TEST(ConstProp, EvaluatesFullyConstantCone) {
+  Netlist n;
+  const NodeId o = n.add_output("o");
+  const NodeId c0 = n.add_const(false, "c0");
+  const NodeId inv = n.add_gate(CellKind::kNot, 0, "inv");
+  const NodeId x = n.add_gate(CellKind::kXor, 2, "x");
+  const NodeId c1 = n.add_const(true, "c1");
+  n.connect(c0, inv);
+  n.connect(PortRef(inv, 0), PinRef(x, 0));
+  n.connect(c1, x, 1);
+  n.connect(PortRef(x, 0), PinRef(o, 0));
+  EXPECT_GE(n.propagate_constants(), 2u);
+  // XOR(NOT(0), 1) = XOR(1, 1) = 0.
+  BinarySimulator sim(n);
+  EXPECT_EQ(sim.step({})[0], 0);
+}
+
+TEST(ConstProp, PreservesBehaviourOnRandomCircuits) {
+  Rng rng(404);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_outputs = 3;
+  opt.num_gates = 25;
+  opt.num_latches = 4;
+  for (int trial = 0; trial < 6; ++trial) {
+    Netlist n = random_netlist(opt, rng);
+    // Tie a random PI-driven net to a constant to seed propagation.
+    const auto faults = enumerate_faults(n);
+    const Fault f = faults[rng.index(faults.size())];
+    Netlist tied = inject_fault(n, f);
+    Netlist propagated = tied;
+    propagated.propagate_constants();
+    propagated.check_valid(true);
+    ASSERT_EQ(propagated.num_latches(), tied.num_latches());
+    BinarySimulator a(tied), b(propagated);
+    Bits state(a.num_latches());
+    for (auto& v : state) v = rng.coin();
+    a.set_state(state);
+    b.set_state(state);
+    for (int t = 0; t < 12; ++t) {
+      Bits in(a.num_inputs());
+      for (auto& v : in) v = rng.coin();
+      ASSERT_EQ(a.step(in), b.step(in)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Sugar, SyncResetLatchBehaviour) {
+  Netlist n;
+  const NodeId r = n.add_input("r");
+  const NodeId d = n.add_input("d");
+  const NodeId o = n.add_output("o");
+  const NodeId latch =
+      add_latch_with_sync_reset(n, PortRef(r, 0), PortRef(d, 0), "q");
+  n.connect(PortRef(latch, 0), PinRef(o, 0));
+  n.junctionize();
+  n.check_valid(true);
+  BinarySimulator sim(n);
+  sim.set_state(bits_from_string("1"));
+  // (r, d): reset wins.
+  EXPECT_EQ(sim.step(bits_from_string("10"))[0], 1);  // outputs old Q
+  EXPECT_EQ(sim.state(), bits_from_string("0"));      // reset applied
+  sim.step(bits_from_string("01"));                   // load 1
+  EXPECT_EQ(sim.state(), bits_from_string("1"));
+  sim.step(bits_from_string("11"));                   // reset beats data
+  EXPECT_EQ(sim.state(), bits_from_string("0"));
+}
+
+TEST(Sugar, SyncSetLatchBehaviour) {
+  Netlist n;
+  const NodeId s = n.add_input("s");
+  const NodeId d = n.add_input("d");
+  const NodeId o = n.add_output("o");
+  const NodeId latch =
+      add_latch_with_sync_set(n, PortRef(s, 0), PortRef(d, 0), "q");
+  n.connect(PortRef(latch, 0), PinRef(o, 0));
+  n.junctionize();
+  n.check_valid(true);
+  BinarySimulator sim(n);
+  sim.set_state(bits_from_string("0"));
+  sim.step(bits_from_string("10"));  // set
+  EXPECT_EQ(sim.state(), bits_from_string("1"));
+  sim.step(bits_from_string("00"));  // load 0
+  EXPECT_EQ(sim.state(), bits_from_string("0"));
+}
+
+TEST(Sugar, EnableLatchHolds) {
+  Netlist n;
+  const NodeId e = n.add_input("e");
+  const NodeId d = n.add_input("d");
+  const NodeId o = n.add_output("o");
+  const NodeId latch =
+      add_latch_with_enable(n, PortRef(e, 0), PortRef(d, 0), "q");
+  n.connect(PortRef(latch, 0), PinRef(o, 0));
+  n.junctionize();
+  n.check_valid(true);
+  BinarySimulator sim(n);
+  sim.set_state(bits_from_string("1"));
+  sim.step(bits_from_string("00"));  // disabled: hold
+  EXPECT_EQ(sim.state(), bits_from_string("1"));
+  sim.step(bits_from_string("10"));  // enabled: load 0
+  EXPECT_EQ(sim.state(), bits_from_string("0"));
+  sim.step(bits_from_string("01"));  // disabled: hold despite d=1
+  EXPECT_EQ(sim.state(), bits_from_string("0"));
+}
+
+TEST(Sugar, ResetLatchMatchesPaperModel) {
+  // The gate model must make reset-latch designs STG-identical to an ideal
+  // resettable latch: after asserting reset, state is 0 from anywhere.
+  Netlist n;
+  const NodeId r = n.add_input("r");
+  const NodeId d = n.add_input("d");
+  const NodeId o = n.add_output("o");
+  const NodeId latch =
+      add_latch_with_sync_reset(n, PortRef(r, 0), PortRef(d, 0), "q");
+  n.connect(PortRef(latch, 0), PinRef(o, 0));
+  n.junctionize();
+  const Stg stg = Stg::extract(n);
+  // Input symbols are packed (r, d): r is bit 0. Asserting r from any
+  // state lands specifically in state 0, data notwithstanding.
+  for (const std::uint64_t symbol : {0b01u, 0b11u}) {
+    for (std::uint64_t s = 0; s < stg.num_states(); ++s) {
+      EXPECT_EQ(stg.next_state(s, symbol), 0u);
+    }
+    EXPECT_TRUE(initializes(stg, {symbol}));
+  }
+}
+
+}  // namespace
+}  // namespace rtv

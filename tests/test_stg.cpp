@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/random_circuits.hpp"
+#include "gen/shift.hpp"
+#include "sim/binary_sim.hpp"
+#include "stg/stg.hpp"
+#include "test_helpers.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+using testing::toggle_circuit;
+
+/// 2-state machine: a resettable toggle. input 0 -> state 0; input 1
+/// toggles. Output = state.
+Stg toggle_stg() {
+  // next[state][input], out[state][input]
+  return Stg(2, 2, 1, {0, 1, 0, 0}, {0, 0, 1, 1});
+}
+
+/// toggle_stg with every state duplicated (4 states).
+Stg toggle_stg_duplicated() {
+  std::vector<std::uint32_t> next;
+  std::vector<std::uint64_t> out;
+  const Stg base = toggle_stg();
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    for (std::uint64_t a = 0; a < 2; ++a) {
+      next.push_back(base.next_state(s % 2, a) + (s >= 2 ? 2 : 0));
+      out.push_back(base.output(s % 2, a));
+    }
+  }
+  return Stg(4, 2, 1, std::move(next), std::move(out));
+}
+
+TEST(Stg, ConstructorValidation) {
+  EXPECT_THROW(Stg(2, 2, 1, {0, 0, 0}, {0, 0, 0}), InvalidArgument);
+  EXPECT_THROW(Stg(2, 2, 1, {0, 0, 0, 5}, {0, 0, 0, 0}), InvalidArgument);
+  EXPECT_THROW(Stg(0, 2, 1, {}, {}), InvalidArgument);
+}
+
+TEST(Stg, ExtractToggleCircuit) {
+  const Stg s = Stg::extract(toggle_circuit());
+  ASSERT_EQ(s.num_states(), 2u);
+  ASSERT_EQ(s.num_inputs(), 2u);
+  // out = state; next = state XOR in.
+  EXPECT_EQ(s.output(0, 0), 0u);
+  EXPECT_EQ(s.output(1, 1), 1u);
+  EXPECT_EQ(s.next_state(0, 1), 1u);
+  EXPECT_EQ(s.next_state(1, 1), 0u);
+  EXPECT_EQ(s.next_state(1, 0), 1u);
+}
+
+TEST(Stg, ExtractMatchesSimulator) {
+  Rng rng(42);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 2;
+  opt.num_latches = 3;
+  opt.num_gates = 15;
+  const Netlist n = random_netlist(opt, rng);
+  const Stg s = Stg::extract(n);
+  BinarySimulator sim(n);
+  for (std::uint64_t st = 0; st < s.num_states(); ++st) {
+    for (std::uint64_t a = 0; a < s.num_inputs(); ++a) {
+      std::uint64_t out = 0, next = 0;
+      sim.eval_packed(st, a, out, next);
+      EXPECT_EQ(s.output(st, a), out);
+      EXPECT_EQ(s.next_state(st, a), next);
+    }
+  }
+}
+
+TEST(Stg, ExtractCapacity) {
+  Netlist n = shift_register(30);
+  EXPECT_THROW(Stg::extract(n, /*entry_cap=*/1 << 10), CapacityError);
+}
+
+TEST(Stg, RunProducesOutputTrace) {
+  const Stg s = toggle_stg();
+  std::uint32_t state = 0;
+  const auto outs = s.run(state, {1, 1, 0});
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{0, 1, 0}));
+  EXPECT_EQ(state, 0u);
+}
+
+TEST(Stg, DisjointUnionOffsets) {
+  const Stg u = Stg::disjoint_union(toggle_stg(), toggle_stg());
+  EXPECT_EQ(u.num_states(), 4u);
+  EXPECT_EQ(u.next_state(2, 1), 3u);
+  EXPECT_EQ(u.output(3, 0), 1u);
+}
+
+TEST(Stg, RestrictRejectsNonClosedSet) {
+  const Stg s = toggle_stg();
+  std::vector<bool> keep{false, true};  // state 1 --0--> 0 leaves the set
+  EXPECT_THROW(s.restrict(keep), InvalidArgument);
+}
+
+TEST(Stg, RestrictRemaps) {
+  const Stg s = toggle_stg_duplicated();
+  std::vector<bool> keep{false, false, true, true};
+  std::vector<std::uint32_t> map;
+  const Stg r = s.restrict(keep, &map);
+  EXPECT_EQ(r.num_states(), 2u);
+  EXPECT_EQ(map[2], 0u);
+  EXPECT_EQ(map[3], 1u);
+  EXPECT_EQ(r.output(1, 0), 1u);
+}
+
+TEST(Minimize, CollapsesDuplicatedStates) {
+  const auto cls = equivalence_classes(toggle_stg_duplicated());
+  EXPECT_EQ(num_classes(cls), 2u);
+  EXPECT_EQ(cls[0], cls[2]);
+  EXPECT_EQ(cls[1], cls[3]);
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(Minimize, QuotientPreservesBehaviour) {
+  const Stg big = toggle_stg_duplicated();
+  const Stg q = quotient(big, equivalence_classes(big));
+  EXPECT_EQ(q.num_states(), 2u);
+  EXPECT_TRUE(implies(q, big));
+  EXPECT_TRUE(implies(big, q));
+}
+
+TEST(Minimize, DistinguishesByLaterOutputs) {
+  // States 0 and 3 have equal output rows but their successors diverge a
+  // step later, so they must split.
+  std::vector<std::uint32_t> next{1, 2, 2, 4, 5, 5};
+  std::vector<std::uint64_t> out{0, 0, 1, 0, 0, 0};
+  const Stg s(6, 1, 1, next, out);
+  const auto cls = equivalence_classes(s);
+  EXPECT_NE(cls[0], cls[3]);
+  EXPECT_NE(cls[1], cls[4]);
+}
+
+TEST(Minimize, AlreadyMinimalStable) {
+  EXPECT_EQ(num_classes(equivalence_classes(toggle_stg())), 2u);
+}
+
+TEST(Scc, SingleComponentRing) {
+  const Stg s(3, 1, 1, {1, 2, 0}, {0, 0, 0});
+  const SccResult r = strongly_connected_components(s);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_TRUE(r.is_terminal[0]);
+}
+
+TEST(Scc, TransientPlusSink) {
+  const Stg s(2, 1, 1, {1, 1}, {0, 0});
+  const SccResult r = strongly_connected_components(s);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_NE(r.component_of[0], r.component_of[1]);
+  EXPECT_TRUE(r.is_terminal[r.component_of[1]]);
+  EXPECT_FALSE(r.is_terminal[r.component_of[0]]);
+}
+
+TEST(Scc, TwoTerminalComponents) {
+  const Stg s(4, 1, 1, {1, 1, 3, 3}, {0, 0, 0, 1});
+  const SccResult r = strongly_connected_components(s);
+  std::uint32_t terminals = 0;
+  for (const bool t : r.is_terminal) terminals += t;
+  EXPECT_EQ(terminals, 2u);
+}
+
+TEST(Scc, EssentialResettability) {
+  // Distinct-output sinks -> not essentially resettable.
+  EXPECT_FALSE(essentially_resettable(Stg(4, 1, 1, {1, 1, 3, 3}, {0, 0, 0, 1})));
+  // Same-output sinks collapse under minimization -> resettable.
+  EXPECT_TRUE(essentially_resettable(Stg(4, 1, 1, {1, 1, 3, 3}, {0, 0, 0, 0})));
+  EXPECT_TRUE(essentially_resettable(toggle_stg()));
+}
+
+TEST(Replaceability, ImpliesIsReflexive) {
+  const Stg s = toggle_stg();
+  EXPECT_TRUE(implies(s, s));
+}
+
+TEST(Replaceability, ImpliesBetweenEquivalentMachines) {
+  const Stg big = toggle_stg_duplicated();
+  const Stg small = toggle_stg();
+  EXPECT_TRUE(implies(small, big));
+  EXPECT_TRUE(implies(big, small));
+}
+
+TEST(Replaceability, ImpliesFailsOnNewBehaviour) {
+  const Stg d(1, 1, 1, {0}, {0});
+  const Stg c(2, 1, 1, {1, 1}, {1, 0});  // state 0 outputs a 1 once
+  EXPECT_FALSE(implies(c, d));
+  EXPECT_TRUE(implies(d, c));  // D's state matches C's state 1
+}
+
+TEST(Replaceability, SafeReplacementWeakerThanImplies) {
+  // [PSAB94]: C ≼ D can hold where C ⊑ D fails — the matching D state may
+  // depend on the input sequence.
+  //   D: state A outputs the input; state B outputs its complement.
+  const Stg d(2, 2, 1, {0, 0, 1, 1}, {0, 1, 1, 0});
+  //   C adds a state s outputting 0 on either input, then moving to the
+  //   D-state that would have produced that 0 (A on input 0, B on input 1).
+  const Stg c(3, 2, 1, {0, 0, 1, 1, 0, 1}, {0, 1, 1, 0, 0, 0});
+  EXPECT_FALSE(implies(c, d));  // s is equivalent to neither A nor B
+  EXPECT_TRUE(safe_replacement(c, d));
+}
+
+TEST(Replaceability, ImpliesImpliesSafeReplacement) {
+  // Prop 3.1 on random machines: C ⊑ D => C ≼ D.
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const unsigned ns = 2 + static_cast<unsigned>(rng.below(4));
+    std::vector<std::uint32_t> next;
+    std::vector<std::uint64_t> out;
+    for (unsigned i = 0; i < ns * 2; ++i) {
+      next.push_back(static_cast<std::uint32_t>(rng.below(ns)));
+      out.push_back(rng.below(2));
+    }
+    const Stg d(ns, 2, 1, next, out);
+    const Stg c = quotient(d, equivalence_classes(d));
+    EXPECT_TRUE(implies(c, d));
+    EXPECT_TRUE(safe_replacement(c, d));
+  }
+}
+
+TEST(Replaceability, ViolationWitnessReplays) {
+  const Stg d(1, 1, 1, {0}, {0});
+  const Stg c(2, 1, 1, {1, 1}, {1, 0});
+  SafeReplacementViolation w;
+  ASSERT_TRUE(find_safe_replacement_violation(c, d, &w));
+  EXPECT_EQ(w.c_start, 0u);
+  // Replay: no D state matches C's outputs on the witness inputs.
+  std::uint32_t cs = w.c_start;
+  const auto c_out = c.run(cs, w.inputs);
+  bool any_match = false;
+  for (std::uint64_t s0 = 0; s0 < d.num_states(); ++s0) {
+    std::uint32_t ds = static_cast<std::uint32_t>(s0);
+    if (d.run(ds, w.inputs) == c_out) any_match = true;
+  }
+  EXPECT_FALSE(any_match);
+}
+
+TEST(Replaceability, IncompatibleMachinesRejected) {
+  const Stg a(1, 1, 1, {0}, {0});
+  const Stg b(1, 2, 1, {0, 0}, {0, 0});
+  EXPECT_THROW(implies(a, b), InvalidArgument);
+  EXPECT_THROW(safe_replacement(a, b), InvalidArgument);
+}
+
+TEST(Delayed, FullSetAtZeroCycles) {
+  const auto keep = states_after_delay(toggle_stg(), 0);
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), true), 2);
+}
+
+TEST(Delayed, TransientsDisappear) {
+  const Stg s(2, 1, 1, {1, 1}, {0, 0});
+  const auto keep = states_after_delay(s, 1);
+  EXPECT_FALSE(keep[0]);
+  EXPECT_TRUE(keep[1]);
+  EXPECT_EQ(delayed_design(s, 1).num_states(), 1u);
+}
+
+TEST(Delayed, FixpointStopsEarly) {
+  const Stg s(2, 1, 1, {1, 1}, {0, 0});
+  EXPECT_EQ(delayed_design(s, 1000).num_states(), 1u);
+}
+
+TEST(Delayed, MinDelayZeroWhenEquivalent) {
+  const Stg s = toggle_stg();
+  EXPECT_EQ(min_delay_for_implication(s, s, 4), 0);
+  EXPECT_EQ(min_delay_for_safe_replacement(s, s, 4), 0);
+}
+
+TEST(Delayed, MinDelayUnreachableReturnsMinusOne) {
+  const Stg d(1, 1, 1, {0}, {0});
+  const Stg c(1, 1, 1, {0}, {1});  // permanently different output
+  EXPECT_EQ(min_delay_for_implication(c, d, 5), -1);
+}
+
+TEST(InitSeq, ToggleIsInitializedByZero) {
+  EXPECT_TRUE(initializes(toggle_stg(), {0}));
+  EXPECT_FALSE(initializes(toggle_stg(), {1}));
+  EXPECT_TRUE(initializes(toggle_stg(), {1, 0}));
+}
+
+TEST(InitSeq, FindsShortestSequence) {
+  std::vector<std::uint64_t> seq;
+  ASSERT_TRUE(find_initializing_sequence(toggle_stg(), 4, &seq));
+  EXPECT_EQ(seq, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(InitSeq, ShiftRegisterNeedsLengthCycles) {
+  const Stg s = Stg::extract(shift_register(3));
+  std::vector<std::uint64_t> seq;
+  ASSERT_TRUE(find_initializing_sequence(s, 8, &seq));
+  EXPECT_EQ(seq.size(), 3u);  // must flush the whole pipeline
+  EXPECT_FALSE(find_initializing_sequence(s, 2, &seq));
+}
+
+TEST(InitSeq, UnsynchronizableMachine) {
+  // A free-running toggle with a useless input can never be synchronized.
+  const Stg s(2, 1, 1, {1, 0}, {0, 1});
+  EXPECT_FALSE(find_initializing_sequence(s, 10, nullptr));
+}
+
+TEST(Stg, ToStringMentionsTransitions) {
+  const std::string str = toggle_stg().to_string();
+  EXPECT_NE(str.find("2 states"), std::string::npos);
+  EXPECT_NE(str.find("s0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "sim/vectors.hpp"
+#include "ternary/trit.hpp"
+#include "ternary/truth_table.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+const Trit kAll[] = {kT0, kT1, kTX};
+
+/// Reference semantics: the exact ternary extension of a binary function —
+/// evaluate under every completion of X inputs and join.
+template <typename F>
+Trit completion_semantics(F f, std::initializer_list<Trit> in) {
+  std::vector<Trit> v(in);
+  std::vector<unsigned> x_pos;
+  for (unsigned i = 0; i < v.size(); ++i) {
+    if (v[i] == kTX) x_pos.push_back(i);
+  }
+  bool saw0 = false, saw1 = false;
+  for (std::uint64_t c = 0; c < pow2(static_cast<unsigned>(x_pos.size()));
+       ++c) {
+    std::vector<bool> bits(v.size());
+    for (unsigned i = 0; i < v.size(); ++i) bits[i] = v[i] == kT1;
+    for (unsigned j = 0; j < x_pos.size(); ++j) {
+      bits[x_pos[j]] = get_bit(c, j);
+    }
+    (f(bits) ? saw1 : saw0) = true;
+  }
+  if (saw0 && saw1) return kTX;
+  return to_trit(saw1);
+}
+
+TEST(Trit, NotMatchesCompletions) {
+  for (Trit a : kAll) {
+    EXPECT_EQ(not3(a), completion_semantics(
+                           [](const std::vector<bool>& b) { return !b[0]; },
+                           {a}));
+  }
+}
+
+TEST(Trit, And3MatchesCompletions) {
+  for (Trit a : kAll) {
+    for (Trit b : kAll) {
+      EXPECT_EQ(and3(a, b),
+                completion_semantics(
+                    [](const std::vector<bool>& v) { return v[0] && v[1]; },
+                    {a, b}))
+          << to_char(a) << " AND " << to_char(b);
+    }
+  }
+}
+
+TEST(Trit, Or3MatchesCompletions) {
+  for (Trit a : kAll) {
+    for (Trit b : kAll) {
+      EXPECT_EQ(or3(a, b),
+                completion_semantics(
+                    [](const std::vector<bool>& v) { return v[0] || v[1]; },
+                    {a, b}));
+    }
+  }
+}
+
+TEST(Trit, Xor3MatchesCompletions) {
+  for (Trit a : kAll) {
+    for (Trit b : kAll) {
+      EXPECT_EQ(xor3(a, b),
+                completion_semantics(
+                    [](const std::vector<bool>& v) { return v[0] != v[1]; },
+                    {a, b}));
+    }
+  }
+}
+
+TEST(Trit, Mux3MatchesCompletions) {
+  for (Trit s : kAll) {
+    for (Trit a : kAll) {
+      for (Trit b : kAll) {
+        EXPECT_EQ(mux3(s, a, b),
+                  completion_semantics(
+                      [](const std::vector<bool>& v) {
+                        return v[0] ? v[2] : v[1];
+                      },
+                      {s, a, b}))
+            << to_char(s) << "?" << to_char(b) << ":" << to_char(a);
+      }
+    }
+  }
+}
+
+TEST(Trit, LocalPropagationSignature) {
+  // The paper's definition of a CLS: 0 * X = 0 but 1 * X = X.
+  EXPECT_EQ(and3(kT0, kTX), kT0);
+  EXPECT_EQ(and3(kT1, kTX), kTX);
+  EXPECT_EQ(or3(kT1, kTX), kT1);
+  EXPECT_EQ(or3(kT0, kTX), kTX);
+  // The CLS loses complement correlation: X AND NOT X is X, not 0.
+  EXPECT_EQ(and3(kTX, not3(kTX)), kTX);
+}
+
+TEST(Trit, DerivedGates) {
+  EXPECT_EQ(nand3(kT1, kT1), kT0);
+  EXPECT_EQ(nor3(kT0, kT0), kT1);
+  EXPECT_EQ(xnor3(kT1, kT1), kT1);
+  EXPECT_EQ(nand3(kT0, kTX), kT1);
+  EXPECT_EQ(nor3(kT1, kTX), kT0);
+  EXPECT_EQ(xnor3(kTX, kT0), kTX);
+}
+
+TEST(Trit, Formatting) {
+  EXPECT_EQ(to_char(kT0), '0');
+  EXPECT_EQ(to_char(kT1), '1');
+  EXPECT_EQ(to_char(kTX), 'X');
+  EXPECT_EQ(to_string(std::vector<Trit>{kT0, kTX, kT1}), "0X1");
+  EXPECT_EQ(trits_from_string("1xX0"),
+            (std::vector<Trit>{kT1, kTX, kTX, kT0}));
+  EXPECT_THROW(trit_from_char('2'), ParseError);
+}
+
+TEST(Trit, SequenceToString) {
+  std::vector<std::vector<Trit>> seq{{kT0}, {kTX}, {kT1}};
+  EXPECT_EQ(sequence_to_string(seq), "0.X.1");
+}
+
+TEST(Trit, Predicates) {
+  EXPECT_TRUE(is_definite(kT0));
+  EXPECT_FALSE(is_definite(kTX));
+  EXPECT_TRUE(refines(kTX, kT1));
+  EXPECT_TRUE(refines(kT1, kT1));
+  EXPECT_FALSE(refines(kT0, kT1));
+  EXPECT_EQ(to_bool(kT1), true);
+  EXPECT_THROW(to_bool(kTX), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// TruthTable
+// ---------------------------------------------------------------------------
+
+TEST(TruthTable, AndGateRows) {
+  const TruthTable t = TruthTable::and_gate(3);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(t.eval_row(x), x == 7 ? 1u : 0u);
+  }
+}
+
+TEST(TruthTable, XorGateParity) {
+  const TruthTable t = TruthTable::xor_gate(4);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(t.eval_bit(x, 0), popcount64(x) % 2 == 1);
+  }
+}
+
+TEST(TruthTable, NamedGatesAgreeWithPrimitives) {
+  const auto to3 = [](bool a, bool b, Trit (*op)(Trit, Trit)) {
+    return op(to_trit(a), to_trit(b));
+  };
+  const TruthTable nand2 = TruthTable::nand_gate(2);
+  const TruthTable nor2 = TruthTable::nor_gate(2);
+  const TruthTable xnor2 = TruthTable::xnor_gate(2);
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    const bool a = get_bit(x, 0), b = get_bit(x, 1);
+    EXPECT_EQ(to_trit(nand2.eval_bit(x, 0)), to3(a, b, nand3));
+    EXPECT_EQ(to_trit(nor2.eval_bit(x, 0)), to3(a, b, nor3));
+    EXPECT_EQ(to_trit(xnor2.eval_bit(x, 0)), to3(a, b, xnor3));
+  }
+}
+
+TEST(TruthTable, MuxSemantics) {
+  const TruthTable t = TruthTable::mux();
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const bool s = get_bit(x, 0), a = get_bit(x, 1), b = get_bit(x, 2);
+    EXPECT_EQ(t.eval_bit(x, 0), s ? b : a);
+  }
+}
+
+TEST(TruthTable, JuncCopiesInput) {
+  const TruthTable t = TruthTable::junc(3);
+  EXPECT_EQ(t.eval_row(0), 0u);
+  EXPECT_EQ(t.eval_row(1), 7u);
+}
+
+TEST(TruthTable, JustifiabilityOfLibrary) {
+  EXPECT_FALSE(TruthTable::const0().is_justifiable());
+  EXPECT_FALSE(TruthTable::const1().is_justifiable());
+  EXPECT_TRUE(TruthTable::buf().is_justifiable());
+  EXPECT_TRUE(TruthTable::inv().is_justifiable());
+  EXPECT_TRUE(TruthTable::and_gate(2).is_justifiable());
+  EXPECT_TRUE(TruthTable::mux().is_justifiable());
+  EXPECT_TRUE(TruthTable::junc(1).is_justifiable());
+  EXPECT_FALSE(TruthTable::junc(2).is_justifiable());
+  EXPECT_FALSE(TruthTable::junc(5).is_justifiable());
+  // Half adder can never produce sum = carry = 1.
+  EXPECT_FALSE(TruthTable::half_adder().is_justifiable());
+  // Full adder reaches all four (sum, cout) combinations.
+  EXPECT_TRUE(TruthTable::full_adder().is_justifiable());
+  EXPECT_FALSE(TruthTable::demux2().is_justifiable());
+}
+
+TEST(TruthTable, ReachableOutputVectors) {
+  const auto r = TruthTable::half_adder().reachable_output_vectors();
+  EXPECT_TRUE(r[0b00]);
+  EXPECT_TRUE(r[0b01]);
+  EXPECT_TRUE(r[0b10]);
+  EXPECT_FALSE(r[0b11]);
+}
+
+TEST(TruthTable, PigeonholeNonJustifiable) {
+  // More outputs than inputs can never be surjective.
+  TruthTable t(1, 2);
+  EXPECT_FALSE(t.is_justifiable());
+}
+
+TEST(TruthTable, TernaryEvalAndGate) {
+  const TruthTable t = TruthTable::and_gate(2);
+  EXPECT_EQ(t.eval_ternary({kT0, kTX})[0], kT0);
+  EXPECT_EQ(t.eval_ternary({kT1, kTX})[0], kTX);
+  EXPECT_EQ(t.eval_ternary({kT1, kT1})[0], kT1);
+}
+
+TEST(TruthTable, TernaryEvalMultiOutput) {
+  const TruthTable ha = TruthTable::half_adder();
+  // a = 1, b = X: sum = !b -> X; carry = b -> X.
+  const auto out = ha.eval_ternary({kT1, kTX});
+  EXPECT_EQ(out[0], kTX);
+  EXPECT_EQ(out[1], kTX);
+  // a = 0, b = X: sum = b -> X; carry = 0 definite.
+  const auto out2 = ha.eval_ternary({kT0, kTX});
+  EXPECT_EQ(out2[0], kTX);
+  EXPECT_EQ(out2[1], kT0);
+}
+
+TEST(TruthTable, TernaryEvalIsExactPerCell) {
+  // Exhaustive cross-check against completion semantics for random tables.
+  Rng rng(100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable t = TruthTable::random(3, 2, rng);
+    for (std::uint64_t code = 0; code < 27; ++code) {
+      const Trits in = unpack_trits(code, 3);
+      const Trits got = t.eval_ternary(in);
+      for (unsigned j = 0; j < 2; ++j) {
+        bool saw0 = false, saw1 = false;
+        for (std::uint64_t x = 0; x < 8; ++x) {
+          bool compatible = true;
+          for (unsigned i = 0; i < 3; ++i) {
+            if (in[i] != kTX && (in[i] == kT1) != get_bit(x, i)) {
+              compatible = false;
+              break;
+            }
+          }
+          if (!compatible) continue;
+          (t.eval_bit(x, j) ? saw1 : saw0) = true;
+        }
+        const Trit expect = (saw0 && saw1) ? kTX : to_trit(saw1);
+        EXPECT_EQ(got[j], expect);
+      }
+    }
+  }
+}
+
+TEST(TruthTable, PreservesAllX) {
+  EXPECT_TRUE(TruthTable::and_gate(2).preserves_all_x());
+  EXPECT_TRUE(TruthTable::xor_gate(3).preserves_all_x());
+  EXPECT_TRUE(TruthTable::junc(4).preserves_all_x());
+  EXPECT_FALSE(TruthTable::const0().preserves_all_x());
+  EXPECT_FALSE(TruthTable::const1().preserves_all_x());
+  // A table with a constant output column does not preserve all-X.
+  TruthTable t(2, 1, {1, 1, 1, 1});
+  EXPECT_FALSE(t.preserves_all_x());
+}
+
+TEST(TruthTable, RowMutation) {
+  TruthTable t(2, 2);
+  t.set_row(3, 0b11);
+  EXPECT_EQ(t.eval_row(3), 3u);
+  EXPECT_TRUE(t.eval_bit(3, 1));
+  EXPECT_THROW(t.set_row(4, 0), InvalidArgument);
+  EXPECT_THROW(t.eval_bit(0, 2), InvalidArgument);
+}
+
+TEST(TruthTable, ConstructorValidation) {
+  EXPECT_THROW(TruthTable(17, 1), InvalidArgument);
+  EXPECT_THROW(TruthTable(1, 0), InvalidArgument);
+  EXPECT_THROW(TruthTable(2, 1, {0, 1}), InvalidArgument);  // wrong row count
+}
+
+TEST(TruthTable, EqualityIsFunctional) {
+  EXPECT_EQ(TruthTable::and_gate(2), TruthTable::and_gate(2));
+  EXPECT_FALSE(TruthTable::and_gate(2) == TruthTable::or_gate(2));
+}
+
+TEST(TruthTable, ArityMismatchTernaryEvalThrows) {
+  EXPECT_THROW(TruthTable::and_gate(2).eval_ternary({kT0}), InvalidArgument);
+}
+
+TEST(TruthTable, ToStringListsRows) {
+  const std::string s = TruthTable::buf().to_string();
+  EXPECT_NE(s.find("0 | 0"), std::string::npos);
+  EXPECT_NE(s.find("1 | 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+TEST(Error, CheckMacroThrowsInternalError) {
+  EXPECT_THROW(RTV_CHECK(1 == 2), InternalError);
+}
+
+TEST(Error, CheckMacroPassesOnTrue) {
+  EXPECT_NO_THROW(RTV_CHECK(1 == 1));
+}
+
+TEST(Error, CheckMsgIncludesMessage) {
+  try {
+    RTV_CHECK_MSG(false, "the-detail");
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("the-detail"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(RTV_REQUIRE(false, "bad arg"), InvalidArgument);
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(
+      { throw ParseError("x"); }, Error);
+  EXPECT_THROW(
+      { throw CapacityError("x"); }, Error);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeRejectsInverted) {
+  Rng rng(9);
+  EXPECT_THROW(rng.range(3, 2), InvalidArgument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, IndexEmptyThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), InvalidArgument);
+}
+
+TEST(Bits, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+}
+
+TEST(Bits, GetSetBit) {
+  std::uint64_t w = 0;
+  w = set_bit(w, 5, true);
+  EXPECT_TRUE(get_bit(w, 5));
+  EXPECT_FALSE(get_bit(w, 4));
+  w = set_bit(w, 5, false);
+  EXPECT_EQ(w, 0u);
+}
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(63), 1ULL << 63);
+  EXPECT_THROW(pow2(64), InvalidArgument);
+}
+
+TEST(Bits, Pow3) {
+  EXPECT_EQ(pow3(0), 1u);
+  EXPECT_EQ(pow3(3), 27u);
+  EXPECT_EQ(pow3(40), 12157665459056928801ULL);
+  EXPECT_THROW(pow3(41), InvalidArgument);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(3), 7u);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+  EXPECT_THROW(low_mask(65), InvalidArgument);
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(0xff), 8);
+  EXPECT_EQ(popcount64(~0ULL), 64);
+}
+
+TEST(SplitMix, Deterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace rtv

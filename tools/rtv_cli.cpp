@@ -1,0 +1,322 @@
+// rtv — command-line driver for the retiming-validity library.
+//
+//   rtv info <design>                      summary, stats, safety census
+//   rtv convert <in> <out>                 .rnl/.blif/.dot conversion
+//   rtv simulate <design> --inputs SEQ [--state BITS] [--cls] [--vcd F]
+//   rtv retime <design> (--min-area|--min-period|--period N) [-o OUT]
+//   rtv validate <design> (--min-area|--min-period)           full check
+//   rtv audit <design>                     per-move safety classification
+//   rtv redundancy <design> [-o OUT]       CLS-redundancy removal
+//
+// Design files are read by extension: .rnl (native) or .blif.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/equivalence.hpp"
+#include "bdd/symbolic.hpp"
+#include "core/cls_equiv.hpp"
+#include "core/cls_reset.hpp"
+#include "core/flow.hpp"
+#include "core/redundancy.hpp"
+#include "core/safety.hpp"
+#include "core/validator.hpp"
+#include "io/blif.hpp"
+#include "io/dot_export.hpp"
+#include "io/rnl_format.hpp"
+#include "io/vcd.hpp"
+#include "retime/apply.hpp"
+#include "retime/graph.hpp"
+#include "retime/min_area.hpp"
+#include "retime/min_period.hpp"
+#include "retime/moves.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+
+namespace rtv::cli {
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rtv info <design>\n"
+               "  rtv convert <in> <out>           (.rnl | .blif | .dot)\n"
+               "  rtv simulate <design> --inputs SEQ [--state BITS] [--cls]"
+               " [--vcd FILE]\n"
+               "  rtv retime <design> (--min-area | --min-period | --period N)"
+               " [-o OUT]\n"
+               "  rtv validate <design> (--min-area | --min-period)\n"
+               "  rtv audit <design>\n"
+               "  rtv redundancy <design> [-o OUT]\n"
+               "  rtv flow <design> [--min-area|--min-period|--period-then-area]"
+               " [-o OUT]\n"
+               "  rtv reset <design>                find a CLS reset sequence\n"
+               "  rtv equiv <a> <b>                 symbolic C ⊑ D + min delay\n");
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Netlist load_design(const std::string& path) {
+  if (ends_with(path, ".blif")) return load_blif(path).netlist;
+  if (ends_with(path, ".rnl")) return load_rnl(path);
+  usage("design files must end in .rnl or .blif");
+}
+
+void save_design(const Netlist& n, const std::string& path) {
+  if (ends_with(path, ".blif")) {
+    save_blif(n, path);
+  } else if (ends_with(path, ".rnl")) {
+    save_rnl(n, path);
+  } else if (ends_with(path, ".dot")) {
+    std::ofstream f(path);
+    if (!f) throw Error("cannot open '" + path + "'");
+    f << netlist_to_dot(n);
+  } else {
+    usage("output files must end in .rnl, .blif or .dot");
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<std::string> inputs, state, out, vcd;
+  std::optional<int> period;
+  bool min_area = false, min_period = false, cls = false;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (a == "--inputs") {
+      args.inputs = value("--inputs");
+    } else if (a == "--state") {
+      args.state = value("--state");
+    } else if (a == "-o" || a == "--out") {
+      args.out = value("-o");
+    } else if (a == "--vcd") {
+      args.vcd = value("--vcd");
+    } else if (a == "--period") {
+      args.period = std::atoi(value("--period").c_str());
+    } else if (a == "--min-area") {
+      args.min_area = true;
+    } else if (a == "--min-period") {
+      args.min_period = true;
+    } else if (a == "--cls") {
+      args.cls = true;
+    } else if (!a.empty() && a[0] == '-') {
+      usage(("unknown flag " + a).c_str());
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() != 1) usage("info needs one design");
+  const Netlist n = load_design(args.positional[0]);
+  std::printf("%s\n", n.summary().c_str());
+  const RetimeGraph g = RetimeGraph::from_netlist(n);
+  std::printf("%s\n", g.summary().c_str());
+  std::printf("junction-normal: %s, all cells preserve all-X: %s\n",
+              n.is_junction_normal() ? "yes" : "no",
+              n.all_cells_preserve_all_x() ? "yes" : "no");
+  const auto moves = enabled_moves(n);
+  std::size_t unsafe = 0;
+  for (const auto& m : moves) {
+    if (!classify_move(n, m).preserves_safe_replacement()) ++unsafe;
+  }
+  std::printf("enabled atomic moves: %zu (%zu unsafe without delay)\n",
+              moves.size(), unsafe);
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  if (args.positional.size() != 2) usage("convert needs <in> <out>");
+  save_design(load_design(args.positional[0]), args.positional[1]);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.size() != 1 || !args.inputs) {
+    usage("simulate needs one design and --inputs");
+  }
+  const Netlist n = load_design(args.positional[0]);
+  if (args.cls) {
+    const TritsSeq inputs = trits_seq_from_string(*args.inputs);
+    ClsSimulator sim(n);
+    for (const Trits& in : inputs) {
+      std::printf("%s -> %s\n", to_string(in).c_str(),
+                  to_string(sim.step(in)).c_str());
+    }
+    if (args.vcd) {
+      save_vcd(cls_simulate_to_vcd(n, inputs), *args.vcd);
+      std::printf("wrote %s\n", args.vcd->c_str());
+    }
+  } else {
+    const BitsSeq inputs = bits_seq_from_string(*args.inputs);
+    Bits state(n.latches().size(), 0);
+    if (args.state) state = bits_from_string(*args.state);
+    BinarySimulator sim(n);
+    sim.set_state(state);
+    for (const Bits& in : inputs) {
+      std::printf("%s -> %s\n", to_string(in).c_str(),
+                  to_string(sim.step(in)).c_str());
+    }
+    if (args.vcd) {
+      save_vcd(simulate_to_vcd(n, state, inputs), *args.vcd);
+      std::printf("wrote %s\n", args.vcd->c_str());
+    }
+  }
+  return 0;
+}
+
+std::vector<int> solve_lags(const RetimeGraph& g, const Args& args) {
+  if (args.min_area) return min_area_retime(g).lag;
+  if (args.min_period) return min_period_retime_feas(g).lag;
+  if (args.period) {
+    const auto r = min_area_retime_with_period(g, *args.period);
+    if (!r) throw Error("period " + std::to_string(*args.period) +
+                        " is infeasible");
+    return r->lag;
+  }
+  usage("pick --min-area, --min-period or --period N");
+}
+
+int cmd_retime(const Args& args) {
+  if (args.positional.size() != 1) usage("retime needs one design");
+  const Netlist n = load_design(args.positional[0]);
+  const RetimeGraph g = RetimeGraph::from_netlist(n);
+  const std::vector<int> lag = solve_lags(g, args);
+  SequencedRetiming seq;
+  const SafetyReport safety = analyze_lag_retiming(n, g, lag, &seq);
+  std::printf("before: %s\n", g.summary().c_str());
+  std::printf("after:  period %d, %zu registers\n", g.clock_period(lag),
+              seq.retimed.num_latches());
+  std::printf("safety: %s\n", safety.summary().c_str());
+  if (args.out) save_design(seq.retimed.compacted(), *args.out);
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  if (args.positional.size() != 1) usage("validate needs one design");
+  const Netlist n = load_design(args.positional[0]);
+  const RetimeGraph g = RetimeGraph::from_netlist(n);
+  const RetimingValidation v = validate_retiming(n, g, solve_lags(g, args));
+  std::printf("%s", v.summary().c_str());
+  return v.theorems_hold && v.cls.equivalent ? 0 : 1;
+}
+
+int cmd_audit(const Args& args) {
+  if (args.positional.size() != 1) usage("audit needs one design");
+  const Netlist n = load_design(args.positional[0]);
+  for (const RetimingMove& move : enabled_moves(n)) {
+    const MoveClass cls = classify_move(n, move);
+    std::printf("%-20s %-8s %-10s %s\n", n.name(move.element).c_str(),
+                cell_kind_name(n.kind(move.element)),
+                to_string(move.direction),
+                cls.preserves_safe_replacement() ? "safe (Cor 4.4)"
+                                                 : "needs delay (Thm 4.5)");
+  }
+  return 0;
+}
+
+int cmd_redundancy(const Args& args) {
+  if (args.positional.size() != 1) usage("redundancy needs one design");
+  const Netlist n = load_design(args.positional[0]);
+  const RedundancyRemovalResult r = remove_cls_redundancies(n);
+  std::printf("tied %zu net(s), swept %zu node(s); gates %zu -> %zu\n",
+              r.faults_tied, r.nodes_swept, r.gates_before, r.gates_after);
+  if (args.out) save_design(r.optimized, *args.out);
+  return 0;
+}
+
+int cmd_flow(const Args& args) {
+  if (args.positional.size() != 1) usage("flow needs one design");
+  const Netlist n = load_design(args.positional[0]);
+  FlowOptions opt;
+  if (args.min_period) opt.objective = FlowOptions::Objective::kMinPeriod;
+  if (args.period) opt.objective = FlowOptions::Objective::kMinAreaAtMinPeriod;
+  const FlowReport r = run_synthesis_flow(n, opt);
+  std::printf("%s\n", r.summary().c_str());
+  if (args.out && r.accepted()) save_design(r.optimized, *args.out);
+  return r.accepted() ? 0 : 1;
+}
+
+int cmd_reset(const Args& args) {
+  if (args.positional.size() != 1) usage("reset needs one design");
+  const Netlist n = load_design(args.positional[0]);
+  const auto seq = find_cls_reset_sequence(n);
+  if (!seq) {
+    std::printf("no CLS reset sequence within the search bounds — a\n"
+                "conservative three-valued simulator never sees this design\n"
+                "initialized (Section 5's X-pessimism in the flesh)\n");
+    return 1;
+  }
+  std::printf("CLS reset sequence of length %zu: %s\n", seq->size(),
+              sequence_to_string(*seq).c_str());
+  return 0;
+}
+
+int cmd_equiv(const Args& args) {
+  if (args.positional.size() != 2) usage("equiv needs two designs");
+  const Netlist c = load_design(args.positional[0]);
+  const Netlist d = load_design(args.positional[1]);
+  SymbolicImplication sym(c, d);
+  const bool holds = sym.implies();
+  std::printf("%s ⊑ %s: %s\n", args.positional[0].c_str(),
+              args.positional[1].c_str(), holds ? "holds" : "fails");
+  if (!holds) {
+    const int n = sym.min_delay_for_implication(32);
+    if (n >= 0) {
+      std::printf("least n with C^n ⊑ D: %d (safe after %d settle cycles)\n",
+                  n, n);
+    } else {
+      std::printf("no delay makes C^n ⊑ D hold (not a retiming pair?)\n");
+    }
+  }
+  return holds ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "convert") return cmd_convert(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "retime") return cmd_retime(args);
+  if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "audit") return cmd_audit(args);
+  if (cmd == "redundancy") return cmd_redundancy(args);
+  if (cmd == "flow") return cmd_flow(args);
+  if (cmd == "reset") return cmd_reset(args);
+  if (cmd == "equiv") return cmd_equiv(args);
+  usage(("unknown command '" + cmd + "'").c_str());
+}
+
+}  // namespace
+}  // namespace rtv::cli
+
+int main(int argc, char** argv) {
+  try {
+    return rtv::cli::run(argc, argv);
+  } catch (const rtv::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
