@@ -1,20 +1,40 @@
 // E11 — simulator substrate throughput: 2-valued vs 64-way bit-parallel vs
-// conservative 3-valued (CLS) vs exact 3-valued, across circuit sizes.
+// conservative 3-valued (CLS, scalar and packed) vs exact 3-valued.
+//
+// Besides the console tables, the report emits a machine-readable
+// BENCH_sim.json (path overridable via RTV_BENCH_JSON) recording
+// scalar-vs-packed CLS pattern throughput so the performance trajectory is
+// trackable across commits; docs/performance.md documents the methodology
+// and the schema. RTV_BENCH_SMOKE=1 shrinks every workload so CI can run
+// the report (and validate the JSON) in seconds.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "gen/datapath.hpp"
 #include "gen/random_circuits.hpp"
+#include "gen/shift.hpp"
 #include "sim/binary_sim.hpp"
 #include "sim/cls_sim.hpp"
 #include "sim/exact_sim.hpp"
+#include "sim/packed_sim.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/rng.hpp"
 
 namespace rtv {
 
 namespace {
+
+bool smoke_mode() {
+  const char* v = std::getenv("RTV_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 Netlist workload(unsigned gates, std::uint64_t seed) {
   Rng rng(seed);
@@ -27,16 +47,208 @@ Netlist workload(unsigned gates, std::uint64_t seed) {
   return random_netlist(opt, rng);
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---- E11b: scalar vs packed CLS pattern throughput ------------------------
+
+struct PackedRow {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t latches = 0;
+  unsigned patterns = 0;
+  unsigned cycles = 0;
+  double scalar_pps = 0.0;  ///< pattern-cycles per second, scalar ClsSimulator
+  double packed_pps = 0.0;  ///< pattern-cycles per second, packed engine
+  double speedup = 0.0;
+};
+
+/// Random ternary test set: `patterns` sequences of `cycles` input vectors.
+std::vector<TritsSeq> make_patterns(const Netlist& n, unsigned patterns,
+                                    unsigned cycles, Rng& rng) {
+  std::vector<TritsSeq> tests(patterns);
+  for (TritsSeq& seq : tests) {
+    seq.reserve(cycles);
+    for (unsigned t = 0; t < cycles; ++t) {
+      Trits in(n.primary_inputs().size());
+      for (Trit& v : in) v = static_cast<Trit>(rng.below(3));
+      seq.push_back(std::move(in));
+    }
+  }
+  return tests;
+}
+
+PackedRow measure_packed_vs_scalar(const std::string& name, const Netlist& n,
+                                   unsigned patterns, unsigned cycles) {
+  Rng rng(0xE11Bu);
+  const std::vector<TritsSeq> tests = make_patterns(n, patterns, cycles, rng);
+  const double work = static_cast<double>(patterns) * cycles;
+
+  ClsSimulator scalar(n);
+  auto t0 = std::chrono::steady_clock::now();
+  for (const TritsSeq& test : tests) {
+    scalar.reset_to_all_x();
+    benchmark::DoNotOptimize(scalar.run(test));
+  }
+  const double scalar_s = seconds_since(t0);
+
+  // The packed side delivers the same response data in PackedResponses'
+  // flat storage (its native result form); materializing one nested vector
+  // per lane-cycle would time the allocator, not the simulator.
+  t0 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(packed_cls_responses(n, tests));
+  const double packed_s = seconds_since(t0);
+
+  PackedRow row;
+  row.name = name;
+  row.gates = n.num_gates();
+  row.latches = n.num_latches();
+  row.patterns = patterns;
+  row.cycles = cycles;
+  row.scalar_pps = work / scalar_s;
+  row.packed_pps = work / packed_s;
+  row.speedup = row.packed_pps / row.scalar_pps;
+  return row;
+}
+
+std::string bench_json_path() {
+  const char* v = std::getenv("RTV_BENCH_JSON");
+  return (v != nullptr && v[0] != '\0') ? v : "BENCH_sim.json";
+}
+
+std::string render_bench_json(const std::vector<PackedRow>& rows) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"benchmark\": \"sim_throughput\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n";
+  os << "  \"lanes_per_word\": " << PackedTernarySimulator::kLanesPerWord
+     << ",\n";
+  os << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PackedRow& r = rows[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << r.name << "\",\n";
+    os << "      \"gates\": " << r.gates << ",\n";
+    os << "      \"latches\": " << r.latches << ",\n";
+    os << "      \"patterns\": " << r.patterns << ",\n";
+    os << "      \"cycles\": " << r.cycles << ",\n";
+    os << "      \"scalar_cls_patterns_per_sec\": " << r.scalar_pps << ",\n";
+    os << "      \"packed_cls_patterns_per_sec\": " << r.packed_pps << ",\n";
+    os << "      \"speedup\": " << r.speedup << "\n";
+    os << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// Minimal schema check of the emitted JSON (no JSON library in the image):
+/// all required keys present, braces/brackets balanced, at least one
+/// workload, every speedup positive. Returns an error description or "".
+std::string validate_bench_json(const std::string& text) {
+  for (const char* key :
+       {"\"benchmark\"", "\"schema_version\"", "\"smoke\"",
+        "\"lanes_per_word\"", "\"workloads\"", "\"name\"", "\"gates\"",
+        "\"latches\"", "\"patterns\"", "\"cycles\"",
+        "\"scalar_cls_patterns_per_sec\"", "\"packed_cls_patterns_per_sec\"",
+        "\"speedup\""}) {
+    if (text.find(key) == std::string::npos) {
+      return std::string("missing key ") + key;
+    }
+  }
+  long depth_brace = 0, depth_bracket = 0;
+  for (char c : text) {
+    if (c == '{') ++depth_brace;
+    if (c == '}') --depth_brace;
+    if (c == '[') ++depth_bracket;
+    if (c == ']') --depth_bracket;
+    if (depth_brace < 0 || depth_bracket < 0) return "unbalanced nesting";
+  }
+  if (depth_brace != 0 || depth_bracket != 0) return "unbalanced nesting";
+  std::size_t pos = 0;
+  unsigned speedups = 0;
+  while ((pos = text.find("\"speedup\":", pos)) != std::string::npos) {
+    pos += 10;
+    const double v = std::strtod(text.c_str() + pos, nullptr);
+    if (!(v > 0.0)) return "non-positive speedup";
+    ++speedups;
+  }
+  if (speedups == 0) return "no workloads";
+  return "";
+}
+
+void report_packed(std::vector<PackedRow>* rows_out) {
+  bench::heading("E11b / packed CLS",
+                 "pattern-cycles per second: scalar ClsSimulator vs the "
+                 "64-lane packed ternary engine");
+  const bool smoke = smoke_mode();
+  const unsigned patterns = smoke ? 64 : 256;
+  const unsigned cycles = smoke ? 4 : 64;
+
+  std::vector<PackedRow> rows;
+  rows.push_back(measure_packed_vs_scalar("shift64", shift_register(64),
+                                          patterns, cycles));
+  rows.push_back(measure_packed_vs_scalar("twisted64", twisted_ring(64),
+                                          patterns, cycles));
+  rows.push_back(measure_packed_vs_scalar(
+      "adder32x4", pipelined_adder(32, 4), patterns, cycles));
+  rows.push_back(measure_packed_vs_scalar(
+      "ctrl_datapath64", controller_datapath(64), patterns, cycles));
+  rows.push_back(measure_packed_vs_scalar(
+      "random2048", workload(2048, 42), patterns, cycles));
+
+  std::printf("%-16s %-8s %-8s %-14s %-14s %-8s\n", "workload", "gates",
+              "latches", "scalar pat/s", "packed pat/s", "speedup");
+  for (const PackedRow& r : rows) {
+    std::printf("%-16s %-8zu %-8zu %-14.3g %-14.3g %-8.1f\n", r.name.c_str(),
+                r.gates, r.latches, r.scalar_pps, r.packed_pps, r.speedup);
+  }
+  std::printf("(%u patterns x %u cycles per workload, random ternary "
+              "inputs, all-X power-up on both engines)\n",
+              patterns, cycles);
+  *rows_out = std::move(rows);
+}
+
+void emit_bench_json(const std::vector<PackedRow>& rows) {
+  const std::string path = bench_json_path();
+  {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    f << render_bench_json(rows);
+  }
+  std::ifstream f(path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  const std::string problem = validate_bench_json(buffer.str());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "error: %s fails schema check: %s\n", path.c_str(),
+                 problem.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (schema ok)\n", path.c_str());
+}
+
 }  // namespace
 
 void report() {
+  const bool smoke = smoke_mode();
   bench::heading("E11 / simulators",
                  "gate-evaluations per second by simulator kind");
   std::printf("%-10s %-10s %-14s %-14s %-14s\n", "gates", "latches",
               "binary Geval/s", "parallel64", "CLS Geval/s");
-  for (const unsigned gates : {256u, 2048u, 16384u}) {
+  const std::vector<unsigned> sizes =
+      smoke ? std::vector<unsigned>{256u}
+            : std::vector<unsigned>{256u, 2048u, 16384u};
+  for (const unsigned gates : sizes) {
     const Netlist n = workload(gates, 42);
-    const unsigned cycles = 2000;
+    const unsigned cycles = smoke ? 50 : 2000;
     Rng rng(7);
     Bits in(n.primary_inputs().size());
 
@@ -46,9 +258,7 @@ void report() {
       for (auto& v : in) v = rng.coin();
       benchmark::DoNotOptimize(bsim.step(in));
     }
-    const double bin_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double bin_s = seconds_since(t0);
 
     ParallelBinarySimulator psim(n, 64);
     t0 = std::chrono::steady_clock::now();
@@ -56,9 +266,7 @@ void report() {
       for (auto& v : in) v = rng.coin();
       psim.step_broadcast(in);
     }
-    const double par_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double par_s = seconds_since(t0);
 
     ClsSimulator csim(n);
     t0 = std::chrono::steady_clock::now();
@@ -66,9 +274,7 @@ void report() {
       for (auto& v : in) v = rng.coin();
       benchmark::DoNotOptimize(csim.step(in));
     }
-    const double cls_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double cls_s = seconds_since(t0);
 
     const double evals = static_cast<double>(n.num_gates()) * cycles;
     std::printf("%-10zu %-10zu %-14.3g %-14.3g %-14.3g\n", n.num_gates(),
@@ -78,6 +284,10 @@ void report() {
   std::printf("\n(parallel64 counts 64 lanes of gate evaluations per step;\n"
               "exact 3-valued simulation is benchmarked below — its cost\n"
               "scales with the tracked power-up state-set size)\n");
+
+  std::vector<PackedRow> rows;
+  report_packed(&rows);
+  emit_bench_json(rows);
 }
 
 namespace {
@@ -116,6 +326,19 @@ void BM_ClsStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClsStep)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_PackedClsStep(benchmark::State& state) {
+  const Netlist n = workload(static_cast<unsigned>(state.range(0)), 1);
+  PackedTernarySimulator sim(n, 64);
+  const Trits in(n.primary_inputs().size(), Trit::kX);
+  for (auto _ : state) {
+    sim.step_broadcast(in);
+  }
+  state.counters["lane-gates/s"] = benchmark::Counter(
+      static_cast<double>(n.num_gates()) * 64,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PackedClsStep)->Arg(256)->Arg(2048)->Arg(16384);
 
 void BM_ExactStep(benchmark::State& state) {
   // Exact sim on a circuit with state.range(0) latches from all power-up.

@@ -1,10 +1,12 @@
 #include "core/cls_equiv.hpp"
 
+#include <bit>
 #include <deque>
 #include <sstream>
 #include <unordered_set>
 
 #include "sim/cls_sim.hpp"
+#include "sim/packed_sim.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
@@ -51,23 +53,57 @@ Trits nth_ternary_vector(std::uint64_t index, unsigned width) {
   return unpack_trits(index, width);
 }
 
+/// Bounded mode, 64 random sequences per machine word: every sequence is a
+/// lane of the packed ternary engine, both designs step in lockstep, and
+/// the output planes are compared wholesale each cycle.
 ClsEquivalenceResult bounded_check(const Netlist& a, const Netlist& b,
                                    const ClsEquivOptions& options) {
   ClsEquivalenceResult result;
   result.exhaustive = false;
   Rng rng(options.seed);
   const unsigned width = static_cast<unsigned>(a.primary_inputs().size());
-  for (unsigned s = 0; s < options.random_sequences; ++s) {
-    ClsSimulator sa(a), sb(b);
-    TritsSeq applied;
+  const unsigned outputs = static_cast<unsigned>(a.primary_outputs().size());
+  const unsigned lanes = options.random_sequences;
+  if (lanes == 0 || options.random_length == 0) {
+    result.equivalent = true;
+    return result;
+  }
+
+  std::vector<TritsSeq> sequences(lanes);
+  for (unsigned s = 0; s < lanes; ++s) {
+    sequences[s].reserve(options.random_length);
     for (unsigned t = 0; t < options.random_length; ++t) {
       Trits in(width);
       for (Trit& v : in) v = static_cast<Trit>(rng.below(3));
-      applied.push_back(in);
-      ++result.pairs_explored;
-      if (sa.step(in) != sb.step(in)) {
+      sequences[s].push_back(std::move(in));
+    }
+  }
+
+  PackedTernarySimulator sa(a, lanes), sb(b, lanes);
+  PackedTrits cycle_inputs(width, lanes);
+  const unsigned words = sa.words();
+  for (unsigned t = 0; t < options.random_length; ++t) {
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      cycle_inputs.set_lane(lane, sequences[lane][t]);
+    }
+    sa.step_packed(cycle_inputs);
+    sb.step_packed(cycle_inputs);
+    result.pairs_explored += lanes;
+    for (unsigned o = 0; o < outputs; ++o) {
+      const TritWord* wa = sa.output_words(o);
+      const TritWord* wb = sb.output_words(o);
+      for (unsigned w = 0; w < words; ++w) {
+        const std::uint64_t mask = (w + 1 == words && lanes % 64 != 0)
+                                       ? low_mask(lanes % 64)
+                                       : ~0ULL;
+        const std::uint64_t diff =
+            ((wa[w].ones ^ wb[w].ones) | (wa[w].unk ^ wb[w].unk)) & mask;
+        if (diff == 0) continue;
+        const unsigned lane =
+            64 * w + static_cast<unsigned>(std::countr_zero(diff));
         result.equivalent = false;
-        result.counterexample = std::move(applied);
+        result.counterexample =
+            TritsSeq(sequences[lane].begin(), sequences[lane].begin() + t + 1);
         return result;
       }
     }

@@ -20,6 +20,11 @@ struct FaultSimOptions {
   bool exact = true;
   unsigned sample_lanes = 256;
   std::uint64_t sample_seed = 1;
+  /// When set, detection is decided by conservative three-valued simulation
+  /// from the all-X state instead (CLS detection implies exact detection —
+  /// an under-approximation), evaluated 64 tests per word through the
+  /// packed ternary engine. Overrides `exact`/sampling.
+  bool cls = false;
 };
 
 struct FaultSimResult {
@@ -41,5 +46,12 @@ FaultSimResult fault_simulate(const Netlist& netlist,
 /// and constant !v over all faulty lanes.
 bool sampled_test_detects(const Netlist& netlist, const Fault& fault,
                           const BitsSeq& test, unsigned lanes, Rng& rng);
+
+/// CLS-based batch fault simulation: conservative (under-approximate)
+/// detection, but the whole test set runs 64 tests per machine word —
+/// good-design responses are computed once, then one packed run per fault.
+FaultSimResult cls_fault_simulate(const Netlist& netlist,
+                                  const std::vector<Fault>& faults,
+                                  const std::vector<BitsSeq>& tests);
 
 }  // namespace rtv

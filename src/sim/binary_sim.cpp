@@ -1,8 +1,15 @@
 #include "sim/binary_sim.hpp"
 
+#include "sim/packed_sim.hpp"
 #include "util/bits.hpp"
 
 namespace rtv {
+
+std::vector<BitsSeq> BinarySimulator::run_batch(
+    const Netlist& netlist, const Bits& state,
+    const std::vector<BitsSeq>& tests) {
+  return packed_binary_run(netlist, state, tests);
+}
 
 BinarySimulator::BinarySimulator(const Netlist& netlist)
     : netlist_(netlist),

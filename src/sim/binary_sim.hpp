@@ -32,6 +32,14 @@ class BinarySimulator {
   /// Runs a whole input sequence; returns one output vector per cycle.
   BitsSeq run(const BitsSeq& inputs);
 
+  /// Runs many independent input sequences from one shared power-up state,
+  /// 64 sequences per machine word via the packed ternary engine
+  /// (sim/packed_sim.hpp). Result i equals running sequence i alone from
+  /// `state`. Static because the lanes share nothing with this simulator.
+  static std::vector<BitsSeq> run_batch(const Netlist& netlist,
+                                        const Bits& state,
+                                        const std::vector<BitsSeq>& tests);
+
   /// Pure transition-function query: outputs and next state for an explicit
   /// (state, inputs) pair. Does not touch the internal state.
   void eval(const Bits& state, const Bits& inputs, Bits& outputs,

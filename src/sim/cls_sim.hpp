@@ -45,6 +45,13 @@ class ClsSimulator {
   TritsSeq run(const TritsSeq& inputs);
   TritsSeq run(const BitsSeq& inputs) { return run(to_trits(inputs)); }
 
+  /// Runs many independent input sequences, each from the all-X state,
+  /// 64 sequences per machine word via the packed ternary engine
+  /// (sim/packed_sim.hpp). Result i equals `ClsSimulator(n).run(tests[i])`.
+  /// Static because the lanes share nothing with this simulator's state.
+  static std::vector<TritsSeq> run_batch(const Netlist& netlist,
+                                         const std::vector<TritsSeq>& tests);
+
   /// Pure transition-function query; does not touch the internal state.
   void eval(const Trits& state, const Trits& inputs, Trits& outputs,
             Trits& next_state) const;

@@ -1,0 +1,69 @@
+#include "sim/packed_vectors.hpp"
+
+namespace rtv {
+
+PackedTrits::PackedTrits(unsigned num_signals, unsigned lanes)
+    : num_signals_(num_signals),
+      lanes_(lanes),
+      words_(static_cast<unsigned>(words_for_bits(lanes))) {
+  RTV_REQUIRE(lanes >= 1, "need at least one lane");
+  words_data_.assign(static_cast<std::size_t>(num_signals) * words_,
+                     TritWord{});
+}
+
+Trit PackedTrits::get(unsigned signal, unsigned lane) const {
+  RTV_REQUIRE(signal < num_signals_ && lane < lanes_, "index out of range");
+  return get_trit(signal_words(signal)[lane / 64], lane % 64);
+}
+
+void PackedTrits::set(unsigned signal, unsigned lane, Trit t) {
+  RTV_REQUIRE(signal < num_signals_ && lane < lanes_, "index out of range");
+  TritWord& w = signal_words(signal)[lane / 64];
+  w = set_trit(w, lane % 64, t);
+}
+
+void PackedTrits::broadcast(unsigned signal, Trit t) {
+  RTV_REQUIRE(signal < num_signals_, "signal index out of range");
+  TritWord fill = trit_word_fill(t);
+  if (lanes_ % 64 != 0) {
+    // Keep tail lanes definite-0 so whole-word comparisons stay meaningful.
+    const std::uint64_t tail = low_mask(lanes_ % 64);
+    TritWord* words = signal_words(signal);
+    for (unsigned w = 0; w + 1 < words_; ++w) words[w] = fill;
+    words[words_ - 1] = TritWord{fill.ones & tail, fill.unk & tail};
+    return;
+  }
+  TritWord* words = signal_words(signal);
+  for (unsigned w = 0; w < words_; ++w) words[w] = fill;
+}
+
+void PackedTrits::set_lane(unsigned lane, const Trits& pattern) {
+  RTV_REQUIRE(pattern.size() == num_signals_, "pattern width mismatch");
+  for (unsigned s = 0; s < num_signals_; ++s) set(s, lane, pattern[s]);
+}
+
+Trits PackedTrits::lane(unsigned lane) const {
+  Trits out(num_signals_);
+  for (unsigned s = 0; s < num_signals_; ++s) out[s] = get(s, lane);
+  return out;
+}
+
+PackedTrits pack_patterns(const std::vector<Trits>& patterns) {
+  RTV_REQUIRE(!patterns.empty(), "pack_patterns needs at least one pattern");
+  const unsigned width = static_cast<unsigned>(patterns[0].size());
+  PackedTrits packed(width, static_cast<unsigned>(patterns.size()));
+  for (unsigned lane = 0; lane < patterns.size(); ++lane) {
+    packed.set_lane(lane, patterns[lane]);
+  }
+  return packed;
+}
+
+std::vector<Trits> unpack_patterns(const PackedTrits& packed) {
+  std::vector<Trits> out(packed.lanes());
+  for (unsigned lane = 0; lane < packed.lanes(); ++lane) {
+    out[lane] = packed.lane(lane);
+  }
+  return out;
+}
+
+}  // namespace rtv

@@ -1,0 +1,143 @@
+#pragma once
+// Bit-plane packed ternary values: 64 independent patterns per word pair.
+//
+// A TritWord carries one ternary value for each of 64 lanes using two
+// bit-planes, `ones` (the lane is definitely 1) and `unk` (the lane is X);
+// a lane with neither bit set is definitely 0. The canonical-form invariant
+// `ones & unk == 0` holds for every TritWord produced by this header.
+//
+// The gate functions below are the word-parallel forms of the exact per-gate
+// ternary extensions in ternary/trit.hpp (not3/and3/or3/xor3/mux3): for
+// every lane, `and_w(a, b)` equals `and3(a_lane, b_lane)`, and so on. The
+// derivations are spelled out per-op and documented with full truth tables
+// in docs/performance.md. Two derived planes make them compact:
+//
+//   could-be-1(a) = a.ones | a.unk       (some completion of lane is 1)
+//   could-be-0(a) = ~a.ones              (some completion is 0; uses the
+//                                         canonical invariant: unk ⊆ ~ones)
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/vectors.hpp"
+#include "ternary/trit.hpp"
+#include "util/bits.hpp"
+
+namespace rtv {
+
+struct TritWord {
+  std::uint64_t ones = 0;  ///< plane of definite-1 lanes
+  std::uint64_t unk = 0;   ///< plane of X lanes (disjoint from `ones`)
+
+  constexpr bool operator==(const TritWord&) const = default;
+};
+
+/// Plane of definite-0 lanes.
+constexpr std::uint64_t zeros_plane(TritWord a) { return ~(a.ones | a.unk); }
+
+/// All 64 lanes set to the same ternary value.
+constexpr TritWord trit_word_fill(Trit t) {
+  return t == Trit::kOne ? TritWord{~0ULL, 0}
+         : t == Trit::kX ? TritWord{0, ~0ULL}
+                         : TritWord{0, 0};
+}
+
+constexpr Trit get_trit(TritWord w, unsigned lane) {
+  if (get_bit(w.unk, lane)) return Trit::kX;
+  return get_bit(w.ones, lane) ? Trit::kOne : Trit::kZero;
+}
+
+constexpr TritWord set_trit(TritWord w, unsigned lane, Trit t) {
+  return TritWord{set_bit(w.ones, lane, t == Trit::kOne),
+                  set_bit(w.unk, lane, t == Trit::kX)};
+}
+
+// ---------------------------------------------------------------------------
+// Word-parallel ternary gate functions (lane-wise not3/and3/or3/xor3/mux3).
+// ---------------------------------------------------------------------------
+
+/// NOT flips the definite lanes and leaves X lanes X.
+constexpr TritWord not_w(TritWord a) {
+  return TritWord{zeros_plane(a), a.unk};
+}
+
+/// AND is 0 where either side is definitely 0, 1 where both are definitely
+/// 1, X elsewhere (the dominant-0 rule: 0 AND X = 0).
+constexpr TritWord and_w(TritWord a, TritWord b) {
+  const std::uint64_t ones = a.ones & b.ones;
+  const std::uint64_t zero = zeros_plane(a) | zeros_plane(b);
+  return TritWord{ones, ~(ones | zero)};
+}
+
+/// OR is the dual: 1 dominates X.
+constexpr TritWord or_w(TritWord a, TritWord b) {
+  const std::uint64_t ones = a.ones | b.ones;
+  const std::uint64_t zero = zeros_plane(a) & zeros_plane(b);
+  return TritWord{ones, ~(ones | zero)};
+}
+
+/// XOR has no dominant value: any X input makes the output X.
+constexpr TritWord xor_w(TritWord a, TritWord b) {
+  const std::uint64_t unk = a.unk | b.unk;
+  return TritWord{(a.ones ^ b.ones) & ~unk, unk};
+}
+
+/// MUX(s, a, b) = s ? b : a, with the exact-extension refinement that an X
+/// select still yields a definite output where both data inputs agree on it.
+constexpr TritWord mux_w(TritWord s, TritWord a, TritWord b) {
+  const std::uint64_t s0 = zeros_plane(s);
+  const std::uint64_t ones =
+      (s0 & a.ones) | (s.ones & b.ones) | (s.unk & a.ones & b.ones);
+  const std::uint64_t zero = (s0 & zeros_plane(a)) |
+                             (s.ones & zeros_plane(b)) |
+                             (s.unk & zeros_plane(a) & zeros_plane(b));
+  return TritWord{ones, ~(ones | zero)};
+}
+
+// ---------------------------------------------------------------------------
+// Packed pattern batches: S signals × L lanes, two planes per word.
+// ---------------------------------------------------------------------------
+
+/// A rectangular batch of ternary patterns: `num_signals()` signals wide,
+/// `lanes()` patterns deep, stored as TritWords laid out
+/// [signal * words() + word]; bit b of word w belongs to lane 64*w + b.
+/// Lanes beyond `lanes()` (the tail of the last word) stay definite-0.
+class PackedTrits {
+ public:
+  PackedTrits(unsigned num_signals, unsigned lanes);
+
+  unsigned num_signals() const { return num_signals_; }
+  unsigned lanes() const { return lanes_; }
+  unsigned words() const { return words_; }
+
+  Trit get(unsigned signal, unsigned lane) const;
+  void set(unsigned signal, unsigned lane, Trit t);
+
+  /// Sets every lane of one signal to the same value.
+  void broadcast(unsigned signal, Trit t);
+
+  /// Writes/reads a whole pattern (one value per signal) at a lane.
+  void set_lane(unsigned lane, const Trits& pattern);
+  Trits lane(unsigned lane) const;
+
+  TritWord* signal_words(unsigned signal) {
+    return &words_data_[static_cast<std::size_t>(signal) * words_];
+  }
+  const TritWord* signal_words(unsigned signal) const {
+    return &words_data_[static_cast<std::size_t>(signal) * words_];
+  }
+
+ private:
+  unsigned num_signals_;
+  unsigned lanes_;
+  unsigned words_;
+  std::vector<TritWord> words_data_;
+};
+
+/// Packs `patterns.size()` equal-width patterns into a batch, one per lane.
+PackedTrits pack_patterns(const std::vector<Trits>& patterns);
+
+/// Inverse of pack_patterns.
+std::vector<Trits> unpack_patterns(const PackedTrits& packed);
+
+}  // namespace rtv

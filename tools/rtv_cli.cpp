@@ -2,7 +2,8 @@
 //
 //   rtv info <design>                      summary, stats, safety census
 //   rtv convert <in> <out>                 .rnl/.blif/.dot conversion
-//   rtv simulate <design> --inputs SEQ [--state BITS] [--cls] [--vcd F]
+//   rtv simulate <design> --inputs SEQ[,SEQ...] [--state BITS] [--cls]
+//                [--packed] [--vcd F]
 //   rtv retime <design> (--min-area|--min-period|--period N) [-o OUT]
 //   rtv validate <design> (--min-area|--min-period)           full check
 //   rtv audit <design>                     per-move safety classification
@@ -46,8 +47,8 @@ namespace {
                "usage:\n"
                "  rtv info <design>\n"
                "  rtv convert <in> <out>           (.rnl | .blif | .dot)\n"
-               "  rtv simulate <design> --inputs SEQ [--state BITS] [--cls]"
-               " [--vcd FILE]\n"
+               "  rtv simulate <design> --inputs SEQ[,SEQ...] [--state BITS]"
+               " [--cls] [--packed] [--vcd FILE]\n"
                "  rtv retime <design> (--min-area | --min-period | --period N)"
                " [-o OUT]\n"
                "  rtv validate <design> (--min-area | --min-period)\n"
@@ -90,7 +91,7 @@ struct Args {
   std::vector<std::string> positional;
   std::optional<std::string> inputs, state, out, vcd;
   std::optional<int> period;
-  bool min_area = false, min_period = false, cls = false;
+  bool min_area = false, min_period = false, cls = false, packed = false;
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -117,6 +118,8 @@ Args parse_args(int argc, char** argv, int first) {
       args.min_period = true;
     } else if (a == "--cls") {
       args.cls = true;
+    } else if (a == "--packed") {
+      args.packed = true;
     } else if (!a.empty() && a[0] == '-') {
       usage(("unknown flag " + a).c_str());
     } else {
@@ -151,11 +154,59 @@ int cmd_convert(const Args& args) {
   return 0;
 }
 
+/// Splits a comma-separated list of input sequences ("01.10,11.00").
+std::vector<std::string> split_sequences(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// --packed: batch simulation through the packed ternary engine, one lane
+/// per comma-separated input sequence (64 sequences per machine word).
+int cmd_simulate_packed(const Netlist& n, const Args& args) {
+  const std::vector<std::string> parts = split_sequences(*args.inputs);
+  if (args.cls) {
+    std::vector<TritsSeq> tests;
+    for (const std::string& p : parts) {
+      tests.push_back(trits_seq_from_string(p));
+    }
+    const std::vector<TritsSeq> responses = ClsSimulator::run_batch(n, tests);
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+      std::printf("%s -> %s\n", sequence_to_string(tests[i]).c_str(),
+                  sequence_to_string(responses[i]).c_str());
+    }
+  } else {
+    std::vector<BitsSeq> tests;
+    for (const std::string& p : parts) {
+      tests.push_back(bits_seq_from_string(p));
+    }
+    Bits state(n.latches().size(), 0);
+    if (args.state) state = bits_from_string(*args.state);
+    const std::vector<BitsSeq> responses =
+        BinarySimulator::run_batch(n, state, tests);
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+      std::printf("%s -> %s\n", sequence_to_string(tests[i]).c_str(),
+                  sequence_to_string(responses[i]).c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_simulate(const Args& args) {
   if (args.positional.size() != 1 || !args.inputs) {
     usage("simulate needs one design and --inputs");
   }
   const Netlist n = load_design(args.positional[0]);
+  if (args.packed) return cmd_simulate_packed(n, args);
   if (args.cls) {
     const TritsSeq inputs = trits_seq_from_string(*args.inputs);
     ClsSimulator sim(n);
