@@ -1,0 +1,74 @@
+#pragma once
+// Multi-threaded batch fault-simulation engine — the machinery behind
+// fault_simulate, shared by all three detection modes.
+//
+// Design (one sentence per moving part):
+//
+//   Shared good responses.  The fault-free circuit's responses to the whole
+//   test set are computed once in the constructor and read concurrently by
+//   every worker: word-major packed CLS responses (kCls), exact ternary
+//   responses per test (kExact), or per-(test, cycle, output) sample
+//   agreement flags plus reproducible per-test power-up seeds (kSampled).
+//
+//   Work-stealing partition.  run() splits the fault list one fault per
+//   chunk across a util/thread_pool.hpp pool; stealing rebalances the
+//   wildly uneven per-fault cost (early exits vs full passes).
+//
+//   Chunked iteration + early exit.  In kCls mode a worker walks the test
+//   set one packed 64-test word at a time (sim/packed_sim.hpp's
+//   pack_cycle_inputs), compares each cycle's faulty output word against
+//   the shared good word with three bitwise ops, and abandons the fault at
+//   the first detecting word — usually word 0 after a few cycles. kExact
+//   and kSampled walk tests in order and stop at the first detecting test.
+//
+//   Fault dropping.  Every verdict is published in a shared atomic table
+//   keyed by fault identity (site, polarity); a worker that picks up a
+//   fault whose verdict is already published — a duplicate list entry, or
+//   work another worker raced to completion — adopts it instead of
+//   resimulating. Because a verdict is a pure function of (netlist, fault,
+//   tests, mode options), adoption can never change the result.
+//
+// Determinism: detected / detecting_test / num_detected / coverage are
+// identical for every `threads` value and for drop_detected on or off.
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/packed_sim.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+class FaultSimEngine {
+ public:
+  /// Prepares the shared good-circuit responses for `tests` under
+  /// `options.mode`. The netlist must outlive the engine.
+  FaultSimEngine(const Netlist& netlist, std::vector<BitsSeq> tests,
+                 const FaultSimOptions& options);
+  ~FaultSimEngine();
+
+  FaultSimEngine(const FaultSimEngine&) = delete;
+  FaultSimEngine& operator=(const FaultSimEngine&) = delete;
+
+  const FaultSimOptions& options() const { return options_; }
+  std::size_t num_tests() const { return tests_.size(); }
+
+  /// Detection verdict of every fault in `faults` against the prepared
+  /// test set. Reusable: one engine can run several fault lists against
+  /// the same shared good responses.
+  FaultSimResult run(const std::vector<Fault>& faults) const;
+
+ private:
+  struct SharedGood;  // per-mode read-only good-circuit responses
+  class Worker;       // per-thread scratch state (faulty-circuit simulators)
+
+  const Netlist& netlist_;
+  std::vector<BitsSeq> tests_;
+  FaultSimOptions options_;
+  std::unique_ptr<SharedGood> good_;
+};
+
+}  // namespace rtv

@@ -1,10 +1,38 @@
 #include "fault/fault_sim.hpp"
 
+#include "fault/engine.hpp"
 #include "sim/packed_sim.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/bits.hpp"
 
 namespace rtv {
+
+const char* to_string(FaultSimMode mode) {
+  switch (mode) {
+    case FaultSimMode::kExact:
+      return "exact";
+    case FaultSimMode::kSampled:
+      return "sampled";
+    case FaultSimMode::kCls:
+      return "cls";
+  }
+  return "?";
+}
+
+std::optional<FaultSimMode> fault_sim_mode_from_string(std::string_view name) {
+  if (name == "exact") return FaultSimMode::kExact;
+  if (name == "sampled") return FaultSimMode::kSampled;
+  if (name == "cls") return FaultSimMode::kCls;
+  return std::nullopt;
+}
+
+FaultSimResult fault_simulate(const Netlist& netlist,
+                              const std::vector<Fault>& faults,
+                              const std::vector<BitsSeq>& tests,
+                              const FaultSimOptions& options) {
+  FaultSimEngine engine(netlist, tests, options);
+  return engine.run(faults);
+}
 
 bool sampled_test_detects(const Netlist& netlist, const Fault& fault,
                           const BitsSeq& test, unsigned lanes, Rng& rng) {
@@ -68,8 +96,11 @@ bool lane_distinguishes(const PackedResponses& good, const PackedResponses& bad,
 FaultSimResult cls_fault_simulate(const Netlist& netlist,
                                   const std::vector<Fault>& faults,
                                   const std::vector<BitsSeq>& tests) {
+  // Reference implementation: one full packed pass over the whole test set
+  // per fault. The engine (fault/engine.hpp) is cross-checked against this.
   FaultSimResult result;
   result.detected.assign(faults.size(), false);
+  result.detecting_test.assign(faults.size(), -1);
   const PackedResponses good = packed_cls_responses(netlist, tests);
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const PackedResponses bad =
@@ -77,40 +108,13 @@ FaultSimResult cls_fault_simulate(const Netlist& netlist,
     for (unsigned t = 0; t < good.num_lanes(); ++t) {
       if (lane_distinguishes(good, bad, t)) {
         result.detected[i] = true;
+        result.detecting_test[i] = static_cast<int>(t);
         ++result.num_detected;
         break;
       }
     }
   }
-  result.coverage = faults.empty()
-                        ? 0.0
-                        : static_cast<double>(result.num_detected) /
-                              static_cast<double>(faults.size());
-  return result;
-}
-
-FaultSimResult fault_simulate(const Netlist& netlist,
-                              const std::vector<Fault>& faults,
-                              const std::vector<BitsSeq>& tests,
-                              const FaultSimOptions& options) {
-  if (options.cls) return cls_fault_simulate(netlist, faults, tests);
-  FaultSimResult result;
-  result.detected.assign(faults.size(), false);
-  Rng rng(options.sample_seed);
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    for (const BitsSeq& test : tests) {
-      const bool hit =
-          options.exact
-              ? test_detects(netlist, faults[i], test)
-              : sampled_test_detects(netlist, faults[i], test,
-                                     options.sample_lanes, rng);
-      if (hit) {
-        result.detected[i] = true;
-        break;
-      }
-    }
-    if (result.detected[i]) ++result.num_detected;
-  }
+  result.tests_run = faults.size() * tests.size();
   result.coverage = faults.empty()
                         ? 0.0
                         : static_cast<double>(result.num_detected) /

@@ -1,8 +1,12 @@
 #pragma once
 // Batch fault simulation: detection status of a fault list under a test
-// set, exact (all power-up states, small designs) or sampled (bit-parallel
-// over random power-up states, scales to large designs).
+// set. Three detection modes (exact, sampled, CLS) share one multi-threaded
+// engine (fault/engine.hpp) with per-fault early exit and fault dropping;
+// this header is the public API.
 
+#include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -12,29 +16,68 @@
 
 namespace rtv {
 
+/// How a (fault, test) pair is decided. The three modes bracket definite
+/// detection from both sides:
+///   kSampled over-approximates it (fewer power-up states can only make a
+///   definite disagreement easier), kCls under-approximates it (CLS
+///   detection implies exact detection, paper Section 5), and kExact is the
+///   ground truth in between.
+enum class FaultSimMode {
+  /// Exact ternary responses over all power-up states. Ground truth;
+  /// requires few latches.
+  kExact,
+  /// Bit-parallel binary simulation of `sample_lanes` random shared
+  /// power-up states per test. Scales to large designs; over-approximates.
+  kSampled,
+  /// Conservative three-valued simulation from the all-X state, 64 tests
+  /// per machine word. Scales best; under-approximates.
+  kCls,
+};
+
+const char* to_string(FaultSimMode mode);
+
+/// Parses "exact" / "sampled" / "cls".
+std::optional<FaultSimMode> fault_sim_mode_from_string(std::string_view name);
+
 struct FaultSimOptions {
-  /// Exact mode enumerates all power-up states (requires few latches);
-  /// sampled mode simulates `sample_lanes` random power-up states
-  /// bit-parallel and reports detection over the sample — an
-  /// over-approximation of definite detection, useful for coverage trends.
-  bool exact = true;
+  FaultSimMode mode = FaultSimMode::kExact;
+  /// kSampled only: random power-up states simulated bit-parallel per test.
   unsigned sample_lanes = 256;
+  /// kSampled only: seed of the per-test power-up draws (each test's sample
+  /// is derived from (sample_seed, test index), never from thread timing).
   std::uint64_t sample_seed = 1;
-  /// When set, detection is decided by conservative three-valued simulation
-  /// from the all-X state instead (CLS detection implies exact detection —
-  /// an under-approximation), evaluated 64 tests per word through the
-  /// packed ternary engine. Overrides `exact`/sampling.
-  bool cls = false;
+  /// Engine worker threads; 0 means one per hardware thread. The result is
+  /// identical for every value — threading only changes wall time.
+  unsigned threads = 1;
+  /// Publish every fault verdict in a shared table and skip fault-list
+  /// entries whose verdict is already known (duplicate entries, and work
+  /// raced to completion by another worker). Never changes the result,
+  /// only the work performed.
+  bool drop_detected = true;
 };
 
 struct FaultSimResult {
-  std::vector<bool> detected;    ///< per fault
+  std::vector<bool> detected;  ///< per fault
+  /// Per fault: index into `tests` of the engine's detection witness, or -1
+  /// if undetected. kExact/kSampled report the first detecting test in test
+  /// order; kCls reports the lowest-index test of the earliest 64-test word
+  /// at the earliest detecting cycle (deterministic, but not necessarily
+  /// the globally first detecting test).
+  std::vector<int> detecting_test;
   std::size_t num_detected = 0;
-  double coverage = 0.0;         ///< num_detected / faults.size()
+  double coverage = 0.0;  ///< num_detected / faults.size()
+
+  // Run statistics, computed by the engine in one place and reported by the
+  // CLI and benchmarks. wall_seconds (and, when duplicate faults race,
+  // tests_run / faults_dropped) depend on scheduling; the detection fields
+  // above never do.
+  double wall_seconds = 0.0;
+  std::size_t tests_run = 0;       ///< (fault, test) evaluations started
+  std::size_t faults_dropped = 0;  ///< entries settled from the shared table
 };
 
 /// Runs every test in `tests` against every fault; a fault counts detected
-/// if any test detects it.
+/// if any test detects it under `options.mode`.
 FaultSimResult fault_simulate(const Netlist& netlist,
                               const std::vector<Fault>& faults,
                               const std::vector<BitsSeq>& tests,
@@ -47,9 +90,10 @@ FaultSimResult fault_simulate(const Netlist& netlist,
 bool sampled_test_detects(const Netlist& netlist, const Fault& fault,
                           const BitsSeq& test, unsigned lanes, Rng& rng);
 
-/// CLS-based batch fault simulation: conservative (under-approximate)
-/// detection, but the whole test set runs 64 tests per machine word —
-/// good-design responses are computed once, then one packed run per fault.
+/// Reference CLS batch fault simulation: one full packed pass over the
+/// whole test set per fault — no early exit, no dropping, single-threaded.
+/// Kept as the baseline the engine is cross-checked and benchmarked
+/// against; use fault_simulate(mode = kCls) for real workloads.
 FaultSimResult cls_fault_simulate(const Netlist& netlist,
                                   const std::vector<Fault>& faults,
                                   const std::vector<BitsSeq>& tests);

@@ -260,6 +260,96 @@ TritsSeq PackedResponses::sequence(unsigned lane) const {
   return seq;
 }
 
+PackedResponseWords::PackedResponseWords(std::vector<std::size_t> lengths,
+                                         unsigned outputs)
+    : outputs_(outputs),
+      words_(static_cast<unsigned>(words_for_bits(lengths.size()))),
+      lengths_(std::move(lengths)) {
+  for (const std::size_t len : lengths_) max_length_ = std::max(max_length_, len);
+  data_.assign(max_length_ * outputs_ * words_, TritWord{});
+}
+
+Trit PackedResponseWords::lane_trit(std::size_t cycle, unsigned output,
+                                    unsigned lane) const {
+  RTV_REQUIRE(lane < num_lanes() && output < outputs_ && cycle < length(lane),
+              "index out of range");
+  return get_trit(at(cycle, output, lane / 64), lane % 64);
+}
+
+void pack_cycle_inputs(const std::vector<TritsSeq>& tests, std::size_t begin,
+                       std::size_t count, std::size_t t, Trit idle,
+                       PackedTrits* out) {
+  RTV_REQUIRE(begin + count <= tests.size(), "chunk exceeds test set");
+  RTV_REQUIRE(count <= out->lanes(), "chunk exceeds packed batch width");
+  const unsigned width = out->num_signals();
+  const unsigned words = out->words();
+  const TritWord idle_word = trit_word_fill(idle);
+  for (unsigned i = 0; i < width; ++i) {
+    TritWord* dst = out->signal_words(i);
+    for (unsigned w = 0; w < words; ++w) {
+      const std::size_t base = 64ULL * w;
+      std::uint64_t ones = idle_word.ones, unk = idle_word.unk;
+      const unsigned limit =
+          base < count ? static_cast<unsigned>(std::min<std::size_t>(
+                             64, count - base))
+                       : 0;
+      for (unsigned b = 0; b < limit; ++b) {
+        const TritsSeq& test = tests[begin + base + b];
+        const Trit v = t < test.size() ? test[t][i] : idle;
+        const std::uint64_t bit = 1ULL << b;
+        ones = v == Trit::kOne ? (ones | bit) : (ones & ~bit);
+        unk = v == Trit::kX ? (unk | bit) : (unk & ~bit);
+      }
+      dst[w] = TritWord{ones, unk};
+    }
+  }
+}
+
+namespace {
+
+/// Validates test widths against the simulator and returns per-lane lengths.
+std::vector<std::size_t> checked_lengths(const PackedTernarySimulator& sim,
+                                         const std::vector<TritsSeq>& tests) {
+  std::vector<std::size_t> lengths(tests.size());
+  for (std::size_t lane = 0; lane < tests.size(); ++lane) {
+    for (const Trits& in : tests[lane]) {
+      RTV_REQUIRE(in.size() == sim.num_inputs(), "input vector size mismatch");
+    }
+    lengths[lane] = tests[lane].size();
+  }
+  return lengths;
+}
+
+}  // namespace
+
+PackedResponseWords packed_cls_response_words(
+    const Netlist& netlist, const std::vector<TritsSeq>& tests) {
+  if (tests.empty()) return PackedResponseWords({}, 0);
+  const unsigned lanes = static_cast<unsigned>(tests.size());
+  PackedTernarySimulator sim(netlist, lanes);
+  const unsigned outputs = sim.num_outputs();
+  const unsigned words = sim.words();
+  PackedResponseWords responses(checked_lengths(sim, tests), outputs);
+  PackedTrits cycle_inputs(sim.num_inputs(), lanes);
+  for (std::size_t t = 0; t < responses.max_length(); ++t) {
+    pack_cycle_inputs(tests, 0, lanes, t, Trit::kX, &cycle_inputs);
+    sim.step_packed(cycle_inputs);
+    for (unsigned o = 0; o < outputs; ++o) {
+      const TritWord* ow = sim.output_words(o);
+      for (unsigned w = 0; w < words; ++w) responses.at(t, o, w) = ow[w];
+    }
+  }
+  return responses;
+}
+
+PackedResponseWords packed_cls_response_words(
+    const Netlist& netlist, const std::vector<BitsSeq>& tests) {
+  std::vector<TritsSeq> lifted;
+  lifted.reserve(tests.size());
+  for (const BitsSeq& test : tests) lifted.push_back(to_trits(test));
+  return packed_cls_response_words(netlist, lifted);
+}
+
 namespace {
 
 /// Shared driver for the batch runners: one lane per test sequence, ragged
@@ -275,33 +365,13 @@ PackedResponses run_lanes(PackedTernarySimulator& sim,
   const unsigned width = sim.num_inputs();
   const unsigned outputs = sim.num_outputs();
   const unsigned words = sim.words();
+  std::vector<std::size_t> lengths = checked_lengths(sim, tests);
   std::size_t max_len = 0;
-  std::vector<std::size_t> lengths(lanes);
-  for (unsigned lane = 0; lane < lanes; ++lane) {
-    for (const Trits& in : tests[lane]) {
-      RTV_REQUIRE(in.size() == width, "input vector size mismatch");
-    }
-    lengths[lane] = tests[lane].size();
-    max_len = std::max(max_len, lengths[lane]);
-  }
+  for (const std::size_t len : lengths) max_len = std::max(max_len, len);
   PackedResponses responses(std::move(lengths), outputs);
   PackedTrits cycle_inputs(width, std::max(lanes, 1u));
   for (std::size_t t = 0; t < max_len; ++t) {
-    for (unsigned i = 0; i < width; ++i) {
-      TritWord* dst = cycle_inputs.signal_words(i);
-      for (unsigned w = 0; w < words; ++w) {
-        const unsigned base = 64 * w;
-        const unsigned limit = std::min(64u, lanes - base);
-        std::uint64_t ones = 0, unk = 0;
-        for (unsigned b = 0; b < limit; ++b) {
-          const TritsSeq& test = tests[base + b];
-          const Trit v = t < test.size() ? test[t][i] : idle;
-          ones |= static_cast<std::uint64_t>(v == Trit::kOne) << b;
-          unk |= static_cast<std::uint64_t>(v == Trit::kX) << b;
-        }
-        dst[w] = TritWord{ones, unk};
-      }
-    }
+    pack_cycle_inputs(tests, 0, lanes, t, idle, &cycle_inputs);
     sim.step_packed(cycle_inputs);
     for (unsigned o = 0; o < outputs; ++o) {
       const TritWord* ow = sim.output_words(o);

@@ -115,6 +115,61 @@ class PackedResponses {
   std::vector<Trit> data_;
 };
 
+/// Word-major packed batch responses: one TritWord of 64 lanes per
+/// (cycle, output, word). This is the layout a packed consumer (the fault
+/// engine) compares a freshly simulated 64-lane chunk against with three
+/// word ops instead of a per-lane transposition — chunk c of a test set
+/// lives entirely in word index c. Entries of a lane past its own test
+/// length hold idle-run values; consumers must mask them out.
+class PackedResponseWords {
+ public:
+  PackedResponseWords() = default;
+  /// `lengths[lane]` cycles per lane, `outputs` trits per cycle; storage
+  /// covers max(lengths) cycles for all ceil(lanes/64) words.
+  PackedResponseWords(std::vector<std::size_t> lengths, unsigned outputs);
+
+  unsigned num_lanes() const { return static_cast<unsigned>(lengths_.size()); }
+  unsigned num_outputs() const { return outputs_; }
+  unsigned words() const { return words_; }
+  std::size_t max_length() const { return max_length_; }
+  std::size_t length(unsigned lane) const { return lengths_[lane]; }
+  const std::vector<std::size_t>& lengths() const { return lengths_; }
+
+  const TritWord& at(std::size_t cycle, unsigned output, unsigned word) const {
+    return data_[(cycle * outputs_ + output) * words_ + word];
+  }
+  TritWord& at(std::size_t cycle, unsigned output, unsigned word) {
+    return data_[(cycle * outputs_ + output) * words_ + word];
+  }
+
+  /// One lane's trit at (cycle, output) — bounds-checked convenience for
+  /// tests and scalar consumers. Requires cycle < length(lane).
+  Trit lane_trit(std::size_t cycle, unsigned output, unsigned lane) const;
+
+ private:
+  unsigned outputs_ = 0;
+  unsigned words_ = 0;
+  std::size_t max_length_ = 0;
+  std::vector<std::size_t> lengths_;
+  std::vector<TritWord> data_;
+};
+
+/// CLS responses of a whole test set in word-major form (same lane
+/// semantics as packed_cls_responses, different storage layout).
+PackedResponseWords packed_cls_response_words(const Netlist& netlist,
+                                              const std::vector<TritsSeq>& tests);
+PackedResponseWords packed_cls_response_words(const Netlist& netlist,
+                                              const std::vector<BitsSeq>& tests);
+
+/// Transposes cycle `t` of tests[begin, begin+count) into `out`: lane b
+/// reads tests[begin+b][t]; lanes past a test's end, and lanes >= count,
+/// read `idle`. This is the chunked-iteration primitive shared by the batch
+/// runner and the fault engine (which walks a test set one 64-lane chunk at
+/// a time instead of packing the whole set).
+void pack_cycle_inputs(const std::vector<TritsSeq>& tests, std::size_t begin,
+                       std::size_t count, std::size_t t, Trit idle,
+                       PackedTrits* out);
+
 /// Runs every ternary input sequence from the all-X state, 64 sequences per
 /// word. Lane i of the result agrees with ClsSimulator::run(tests[i]);
 /// sequences may have different lengths. This is the fast path — a single

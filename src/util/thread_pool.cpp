@@ -1,0 +1,131 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rtv {
+
+unsigned ThreadPool::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n - 1);
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main(unsigned self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      work_cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      ++active_;
+    }
+    participate(self);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::pop_or_steal(unsigned self, Chunk* out) {
+  {
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lk(own.mutex);
+    if (!own.chunks.empty()) {
+      *out = own.chunks.back();
+      own.chunks.pop_back();
+      return true;
+    }
+  }
+  const unsigned n = size();
+  for (unsigned d = 1; d < n; ++d) {
+    Queue& victim = *queues_[(self + d) % n];
+    std::lock_guard<std::mutex> lk(victim.mutex);
+    if (!victim.chunks.empty()) {
+      *out = victim.chunks.front();  // steal the oldest chunk
+      victim.chunks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::participate(unsigned self) {
+  // body_ is stable for the whole job: it is installed under mutex_ before
+  // the generation bump that admits workers, and parallel_for cannot return
+  // (and so the next job cannot install a new body) while any chunk —
+  // including one held here — is unfinished.
+  Chunk c;
+  while (pop_or_steal(self, &c)) {
+    try {
+      (*body_)(c.begin, c.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t total, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  std::lock_guard<std::mutex> serial(job_mutex_);
+  {
+    // Wait out stragglers still draining the previous job's (empty) queues
+    // so no worker can observe a half-installed job.
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+  }
+  const unsigned n = size();
+  std::size_t num_chunks = 0;
+  for (std::size_t begin = 0; begin < total; begin += grain) {
+    const Chunk c{begin, std::min(total, begin + grain)};
+    Queue& q = *queues_[num_chunks % n];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    q.chunks.push_back(c);
+    ++num_chunks;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    body_ = &body;
+    error_ = nullptr;
+    remaining_ = num_chunks;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  participate(0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] { return remaining_ == 0; });
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace rtv

@@ -1,0 +1,88 @@
+#pragma once
+// Work-stealing thread pool — the repository's first threading primitive.
+//
+// Scope is deliberately narrow: data-parallel loops over an index range
+// (`parallel_for`). Each participant — the calling thread plus size()-1
+// persistent workers — owns a deque of [begin, end) chunks. Owners pop from
+// the back of their own deque; a participant that runs dry steals the
+// *oldest* chunk from the front of a victim's deque, which keeps contention
+// low (owner and thief touch opposite ends) and migrates the largest
+// remaining runs of work. The calling thread always participates, so a pool
+// of size 1 executes entirely inline through the same code path — threaded
+// and serial runs cannot diverge behaviourally.
+//
+// Guarantees and limits:
+//   - The set of chunks and their [begin, end) bounds are deterministic;
+//     only the execution order and thread assignment vary between runs.
+//   - Exceptions thrown by the body are captured; the job drains and the
+//     first captured exception is rethrown on the calling thread.
+//   - One job at a time: concurrent parallel_for calls serialize, and
+//     calling parallel_for from inside a body deadlocks (unsupported).
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtv {
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve_threads(threads) - 1` workers (the caller is the
+  /// remaining participant).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Participants, including the calling thread.
+  unsigned size() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// 0 means "one per hardware thread" (at least 1); any other value is
+  /// taken literally.
+  static unsigned resolve_threads(unsigned requested);
+
+  /// Splits [0, total) into chunks of at most `grain` indices and runs
+  /// `body(begin, end)` over every chunk across the pool, work-stealing
+  /// balanced. Blocks until all chunks finish; rethrows the first body
+  /// exception.
+  void parallel_for(std::size_t total, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Chunk {
+    std::size_t begin = 0, end = 0;
+  };
+  struct Queue {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+
+  void worker_main(unsigned self);
+  void participate(unsigned self);
+  bool pop_or_steal(unsigned self, Chunk* out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  ///< one per participant
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mutex_;  ///< serializes parallel_for callers
+
+  std::mutex mutex_;  ///< guards the fields below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;  ///< chunks of the current job not yet finished
+  unsigned active_ = 0;        ///< workers currently inside participate()
+  std::exception_ptr error_;
+  bool stopping_ = false;
+};
+
+}  // namespace rtv

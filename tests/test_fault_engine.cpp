@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/engine.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "fault/test_eval.hpp"
+#include "gen/random_circuits.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+using testing::and2_circuit;
+
+std::vector<BitsSeq> random_tests(const Netlist& n, std::size_t count,
+                                  std::size_t cycles, Rng& rng) {
+  std::vector<BitsSeq> tests(count);
+  for (auto& test : tests) {
+    for (std::size_t t = 0; t < cycles; ++t) {
+      Bits in(n.primary_inputs().size());
+      for (auto& v : in) v = rng.coin();
+      test.push_back(in);
+    }
+  }
+  return tests;
+}
+
+/// The detection fields that must be invariant across threads / dropping.
+void expect_same_detection(const FaultSimResult& a, const FaultSimResult& b) {
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.detecting_test, b.detecting_test);
+  EXPECT_EQ(a.num_detected, b.num_detected);
+  EXPECT_DOUBLE_EQ(a.coverage, b.coverage);
+}
+
+TEST(FaultEngine, ClsMatchesReferenceBaseline) {
+  Rng rng(811);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_latches = 3;
+  opt.num_gates = 18;
+  for (int trial = 0; trial < 4; ++trial) {
+    const Netlist n = random_netlist(opt, rng);
+    const auto faults = collapse_faults(n);
+    const auto tests = random_tests(n, 24, 6, rng);
+    const FaultSimResult base = cls_fault_simulate(n, faults, tests);
+    FaultSimOptions options;
+    options.mode = FaultSimMode::kCls;
+    options.threads = 2;
+    const FaultSimResult r = fault_simulate(n, faults, tests, options);
+    // The witness rules differ (baseline: first test in test order; engine:
+    // earliest cycle within the earliest word), so compare the detected
+    // sets and validate each engine witness independently.
+    EXPECT_EQ(r.detected, base.detected);
+    EXPECT_EQ(r.num_detected, base.num_detected);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (!r.detected[i]) {
+        EXPECT_EQ(r.detecting_test[i], -1);
+        continue;
+      }
+      const int w = r.detecting_test[i];
+      ASSERT_GE(w, 0);
+      ASSERT_LT(static_cast<std::size_t>(w), tests.size());
+      EXPECT_TRUE(cls_test_detects(n, faults[i], tests[w]))
+          << describe(n, faults[i]) << " witness " << w;
+    }
+  }
+}
+
+TEST(FaultEngine, ClsMultiWordTestSet) {
+  // More than 64 tests forces the per-fault chunk loop (and its early
+  // exits) through multiple packed words.
+  Rng rng(913);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_latches = 2;
+  opt.num_gates = 14;
+  const Netlist n = random_netlist(opt, rng);
+  const auto faults = collapse_faults(n);
+  const auto tests = random_tests(n, 100, 5, rng);
+  const FaultSimResult base = cls_fault_simulate(n, faults, tests);
+  FaultSimOptions options;
+  options.mode = FaultSimMode::kCls;
+  const FaultSimResult r = fault_simulate(n, faults, tests, options);
+  EXPECT_EQ(r.detected, base.detected);
+  EXPECT_EQ(r.num_detected, base.num_detected);
+}
+
+TEST(FaultEngine, ExactMatchesPerTestLoop) {
+  Rng rng(277);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 2;
+  opt.num_latches = 3;
+  opt.num_gates = 12;
+  for (int trial = 0; trial < 3; ++trial) {
+    const Netlist n = random_netlist(opt, rng);
+    const auto faults = collapse_faults(n);
+    const auto tests = random_tests(n, 12, 5, rng);
+    FaultSimOptions options;
+    options.mode = FaultSimMode::kExact;
+    options.threads = 2;
+    const FaultSimResult r = fault_simulate(n, faults, tests, options);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      int first = -1;
+      for (std::size_t ti = 0; ti < tests.size(); ++ti) {
+        if (test_detects(n, faults[i], tests[ti])) {
+          first = static_cast<int>(ti);
+          break;
+        }
+      }
+      EXPECT_EQ(r.detected[i], first >= 0) << describe(n, faults[i]);
+      EXPECT_EQ(r.detecting_test[i], first) << describe(n, faults[i]);
+    }
+  }
+}
+
+TEST(FaultEngine, ModesBracketExactDetection) {
+  // Paper-backed ordering on any workload: CLS detection implies exact
+  // detection, and exact detection implies sampled detection (a sample of
+  // power-up states can only make definite disagreement easier).
+  Rng rng(644);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_latches = 3;
+  opt.num_gates = 16;
+  const Netlist n = random_netlist(opt, rng);
+  const auto faults = collapse_faults(n);
+  const auto tests = random_tests(n, 16, 6, rng);
+  FaultSimOptions options;
+  options.mode = FaultSimMode::kCls;
+  const FaultSimResult cls = fault_simulate(n, faults, tests, options);
+  options.mode = FaultSimMode::kExact;
+  const FaultSimResult exact = fault_simulate(n, faults, tests, options);
+  options.mode = FaultSimMode::kSampled;
+  options.sample_lanes = 128;
+  const FaultSimResult sampled = fault_simulate(n, faults, tests, options);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (cls.detected[i]) {
+      EXPECT_TRUE(exact.detected[i]) << describe(n, faults[i]);
+    }
+    if (exact.detected[i]) {
+      EXPECT_TRUE(sampled.detected[i]) << describe(n, faults[i]);
+    }
+  }
+  EXPECT_LE(cls.num_detected, exact.num_detected);
+  EXPECT_LE(exact.num_detected, sampled.num_detected);
+}
+
+TEST(FaultEngine, DeterministicAcrossThreadsAndDropping) {
+  Rng rng(555);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_latches = 3;
+  opt.num_gates = 16;
+  const Netlist n = random_netlist(opt, rng);
+  const auto faults = collapse_faults(n);
+  const auto tests = random_tests(n, 20, 5, rng);
+  for (const FaultSimMode mode :
+       {FaultSimMode::kExact, FaultSimMode::kSampled, FaultSimMode::kCls}) {
+    FaultSimOptions baseline_options;
+    baseline_options.mode = mode;
+    baseline_options.threads = 1;
+    baseline_options.drop_detected = false;
+    baseline_options.sample_lanes = 64;
+    const FaultSimResult baseline =
+        fault_simulate(n, faults, tests, baseline_options);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      for (const bool drop : {false, true}) {
+        FaultSimOptions options = baseline_options;
+        options.threads = threads;
+        options.drop_detected = drop;
+        const FaultSimResult r = fault_simulate(n, faults, tests, options);
+        SCOPED_TRACE(std::string(to_string(mode)) + " threads=" +
+                     std::to_string(threads) + " drop=" + std::to_string(drop));
+        expect_same_detection(baseline, r);
+      }
+    }
+  }
+}
+
+TEST(FaultEngine, DuplicateFaultsShareOneVerdict) {
+  const Netlist n = and2_circuit();
+  const Fault f = fault_on(n, "g", 0, true);
+  const std::vector<Fault> faults = {f, f, f, f};
+  const std::vector<BitsSeq> tests = {bits_seq_from_string("11"),
+                                      bits_seq_from_string("00")};
+  FaultSimOptions options;
+  options.mode = FaultSimMode::kExact;
+  options.threads = 1;  // serial: later duplicates must hit the table
+  const FaultSimResult r = fault_simulate(n, faults, tests, options);
+  EXPECT_EQ(r.num_detected, 4u);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_TRUE(r.detected[i]);
+    EXPECT_EQ(r.detecting_test[i], 1);  // "00" is the detecting vector
+  }
+  EXPECT_EQ(r.faults_dropped, 3u);
+  options.drop_detected = false;
+  const FaultSimResult nodrop = fault_simulate(n, faults, tests, options);
+  expect_same_detection(r, nodrop);
+  EXPECT_EQ(nodrop.faults_dropped, 0u);
+}
+
+TEST(FaultEngine, EarlyExitSkipsLaterTests) {
+  const Netlist n = and2_circuit();
+  const auto faults = enumerate_faults(n);
+  const std::vector<BitsSeq> tests = {
+      bits_seq_from_string("00"), bits_seq_from_string("01"),
+      bits_seq_from_string("10"), bits_seq_from_string("11")};
+  FaultSimOptions options;
+  options.mode = FaultSimMode::kExact;
+  const FaultSimResult r = fault_simulate(n, faults, tests, options);
+  EXPECT_EQ(r.num_detected, faults.size());
+  // Every fault is caught by an early test, so far fewer than
+  // faults x tests evaluations run.
+  EXPECT_LT(r.tests_run, faults.size() * tests.size());
+  EXPECT_GT(r.tests_run, 0u);
+  EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST(FaultEngine, EmptyTestsAndEmptyFaults) {
+  const Netlist n = and2_circuit();
+  const auto faults = enumerate_faults(n);
+  for (const FaultSimMode mode :
+       {FaultSimMode::kExact, FaultSimMode::kSampled, FaultSimMode::kCls}) {
+    FaultSimOptions options;
+    options.mode = mode;
+    const FaultSimResult no_tests = fault_simulate(n, faults, {}, options);
+    EXPECT_EQ(no_tests.num_detected, 0u);
+    EXPECT_EQ(no_tests.detecting_test,
+              std::vector<int>(faults.size(), -1));
+    const FaultSimResult no_faults = fault_simulate(
+        n, {}, {bits_seq_from_string("11")}, options);
+    EXPECT_EQ(no_faults.num_detected, 0u);
+    EXPECT_TRUE(no_faults.detected.empty());
+    EXPECT_DOUBLE_EQ(no_faults.coverage, 0.0);
+  }
+}
+
+TEST(FaultEngine, EngineReusableAcrossFaultLists) {
+  const Netlist n = and2_circuit();
+  const auto faults = enumerate_faults(n);
+  const std::vector<BitsSeq> tests = {
+      bits_seq_from_string("00"), bits_seq_from_string("01"),
+      bits_seq_from_string("10"), bits_seq_from_string("11")};
+  FaultSimOptions options;
+  options.mode = FaultSimMode::kExact;
+  FaultSimEngine engine(n, tests, options);
+  EXPECT_EQ(engine.num_tests(), tests.size());
+  const FaultSimResult all = engine.run(faults);
+  EXPECT_EQ(all.num_detected, faults.size());
+  const FaultSimResult one = engine.run({faults.front()});
+  EXPECT_EQ(one.num_detected, 1u);
+  EXPECT_EQ(one.detecting_test[0], all.detecting_test[0]);
+}
+
+TEST(FaultEngine, ModeStringsRoundTrip) {
+  for (const FaultSimMode mode :
+       {FaultSimMode::kExact, FaultSimMode::kSampled, FaultSimMode::kCls}) {
+    const auto parsed = fault_sim_mode_from_string(to_string(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(fault_sim_mode_from_string("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace rtv

@@ -342,7 +342,7 @@ TEST(PackedSim, FaultSimulateRoutesToClsMode) {
     for (unsigned t = 0; t < 6; ++t) seq.push_back(random_bits(1, rng));
   }
   FaultSimOptions options;
-  options.cls = true;
+  options.mode = FaultSimMode::kCls;
   const FaultSimResult via_options = fault_simulate(n, faults, tests, options);
   const FaultSimResult direct = cls_fault_simulate(n, faults, tests);
   EXPECT_EQ(via_options.detected, direct.detected);

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/bits.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rtv {
 namespace {
@@ -174,6 +178,70 @@ TEST(SplitMix, Deterministic) {
   std::uint64_t s1 = 99, s2 = 99;
   EXPECT_EQ(splitmix64(s1), splitmix64(s2));
   EXPECT_EQ(s1, s2);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    constexpr std::size_t kTotal = 1000;
+    std::vector<std::atomic<int>> hits(kTotal);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(kTotal, 7, [&](std::size_t begin, std::size_t end) {
+      EXPECT_LE(end - begin, 7u);
+      for (std::size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::size_t i = 0; i < kTotal; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, GrainEdgeCases) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  const auto count = [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(end - begin, std::memory_order_relaxed);
+  };
+  pool.parallel_for(0, 4, count);  // empty range: body never runs
+  EXPECT_EQ(sum.load(), 0u);
+  pool.parallel_for(3, 100, count);  // grain larger than total: one chunk
+  EXPECT_EQ(sum.load(), 3u);
+  pool.parallel_for(5, 1, count);  // grain 1: one chunk per index
+  EXPECT_EQ(sum.load(), 8u);
+}
+
+TEST(ThreadPool, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(64, 1,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing job and runs the next one normally.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 2, [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 10u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.parallel_for(17, 4, [&](std::size_t begin, std::size_t end) {
+      sum.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50u * 17u);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 //   rtv validate <design> (--min-area|--min-period)           full check
 //   rtv audit <design>                     per-move safety classification
 //   rtv redundancy <design> [-o OUT]       CLS-redundancy removal
+//   rtv faultsim <design> [--mode M] ...   batch fault simulation, JSON out
 //
 // Design files are read by extension: .rnl (native) or .blif.
 
@@ -26,6 +27,8 @@
 #include "core/redundancy.hpp"
 #include "core/safety.hpp"
 #include "core/validator.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
 #include "io/blif.hpp"
 #include "io/dot_export.hpp"
 #include "io/rnl_format.hpp"
@@ -37,6 +40,8 @@
 #include "retime/moves.hpp"
 #include "sim/binary_sim.hpp"
 #include "sim/cls_sim.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rtv::cli {
 namespace {
@@ -57,7 +62,17 @@ namespace {
                "  rtv flow <design> [--min-area|--min-period|--period-then-area]"
                " [-o OUT]\n"
                "  rtv reset <design>                find a CLS reset sequence\n"
-               "  rtv equiv <a> <b>                 symbolic C ⊑ D + min delay\n");
+               "  rtv equiv <a> <b>                 symbolic C ⊑ D + min delay\n"
+               "  rtv faultsim <design> [--mode exact|sampled|cls]"
+               " [--threads N] [--no-drop]\n"
+               "               [--inputs SEQ[,SEQ...] | --random N --cycles L"
+               " --seed S]\n"
+               "               [--sample-lanes N] [--all-faults]\n"
+               "      batch stuck-at fault simulation; prints a JSON coverage"
+               " summary\n"
+               "      (default: cls mode, all hardware threads, collapsed"
+               " faults,\n"
+               "      64 random tests of 16 cycles)\n");
   std::exit(2);
 }
 
@@ -89,9 +104,12 @@ void save_design(const Netlist& n, const std::string& path) {
 
 struct Args {
   std::vector<std::string> positional;
-  std::optional<std::string> inputs, state, out, vcd;
+  std::optional<std::string> inputs, state, out, vcd, mode;
   std::optional<int> period;
+  std::optional<unsigned> threads, random, cycles, sample_lanes;
+  std::optional<std::uint64_t> seed;
   bool min_area = false, min_period = false, cls = false, packed = false;
+  bool no_drop = false, all_faults = false;
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -112,6 +130,23 @@ Args parse_args(int argc, char** argv, int first) {
       args.vcd = value("--vcd");
     } else if (a == "--period") {
       args.period = std::atoi(value("--period").c_str());
+    } else if (a == "--mode") {
+      args.mode = value("--mode");
+    } else if (a == "--threads") {
+      args.threads = static_cast<unsigned>(std::atoi(value("--threads").c_str()));
+    } else if (a == "--random") {
+      args.random = static_cast<unsigned>(std::atoi(value("--random").c_str()));
+    } else if (a == "--cycles") {
+      args.cycles = static_cast<unsigned>(std::atoi(value("--cycles").c_str()));
+    } else if (a == "--sample-lanes") {
+      args.sample_lanes =
+          static_cast<unsigned>(std::atoi(value("--sample-lanes").c_str()));
+    } else if (a == "--seed") {
+      args.seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
+    } else if (a == "--no-drop") {
+      args.no_drop = true;
+    } else if (a == "--all-faults") {
+      args.all_faults = true;
     } else if (a == "--min-area") {
       args.min_area = true;
     } else if (a == "--min-period") {
@@ -323,6 +358,65 @@ int cmd_reset(const Args& args) {
   return 0;
 }
 
+/// Batch stuck-at fault simulation through the multi-threaded engine; the
+/// summary goes to stdout as JSON so coverage runs are scriptable.
+int cmd_faultsim(const Args& args) {
+  if (args.positional.size() != 1) usage("faultsim needs one design");
+  const Netlist n = load_design(args.positional[0]);
+
+  FaultSimOptions opt;
+  opt.mode = FaultSimMode::kCls;
+  if (args.mode) {
+    const auto mode = fault_sim_mode_from_string(*args.mode);
+    if (!mode) usage("--mode must be exact, sampled or cls");
+    opt.mode = *mode;
+  }
+  opt.threads = args.threads.value_or(0);  // default: all hardware threads
+  opt.drop_detected = !args.no_drop;
+  if (args.sample_lanes) opt.sample_lanes = *args.sample_lanes;
+  if (args.seed) opt.sample_seed = *args.seed;
+
+  std::vector<BitsSeq> tests;
+  if (args.inputs) {
+    for (const std::string& part : split_sequences(*args.inputs)) {
+      tests.push_back(bits_seq_from_string(part));
+    }
+  } else {
+    const unsigned count = args.random.value_or(64);
+    const unsigned cycles = args.cycles.value_or(16);
+    const std::size_t width = n.primary_inputs().size();
+    Rng rng(args.seed.value_or(1));
+    tests.resize(count);
+    for (BitsSeq& seq : tests) {
+      for (unsigned t = 0; t < cycles; ++t) {
+        Bits in(width);
+        for (auto& v : in) v = rng.coin();
+        seq.push_back(std::move(in));
+      }
+    }
+  }
+
+  const std::vector<Fault> faults =
+      args.all_faults ? enumerate_faults(n) : collapse_faults(n);
+  const FaultSimResult r = fault_simulate(n, faults, tests, opt);
+
+  std::printf("{\n");
+  std::printf("  \"design\": \"%s\",\n", args.positional[0].c_str());
+  std::printf("  \"mode\": \"%s\",\n", to_string(opt.mode));
+  std::printf("  \"threads\": %u,\n", ThreadPool::resolve_threads(opt.threads));
+  std::printf("  \"drop_detected\": %s,\n",
+              opt.drop_detected ? "true" : "false");
+  std::printf("  \"faults\": %zu,\n", faults.size());
+  std::printf("  \"tests\": %zu,\n", tests.size());
+  std::printf("  \"detected\": %zu,\n", r.num_detected);
+  std::printf("  \"coverage\": %.6g,\n", r.coverage);
+  std::printf("  \"faults_dropped\": %zu,\n", r.faults_dropped);
+  std::printf("  \"tests_run\": %zu,\n", r.tests_run);
+  std::printf("  \"wall_seconds\": %.6g\n", r.wall_seconds);
+  std::printf("}\n");
+  return 0;
+}
+
 int cmd_equiv(const Args& args) {
   if (args.positional.size() != 2) usage("equiv needs two designs");
   const Netlist c = load_design(args.positional[0]);
@@ -357,6 +451,7 @@ int run(int argc, char** argv) {
   if (cmd == "flow") return cmd_flow(args);
   if (cmd == "reset") return cmd_reset(args);
   if (cmd == "equiv") return cmd_equiv(args);
+  if (cmd == "faultsim") return cmd_faultsim(args);
   usage(("unknown command '" + cmd + "'").c_str());
 }
 
