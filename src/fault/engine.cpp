@@ -9,6 +9,7 @@
 #include "fault/test_eval.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/bits.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -76,6 +77,13 @@ FaultSimEngine::FaultSimEngine(const Netlist& netlist,
       tests_(std::move(tests)),
       options_(options),
       good_(std::make_unique<SharedGood>()) {
+  // Witness verdicts are ints (index >= 0, -1 undetected, INT_MIN sentinel);
+  // bound the test set so the static_casts in the witness walkers cannot
+  // narrow into wrong or sentinel values.
+  RTV_REQUIRE(
+      tests_.size() <=
+          static_cast<std::size_t>(std::numeric_limits<int>::max()),
+      "fault simulation supports at most INT_MAX tests");
   switch (options_.mode) {
     case FaultSimMode::kCls: {
       good_->lifted.reserve(tests_.size());

@@ -71,10 +71,11 @@ bool ThreadPool::pop_or_steal(unsigned self, Chunk* out) {
 }
 
 void ThreadPool::participate(unsigned self) {
-  // body_ is stable for the whole job: it is installed under mutex_ before
-  // the generation bump that admits workers, and parallel_for cannot return
-  // (and so the next job cannot install a new body) while any chunk —
-  // including one held here — is unfinished.
+  // body_ is valid whenever a chunk is held: the job (body_, remaining_,
+  // generation_) is installed under mutex_ before any chunk is published,
+  // each pop happens-after its push via the per-queue mutex, and
+  // parallel_for cannot return (and so the next job cannot install a new
+  // body) while any chunk — including one held here — is unfinished.
   Chunk c;
   while (pop_or_steal(self, &c)) {
     try {
@@ -95,26 +96,35 @@ void ThreadPool::parallel_for(
   if (grain == 0) grain = 1;
   std::lock_guard<std::mutex> serial(job_mutex_);
   {
-    // Wait out stragglers still draining the previous job's (empty) queues
-    // so no worker can observe a half-installed job.
+    // Wait out stragglers still draining the previous job's (empty) queues.
+    // Safety against stale wakeups comes from the install-before-publish
+    // order below; this wait just keeps active_ accounting per-job.
     std::unique_lock<std::mutex> lk(mutex_);
     done_cv_.wait(lk, [&] { return active_ == 0; });
   }
   const unsigned n = size();
-  std::size_t num_chunks = 0;
-  for (std::size_t begin = 0; begin < total; begin += grain) {
-    const Chunk c{begin, std::min(total, begin + grain)};
-    Queue& q = *queues_[num_chunks % n];
-    std::lock_guard<std::mutex> lk(q.mutex);
-    q.chunks.push_back(c);
-    ++num_chunks;
-  }
+  const std::size_t num_chunks = (total + grain - 1) / grain;
   {
+    // Install the job BEFORE publishing any chunk. A straggler from the
+    // previous generation that slipped past the active_ == 0 wait above can
+    // only ever observe either (a) empty queues — it retires harmlessly,
+    // because the caller participates and drains everything — or (b) a chunk
+    // of THIS job, whose pop (under the queue mutex that also guarded the
+    // push below) happens-after this install, so body_/remaining_ are the
+    // new job's. Pushing chunks first would let such a worker run a fresh
+    // chunk through the previous, dangling body_ and underflow remaining_.
     std::lock_guard<std::mutex> lk(mutex_);
     body_ = &body;
     error_ = nullptr;
     remaining_ = num_chunks;
     ++generation_;
+  }
+  for (std::size_t chunk = 0, begin = 0; begin < total;
+       ++chunk, begin += grain) {
+    const Chunk c{begin, std::min(total, begin + grain)};
+    Queue& q = *queues_[chunk % n];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    q.chunks.push_back(c);
   }
   work_cv_.notify_all();
   participate(0);

@@ -233,6 +233,30 @@ TEST(ThreadPool, RethrowsBodyException) {
   EXPECT_EQ(sum.load(), 10u);
 }
 
+TEST(ThreadPool, StressTinyAlternatingJobs) {
+  // Regression test for a job-setup race: a worker that slept through an
+  // entire job could wake during the next job's setup and, if chunks were
+  // published before the new body was installed, run them through the
+  // previous job's dangling body and underflow the chunk count (deadlock).
+  // Thousands of tiny back-to-back jobs with more workers than chunks
+  // maximize stale wakeups; run with RTV_SANITIZE=thread for full effect.
+  ThreadPool pool(8);
+  std::size_t expected = 0;
+  std::atomic<std::size_t> sum{0};
+  for (int job = 0; job < 4000; ++job) {
+    // Alternate body identities so a stale body_ dereference cannot
+    // accidentally do the right thing.
+    const std::size_t weight = 1 + job % 2;
+    const std::size_t total = 1 + job % 3;
+    pool.parallel_for(total, 1, [&, weight](std::size_t begin,
+                                            std::size_t end) {
+      sum.fetch_add(weight * (end - begin), std::memory_order_relaxed);
+    });
+    expected += weight * total;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
 TEST(ThreadPool, ReusableAcrossManyJobs) {
   ThreadPool pool(3);
   std::atomic<std::size_t> sum{0};

@@ -12,9 +12,13 @@
 //
 // Design files are read by extension: .rnl (native) or .blif.
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,6 +80,24 @@ namespace {
   std::exit(2);
 }
 
+/// Strict decimal parsing for numeric options: std::atoi would wrap
+/// negatives through unsigned ("--threads -1" → ~4 billion worker threads)
+/// and silently turn garbage into 0, so accept only plain digits in
+/// [0, max] and reject everything else with a usage error.
+std::uint64_t parse_number(const char* flag, const std::string& text,
+                           std::uint64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])) ||
+      *end != '\0' || errno == ERANGE || v > max) {
+    usage((std::string(flag) + " needs an integer in [0, " +
+           std::to_string(max) + "], got '" + text + "'")
+              .c_str());
+  }
+  return v;
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -129,20 +151,30 @@ Args parse_args(int argc, char** argv, int first) {
     } else if (a == "--vcd") {
       args.vcd = value("--vcd");
     } else if (a == "--period") {
-      args.period = std::atoi(value("--period").c_str());
+      args.period = static_cast<int>(parse_number(
+          "--period", value("--period"), std::numeric_limits<int>::max()));
     } else if (a == "--mode") {
       args.mode = value("--mode");
     } else if (a == "--threads") {
-      args.threads = static_cast<unsigned>(std::atoi(value("--threads").c_str()));
+      // 0 means "all hardware threads"; cap explicit counts well past any
+      // real machine but short of exhausting the OS thread limit.
+      args.threads = static_cast<unsigned>(
+          parse_number("--threads", value("--threads"), 1024));
     } else if (a == "--random") {
-      args.random = static_cast<unsigned>(std::atoi(value("--random").c_str()));
+      args.random = static_cast<unsigned>(
+          parse_number("--random", value("--random"),
+                       std::numeric_limits<unsigned>::max()));
     } else if (a == "--cycles") {
-      args.cycles = static_cast<unsigned>(std::atoi(value("--cycles").c_str()));
+      args.cycles = static_cast<unsigned>(
+          parse_number("--cycles", value("--cycles"),
+                       std::numeric_limits<unsigned>::max()));
     } else if (a == "--sample-lanes") {
-      args.sample_lanes =
-          static_cast<unsigned>(std::atoi(value("--sample-lanes").c_str()));
+      args.sample_lanes = static_cast<unsigned>(
+          parse_number("--sample-lanes", value("--sample-lanes"),
+                       std::numeric_limits<unsigned>::max()));
     } else if (a == "--seed") {
-      args.seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
+      args.seed = parse_number("--seed", value("--seed"),
+                               std::numeric_limits<std::uint64_t>::max());
     } else if (a == "--no-drop") {
       args.no_drop = true;
     } else if (a == "--all-faults") {
