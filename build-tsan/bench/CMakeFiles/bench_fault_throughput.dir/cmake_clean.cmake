@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_throughput.dir/bench_fault_throughput.cpp.o"
+  "CMakeFiles/bench_fault_throughput.dir/bench_fault_throughput.cpp.o.d"
+  "bench_fault_throughput"
+  "bench_fault_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

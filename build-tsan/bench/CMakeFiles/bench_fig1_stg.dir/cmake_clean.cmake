@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_stg.dir/bench_fig1_stg.cpp.o"
+  "CMakeFiles/bench_fig1_stg.dir/bench_fig1_stg.cpp.o.d"
+  "bench_fig1_stg"
+  "bench_fig1_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_graph.dir/bench_fig4_graph.cpp.o"
+  "CMakeFiles/bench_fig4_graph.dir/bench_fig4_graph.cpp.o.d"
+  "bench_fig4_graph"
+  "bench_fig4_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_moves.dir/bench_fig6_moves.cpp.o"
+  "CMakeFiles/bench_fig6_moves.dir/bench_fig6_moves.cpp.o.d"
+  "bench_fig6_moves"
+  "bench_fig6_moves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop41_safety.dir/bench_prop41_safety.cpp.o"
+  "CMakeFiles/bench_prop41_safety.dir/bench_prop41_safety.cpp.o.d"
+  "bench_prop41_safety"
+  "bench_prop41_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop41_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

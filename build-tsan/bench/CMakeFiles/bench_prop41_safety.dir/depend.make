@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_prop41_safety.
+# This may be replaced when dependencies are built.

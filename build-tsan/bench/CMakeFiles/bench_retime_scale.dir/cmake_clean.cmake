@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retime_scale.dir/bench_retime_scale.cpp.o"
+  "CMakeFiles/bench_retime_scale.dir/bench_retime_scale.cpp.o.d"
+  "bench_retime_scale"
+  "bench_retime_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retime_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symbolic.dir/bench_symbolic.cpp.o"
+  "CMakeFiles/bench_symbolic.dir/bench_symbolic.cpp.o.d"
+  "bench_symbolic"
+  "bench_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

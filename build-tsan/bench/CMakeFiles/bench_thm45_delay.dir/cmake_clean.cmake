@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm45_delay.dir/bench_thm45_delay.cpp.o"
+  "CMakeFiles/bench_thm45_delay.dir/bench_thm45_delay.cpp.o.d"
+  "bench_thm45_delay"
+  "bench_thm45_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm45_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm46_tests.dir/bench_thm46_tests.cpp.o"
+  "CMakeFiles/bench_thm46_tests.dir/bench_thm46_tests.cpp.o.d"
+  "bench_thm46_tests"
+  "bench_thm46_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm46_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

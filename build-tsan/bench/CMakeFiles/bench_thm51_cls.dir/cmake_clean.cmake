@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm51_cls.dir/bench_thm51_cls.cpp.o"
+  "CMakeFiles/bench_thm51_cls.dir/bench_thm51_cls.cpp.o.d"
+  "bench_thm51_cls"
+  "bench_thm51_cls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm51_cls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-tsan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench-smoke "/root/repo/build-tsan/bench/bench_sim_throughput" "--benchmark_filter=^\$")
+set_tests_properties(bench-smoke PROPERTIES  ENVIRONMENT "RTV_BENCH_SMOKE=1;RTV_BENCH_JSON=/root/repo/build-tsan/bench/BENCH_sim.json" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench-fault-smoke "/root/repo/build-tsan/bench/bench_fault_throughput" "--benchmark_filter=^\$")
+set_tests_properties(bench-fault-smoke PROPERTIES  ENVIRONMENT "RTV_BENCH_SMOKE=1;RTV_BENCH_JSON=/root/repo/build-tsan/bench/BENCH_fault.json" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_retime.dir/pipeline_retime.cpp.o"
+  "CMakeFiles/pipeline_retime.dir/pipeline_retime.cpp.o.d"
+  "pipeline_retime"
+  "pipeline_retime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_removal.dir/redundancy_removal.cpp.o"
+  "CMakeFiles/redundancy_removal.dir/redundancy_removal.cpp.o.d"
+  "redundancy_removal"
+  "redundancy_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_audit.dir/safety_audit.cpp.o"
+  "CMakeFiles/safety_audit.dir/safety_audit.cpp.o.d"
+  "safety_audit"
+  "safety_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_proof.dir/symbolic_proof.cpp.o"
+  "CMakeFiles/symbolic_proof.dir/symbolic_proof.cpp.o.d"
+  "symbolic_proof"
+  "symbolic_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testability_audit.dir/testability_audit.cpp.o"
+  "CMakeFiles/testability_audit.dir/testability_audit.cpp.o.d"
+  "testability_audit"
+  "testability_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testability_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

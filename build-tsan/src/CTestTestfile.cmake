@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ternary")
+subdirs("netlist")
+subdirs("sim")
+subdirs("stg")
+subdirs("retime")
+subdirs("fault")
+subdirs("gen")
+subdirs("io")
+subdirs("core")
+subdirs("bdd")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/rtv_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/rtv_bdd.dir/equivalence.cpp.o"
+  "CMakeFiles/rtv_bdd.dir/equivalence.cpp.o.d"
+  "CMakeFiles/rtv_bdd.dir/symbolic.cpp.o"
+  "CMakeFiles/rtv_bdd.dir/symbolic.cpp.o.d"
+  "librtv_bdd.a"
+  "librtv_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtv_bdd.a"
+)

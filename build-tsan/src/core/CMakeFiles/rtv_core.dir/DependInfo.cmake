@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cls_equiv.cpp" "src/core/CMakeFiles/rtv_core.dir/cls_equiv.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/cls_equiv.cpp.o.d"
+  "/root/repo/src/core/cls_reset.cpp" "src/core/CMakeFiles/rtv_core.dir/cls_reset.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/cls_reset.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/rtv_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/miter.cpp" "src/core/CMakeFiles/rtv_core.dir/miter.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/miter.cpp.o.d"
+  "/root/repo/src/core/redundancy.cpp" "src/core/CMakeFiles/rtv_core.dir/redundancy.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/redundancy.cpp.o.d"
+  "/root/repo/src/core/safety.cpp" "src/core/CMakeFiles/rtv_core.dir/safety.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/safety.cpp.o.d"
+  "/root/repo/src/core/test_preserve.cpp" "src/core/CMakeFiles/rtv_core.dir/test_preserve.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/test_preserve.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/rtv_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/rtv_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/retime/CMakeFiles/rtv_retime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/rtv_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stg/CMakeFiles/rtv_stg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rtv_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_core.dir/cls_equiv.cpp.o"
+  "CMakeFiles/rtv_core.dir/cls_equiv.cpp.o.d"
+  "CMakeFiles/rtv_core.dir/cls_reset.cpp.o"
+  "CMakeFiles/rtv_core.dir/cls_reset.cpp.o.d"
+  "CMakeFiles/rtv_core.dir/flow.cpp.o"
+  "CMakeFiles/rtv_core.dir/flow.cpp.o.d"
+  "CMakeFiles/rtv_core.dir/miter.cpp.o"
+  "CMakeFiles/rtv_core.dir/miter.cpp.o.d"
+  "CMakeFiles/rtv_core.dir/redundancy.cpp.o"
+  "CMakeFiles/rtv_core.dir/redundancy.cpp.o.d"
+  "CMakeFiles/rtv_core.dir/safety.cpp.o"
+  "CMakeFiles/rtv_core.dir/safety.cpp.o.d"
+  "CMakeFiles/rtv_core.dir/test_preserve.cpp.o"
+  "CMakeFiles/rtv_core.dir/test_preserve.cpp.o.d"
+  "CMakeFiles/rtv_core.dir/validator.cpp.o"
+  "CMakeFiles/rtv_core.dir/validator.cpp.o.d"
+  "librtv_core.a"
+  "librtv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtv_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/engine.cpp" "src/fault/CMakeFiles/rtv_fault.dir/engine.cpp.o" "gcc" "src/fault/CMakeFiles/rtv_fault.dir/engine.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/rtv_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/rtv_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "src/fault/CMakeFiles/rtv_fault.dir/fault_sim.cpp.o" "gcc" "src/fault/CMakeFiles/rtv_fault.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/fault/test_eval.cpp" "src/fault/CMakeFiles/rtv_fault.dir/test_eval.cpp.o" "gcc" "src/fault/CMakeFiles/rtv_fault.dir/test_eval.cpp.o.d"
+  "/root/repo/src/fault/tpg.cpp" "src/fault/CMakeFiles/rtv_fault.dir/tpg.cpp.o" "gcc" "src/fault/CMakeFiles/rtv_fault.dir/tpg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rtv_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stg/CMakeFiles/rtv_stg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_fault.dir/engine.cpp.o"
+  "CMakeFiles/rtv_fault.dir/engine.cpp.o.d"
+  "CMakeFiles/rtv_fault.dir/fault.cpp.o"
+  "CMakeFiles/rtv_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/rtv_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/rtv_fault.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/rtv_fault.dir/test_eval.cpp.o"
+  "CMakeFiles/rtv_fault.dir/test_eval.cpp.o.d"
+  "CMakeFiles/rtv_fault.dir/tpg.cpp.o"
+  "CMakeFiles/rtv_fault.dir/tpg.cpp.o.d"
+  "librtv_fault.a"
+  "librtv_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

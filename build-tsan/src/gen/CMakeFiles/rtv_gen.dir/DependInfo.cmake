@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/datapath.cpp" "src/gen/CMakeFiles/rtv_gen.dir/datapath.cpp.o" "gcc" "src/gen/CMakeFiles/rtv_gen.dir/datapath.cpp.o.d"
+  "/root/repo/src/gen/iscas.cpp" "src/gen/CMakeFiles/rtv_gen.dir/iscas.cpp.o" "gcc" "src/gen/CMakeFiles/rtv_gen.dir/iscas.cpp.o.d"
+  "/root/repo/src/gen/paper_circuits.cpp" "src/gen/CMakeFiles/rtv_gen.dir/paper_circuits.cpp.o" "gcc" "src/gen/CMakeFiles/rtv_gen.dir/paper_circuits.cpp.o.d"
+  "/root/repo/src/gen/random_circuits.cpp" "src/gen/CMakeFiles/rtv_gen.dir/random_circuits.cpp.o" "gcc" "src/gen/CMakeFiles/rtv_gen.dir/random_circuits.cpp.o.d"
+  "/root/repo/src/gen/shift.cpp" "src/gen/CMakeFiles/rtv_gen.dir/shift.cpp.o" "gcc" "src/gen/CMakeFiles/rtv_gen.dir/shift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

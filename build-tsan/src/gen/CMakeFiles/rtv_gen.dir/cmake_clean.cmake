@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_gen.dir/datapath.cpp.o"
+  "CMakeFiles/rtv_gen.dir/datapath.cpp.o.d"
+  "CMakeFiles/rtv_gen.dir/iscas.cpp.o"
+  "CMakeFiles/rtv_gen.dir/iscas.cpp.o.d"
+  "CMakeFiles/rtv_gen.dir/paper_circuits.cpp.o"
+  "CMakeFiles/rtv_gen.dir/paper_circuits.cpp.o.d"
+  "CMakeFiles/rtv_gen.dir/random_circuits.cpp.o"
+  "CMakeFiles/rtv_gen.dir/random_circuits.cpp.o.d"
+  "CMakeFiles/rtv_gen.dir/shift.cpp.o"
+  "CMakeFiles/rtv_gen.dir/shift.cpp.o.d"
+  "librtv_gen.a"
+  "librtv_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

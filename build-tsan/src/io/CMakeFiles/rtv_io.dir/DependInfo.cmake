@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/blif.cpp" "src/io/CMakeFiles/rtv_io.dir/blif.cpp.o" "gcc" "src/io/CMakeFiles/rtv_io.dir/blif.cpp.o.d"
+  "/root/repo/src/io/dot_export.cpp" "src/io/CMakeFiles/rtv_io.dir/dot_export.cpp.o" "gcc" "src/io/CMakeFiles/rtv_io.dir/dot_export.cpp.o.d"
+  "/root/repo/src/io/rnl_format.cpp" "src/io/CMakeFiles/rtv_io.dir/rnl_format.cpp.o" "gcc" "src/io/CMakeFiles/rtv_io.dir/rnl_format.cpp.o.d"
+  "/root/repo/src/io/vcd.cpp" "src/io/CMakeFiles/rtv_io.dir/vcd.cpp.o" "gcc" "src/io/CMakeFiles/rtv_io.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stg/CMakeFiles/rtv_stg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rtv_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

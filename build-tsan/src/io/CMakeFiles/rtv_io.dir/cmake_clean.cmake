@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_io.dir/blif.cpp.o"
+  "CMakeFiles/rtv_io.dir/blif.cpp.o.d"
+  "CMakeFiles/rtv_io.dir/dot_export.cpp.o"
+  "CMakeFiles/rtv_io.dir/dot_export.cpp.o.d"
+  "CMakeFiles/rtv_io.dir/rnl_format.cpp.o"
+  "CMakeFiles/rtv_io.dir/rnl_format.cpp.o.d"
+  "CMakeFiles/rtv_io.dir/vcd.cpp.o"
+  "CMakeFiles/rtv_io.dir/vcd.cpp.o.d"
+  "librtv_io.a"
+  "librtv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

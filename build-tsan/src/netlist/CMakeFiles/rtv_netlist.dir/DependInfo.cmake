@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell.cpp" "src/netlist/CMakeFiles/rtv_netlist.dir/cell.cpp.o" "gcc" "src/netlist/CMakeFiles/rtv_netlist.dir/cell.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/rtv_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/rtv_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/passes.cpp" "src/netlist/CMakeFiles/rtv_netlist.dir/passes.cpp.o" "gcc" "src/netlist/CMakeFiles/rtv_netlist.dir/passes.cpp.o.d"
+  "/root/repo/src/netlist/sugar.cpp" "src/netlist/CMakeFiles/rtv_netlist.dir/sugar.cpp.o" "gcc" "src/netlist/CMakeFiles/rtv_netlist.dir/sugar.cpp.o.d"
+  "/root/repo/src/netlist/topo.cpp" "src/netlist/CMakeFiles/rtv_netlist.dir/topo.cpp.o" "gcc" "src/netlist/CMakeFiles/rtv_netlist.dir/topo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_netlist.dir/cell.cpp.o"
+  "CMakeFiles/rtv_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/rtv_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rtv_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/rtv_netlist.dir/passes.cpp.o"
+  "CMakeFiles/rtv_netlist.dir/passes.cpp.o.d"
+  "CMakeFiles/rtv_netlist.dir/sugar.cpp.o"
+  "CMakeFiles/rtv_netlist.dir/sugar.cpp.o.d"
+  "CMakeFiles/rtv_netlist.dir/topo.cpp.o"
+  "CMakeFiles/rtv_netlist.dir/topo.cpp.o.d"
+  "librtv_netlist.a"
+  "librtv_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

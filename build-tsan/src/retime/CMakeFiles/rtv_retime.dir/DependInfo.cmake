@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retime/apply.cpp" "src/retime/CMakeFiles/rtv_retime.dir/apply.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/apply.cpp.o.d"
+  "/root/repo/src/retime/graph.cpp" "src/retime/CMakeFiles/rtv_retime.dir/graph.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/graph.cpp.o.d"
+  "/root/repo/src/retime/initial_state.cpp" "src/retime/CMakeFiles/rtv_retime.dir/initial_state.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/initial_state.cpp.o.d"
+  "/root/repo/src/retime/mcmf.cpp" "src/retime/CMakeFiles/rtv_retime.dir/mcmf.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/mcmf.cpp.o.d"
+  "/root/repo/src/retime/min_area.cpp" "src/retime/CMakeFiles/rtv_retime.dir/min_area.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/min_area.cpp.o.d"
+  "/root/repo/src/retime/min_period.cpp" "src/retime/CMakeFiles/rtv_retime.dir/min_period.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/min_period.cpp.o.d"
+  "/root/repo/src/retime/moves.cpp" "src/retime/CMakeFiles/rtv_retime.dir/moves.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/moves.cpp.o.d"
+  "/root/repo/src/retime/sequencer.cpp" "src/retime/CMakeFiles/rtv_retime.dir/sequencer.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/sequencer.cpp.o.d"
+  "/root/repo/src/retime/wd.cpp" "src/retime/CMakeFiles/rtv_retime.dir/wd.cpp.o" "gcc" "src/retime/CMakeFiles/rtv_retime.dir/wd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

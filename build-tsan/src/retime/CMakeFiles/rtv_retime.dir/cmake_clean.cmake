@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_retime.dir/apply.cpp.o"
+  "CMakeFiles/rtv_retime.dir/apply.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/graph.cpp.o"
+  "CMakeFiles/rtv_retime.dir/graph.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/initial_state.cpp.o"
+  "CMakeFiles/rtv_retime.dir/initial_state.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/mcmf.cpp.o"
+  "CMakeFiles/rtv_retime.dir/mcmf.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/min_area.cpp.o"
+  "CMakeFiles/rtv_retime.dir/min_area.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/min_period.cpp.o"
+  "CMakeFiles/rtv_retime.dir/min_period.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/moves.cpp.o"
+  "CMakeFiles/rtv_retime.dir/moves.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/sequencer.cpp.o"
+  "CMakeFiles/rtv_retime.dir/sequencer.cpp.o.d"
+  "CMakeFiles/rtv_retime.dir/wd.cpp.o"
+  "CMakeFiles/rtv_retime.dir/wd.cpp.o.d"
+  "librtv_retime.a"
+  "librtv_retime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/binary_sim.cpp" "src/sim/CMakeFiles/rtv_sim.dir/binary_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/binary_sim.cpp.o.d"
+  "/root/repo/src/sim/cls_sim.cpp" "src/sim/CMakeFiles/rtv_sim.dir/cls_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/cls_sim.cpp.o.d"
+  "/root/repo/src/sim/exact_sim.cpp" "src/sim/CMakeFiles/rtv_sim.dir/exact_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/exact_sim.cpp.o.d"
+  "/root/repo/src/sim/packed_sim.cpp" "src/sim/CMakeFiles/rtv_sim.dir/packed_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/packed_sim.cpp.o.d"
+  "/root/repo/src/sim/packed_vectors.cpp" "src/sim/CMakeFiles/rtv_sim.dir/packed_vectors.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/packed_vectors.cpp.o.d"
+  "/root/repo/src/sim/parallel_sim.cpp" "src/sim/CMakeFiles/rtv_sim.dir/parallel_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/parallel_sim.cpp.o.d"
+  "/root/repo/src/sim/port_map.cpp" "src/sim/CMakeFiles/rtv_sim.dir/port_map.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/port_map.cpp.o.d"
+  "/root/repo/src/sim/vectors.cpp" "src/sim/CMakeFiles/rtv_sim.dir/vectors.cpp.o" "gcc" "src/sim/CMakeFiles/rtv_sim.dir/vectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

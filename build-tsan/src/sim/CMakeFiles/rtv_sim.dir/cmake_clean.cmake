@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_sim.dir/binary_sim.cpp.o"
+  "CMakeFiles/rtv_sim.dir/binary_sim.cpp.o.d"
+  "CMakeFiles/rtv_sim.dir/cls_sim.cpp.o"
+  "CMakeFiles/rtv_sim.dir/cls_sim.cpp.o.d"
+  "CMakeFiles/rtv_sim.dir/exact_sim.cpp.o"
+  "CMakeFiles/rtv_sim.dir/exact_sim.cpp.o.d"
+  "CMakeFiles/rtv_sim.dir/packed_sim.cpp.o"
+  "CMakeFiles/rtv_sim.dir/packed_sim.cpp.o.d"
+  "CMakeFiles/rtv_sim.dir/packed_vectors.cpp.o"
+  "CMakeFiles/rtv_sim.dir/packed_vectors.cpp.o.d"
+  "CMakeFiles/rtv_sim.dir/parallel_sim.cpp.o"
+  "CMakeFiles/rtv_sim.dir/parallel_sim.cpp.o.d"
+  "CMakeFiles/rtv_sim.dir/port_map.cpp.o"
+  "CMakeFiles/rtv_sim.dir/port_map.cpp.o.d"
+  "CMakeFiles/rtv_sim.dir/vectors.cpp.o"
+  "CMakeFiles/rtv_sim.dir/vectors.cpp.o.d"
+  "librtv_sim.a"
+  "librtv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

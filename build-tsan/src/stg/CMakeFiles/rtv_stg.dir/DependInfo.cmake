@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stg/delayed.cpp" "src/stg/CMakeFiles/rtv_stg.dir/delayed.cpp.o" "gcc" "src/stg/CMakeFiles/rtv_stg.dir/delayed.cpp.o.d"
+  "/root/repo/src/stg/init_seq.cpp" "src/stg/CMakeFiles/rtv_stg.dir/init_seq.cpp.o" "gcc" "src/stg/CMakeFiles/rtv_stg.dir/init_seq.cpp.o.d"
+  "/root/repo/src/stg/minimize.cpp" "src/stg/CMakeFiles/rtv_stg.dir/minimize.cpp.o" "gcc" "src/stg/CMakeFiles/rtv_stg.dir/minimize.cpp.o.d"
+  "/root/repo/src/stg/replaceability.cpp" "src/stg/CMakeFiles/rtv_stg.dir/replaceability.cpp.o" "gcc" "src/stg/CMakeFiles/rtv_stg.dir/replaceability.cpp.o.d"
+  "/root/repo/src/stg/scc.cpp" "src/stg/CMakeFiles/rtv_stg.dir/scc.cpp.o" "gcc" "src/stg/CMakeFiles/rtv_stg.dir/scc.cpp.o.d"
+  "/root/repo/src/stg/stg.cpp" "src/stg/CMakeFiles/rtv_stg.dir/stg.cpp.o" "gcc" "src/stg/CMakeFiles/rtv_stg.dir/stg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rtv_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_stg.dir/delayed.cpp.o"
+  "CMakeFiles/rtv_stg.dir/delayed.cpp.o.d"
+  "CMakeFiles/rtv_stg.dir/init_seq.cpp.o"
+  "CMakeFiles/rtv_stg.dir/init_seq.cpp.o.d"
+  "CMakeFiles/rtv_stg.dir/minimize.cpp.o"
+  "CMakeFiles/rtv_stg.dir/minimize.cpp.o.d"
+  "CMakeFiles/rtv_stg.dir/replaceability.cpp.o"
+  "CMakeFiles/rtv_stg.dir/replaceability.cpp.o.d"
+  "CMakeFiles/rtv_stg.dir/scc.cpp.o"
+  "CMakeFiles/rtv_stg.dir/scc.cpp.o.d"
+  "CMakeFiles/rtv_stg.dir/stg.cpp.o"
+  "CMakeFiles/rtv_stg.dir/stg.cpp.o.d"
+  "librtv_stg.a"
+  "librtv_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_ternary.dir/trit.cpp.o"
+  "CMakeFiles/rtv_ternary.dir/trit.cpp.o.d"
+  "CMakeFiles/rtv_ternary.dir/truth_table.cpp.o"
+  "CMakeFiles/rtv_ternary.dir/truth_table.cpp.o.d"
+  "librtv_ternary.a"
+  "librtv_ternary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_ternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtv_ternary.
+# This may be replaced when dependencies are built.

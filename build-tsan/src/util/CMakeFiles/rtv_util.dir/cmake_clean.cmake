@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv_util.dir/error.cpp.o"
+  "CMakeFiles/rtv_util.dir/error.cpp.o.d"
+  "CMakeFiles/rtv_util.dir/rng.cpp.o"
+  "CMakeFiles/rtv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rtv_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/rtv_util.dir/thread_pool.cpp.o.d"
+  "librtv_util.a"
+  "librtv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

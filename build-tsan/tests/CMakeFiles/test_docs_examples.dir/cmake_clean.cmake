@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docs_examples.dir/test_docs_examples.cpp.o"
+  "CMakeFiles/test_docs_examples.dir/test_docs_examples.cpp.o.d"
+  "test_docs_examples"
+  "test_docs_examples.pdb"
+  "test_docs_examples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docs_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_engine.dir/test_fault_engine.cpp.o"
+  "CMakeFiles/test_fault_engine.dir/test_fault_engine.cpp.o.d"
+  "test_fault_engine"
+  "test_fault_engine.pdb"
+  "test_fault_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_initial_state.dir/test_initial_state.cpp.o"
+  "CMakeFiles/test_initial_state.dir/test_initial_state.cpp.o.d"
+  "test_initial_state"
+  "test_initial_state.pdb"
+  "test_initial_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_initial_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

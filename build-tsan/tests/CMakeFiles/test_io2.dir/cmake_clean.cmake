@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io2.dir/test_io2.cpp.o"
+  "CMakeFiles/test_io2.dir/test_io2.cpp.o.d"
+  "test_io2"
+  "test_io2.pdb"
+  "test_io2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moves.dir/test_moves.cpp.o"
+  "CMakeFiles/test_moves.dir/test_moves.cpp.o.d"
+  "test_moves"
+  "test_moves.pdb"
+  "test_moves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packed_sim.dir/test_packed_sim.cpp.o"
+  "CMakeFiles/test_packed_sim.dir/test_packed_sim.cpp.o.d"
+  "test_packed_sim"
+  "test_packed_sim.pdb"
+  "test_packed_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

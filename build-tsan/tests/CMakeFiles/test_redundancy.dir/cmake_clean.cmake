@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redundancy.dir/test_redundancy.cpp.o"
+  "CMakeFiles/test_redundancy.dir/test_redundancy.cpp.o.d"
+  "test_redundancy"
+  "test_redundancy.pdb"
+  "test_redundancy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

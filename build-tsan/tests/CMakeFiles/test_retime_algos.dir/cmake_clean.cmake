@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retime_algos.dir/test_retime_algos.cpp.o"
+  "CMakeFiles/test_retime_algos.dir/test_retime_algos.cpp.o.d"
+  "test_retime_algos"
+  "test_retime_algos.pdb"
+  "test_retime_algos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retime_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safe_retime.dir/test_safe_retime.cpp.o"
+  "CMakeFiles/test_safe_retime.dir/test_safe_retime.cpp.o.d"
+  "test_safe_retime"
+  "test_safe_retime.pdb"
+  "test_safe_retime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safe_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_safe_retime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/bdd/CMakeFiles/rtv_bdd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/rtv_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/rtv_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/retime/CMakeFiles/rtv_retime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stg/CMakeFiles/rtv_stg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gen/CMakeFiles/rtv_gen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/rtv_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rtv_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/rtv_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ternary/CMakeFiles/rtv_ternary.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rtv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stg.dir/test_stg.cpp.o"
+  "CMakeFiles/test_stg.dir/test_stg.cpp.o.d"
+  "test_stg"
+  "test_stg.pdb"
+  "test_stg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

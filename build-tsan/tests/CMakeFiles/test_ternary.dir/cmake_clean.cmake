@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ternary.dir/test_ternary.cpp.o"
+  "CMakeFiles/test_ternary.dir/test_ternary.cpp.o.d"
+  "test_ternary"
+  "test_ternary.pdb"
+  "test_ternary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

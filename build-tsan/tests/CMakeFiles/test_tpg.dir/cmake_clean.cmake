@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpg.dir/test_tpg.cpp.o"
+  "CMakeFiles/test_tpg.dir/test_tpg.cpp.o.d"
+  "test_tpg"
+  "test_tpg.pdb"
+  "test_tpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ternary[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_stg[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_retime_graph[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_retime_algos[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_moves[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_fault[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_fault_engine[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_paper[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_io[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_gen[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_initial_state[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_redundancy[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_io2[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_bdd[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_flow[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tpg[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_safe_retime[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_packed_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_docs_examples[1]_include.cmake")

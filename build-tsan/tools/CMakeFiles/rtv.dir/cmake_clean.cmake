@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtv.dir/rtv_cli.cpp.o"
+  "CMakeFiles/rtv.dir/rtv_cli.cpp.o.d"
+  "rtv"
+  "rtv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
