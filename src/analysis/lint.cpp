@@ -1,0 +1,95 @@
+#include "analysis/lint.hpp"
+
+#include <sstream>
+
+#include "io/json.hpp"
+
+namespace rtv {
+
+namespace {
+
+LintResult run_passes(const Netlist& netlist,
+                      const std::vector<RetimingMove>* plan,
+                      const LintOptions& options) {
+  LintResult result;
+  LintContext ctx{netlist, options};
+  if (plan != nullptr) {
+    result.plan = analyze_plan(netlist, *plan);
+    ctx.plan = plan;
+    ctx.plan_analysis = &*result.plan;
+  }
+  for (const LintPass& pass : lint_passes()) {
+    if (pass.needs_plan && ctx.plan == nullptr) continue;
+    pass.run(ctx, result.diagnostics);
+  }
+  return result;
+}
+
+}  // namespace
+
+LintResult run_lint(const Netlist& netlist, const LintOptions& options) {
+  return run_passes(netlist, nullptr, options);
+}
+
+LintResult run_lint(const Netlist& netlist,
+                    const std::vector<RetimingMove>& plan,
+                    const LintOptions& options) {
+  return run_passes(netlist, &plan, options);
+}
+
+std::string render_text(const LintResult& result) {
+  std::ostringstream os;
+  os << render_text(result.diagnostics);
+  if (result.plan) {
+    const PlanAnalysis& p = *result.plan;
+    os << "plan: " << p.stats.total_moves << " move(s), "
+       << p.stats.forward_moves << " forward / " << p.stats.backward_moves
+       << " backward, " << p.stats.forward_across_non_justifiable
+       << " forward across non-justifiable";
+    if (!p.analyzable) {
+      os << "; NOT ANALYZABLE: " << p.precondition_error << "\n";
+    } else {
+      os << "; " << (p.feasible ? "feasible" : "NOT feasible")
+         << ", k = " << p.k() << "\n";
+      if (p.feasible) os << "certificate: " << p.certificate() << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_json(const LintResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"rtv_lint_version\": 1,\n  \"summary\": {\"errors\": "
+     << result.diagnostics.num_errors()
+     << ", \"warnings\": " << result.diagnostics.num_warnings()
+     << ", \"notes\": " << result.diagnostics.num_notes() << ", \"clean\": "
+     << (result.clean() ? "true" : "false") << "},\n  \"diagnostics\": [";
+  const auto& diags = result.diagnostics.diagnostics();
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    " << diagnostic_to_json(diags[i]);
+  }
+  os << (diags.empty() ? "]" : "\n  ]");
+  if (result.plan) {
+    const PlanAnalysis& p = *result.plan;
+    os << ",\n  \"plan\": {\n    \"analyzable\": "
+       << (p.analyzable ? "true" : "false");
+    if (!p.analyzable) {
+      os << ",\n    \"precondition_error\": \""
+         << json_escape(p.precondition_error) << "\"";
+    }
+    os << ",\n    \"feasible\": " << (p.feasible ? "true" : "false")
+       << ",\n    \"moves\": " << p.stats.total_moves
+       << ",\n    \"forward_moves\": " << p.stats.forward_moves
+       << ",\n    \"backward_moves\": " << p.stats.backward_moves
+       << ",\n    \"forward_across_non_justifiable\": "
+       << p.stats.forward_across_non_justifiable << ",\n    \"k\": " << p.k()
+       << ",\n    \"safe_replacement\": "
+       << (p.stats.preserves_safe_replacement() ? "true" : "false")
+       << ",\n    \"certificate\": \"" << json_escape(p.certificate())
+       << "\"\n  }";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace rtv

@@ -1,0 +1,43 @@
+#pragma once
+// The lint driver: runs every registered pass over a netlist (and
+// optionally a retiming plan) and renders the result as text or JSON.
+// This is the engine behind `rtv lint` and the flow's input precondition.
+
+#include <optional>
+#include <vector>
+
+#include "analysis/pass.hpp"
+
+namespace rtv {
+
+/// Result of a lint run. `plan` is populated only when a plan was given.
+struct LintResult {
+  DiagnosticReport diagnostics;
+  std::optional<PlanAnalysis> plan;
+
+  bool clean() const { return diagnostics.empty(); }
+  bool has_errors() const { return diagnostics.has_errors(); }
+};
+
+/// Structure-only lint: runs every pass that does not need a plan.
+LintResult run_lint(const Netlist& netlist, const LintOptions& options = {});
+
+/// Full lint: structural passes plus the Section-4 plan analysis. The
+/// netlist is never mutated.
+LintResult run_lint(const Netlist& netlist,
+                    const std::vector<RetimingMove>& plan,
+                    const LintOptions& options = {});
+
+/// Human-readable report (diagnostic lines, plan verdict, summary).
+std::string render_text(const LintResult& result);
+
+/// Machine-readable report:
+///   { "rtv_lint_version": 1,
+///     "summary": {"errors": E, "warnings": W, "notes": N, "clean": bool},
+///     "diagnostics": [...],
+///     "plan": {"analyzable", "feasible", "moves", "forward_moves",
+///              "backward_moves", "forward_across_non_justifiable", "k",
+///              "safe_replacement", "certificate"} }   // when a plan ran
+std::string render_json(const LintResult& result);
+
+}  // namespace rtv

@@ -1,0 +1,15 @@
+#include "analysis/pass.hpp"
+
+namespace rtv {
+
+const std::vector<LintPass>& lint_passes() {
+  static const std::vector<LintPass> passes = [] {
+    std::vector<LintPass> p;
+    register_structural_passes(p);
+    register_plan_passes(p);
+    return p;
+  }();
+  return passes;
+}
+
+}  // namespace rtv

@@ -1,0 +1,57 @@
+#pragma once
+// The lint pass framework: a registry of named passes that read a netlist
+// (and optionally a retiming plan) and accumulate Diagnostics.
+//
+// Two pass families ship with the library. The *structural* family lifts
+// Netlist::structural_violations into coded diagnostics and adds the
+// move-engine lint checks (dangling ports, junction normality, unreachable
+// cells). The *plan* family runs over a PlanAnalysis (see plan.hpp) and
+// emits the paper's Section-4 findings: RTV201 for every move that breaks
+// safe replacement, feasibility errors, and the Theorem 4.5 certificate.
+// The driver in lint.hpp runs every registered pass in order.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/plan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtv {
+
+struct LintOptions {
+  /// Escalate implicit multi-fanout ports (RTV109) from warning to error —
+  /// the retiming move engine requires junction-normal designs.
+  bool require_junction_normal = false;
+  /// Emit RTV110 warnings for cells that cannot influence any output.
+  bool warn_unreachable = true;
+  /// Error (RTV204) when the plan's Thm 4.5 k exceeds this bound.
+  std::optional<std::size_t> max_k;
+};
+
+/// Everything a pass may look at. `plan`/`plan_analysis` are null for
+/// structure-only runs; the driver computes the analysis once and shares it
+/// with every plan pass.
+struct LintContext {
+  const Netlist& netlist;
+  const LintOptions& options;
+  const std::vector<RetimingMove>* plan = nullptr;
+  const PlanAnalysis* plan_analysis = nullptr;
+};
+
+struct LintPass {
+  const char* name;
+  const char* description;
+  bool needs_plan;  ///< skipped when the context carries no plan
+  std::function<void(const LintContext&, DiagnosticReport&)> run;
+};
+
+/// The built-in pass registry, in execution order.
+const std::vector<LintPass>& lint_passes();
+
+/// Registration hooks (one per pass family, called once by lint_passes()).
+void register_structural_passes(std::vector<LintPass>& passes);
+void register_plan_passes(std::vector<LintPass>& passes);
+
+}  // namespace rtv

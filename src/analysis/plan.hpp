@@ -1,0 +1,86 @@
+#pragma once
+// Static analysis of a retiming-move plan (paper Section 4), without
+// touching the design.
+//
+// A plan is an ordered list of atomic RetimingMoves. Instead of applying
+// the moves with apply_move, the analyzer replays their latch-count deltas
+// on the Leiserson–Saxe retiming graph: in junction-normal form every wire
+// chain is a pure latch run, so "a latch sits directly on this pin/port" is
+// exactly "the corresponding graph edge has weight >= 1", and a move is a
+// unit weight transfer between a vertex's in- and out-edges. That makes
+// static enabledness equivalent to can_apply at every position, while the
+// input netlist stays byte-identical.
+//
+// Classification is position-independent (justifiability never changes as
+// latches move), so the analyzer derives the full Section-4 census and the
+// Theorem 4.5 certificate k = max forward moves across any single
+// non-justifiable element: C^k ⊑ D, and test sets survive with a k-cycle
+// prefix (Thm 4.6).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "retime/moves.hpp"
+
+namespace rtv {
+
+/// Per-move result of the static replay.
+struct PlanMoveCheck {
+  RetimingMove move;
+  MoveClass cls;            ///< meaningful only when element_ok
+  bool element_ok = false;  ///< element is a live combinational node
+  bool enabled = false;     ///< statically enabled at its plan position
+  std::string detail;       ///< why not, when !element_ok or !enabled
+};
+
+/// Result of analyze_plan. `stats` counts every well-formed move (enabled
+/// or not); for a feasible plan it equals the stats apply_move would have
+/// produced, and k() is the Theorem 4.5 certificate.
+struct PlanAnalysis {
+  /// Preconditions held: structurally sound + junction-normal netlist.
+  bool analyzable = false;
+  std::string precondition_error;  ///< set when !analyzable
+
+  std::vector<PlanMoveCheck> moves;
+  MoveSequenceStats stats;
+
+  /// Every move well-formed and statically enabled in plan order.
+  bool feasible = false;
+
+  /// The Theorem 4.5 bound: C^k ⊑ D after this plan.
+  std::size_t k() const { return stats.max_forward_per_non_justifiable; }
+
+  /// "safe replacement (C ⊑ D, Cor 4.4)" or "C^k ⊑ D (Thm 4.5)".
+  std::string certificate() const;
+};
+
+/// Statically analyzes `moves` against `netlist` (never mutated).
+PlanAnalysis analyze_plan(const Netlist& netlist,
+                          const std::vector<RetimingMove>& moves);
+
+// ---- JSON plan files -------------------------------------------------------
+//
+//   { "moves": [ {"element": "J1", "direction": "forward"},
+//                {"node": 12,     "direction": "backward"} ] }
+//
+// A move names its element by netlist node name ("element") or by NodeId
+// ("node"); when both are present the name wins.
+
+struct RetimingPlan {
+  std::vector<RetimingMove> moves;
+};
+
+/// Parses a JSON plan, resolving elements against `netlist`. Throws
+/// ParseError on malformed JSON or unresolvable elements.
+RetimingPlan plan_from_json(const std::string& text, const Netlist& netlist);
+
+/// Reads a plan file. Throws Error if the file cannot be opened.
+RetimingPlan load_plan(const std::string& path, const Netlist& netlist);
+
+/// Serializes moves as the JSON plan format (names + node ids).
+std::string plan_to_json(const Netlist& netlist,
+                         const std::vector<RetimingMove>& moves);
+
+}  // namespace rtv

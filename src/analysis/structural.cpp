@@ -1,0 +1,125 @@
+// The structural lint family: Netlist::structural_violations lifted into
+// coded diagnostics, plus the move-engine preconditions check_valid never
+// enforced — dangling ports, junction normality as a lintable property,
+// and unreachable logic.
+
+#include "analysis/pass.hpp"
+
+namespace rtv {
+
+namespace {
+
+DiagCode code_for(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnconnectedPin: return DiagCode::kUnconnectedPin;
+    case ViolationKind::kMultiDrivenPin: return DiagCode::kMultiDrivenPin;
+    case ViolationKind::kBadArity: return DiagCode::kBadArity;
+    case ViolationKind::kBadTable: return DiagCode::kBadTable;
+    case ViolationKind::kBrokenCrossLink: return DiagCode::kBrokenCrossLink;
+    case ViolationKind::kIndexOutOfSync: return DiagCode::kIndexOutOfSync;
+    case ViolationKind::kCombinationalCycle:
+      return DiagCode::kCombinationalCycle;
+    case ViolationKind::kImplicitFanout: return DiagCode::kImplicitFanout;
+  }
+  return DiagCode::kBrokenCrossLink;
+}
+
+/// RTV101..RTV107: every accumulated structural violation, coded.
+void connectivity_pass(const LintContext& ctx, DiagnosticReport& report) {
+  for (const StructuralViolation& v :
+       ctx.netlist.structural_violations(/*require_junction_normal=*/false)) {
+    report.add(code_for(v.kind), ctx.netlist, v.node, v.message);
+  }
+}
+
+/// RTV109: implicit multi-fanout ports. A warning by default; an error when
+/// the caller requires junction-normal form (the move engine does).
+void junction_normal_pass(const LintContext& ctx, DiagnosticReport& report) {
+  const Netlist& n = ctx.netlist;
+  for (const NodeId id : n.live_nodes()) {
+    for (std::uint32_t port = 0; port < n.num_ports(id); ++port) {
+      const std::size_t sinks = n.sinks(PortRef(id, port)).size();
+      if (sinks <= 1) continue;
+      Diagnostic d;
+      d.code = DiagCode::kImplicitFanout;
+      d.severity = ctx.options.require_junction_normal ? Severity::kError
+                                                       : Severity::kWarning;
+      d.node = id;
+      d.node_name = n.name(id);
+      d.message = "port " + std::to_string(port) + " drives " +
+                  std::to_string(sinks) +
+                  " pins; junctionize() before retiming moves";
+      report.add(std::move(d));
+    }
+  }
+}
+
+/// RTV108: output ports that drive nothing. The retiming move engine (and
+/// the plan replay) require every combinational port and latch to feed a
+/// pin; primary inputs are exempt — an unused input is interface contract,
+/// not a defect.
+void dangling_port_pass(const LintContext& ctx, DiagnosticReport& report) {
+  const Netlist& n = ctx.netlist;
+  for (const NodeId id : n.live_nodes()) {
+    if (n.kind(id) == CellKind::kInput) continue;
+    for (std::uint32_t port = 0; port < n.num_ports(id); ++port) {
+      if (!n.sinks(PortRef(id, port)).empty()) continue;
+      report.add(DiagCode::kDanglingPort, n, id,
+                 "output port " + std::to_string(port) +
+                     " drives nothing (trim_dangling() restores the "
+                     "every-port-driven invariant)");
+    }
+  }
+}
+
+/// RTV110: cells that cannot influence any primary output (the backward
+/// closure sweep_unobservable would delete). Primary inputs are exempt.
+void unreachable_pass(const LintContext& ctx, DiagnosticReport& report) {
+  if (!ctx.options.warn_unreachable) return;
+  const Netlist& n = ctx.netlist;
+  std::vector<bool> observable(n.num_slots(), false);
+  std::vector<std::uint32_t> stack;
+  for (const NodeId po : n.primary_outputs()) {
+    observable[po.value] = true;
+    stack.push_back(po.value);
+  }
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (std::uint32_t pin = 0; pin < n.num_pins(NodeId(v)); ++pin) {
+      const PortRef drv = n.driver(PinRef(NodeId(v), pin));
+      if (!drv.valid() || drv.node.value >= n.num_slots()) continue;
+      if (!observable[drv.node.value]) {
+        observable[drv.node.value] = true;
+        stack.push_back(drv.node.value);
+      }
+    }
+  }
+  for (const NodeId id : n.live_nodes()) {
+    if (observable[id.value] || n.kind(id) == CellKind::kInput) continue;
+    report.add(DiagCode::kUnreachableCell, n, id,
+               std::string(cell_kind_name(n.kind(id))) +
+                   " cannot influence any primary output "
+                   "(sweep_unobservable() would remove it)");
+  }
+}
+
+}  // namespace
+
+void register_structural_passes(std::vector<LintPass>& passes) {
+  passes.push_back({"connectivity",
+                    "pins connected, cross-links sound, cycles latched",
+                    /*needs_plan=*/false, connectivity_pass});
+  passes.push_back({"junction-normal",
+                    "every port drives at most one pin (Section 3.2 form)",
+                    /*needs_plan=*/false, junction_normal_pass});
+  passes.push_back({"dangling-ports",
+                    "every non-input port drives a pin (move engine "
+                    "precondition)",
+                    /*needs_plan=*/false, dangling_port_pass});
+  passes.push_back({"unreachable",
+                    "every cell can influence a primary output",
+                    /*needs_plan=*/false, unreachable_pass});
+}
+
+}  // namespace rtv

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "core/redundancy.hpp"
 #include "retime/graph.hpp"
 #include "retime/min_area.hpp"
@@ -24,6 +25,16 @@ std::string FlowReport::summary() const {
 
 FlowReport run_synthesis_flow(const Netlist& design,
                               const FlowOptions& options) {
+  if (options.lint_input) {
+    LintOptions lint_options;
+    // The flow junctionizes and sweeps unobservable logic itself, so only
+    // hard structural defects should block it.
+    lint_options.warn_unreachable = false;
+    const LintResult lint = run_lint(design, lint_options);
+    RTV_REQUIRE(!lint.has_errors(),
+                "input design fails structural lint:\n" + render_text(lint));
+  }
+
   FlowReport report;
   report.gates_before = design.num_gates();
   report.registers_before = design.num_latches();

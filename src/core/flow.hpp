@@ -29,6 +29,10 @@ struct FlowOptions {
   /// environment, not only CLS-based methodologies. Currently honored by
   /// the kMinArea objective (lag >= 0 on non-justifiable elements).
   bool safe_replacement_only = false;
+  /// Run the structural lint (analysis/lint.hpp) on the input design and
+  /// refuse to start when it reports errors — the coded diagnostics name
+  /// every defect instead of the first one check_valid would throw on.
+  bool lint_input = true;
   bool constant_propagation = true;
   bool sweep_unobservable = true;
   /// CLS-preserving redundancy removal (expensive: per-fault equivalence

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "analysis/plan.hpp"
+
 namespace rtv {
 
 std::string SafetyReport::summary() const {
@@ -12,6 +14,7 @@ std::string SafetyReport::summary() const {
   } else {
     os << "delayed replacement C^" << delay_bound << " ⊑ D (Thm 4.5)";
   }
+  if (statically_verified) os << " [statically verified]";
   return os.str();
 }
 
@@ -25,6 +28,24 @@ SafetyReport report_from_stats(const MoveSequenceStats& stats) {
   return report;
 }
 
+/// Replays `moves` statically against the *original* netlist and checks the
+/// census agrees with what applying them produced. A disagreement means
+/// either the sequencer or the static analyzer is wrong — an internal
+/// error, not a user mistake. Returns whether verification ran (the static
+/// analyzer declines netlists that fail its replay preconditions).
+bool cross_check_static(const Netlist& netlist,
+                        const std::vector<RetimingMove>& moves,
+                        const MoveSequenceStats& applied) {
+  const PlanAnalysis plan = analyze_plan(netlist, moves);
+  if (!plan.analyzable) return false;
+  RTV_CHECK_MSG(plan.feasible,
+                "static plan replay disagrees: a move applied by apply_move "
+                "was reported as not enabled");
+  RTV_CHECK_MSG(plan.stats == applied,
+                "static plan census disagrees with the applied sequence");
+  return true;
+}
+
 }  // namespace
 
 SafetyReport analyze_lag_retiming(const Netlist& netlist,
@@ -32,7 +53,9 @@ SafetyReport analyze_lag_retiming(const Netlist& netlist,
                                   const std::vector<int>& lag,
                                   SequencedRetiming* sequenced) {
   SequencedRetiming seq = sequence_retiming(netlist, graph, lag);
-  const SafetyReport report = report_from_stats(seq.stats);
+  SafetyReport report = report_from_stats(seq.stats);
+  report.statically_verified = cross_check_static(netlist, seq.moves,
+                                                  seq.stats);
   if (sequenced != nullptr) *sequenced = std::move(seq);
   return report;
 }
@@ -47,8 +70,10 @@ SafetyReport analyze_move_sequence(const Netlist& netlist,
     const MoveClass cls = apply_move(work, move);
     accumulate_move(move, cls, forward_counts, stats);
   }
+  SafetyReport report = report_from_stats(stats);
+  report.statically_verified = cross_check_static(netlist, moves, stats);
   if (retimed != nullptr) *retimed = std::move(work);
-  return report_from_stats(stats);
+  return report;
 }
 
 }  // namespace rtv

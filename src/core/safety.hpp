@@ -25,6 +25,11 @@ struct SafetyReport {
   bool safe_replacement_guaranteed = false;
   /// Thm 4.5 bound: C^k ⊑ D. Zero when safe_replacement_guaranteed.
   std::size_t delay_bound = 0;
+  /// The static plan analyzer (analysis/plan.hpp) replayed the sequence
+  /// without mutating the design and produced the same stats — the reported
+  /// delay_bound is then an independently derived certificate, not just a
+  /// by-product of applying the moves.
+  bool statically_verified = false;
 
   std::string summary() const;
 };

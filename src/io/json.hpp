@@ -1,0 +1,63 @@
+#pragma once
+// Minimal JSON support for the tool-facing formats (retiming plan files,
+// `rtv lint --json`, faultsim summaries). A small recursive-descent parser
+// into an immutable DOM plus the escaping helper the writers share — no
+// external dependency, full RFC 8259 value grammar except \u surrogate
+// pairs (accepted, transcoded to UTF-8).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rtv {
+
+/// One parsed JSON value. Object member order is preserved.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  explicit JsonValue(std::nullptr_t) {}
+  explicit JsonValue(bool v) : value_(v) {}
+  explicit JsonValue(double v) : value_(v) {}
+  explicit JsonValue(std::string v) : value_(std::move(v)) {}
+  explicit JsonValue(Array v) : value_(std::move(v)) {}
+  explicit JsonValue(Object v) : value_(std::move(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw InvalidArgument on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_ = nullptr;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws ParseError with a character offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+/// Escapes a string for embedding between double quotes in JSON output.
+std::string json_escape(const std::string& s);
+
+}  // namespace rtv

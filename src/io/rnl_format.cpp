@@ -89,7 +89,7 @@ std::pair<std::string, std::uint32_t> split_ref(std::size_t line,
 
 }  // namespace
 
-Netlist read_rnl(const std::string& text) {
+Netlist read_rnl(const std::string& text, bool validate) {
   Netlist n;
   std::unordered_map<std::string, NodeId> nodes_by_name;
   std::unordered_map<std::string, TableId> tables_by_name;
@@ -260,10 +260,12 @@ Netlist read_rnl(const std::string& text) {
   }
   finish_table(line_no);
   if (!saw_header) parse_fail(0, "empty input");
-  try {
-    n.check_valid();
-  } catch (const Error& e) {
-    throw ParseError(std::string("rnl: ") + e.what());
+  if (validate) {
+    try {
+      n.check_valid();
+    } catch (const Error& e) {
+      throw ParseError(std::string("rnl: ") + e.what());
+    }
   }
   return n;
 }
@@ -275,12 +277,12 @@ void save_rnl(const Netlist& netlist, const std::string& path) {
   if (!f) throw Error("write to '" + path + "' failed");
 }
 
-Netlist load_rnl(const std::string& path) {
+Netlist load_rnl(const std::string& path, bool validate) {
   std::ifstream f(path);
   if (!f) throw Error("cannot open '" + path + "' for reading");
   std::ostringstream buffer;
   buffer << f.rdbuf();
-  return read_rnl(buffer.str());
+  return read_rnl(buffer.str(), validate);
 }
 
 }  // namespace rtv

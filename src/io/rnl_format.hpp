@@ -24,10 +24,13 @@ std::string write_rnl(const Netlist& netlist);
 
 /// Parses the format written by write_rnl. Throws ParseError with a line
 /// number on malformed input; the returned netlist passes check_valid().
-Netlist read_rnl(const std::string& text);
+/// With validate == false, syntactically well-formed but structurally
+/// broken netlists are returned as-is, so `rtv lint` can report every
+/// defect instead of the loader throwing on the first one.
+Netlist read_rnl(const std::string& text, bool validate = true);
 
 /// File helpers.
 void save_rnl(const Netlist& netlist, const std::string& path);
-Netlist load_rnl(const std::string& path);
+Netlist load_rnl(const std::string& path, bool validate = true);
 
 }  // namespace rtv

@@ -68,6 +68,31 @@ struct TableId {
   constexpr auto operator<=>(const TableId&) const = default;
 };
 
+/// Machine-readable category of a structural defect found by
+/// Netlist::structural_violations(). The analysis layer maps these onto
+/// its RTV1xx diagnostic codes; keep the set stable.
+enum class ViolationKind : std::uint8_t {
+  kUnconnectedPin,      ///< input pin with no driver
+  kMultiDrivenPin,      ///< pin listed as the sink of more than one port
+  kBadArity,            ///< pin/port count illegal for the cell kind
+  kBadTable,            ///< dangling table id or table/cell arity mismatch
+  kBrokenCrossLink,     ///< fanin/fanout disagree or dead/out-of-range refs
+  kIndexOutOfSync,      ///< PI/PO/latch index vector inconsistent
+  kCombinationalCycle,  ///< latch-free feedback cycle
+  kImplicitFanout,      ///< port with >1 sink (junction-normal mode only)
+};
+
+const char* to_string(ViolationKind kind);
+
+/// One structural defect. `node` is the offending node (invalid for
+/// netlist-wide problems such as index desync); `message` is the human
+/// description check_valid() used to throw.
+struct StructuralViolation {
+  ViolationKind kind = ViolationKind::kUnconnectedPin;
+  NodeId node;
+  std::string message;
+};
+
 /// One netlist node.
 struct Node {
   CellKind kind = CellKind::kBuf;
@@ -201,9 +226,16 @@ class Netlist {
   /// or rebuilt.
   std::size_t trim_dangling();
 
-  /// Structural validation: every pin connected, fanout/fanin cross-linked
-  /// consistently, arities legal, every cycle crosses a latch. Throws
-  /// InvalidArgument describing the first problem found.
+  /// Structural validation: every pin connected, no multi-driven pins,
+  /// fanout/fanin cross-linked consistently, arities legal, index vectors in
+  /// sync, every cycle crosses a latch. Unlike check_valid this accumulates
+  /// every violation instead of stopping at the first, so callers (the lint
+  /// pass framework in src/analysis) can report all problems in one run.
+  std::vector<StructuralViolation> structural_violations(
+      bool require_junction_normal = false) const;
+
+  /// Throwing wrapper around structural_violations(): raises InvalidArgument
+  /// describing the first problem found; no-op on a sound netlist.
   void check_valid(bool require_junction_normal = false) const;
 
   /// True iff deleting all latches leaves an acyclic combinational graph —
@@ -219,6 +251,10 @@ class Netlist {
 
  private:
   friend std::vector<NodeId> combinational_topo_order(const Netlist&);
+
+  /// A live combinational node on some latch-free cycle, or invalid if
+  /// every cycle crosses a latch.
+  NodeId combinational_cycle_witness() const;
 
   Node& node_ref(NodeId id);
   const Node& node_ref(NodeId id) const;

@@ -92,69 +92,125 @@ Netlist Netlist::compacted(std::vector<NodeId>* old_to_new) const {
   return out;
 }
 
-namespace {
-
-[[noreturn]] void invalid(const std::string& what) {
-  throw InvalidArgument("invalid netlist: " + what);
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnconnectedPin: return "unconnected-pin";
+    case ViolationKind::kMultiDrivenPin: return "multi-driven-pin";
+    case ViolationKind::kBadArity: return "bad-arity";
+    case ViolationKind::kBadTable: return "bad-table";
+    case ViolationKind::kBrokenCrossLink: return "broken-cross-link";
+    case ViolationKind::kIndexOutOfSync: return "index-out-of-sync";
+    case ViolationKind::kCombinationalCycle: return "combinational-cycle";
+    case ViolationKind::kImplicitFanout: return "implicit-fanout";
+  }
+  return "unknown";
 }
 
-}  // namespace
+std::vector<StructuralViolation> Netlist::structural_violations(
+    bool require_junction_normal) const {
+  std::vector<StructuralViolation> out;
+  const auto emit = [&](ViolationKind kind, NodeId node, std::string what) {
+    out.push_back(StructuralViolation{kind, node, std::move(what)});
+  };
+  // How many ports claim each pin as a sink; a count above one is a
+  // multi-driven wire regardless of which driver the fanin side records.
+  std::vector<std::vector<std::uint32_t>> drive_count(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    drive_count[i].assign(nodes_[i].dead ? 0 : nodes_[i].num_pins(), 0);
+  }
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].dead) continue;
+    for (const auto& port_sinks : nodes_[i].fanout) {
+      for (const PinRef& s : port_sinks) {
+        if (s.node.value < nodes_.size() && !nodes_[s.node.value].dead &&
+            s.pin < nodes_[s.node.value].num_pins()) {
+          ++drive_count[s.node.value][s.pin];
+        }
+      }
+    }
+  }
 
-void Netlist::check_valid(bool require_junction_normal) const {
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
     const Node& n = nodes_[i];
     if (n.dead) continue;
+    const NodeId id(i);
     const std::string where = " (node '" + n.name + "')";
     // Arity legality per kind.
     unsigned pins = 0, ports = 0;
     if (fixed_pin_count(n.kind, pins) && n.num_pins() != pins) {
-      invalid("wrong pin count" + where);
+      emit(ViolationKind::kBadArity, id, "wrong pin count" + where);
     }
     if (fixed_port_count(n.kind, ports) && n.num_ports() != ports) {
-      invalid("wrong port count" + where);
+      emit(ViolationKind::kBadArity, id, "wrong port count" + where);
     }
     if (is_variadic_gate(n.kind) && n.num_pins() < 1) {
-      invalid("variadic gate with no pins" + where);
+      emit(ViolationKind::kBadArity, id, "variadic gate with no pins" + where);
     }
     if (n.kind == CellKind::kJunc && n.num_ports() < 1) {
-      invalid("junction with no ports" + where);
+      emit(ViolationKind::kBadArity, id, "junction with no ports" + where);
     }
     if (n.kind == CellKind::kTable) {
       if (!n.table.valid() || n.table.value >= tables_.size()) {
-        invalid("dangling table id" + where);
-      }
-      const TruthTable& t = tables_[n.table.value];
-      if (n.num_pins() != t.num_inputs() || n.num_ports() != t.num_outputs()) {
-        invalid("table cell arity mismatch" + where);
+        emit(ViolationKind::kBadTable, id, "dangling table id" + where);
+      } else {
+        const TruthTable& t = tables_[n.table.value];
+        if (n.num_pins() != t.num_inputs() ||
+            n.num_ports() != t.num_outputs()) {
+          emit(ViolationKind::kBadTable, id, "table cell arity mismatch" + where);
+        }
       }
     }
     // Connectivity and cross-link consistency.
     for (std::uint32_t pin = 0; pin < n.num_pins(); ++pin) {
       const PortRef drv = n.fanin[pin];
-      if (!drv.valid()) invalid("unconnected input pin" + where);
+      if (!drv.valid()) {
+        emit(ViolationKind::kUnconnectedPin, id,
+             "unconnected input pin " + std::to_string(pin) + where);
+        continue;
+      }
       if (drv.node.value >= nodes_.size() || nodes_[drv.node.value].dead) {
-        invalid("pin driven by dead/out-of-range node" + where);
+        emit(ViolationKind::kBrokenCrossLink, id,
+             "pin driven by dead/out-of-range node" + where);
+        continue;
       }
       const Node& src = nodes_[drv.node.value];
-      if (drv.port >= src.num_ports()) invalid("driver port out of range" + where);
+      if (drv.port >= src.num_ports()) {
+        emit(ViolationKind::kBrokenCrossLink, id,
+             "driver port out of range" + where);
+        continue;
+      }
       const auto& fo = src.fanout[drv.port];
-      if (std::find(fo.begin(), fo.end(), PinRef(NodeId(i), pin)) == fo.end()) {
-        invalid("fanin/fanout cross-link broken" + where);
+      if (std::find(fo.begin(), fo.end(), PinRef(id, pin)) == fo.end()) {
+        emit(ViolationKind::kBrokenCrossLink, id,
+             "fanin/fanout cross-link broken" + where);
+      }
+      if (drive_count[i][pin] > 1) {
+        emit(ViolationKind::kMultiDrivenPin, id,
+             "input pin " + std::to_string(pin) + " driven by " +
+                 std::to_string(drive_count[i][pin]) + " ports" + where);
       }
     }
     for (std::uint32_t port = 0; port < n.num_ports(); ++port) {
       for (const PinRef& s : n.fanout[port]) {
         if (s.node.value >= nodes_.size() || nodes_[s.node.value].dead) {
-          invalid("fanout to dead/out-of-range node" + where);
+          emit(ViolationKind::kBrokenCrossLink, id,
+               "fanout to dead/out-of-range node" + where);
+          continue;
         }
         const Node& dst = nodes_[s.node.value];
-        if (s.pin >= dst.num_pins()) invalid("fanout pin out of range" + where);
-        if (dst.fanin[s.pin] != PortRef(NodeId(i), port)) {
-          invalid("fanout/fanin cross-link broken" + where);
+        if (s.pin >= dst.num_pins()) {
+          emit(ViolationKind::kBrokenCrossLink, id,
+               "fanout pin out of range" + where);
+          continue;
+        }
+        if (dst.fanin[s.pin] != PortRef(id, port)) {
+          emit(ViolationKind::kBrokenCrossLink, id,
+               "fanout/fanin cross-link broken" + where);
         }
       }
       if (require_junction_normal && n.fanout[port].size() > 1) {
-        invalid("implicit multi-fanout port in junction-normal mode" + where);
+        emit(ViolationKind::kImplicitFanout, id,
+             "implicit multi-fanout port in junction-normal mode" + where);
       }
     }
   }
@@ -166,12 +222,14 @@ void Netlist::check_valid(bool require_junction_normal) const {
       if (!n.dead && n.kind == kind) ++live_count;
     }
     if (index.size() != live_count) {
-      invalid(std::string(label) + " index out of sync");
+      emit(ViolationKind::kIndexOutOfSync, NodeId(),
+           std::string(label) + " index out of sync");
     }
     for (NodeId id : index) {
       if (!id.valid() || id.value >= nodes_.size() || nodes_[id.value].dead ||
           nodes_[id.value].kind != kind) {
-        invalid(std::string(label) + " index entry invalid");
+        emit(ViolationKind::kIndexOutOfSync, NodeId(),
+             std::string(label) + " index entry invalid");
       }
     }
   };
@@ -179,16 +237,41 @@ void Netlist::check_valid(bool require_junction_normal) const {
   check_index(outputs_, CellKind::kOutput, "primary output");
   check_index(latches_, CellKind::kLatch, "latch");
 
-  if (!every_cycle_has_latch()) {
-    invalid("combinational cycle (a cycle without a latch)");
+  // Cycle detection walks fanout links; it is only meaningful (and only
+  // memory-safe) once those links are structurally sound, so skip it when
+  // any cross-link defect was found.
+  const bool links_sound =
+      std::none_of(out.begin(), out.end(), [](const StructuralViolation& v) {
+        return v.kind == ViolationKind::kBrokenCrossLink;
+      });
+  if (links_sound) {
+    const NodeId witness = combinational_cycle_witness();
+    if (witness.valid()) {
+      emit(ViolationKind::kCombinationalCycle, witness,
+           "combinational cycle (a cycle without a latch) through node '" +
+               nodes_[witness.value].name + "'");
+    }
+  }
+  return out;
+}
+
+void Netlist::check_valid(bool require_junction_normal) const {
+  const std::vector<StructuralViolation> violations =
+      structural_violations(require_junction_normal);
+  if (!violations.empty()) {
+    throw InvalidArgument("invalid netlist: " + violations.front().message);
   }
 }
 
 bool Netlist::every_cycle_has_latch() const {
+  return !combinational_cycle_witness().valid();
+}
+
+NodeId Netlist::combinational_cycle_witness() const {
   // Any cycle that crosses a latch is broken when we only follow edges whose
   // head is a combinational node, because latch fanin edges are skipped.
   // So: a combinational cycle exists iff DFS over comb-to-comb edges finds a
-  // back edge.
+  // back edge; the node the back edge lands on witnesses the cycle.
   enum class Color : std::uint8_t { kWhite, kGray, kBlack };
   std::vector<Color> color(nodes_.size(), Color::kWhite);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;  // (node, port idx cursor)
@@ -223,14 +306,14 @@ bool Netlist::every_cycle_has_latch() const {
       ++cursor;
       const std::uint32_t v = next.node.value;
       if (!is_combinational(nodes_[v].kind)) continue;  // latch/PO breaks path
-      if (color[v] == Color::kGray) return false;       // combinational cycle
+      if (color[v] == Color::kGray) return NodeId(v);   // combinational cycle
       if (color[v] == Color::kWhite) {
         color[v] = Color::kGray;
         stack.emplace_back(v, 0);
       }
     }
   }
-  return true;
+  return NodeId();
 }
 
 std::size_t Netlist::sweep_unobservable() {

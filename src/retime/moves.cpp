@@ -8,6 +8,13 @@ const char* to_string(MoveDirection direction) {
   return direction == MoveDirection::kForward ? "forward" : "backward";
 }
 
+MoveDirection move_direction_from_string(const std::string& text) {
+  if (text == "forward") return MoveDirection::kForward;
+  if (text == "backward") return MoveDirection::kBackward;
+  throw ParseError("unknown move direction '" + text +
+                   "' (expected \"forward\" or \"backward\")");
+}
+
 MoveClass classify_move(const Netlist& netlist, const RetimingMove& move) {
   return MoveClass{move.direction, netlist.is_justifiable(move.element)};
 }

@@ -20,11 +20,17 @@ enum class MoveDirection : std::uint8_t { kForward, kBackward };
 
 const char* to_string(MoveDirection direction);
 
+/// Inverse of to_string ("forward"/"backward"); throws ParseError on
+/// anything else. Used by the JSON retiming-plan format.
+MoveDirection move_direction_from_string(const std::string& text);
+
 /// One atomic retiming move: direction + the combinational element moved
 /// across.
 struct RetimingMove {
   NodeId element;
   MoveDirection direction = MoveDirection::kForward;
+
+  constexpr bool operator==(const RetimingMove&) const = default;
 };
 
 /// Section 4's four-way move classification.
@@ -70,6 +76,7 @@ struct MoveSequenceStats {
   bool preserves_safe_replacement() const {
     return forward_across_non_justifiable == 0;
   }
+  bool operator==(const MoveSequenceStats&) const = default;
   std::string summary() const;
 };
 

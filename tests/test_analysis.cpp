@@ -1,0 +1,426 @@
+// Tests for the static-analysis subsystem: structural lint diagnostics,
+// the plan analyzer (paper Section 4 replayed without mutating the
+// design), the JSON plan/report formats, and the JSON parser itself.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "core/flow.hpp"
+#include "core/safety.hpp"
+#include "gen/paper_circuits.hpp"
+#include "gen/random_circuits.hpp"
+#include "io/json.hpp"
+#include "io/rnl_format.hpp"
+#include "retime/graph.hpp"
+#include "retime/min_area.hpp"
+#include "retime/min_period.hpp"
+#include "retime/sequencer.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+using testing::and2_circuit;
+using testing::inverter_pipeline;
+using testing::toggle_circuit;
+
+std::size_t count_code(const DiagnosticReport& report, DiagCode code) {
+  return static_cast<std::size_t>(std::count_if(
+      report.diagnostics().begin(), report.diagnostics().end(),
+      [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+// ---- structural lint -------------------------------------------------------
+
+TEST(StructuralLint, CleanCircuitsProduceEmptyReports) {
+  for (const Netlist& n :
+       {toggle_circuit(), inverter_pipeline(), figure1_original()}) {
+    const LintResult result = run_lint(n);
+    EXPECT_TRUE(result.clean()) << render_text(result);
+  }
+}
+
+TEST(StructuralLint, AccumulatesEveryViolationNotJustTheFirst) {
+  // Two separate defects: an unconnected AND pin and a dangling NOT.
+  Netlist n;
+  const NodeId in = n.add_input("in");
+  const NodeId out = n.add_output("out");
+  const NodeId a = n.add_gate(CellKind::kAnd, 2, "a");
+  n.add_gate(CellKind::kNot, 0, "b");  // nothing connected at all
+  n.connect(PortRef(in, 0), PinRef(a, 0));
+  n.connect(PortRef(a, 0), PinRef(out, 0));
+
+  const auto violations = n.structural_violations();
+  EXPECT_GE(violations.size(), 2u);  // a.1 and b.0 both unconnected
+
+  const LintResult result = run_lint(n);
+  EXPECT_GE(count_code(result.diagnostics, DiagCode::kUnconnectedPin), 2u);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kDanglingPort), 1u);
+  EXPECT_TRUE(result.has_errors());
+}
+
+TEST(StructuralLint, CheckValidStillThrowsOnFirstViolation) {
+  Netlist n;
+  const NodeId a = n.add_gate(CellKind::kAnd, 2, "a");
+  (void)a;
+  EXPECT_THROW(n.check_valid(), InvalidArgument);
+}
+
+TEST(StructuralLint, ConnectRefusesASecondDriverSoRtv102IsDefenseInDepth) {
+  // The public API cannot create a multi-driven pin (connect refuses), so
+  // RTV102 only fires on corrupted in-memory structures; what we can pin
+  // down here is the guard itself.
+  Netlist n;
+  const NodeId i0 = n.add_input("i0");
+  const NodeId i1 = n.add_input("i1");
+  const NodeId out = n.add_output("out");
+  n.connect(PortRef(i0, 0), PinRef(out, 0));
+  EXPECT_THROW(n.connect(PortRef(i1, 0), PinRef(out, 0)), InvalidArgument);
+  EXPECT_TRUE(run_lint(n).clean());
+}
+
+TEST(StructuralLint, CombinationalCycleIsReported) {
+  Netlist n;
+  const NodeId in = n.add_input("in");
+  const NodeId out = n.add_output("out");
+  const NodeId a = n.add_gate(CellKind::kAnd, 2, "a");
+  const NodeId b = n.add_gate(CellKind::kAnd, 2, "b");
+  n.connect(PortRef(in, 0), PinRef(a, 0));
+  n.connect(PortRef(b, 0), PinRef(a, 1));
+  n.connect(PortRef(a, 0), PinRef(b, 0));
+  n.connect(PortRef(a, 0), PinRef(b, 1));
+  n.connect(PortRef(b, 0), PinRef(out, 0));
+
+  const LintResult result = run_lint(n);
+  EXPECT_GE(count_code(result.diagnostics, DiagCode::kCombinationalCycle), 1u);
+  // The same netlist is also not junction-normal (a.0 and b.0 fan out).
+  EXPECT_GE(count_code(result.diagnostics, DiagCode::kImplicitFanout), 1u);
+}
+
+TEST(StructuralLint, ImplicitFanoutSeverityFollowsOptions) {
+  Netlist n;  // un-junctionized toggle: latch port fans out twice
+  const NodeId in = n.add_input("in");
+  const NodeId out = n.add_output("out");
+  const NodeId t = n.add_latch("t");
+  const NodeId x = n.add_gate(CellKind::kXor, 2, "x");
+  n.connect(PortRef(t, 0), PinRef(x, 0));
+  n.connect(PortRef(in, 0), PinRef(x, 1));
+  n.connect(PortRef(x, 0), PinRef(t, 0));
+  n.connect(PortRef(t, 0), PinRef(out, 0));
+
+  const LintResult lax = run_lint(n);
+  EXPECT_FALSE(lax.has_errors());
+  EXPECT_EQ(count_code(lax.diagnostics, DiagCode::kImplicitFanout), 1u);
+
+  LintOptions strict;
+  strict.require_junction_normal = true;
+  EXPECT_TRUE(run_lint(n, strict).has_errors());
+}
+
+TEST(StructuralLint, UnreachableCellWarnsAndCanBeDisabled) {
+  Netlist n = and2_circuit();
+  const NodeId orphan = n.add_gate(CellKind::kNot, 0, "orphan");
+  n.connect(PortRef(n.find_by_name("a"), 0), PinRef(orphan, 0));
+  // orphan's port dangles AND it cannot reach a primary output.
+  const LintResult result = run_lint(n);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kUnreachableCell), 1u);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kDanglingPort), 1u);
+
+  LintOptions quiet;
+  quiet.warn_unreachable = false;
+  EXPECT_EQ(count_code(run_lint(n, quiet).diagnostics,
+                       DiagCode::kUnreachableCell),
+            0u);
+}
+
+// ---- plan analysis ---------------------------------------------------------
+
+TEST(PlanAnalysis, Figure1ForwardAcrossJ1IsTheOneUnsafeMove) {
+  const Netlist d = figure1_original();
+  const std::vector<RetimingMove> plan{
+      {d.find_by_name("J1"), MoveDirection::kForward}};
+
+  const LintResult result = run_lint(d, plan);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_TRUE(result.plan->analyzable);
+  EXPECT_TRUE(result.plan->feasible);
+  EXPECT_EQ(result.plan->k(), 1u);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kUnsafeForwardMove), 1u);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kSettleCertificate), 1u);
+  EXPECT_FALSE(result.has_errors());
+}
+
+TEST(PlanAnalysis, Figure2BackwardAcrossJ1IsClean) {
+  const Netlist c = figure1_retimed();
+  const std::vector<RetimingMove> plan{
+      {c.find_by_name("J1"), MoveDirection::kBackward}};
+
+  const LintResult result = run_lint(c, plan);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_TRUE(result.plan->feasible);
+  EXPECT_EQ(result.plan->k(), 0u);
+  EXPECT_TRUE(result.plan->stats.preserves_safe_replacement());
+  EXPECT_TRUE(result.clean()) << render_text(result);
+}
+
+TEST(PlanAnalysis, JustifiableForwardMoveIsClean) {
+  // NOT is justifiable: forward across it preserves safe replacement.
+  const Netlist n = inverter_pipeline();
+  const std::vector<RetimingMove> plan{
+      {n.find_by_name("inv"), MoveDirection::kForward}};
+  const LintResult result = run_lint(n, plan);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_TRUE(result.plan->feasible);
+  EXPECT_EQ(result.plan->k(), 0u);
+  EXPECT_TRUE(result.clean()) << render_text(result);
+}
+
+TEST(PlanAnalysis, DisabledMoveIsReportedNotApplied) {
+  const Netlist n = toggle_circuit();
+  // x has no latch on its 'in' pin: a forward move is not enabled.
+  const std::vector<RetimingMove> plan{
+      {n.find_by_name("x"), MoveDirection::kForward}};
+  const LintResult result = run_lint(n, plan);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_TRUE(result.plan->analyzable);
+  EXPECT_FALSE(result.plan->feasible);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kMoveNotEnabled), 1u);
+  EXPECT_TRUE(result.has_errors());
+}
+
+TEST(PlanAnalysis, BadElementsAreReported) {
+  const Netlist n = toggle_circuit();
+  const std::vector<RetimingMove> plan{
+      {NodeId(), MoveDirection::kForward},                   // invalid id
+      {n.find_by_name("t"), MoveDirection::kForward},        // a latch
+  };
+  const LintResult result = run_lint(n, plan);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kBadPlanElement), 2u);
+  EXPECT_FALSE(result.plan->feasible);
+}
+
+TEST(PlanAnalysis, MaxKBoundViolationIsAnError) {
+  const Netlist d = figure1_original();
+  const std::vector<RetimingMove> plan{
+      {d.find_by_name("J1"), MoveDirection::kForward}};
+  LintOptions opt;
+  opt.max_k = 0;
+  const LintResult result = run_lint(d, plan, opt);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kDelayBoundExceeded), 1u);
+  EXPECT_TRUE(result.has_errors());
+
+  opt.max_k = 1;
+  EXPECT_FALSE(run_lint(d, plan, opt).has_errors());
+}
+
+TEST(PlanAnalysis, NonJunctionNormalNetlistIsNotAnalyzable) {
+  Netlist n;  // un-junctionized: latch port fans out twice
+  const NodeId in = n.add_input("in");
+  const NodeId out = n.add_output("out");
+  const NodeId t = n.add_latch("t");
+  const NodeId x = n.add_gate(CellKind::kXor, 2, "x");
+  n.connect(PortRef(t, 0), PinRef(x, 0));
+  n.connect(PortRef(in, 0), PinRef(x, 1));
+  n.connect(PortRef(x, 0), PinRef(t, 0));
+  n.connect(PortRef(t, 0), PinRef(out, 0));
+
+  const std::vector<RetimingMove> plan{{x, MoveDirection::kForward}};
+  const LintResult result = run_lint(n, plan);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_FALSE(result.plan->analyzable);
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kPlanNotAnalyzable), 1u);
+}
+
+// The acceptance criterion: the static analyzer must agree, move for move,
+// with actually applying the sequence — while the input netlist stays
+// byte-identical.
+TEST(PlanAnalysis, AgreesWithAppliedSequenceOnRandomCircuits) {
+  for (const std::uint64_t seed : {11u, 23u, 37u, 51u, 64u, 77u}) {
+    Rng rng(seed);
+    RandomCircuitOptions opt;
+    opt.num_gates = 24;
+    opt.num_latches = 6;
+    opt.table_probability = 0.3;  // non-justifiable cells in the mix
+    Netlist n = random_netlist(opt, rng);
+    n.trim_dangling();
+    n = n.compacted();
+
+    const RetimeGraph g = RetimeGraph::from_netlist(n);
+    const std::vector<int> lag = (seed % 2 == 0)
+                                     ? min_area_retime(g).lag
+                                     : min_period_retime_feas(g).lag;
+    const SequencedRetiming seq = sequence_retiming(n, g, lag);
+    if (seq.moves.empty()) continue;
+
+    const std::string before = write_rnl(n);
+    const PlanAnalysis plan = analyze_plan(n, seq.moves);
+    EXPECT_EQ(write_rnl(n), before) << "analyze_plan mutated the netlist";
+
+    ASSERT_TRUE(plan.analyzable) << plan.precondition_error;
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.stats, seq.stats) << "seed " << seed;
+    ASSERT_EQ(plan.moves.size(), seq.moves.size());
+    for (std::size_t i = 0; i < seq.moves.size(); ++i) {
+      EXPECT_TRUE(plan.moves[i].enabled) << "move " << i;
+      EXPECT_EQ(plan.moves[i].cls.justifiable, seq.classes[i].justifiable);
+      EXPECT_EQ(plan.moves[i].cls.direction, seq.classes[i].direction);
+    }
+  }
+}
+
+TEST(Safety, SequencerReportIsStaticallyVerified) {
+  const Netlist n = toggle_circuit();
+  const RetimeGraph g = RetimeGraph::from_netlist(n);
+  const SafetyReport report =
+      analyze_lag_retiming(n, g, min_area_retime(g).lag);
+  EXPECT_TRUE(report.statically_verified);
+}
+
+TEST(Safety, MoveSequenceReportIsStaticallyVerified) {
+  const Netlist d = figure1_original();
+  const std::vector<RetimingMove> plan{
+      {d.find_by_name("J1"), MoveDirection::kForward}};
+  const SafetyReport report = analyze_move_sequence(d, plan);
+  EXPECT_TRUE(report.statically_verified);
+  EXPECT_EQ(report.delay_bound, 1u);
+}
+
+// ---- flow precondition -----------------------------------------------------
+
+TEST(FlowLint, BrokenInputIsRejectedUpFront) {
+  Netlist n;
+  n.add_input("in");
+  n.add_gate(CellKind::kAnd, 2, "a");  // unconnected pins
+  EXPECT_THROW(run_synthesis_flow(n), InvalidArgument);
+}
+
+TEST(FlowLint, CleanInputStillFlows) {
+  const FlowReport r = run_synthesis_flow(toggle_circuit());
+  EXPECT_TRUE(r.accepted());
+}
+
+// ---- plan JSON -------------------------------------------------------------
+
+TEST(PlanJson, RoundTripsThroughText) {
+  const Netlist d = figure1_original();
+  const std::vector<RetimingMove> plan{
+      {d.find_by_name("J1"), MoveDirection::kForward},
+      {d.find_by_name("AND1"), MoveDirection::kBackward}};
+  const RetimingPlan parsed = plan_from_json(plan_to_json(d, plan), d);
+  EXPECT_EQ(parsed.moves, plan);
+}
+
+TEST(PlanJson, ResolvesByNameOrNode) {
+  const Netlist d = figure1_original();
+  const NodeId j1 = d.find_by_name("J1");
+  const RetimingPlan by_name = plan_from_json(
+      R"({"moves": [{"element": "J1", "direction": "forward"}]})", d);
+  const RetimingPlan by_node = plan_from_json(
+      R"({"moves": [{"node": )" + std::to_string(j1.value) +
+          R"(, "direction": "forward"}]})",
+      d);
+  ASSERT_EQ(by_name.moves.size(), 1u);
+  EXPECT_EQ(by_name.moves, by_node.moves);
+  EXPECT_EQ(by_name.moves[0].element, j1);
+}
+
+TEST(PlanJson, RejectsMalformedPlans) {
+  const Netlist d = figure1_original();
+  EXPECT_THROW(plan_from_json("[]", d), ParseError);
+  EXPECT_THROW(plan_from_json(R"({"moves": [{}]})", d), ParseError);
+  EXPECT_THROW(plan_from_json(
+                   R"({"moves": [{"element": "nope", "direction": "forward"}]})",
+                   d),
+               ParseError);
+  EXPECT_THROW(plan_from_json(
+                   R"({"moves": [{"element": "J1", "direction": "sideways"}]})",
+                   d),
+               ParseError);
+}
+
+// ---- JSON report shape -----------------------------------------------------
+
+TEST(LintJson, ReportParsesAndHasTheDocumentedShape) {
+  const Netlist d = figure1_original();
+  const std::vector<RetimingMove> plan{
+      {d.find_by_name("J1"), MoveDirection::kForward}};
+  const LintResult result = run_lint(d, plan);
+  const JsonValue doc = parse_json(render_json(result));
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("rtv_lint_version")->as_number(), 1.0);
+
+  const JsonValue* summary = doc.find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->find("errors")->as_number(), 0.0);
+  EXPECT_EQ(summary->find("warnings")->as_number(), 1.0);
+  EXPECT_EQ(summary->find("notes")->as_number(), 1.0);
+  EXPECT_FALSE(summary->find("clean")->as_bool());
+
+  const JsonValue* diags = doc.find("diagnostics");
+  ASSERT_NE(diags, nullptr);
+  ASSERT_EQ(diags->as_array().size(), 2u);
+  const JsonValue& unsafe = diags->as_array()[0];
+  EXPECT_EQ(unsafe.find("code")->as_string(), "RTV201");
+  EXPECT_EQ(unsafe.find("severity")->as_string(), "warning");
+  EXPECT_EQ(unsafe.find("name")->as_string(), "J1");
+  EXPECT_EQ(unsafe.find("move")->as_number(), 0.0);
+
+  const JsonValue* p = doc.find("plan");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->find("analyzable")->as_bool());
+  EXPECT_TRUE(p->find("feasible")->as_bool());
+  EXPECT_EQ(p->find("moves")->as_number(), 1.0);
+  EXPECT_EQ(p->find("forward_moves")->as_number(), 1.0);
+  EXPECT_EQ(p->find("backward_moves")->as_number(), 0.0);
+  EXPECT_EQ(p->find("forward_across_non_justifiable")->as_number(), 1.0);
+  EXPECT_EQ(p->find("k")->as_number(), 1.0);
+  EXPECT_FALSE(p->find("safe_replacement")->as_bool());
+  EXPECT_FALSE(p->find("certificate")->as_string().empty());
+}
+
+TEST(LintJson, CleanReportIsCleanAndPlanless) {
+  const JsonValue doc = parse_json(render_json(run_lint(toggle_circuit())));
+  EXPECT_TRUE(doc.find("summary")->find("clean")->as_bool());
+  EXPECT_TRUE(doc.find("diagnostics")->as_array().empty());
+  EXPECT_EQ(doc.find("plan"), nullptr);
+}
+
+// ---- JSON parser -----------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndNesting) {
+  const JsonValue v = parse_json(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\ny"})");
+  EXPECT_EQ(v.find("a")->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(v.find("a")->as_array()[1].as_number(), 2.5);
+  EXPECT_EQ(v.find("a")->as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(v.find("b")->find("c")->as_bool());
+  EXPECT_TRUE(v.find("b")->find("d")->is_null());
+  EXPECT_EQ(v.find("e")->as_string(), "x\ny");
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  // U+2291 SQUARE IMAGE OF OR EQUAL TO, the paper's ⊑.
+  EXPECT_EQ(parse_json(R"("\u2291")").as_string(), "\xE2\x8A\x91");
+  // Surrogate pair: U+1F600 GRINNING FACE.
+  EXPECT_EQ(parse_json(R"("\uD83D\uDE00")").as_string(), "\xF0\x9F\x98\x80");
+  // Lone surrogates are malformed.
+  EXPECT_THROW(parse_json(R"("\uD83D")"), ParseError);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\" 1}", "01", "1 2",
+                          "\"unterminated", "{\"a\": }", "nul", "+1"}) {
+    EXPECT_THROW(parse_json(bad), ParseError) << bad;
+  }
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01 ⊑";
+  EXPECT_EQ(parse_json("\"" + json_escape(nasty) + "\"").as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace rtv

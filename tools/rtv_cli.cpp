@@ -6,6 +6,7 @@
 //                [--packed] [--vcd F]
 //   rtv retime <design> (--min-area|--min-period|--period N) [-o OUT]
 //   rtv validate <design> (--min-area|--min-period)           full check
+//   rtv lint <design> [--plan F] [--json] [--max-k N] [--strict]
 //   rtv audit <design>                     per-move safety classification
 //   rtv redundancy <design> [-o OUT]       CLS-redundancy removal
 //   rtv faultsim <design> [--mode M] ...   batch fault simulation, JSON out
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "bdd/equivalence.hpp"
 #include "bdd/symbolic.hpp"
 #include "core/cls_equiv.hpp"
@@ -61,6 +63,11 @@ namespace {
                "  rtv retime <design> (--min-area | --min-period | --period N)"
                " [-o OUT]\n"
                "  rtv validate <design> (--min-area | --min-period)\n"
+               "  rtv lint <design> [--plan FILE] [--json] [--max-k N]"
+               " [--strict]\n"
+               "      structural diagnostics (RTV1xx) and, with --plan, the\n"
+               "      Section-4 safety verdict of a retiming-move plan"
+               " (RTV2xx)\n"
                "  rtv audit <design>\n"
                "  rtv redundancy <design> [-o OUT]\n"
                "  rtv flow <design> [--min-area|--min-period|--period-then-area]"
@@ -126,12 +133,13 @@ void save_design(const Netlist& n, const std::string& path) {
 
 struct Args {
   std::vector<std::string> positional;
-  std::optional<std::string> inputs, state, out, vcd, mode;
+  std::optional<std::string> inputs, state, out, vcd, mode, plan;
   std::optional<int> period;
   std::optional<unsigned> threads, random, cycles, sample_lanes;
   std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> max_k;
   bool min_area = false, min_period = false, cls = false, packed = false;
-  bool no_drop = false, all_faults = false;
+  bool no_drop = false, all_faults = false, json = false, strict = false;
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -155,6 +163,15 @@ Args parse_args(int argc, char** argv, int first) {
           "--period", value("--period"), std::numeric_limits<int>::max()));
     } else if (a == "--mode") {
       args.mode = value("--mode");
+    } else if (a == "--plan") {
+      args.plan = value("--plan");
+    } else if (a == "--max-k") {
+      args.max_k = static_cast<std::size_t>(parse_number(
+          "--max-k", value("--max-k"), std::numeric_limits<std::size_t>::max()));
+    } else if (a == "--json") {
+      args.json = true;
+    } else if (a == "--strict") {
+      args.strict = true;
     } else if (a == "--threads") {
       // 0 means "all hardware threads"; cap explicit counts well past any
       // real machine but short of exhausting the OS thread limit.
@@ -339,6 +356,30 @@ int cmd_validate(const Args& args) {
   return v.theorems_hold && v.cls.equivalent ? 0 : 1;
 }
 
+/// Structured static analysis: structural diagnostics plus, with --plan,
+/// the Section-4 verdict of a retiming-move plan. Exit 0 when clean, 1 on
+/// errors (or on warnings too with --strict). .rnl designs are loaded
+/// without the loader's own validation so every defect is reported, not
+/// just the first one check_valid would throw on.
+int cmd_lint(const Args& args) {
+  if (args.positional.size() != 1) usage("lint needs one design");
+  const std::string& path = args.positional[0];
+  const Netlist n = ends_with(path, ".rnl") ? load_rnl(path, false)
+                                            : load_design(path);
+  LintOptions opt;
+  opt.max_k = args.max_k;
+  LintResult result;
+  if (args.plan) {
+    result = run_lint(n, load_plan(*args.plan, n).moves, opt);
+  } else {
+    result = run_lint(n, opt);
+  }
+  std::fputs((args.json ? render_json(result) : render_text(result)).c_str(),
+             stdout);
+  if (result.has_errors()) return 1;
+  return args.strict && result.diagnostics.num_warnings() > 0 ? 1 : 0;
+}
+
 int cmd_audit(const Args& args) {
   if (args.positional.size() != 1) usage("audit needs one design");
   const Netlist n = load_design(args.positional[0]);
@@ -478,6 +519,7 @@ int run(int argc, char** argv) {
   if (cmd == "simulate") return cmd_simulate(args);
   if (cmd == "retime") return cmd_retime(args);
   if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "lint") return cmd_lint(args);
   if (cmd == "audit") return cmd_audit(args);
   if (cmd == "redundancy") return cmd_redundancy(args);
   if (cmd == "flow") return cmd_flow(args);
