@@ -32,8 +32,24 @@ BddManager::Ref BddManager::find_or_add(unsigned var, Ref lo, Ref hi) {
   const NodeKey key{var, lo, hi};
   const auto it = unique_.find(key);
   if (it != unique_.end()) return it->second;
+  if (budget_ != nullptr) {
+    budget_->note_bdd_nodes(nodes_.size());
+    if (nodes_.size() >= budget_->limits().bdd_node_limit) {
+      budget_->mark_exhausted(ResourceKind::kBddNodes);
+      throw ResourceExhausted(ResourceKind::kBddNodes,
+                              "BDD work exceeded the budget's node cap (" +
+                                  std::to_string(nodes_.size()) + " nodes)");
+    }
+    // Probe deadline/cancellation every 1024 fresh nodes: cheap enough to
+    // leave on, frequent enough that long ITE cascades stay responsive.
+    if ((nodes_.size() & 1023u) == 0) {
+      budget_->checkpoint_or_throw("bdd/alloc");
+    }
+  }
   if (nodes_.size() >= node_limit_) {
-    throw CapacityError("BDD node limit exceeded");
+    throw CapacityError("BDD node limit exceeded: " +
+                        std::to_string(nodes_.size()) + " nodes allocated, " +
+                        "limit " + std::to_string(node_limit_));
   }
   nodes_.push_back(Node{var, lo, hi});
   const Ref ref = static_cast<Ref>(nodes_.size() - 1);

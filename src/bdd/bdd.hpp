@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace rtv {
@@ -28,10 +29,18 @@ class BddManager {
   static constexpr Ref kTrue = 1;
 
   explicit BddManager(unsigned num_vars,
-                      std::size_t node_limit = std::size_t{1} << 22);
+                      std::size_t node_limit = kDefaultBddNodeLimit);
 
   unsigned num_vars() const { return num_vars_; }
   std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Attaches a cooperative resource budget (non-owning; may be nullptr).
+  /// Node allocation then probes the budget's deadline/cancellation every
+  /// few hundred nodes and honours its (possibly tighter) bdd_node_limit,
+  /// throwing ResourceExhausted — which governed entry points catch and
+  /// degrade on — instead of CapacityError.
+  void set_budget(ResourceBudget* budget) { budget_ = budget; }
+  ResourceBudget* budget() const { return budget_; }
 
   /// The function of variable v / its complement.
   Ref var(unsigned v);
@@ -122,6 +131,7 @@ class BddManager {
 
   unsigned num_vars_;
   std::size_t node_limit_;
+  ResourceBudget* budget_ = nullptr;
   std::vector<Node> nodes_;
   std::vector<Ref> var_refs_;
   std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;

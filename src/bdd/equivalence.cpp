@@ -3,11 +3,13 @@
 namespace rtv {
 
 SymbolicImplication::SymbolicImplication(const Netlist& c, const Netlist& d,
-                                         std::size_t node_limit)
-    : pair_(pair_designs(c, d)) {
+                                         std::size_t node_limit,
+                                         ResourceBudget* budget)
+    : pair_(pair_designs(c, d)), budget_(budget) {
   RTV_REQUIRE(c.primary_outputs().size() == d.primary_outputs().size(),
               "implication requires equal primary output counts");
-  machine_ = std::make_unique<SymbolicMachine>(pair_.netlist, node_limit);
+  machine_ =
+      std::make_unique<SymbolicMachine>(pair_.netlist, node_limit, budget_);
   for (unsigned j = 0; j < machine_->num_inputs(); ++j) {
     input_vars_.push_back(machine_->input_var(j));
   }
@@ -48,6 +50,7 @@ BddManager::Ref SymbolicImplication::equivalence_relation() {
   }
 
   for (;;) {
+    if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/fixpoint-iter");
     const BddManager::Ref step =
         forall_inputs(m.compose(relation, substitution));
     const BddManager::Ref refined = m.bdd_and(relation, step);
@@ -76,6 +79,7 @@ int SymbolicImplication::min_delay_for_implication(unsigned max_cycles) {
   // delayed_C(s) ∧ delayed_D(t); project out the D component.
   BddManager::Ref current = BddManager::kTrue;
   for (unsigned n = 0; n <= max_cycles; ++n) {
+    if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/delay-step");
     const BddManager::Ref c_part = m.exists(current, d_state_vars_);
     if (all_covered(c_part)) return static_cast<int>(n);
     const BddManager::Ref next = machine_->image(current);

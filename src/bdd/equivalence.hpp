@@ -21,9 +21,13 @@ namespace rtv {
 
 class SymbolicImplication {
  public:
-  /// c and d need equal PI and PO counts.
+  /// c and d need equal PI and PO counts. With a budget attached the
+  /// fixpoint iterations and node allocation are governed (see
+  /// SymbolicMachine): blown limits throw ResourceExhausted for the
+  /// budget's owner to catch and degrade on.
   SymbolicImplication(const Netlist& c, const Netlist& d,
-                      std::size_t node_limit = std::size_t{1} << 22);
+                      std::size_t node_limit = kDefaultBddNodeLimit,
+                      ResourceBudget* budget = nullptr);
 
   /// The fixpoint relation E*(s, t) over (C state vars, D state vars).
   BddManager::Ref equivalence_relation();
@@ -42,6 +46,7 @@ class SymbolicImplication {
   bool all_covered(BddManager::Ref c_states);
 
   PairedDesign pair_;
+  ResourceBudget* budget_ = nullptr;
   std::unique_ptr<SymbolicMachine> machine_;
   std::vector<unsigned> input_vars_;
   std::vector<unsigned> c_state_vars_;

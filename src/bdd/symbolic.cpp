@@ -9,14 +9,17 @@
 namespace rtv {
 
 SymbolicMachine::SymbolicMachine(const Netlist& netlist,
-                                 std::size_t node_limit)
-    : num_latches_(static_cast<unsigned>(netlist.latches().size())),
+                                 std::size_t node_limit,
+                                 ResourceBudget* budget)
+    : budget_(budget),
+      num_latches_(static_cast<unsigned>(netlist.latches().size())),
       num_inputs_(static_cast<unsigned>(netlist.primary_inputs().size())),
       num_outputs_(static_cast<unsigned>(netlist.primary_outputs().size())) {
   RTV_REQUIRE(num_latches_ <= 256 && num_inputs_ <= 256,
               "SymbolicMachine capacity exceeded");
   mgr_ = std::make_unique<BddManager>(2 * num_latches_ + num_inputs_,
                                       node_limit);
+  mgr_->set_budget(budget_);
   BddManager& m = *mgr_;
 
   // Evaluate the combinational cones over per-port BDDs.
@@ -161,6 +164,7 @@ BddManager::Ref SymbolicMachine::reachable(BddManager::Ref init) {
   BddManager::Ref frontier = init;
   BddManager::Ref all = init;
   while (frontier != BddManager::kFalse) {
+    if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/reach-iter");
     const BddManager::Ref next = image(frontier);
     const BddManager::Ref fresh = mgr_->bdd_and(next, mgr_->bdd_not(all));
     all = mgr_->bdd_or(all, fresh);
@@ -172,6 +176,7 @@ BddManager::Ref SymbolicMachine::reachable(BddManager::Ref init) {
 BddManager::Ref SymbolicMachine::states_after_delay(unsigned cycles) {
   BddManager::Ref current = all_states();
   for (unsigned k = 0; k < cycles; ++k) {
+    if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/delay-iter");
     const BddManager::Ref next = image(current);
     if (next == current) break;  // monotone chain hit its fixpoint
     current = next;

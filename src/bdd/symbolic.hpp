@@ -19,8 +19,14 @@ namespace rtv {
 class SymbolicMachine {
  public:
   /// Builds the machine (combinational cone BDDs + transition relation).
+  /// With a budget attached (non-owning, may be nullptr) the construction
+  /// and every fixpoint below are cooperatively governed: node allocation
+  /// and each image iteration probe the budget and throw ResourceExhausted
+  /// when it is blown — callers that own the budget catch at the phase
+  /// boundary and degrade.
   explicit SymbolicMachine(const Netlist& netlist,
-                           std::size_t node_limit = std::size_t{1} << 22);
+                           std::size_t node_limit = kDefaultBddNodeLimit,
+                           ResourceBudget* budget = nullptr);
 
   BddManager& manager() { return *mgr_; }
   unsigned num_latches() const { return num_latches_; }
@@ -59,6 +65,7 @@ class SymbolicMachine {
 
  private:
   std::unique_ptr<BddManager> mgr_;
+  ResourceBudget* budget_ = nullptr;
   unsigned num_latches_;
   unsigned num_inputs_;
   unsigned num_outputs_;
@@ -75,8 +82,8 @@ class SymbolicMachine {
 /// from state_a / state_b respectively.
 bool symbolically_equivalent_from(const Netlist& a, const Bits& state_a,
                                   const Netlist& b, const Bits& state_b,
-                                  std::size_t node_limit = std::size_t{1}
-                                                           << 22);
+                                  std::size_t node_limit =
+                                      kDefaultBddNodeLimit);
 
 /// The paper's "sufficiently powerful simulator" (Section 2.1) in symbolic
 /// form: each latch value is kept as a BDD over the *initial-state*
@@ -86,8 +93,8 @@ bool symbolically_equivalent_from(const Netlist& a, const Bits& state_a,
 class SymbolicExactSimulator {
  public:
   explicit SymbolicExactSimulator(const Netlist& netlist,
-                                  std::size_t node_limit = std::size_t{1}
-                                                           << 22);
+                                  std::size_t node_limit =
+                                      kDefaultBddNodeLimit);
 
   unsigned num_inputs() const { return machine_.num_inputs(); }
   unsigned num_outputs() const { return machine_.num_outputs(); }

@@ -16,7 +16,9 @@ std::string ClsEquivalenceResult::summary() const {
   std::ostringstream os;
   os << (equivalent ? "CLS-equivalent" : "CLS-DISTINGUISHABLE") << " ("
      << (exhaustive ? "exhaustive proof" : "bounded check") << ", "
-     << pairs_explored << " state pairs)";
+     << pairs_explored << " state pairs";
+  if (verdict == Verdict::kExhausted) os << ", budget exhausted";
+  os << ")";
   if (counterexample) {
     os << " counterexample inputs: " << sequence_to_string(*counterexample);
   }
@@ -53,13 +55,28 @@ Trits nth_ternary_vector(std::uint64_t index, unsigned width) {
   return unpack_trits(index, width);
 }
 
+/// Partial kExhausted report: `equivalent` records only that no difference
+/// was seen before the budget blew; never a proof, never a counterexample.
+ClsEquivalenceResult exhausted_report(ResourceBudget* budget,
+                                      std::size_t pairs_explored) {
+  ClsEquivalenceResult result;
+  result.equivalent = true;
+  result.exhaustive = false;
+  result.verdict = Verdict::kExhausted;
+  result.pairs_explored = pairs_explored;
+  result.usage = budget->usage();
+  return result;
+}
+
 /// Bounded mode, 64 random sequences per machine word: every sequence is a
 /// lane of the packed ternary engine, both designs step in lockstep, and
 /// the output planes are compared wholesale each cycle.
 ClsEquivalenceResult bounded_check(const Netlist& a, const Netlist& b,
-                                   const ClsEquivOptions& options) {
+                                   const ClsEquivOptions& options,
+                                   ResourceBudget* budget) {
   ClsEquivalenceResult result;
   result.exhaustive = false;
+  result.verdict = Verdict::kBounded;
   Rng rng(options.seed);
   const unsigned width = static_cast<unsigned>(a.primary_inputs().size());
   const unsigned outputs = static_cast<unsigned>(a.primary_outputs().size());
@@ -83,6 +100,12 @@ ClsEquivalenceResult bounded_check(const Netlist& a, const Netlist& b,
   PackedTrits cycle_inputs(width, lanes);
   const unsigned words = sa.words();
   for (unsigned t = 0; t < options.random_length; ++t) {
+    if (budget != nullptr && !budget->checkpoint("cls/bounded-cycle")) {
+      result.equivalent = true;  // nothing distinguished up to cycle t
+      result.verdict = Verdict::kExhausted;
+      result.usage = budget->usage();
+      return result;
+    }
     for (unsigned lane = 0; lane < lanes; ++lane) {
       cycle_inputs.set_lane(lane, sequences[lane][t]);
     }
@@ -104,18 +127,21 @@ ClsEquivalenceResult bounded_check(const Netlist& a, const Netlist& b,
         result.equivalent = false;
         result.counterexample =
             TritsSeq(sequences[lane].begin(), sequences[lane].begin() + t + 1);
+        if (budget != nullptr) result.usage = budget->usage();
         return result;
       }
     }
   }
   result.equivalent = true;
+  if (budget != nullptr) result.usage = budget->usage();
   return result;
 }
 
 }  // namespace
 
 ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
-                                           const ClsEquivOptions& options) {
+                                           const ClsEquivOptions& options,
+                                           ResourceBudget* budget) {
   RTV_REQUIRE(a.primary_inputs().size() == b.primary_inputs().size(),
               "designs differ in primary input count");
   RTV_REQUIRE(a.primary_outputs().size() == b.primary_outputs().size(),
@@ -126,7 +152,7 @@ ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
   const unsigned lb = static_cast<unsigned>(b.latches().size());
   const bool can_exhaust =
       width <= 12 && la <= 40 && lb <= 40 && pow3(width) <= options.max_branching;
-  if (!can_exhaust) return bounded_check(a, b, options);
+  if (!can_exhaust) return bounded_check(a, b, options, budget);
 
   ClsSimulator sa(a), sb(b);
   const std::uint64_t branching = pow3(width);
@@ -146,28 +172,45 @@ ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
   ClsEquivalenceResult result;
   Trits out_a, out_b, next_a, next_b;
   while (!queue.empty()) {
+    if (budget != nullptr && !budget->checkpoint("cls/bfs-pair")) {
+      return exhausted_report(budget, visited.size());
+    }
     const Entry entry = std::move(queue.front());
     queue.pop_front();
     for (std::uint64_t i = 0; i < branching; ++i) {
+      // Wide-input designs spend most of their time in this inner loop, so
+      // probe the budget between pair checkpoints too.
+      if (budget != nullptr && (i & 1023u) == 1023u &&
+          !budget->checkpoint("cls/bfs-input")) {
+        return exhausted_report(budget, visited.size());
+      }
       const Trits in = nth_ternary_vector(i, width);
       sa.eval(entry.state_a, in, out_a, next_a);
       sb.eval(entry.state_b, in, out_b, next_b);
       if (out_a != out_b) {
         result.equivalent = false;
         result.exhaustive = true;
+        result.verdict = Verdict::kProven;
         result.pairs_explored = visited.size();
         TritsSeq cex = entry.path;
         cex.push_back(in);
         result.counterexample = std::move(cex);
+        if (budget != nullptr) result.usage = budget->usage();
         return result;
       }
       const PairKey key{pack_trits(next_a), pack_trits(next_b)};
       if (visited.contains(key)) continue;
       if (visited.size() >= options.max_pairs) {
         // State space too large after all; fall back to sampling.
-        return bounded_check(a, b, options);
+        return bounded_check(a, b, options, budget);
       }
       visited.insert(key);
+      if (budget != nullptr && !budget->note_pairs(visited.size())) {
+        // Budget pair cap (unlike the options.max_pairs heuristic above)
+        // marks the whole budget exhausted, so degrade straight to the
+        // partial report — bounded mode would be starved too.
+        return exhausted_report(budget, visited.size());
+      }
       Entry next{next_a, next_b, entry.path};
       next.path.push_back(in);
       queue.push_back(std::move(next));
@@ -175,7 +218,9 @@ ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
   }
   result.equivalent = true;
   result.exhaustive = true;
+  result.verdict = Verdict::kProven;
   result.pairs_explored = visited.size();
+  if (budget != nullptr) result.usage = budget->usage();
   return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/vectors.hpp"
+#include "util/budget.hpp"
 
 namespace rtv {
 
@@ -40,16 +41,35 @@ struct ClsEquivalenceResult {
   /// True when the full pair-reachability BFS completed: `equivalent` is
   /// then a theorem about all ternary input sequences, not a sample.
   bool exhaustive = false;
+  /// How far down the degradation ladder the check got:
+  ///  * kProven    — the pair BFS completed (equivalent is a theorem, or a
+  ///                 concrete counterexample was found during it);
+  ///  * kBounded   — randomized bounded checking ran to completion (a found
+  ///                 counterexample is still definitive; "equivalent" is
+  ///                 only sampled evidence);
+  ///  * kExhausted — the resource budget blew mid-search: `equivalent`
+  ///                 means only "no difference observed before the budget
+  ///                 ran out" and must not be treated as a result.
+  /// Invariant: exhaustive == (verdict == Verdict::kProven).
+  Verdict verdict = Verdict::kBounded;
   /// Distinguishing ternary input sequence when !equivalent.
   std::optional<TritsSeq> counterexample;
   std::size_t pairs_explored = 0;
+  /// Resource consumption snapshot (all-zero when run without a budget).
+  ResourceUsage usage;
 
   std::string summary() const;
 };
 
 /// Requires equal PI and PO counts. Both CLS runs start from all-X.
+///
+/// With a budget attached the search is cooperatively governed and never
+/// throws on exhaustion: blowing the pair cap, step quota, deadline or a
+/// cancellation degrades down the ladder (exhaustive BFS -> bounded random
+/// checking -> partial kExhausted report) and labels the verdict honestly.
 ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
-                                           const ClsEquivOptions& options = {});
+                                           const ClsEquivOptions& options = {},
+                                           ResourceBudget* budget = nullptr);
 
 /// Replays a ternary input sequence on both designs; true iff CLS outputs
 /// match cycle by cycle (sanity utility for counterexamples).

@@ -18,8 +18,15 @@ std::string FlowReport::summary() const {
      << ", gates " << gates_before << " -> " << gates_after << "\n";
   os << "retiming safety: " << safety.summary() << "\n";
   os << "CLS gate:        " << cls.summary() << "\n";
-  os << (accepted() ? "ACCEPTED (three-valued methodology invariant holds)"
-                    : "REJECTED (CLS-visible change!)");
+  os << "resources:       " << to_string(verdict) << " (" << usage.summary()
+     << ")\n";
+  if (accepted()) {
+    os << "ACCEPTED (three-valued methodology invariant holds)";
+  } else if (cls.verdict == Verdict::kExhausted) {
+    os << "UNDECIDED (budget exhausted before the CLS gate finished)";
+  } else {
+    os << "REJECTED (CLS-visible change!)";
+  }
   return os.str();
 }
 
@@ -35,6 +42,7 @@ FlowReport run_synthesis_flow(const Netlist& design,
                 "input design fails structural lint:\n" + render_text(lint));
   }
 
+  ResourceBudget budget(options.budget, options.cancel);
   FlowReport report;
   report.gates_before = design.num_gates();
   report.registers_before = design.num_latches();
@@ -42,11 +50,13 @@ FlowReport run_synthesis_flow(const Netlist& design,
   Netlist work = design;
   work.junctionize();
 
+  budget.checkpoint("flow/cleanup");
   if (options.constant_propagation) work.propagate_constants();
   if (options.sweep_unobservable) work.sweep_unobservable();
   work.trim_dangling();  // restore every-port-driven for the move engine
   work = work.compacted();
 
+  budget.checkpoint("flow/retime");
   {
     const RetimeGraph g0 = RetimeGraph::from_netlist(work);
     report.period_before = g0.clock_period();
@@ -76,18 +86,26 @@ FlowReport run_synthesis_flow(const Netlist& design,
     work = std::move(seq.retimed);
   }
 
-  if (options.redundancy_removal) {
+  if (options.redundancy_removal && budget.checkpoint("flow/redundancy")) {
     RedundancyOptions ropt;
     ropt.cls = options.cls;
-    work = remove_cls_redundancies(work, ropt).optimized;
+    RedundancyRemovalResult rr =
+        remove_cls_redundancies(work, ropt, 64, &budget);
+    report.redundancy_curtailed = !rr.complete;
+    work = std::move(rr.optimized);
+  } else {
+    report.redundancy_curtailed = options.redundancy_removal;
   }
   work = work.compacted();
 
   report.period_after = RetimeGraph::from_netlist(work).clock_period();
   report.registers_after = work.num_latches();
   report.gates_after = work.num_gates();
-  report.cls = check_cls_equivalence(design, work, options.cls);
+  budget.checkpoint("flow/cls-gate");
+  report.cls = check_cls_equivalence(design, work, options.cls, &budget);
   report.optimized = std::move(work);
+  report.verdict = budget.exhausted() ? Verdict::kExhausted : report.cls.verdict;
+  report.usage = budget.usage();
   return report;
 }
 

@@ -39,6 +39,10 @@ struct FlowOptions {
   /// proofs); only sensible for small designs.
   bool redundancy_removal = false;
   ClsEquivOptions cls;
+  /// Resource governance: one budget built from these limits spans every
+  /// phase of the flow (cleanup, retiming, redundancy removal, CLS gate).
+  ResourceLimits budget;
+  CancellationToken cancel;
 };
 
 struct FlowReport {
@@ -51,9 +55,19 @@ struct FlowReport {
   std::size_t registers_after = 0;
   std::size_t gates_before = 0;
   std::size_t gates_after = 0;
+  /// kExhausted whenever the budget blew anywhere in the flow (the report
+  /// is partial), otherwise the CLS gate's verdict.
+  Verdict verdict = Verdict::kProven;
+  ResourceUsage usage;
+  /// Redundancy removal was requested but curtailed by the budget.
+  bool redundancy_curtailed = false;
 
-  /// True iff the flow is safe to ship under the paper's criterion.
-  bool accepted() const { return cls.equivalent; }
+  /// True iff the flow is safe to ship under the paper's criterion. A
+  /// budget-exhausted CLS gate is NOT acceptance — a degraded check must
+  /// never masquerade as the methodology invariant holding.
+  bool accepted() const {
+    return cls.equivalent && cls.verdict != Verdict::kExhausted;
+  }
   std::string summary() const;
 };
 

@@ -5,10 +5,13 @@ namespace rtv {
 namespace {
 
 bool is_cls_redundant(const Netlist& netlist, const Fault& fault,
-                      const RedundancyOptions& options) {
+                      const RedundancyOptions& options,
+                      ResourceBudget* budget) {
   const Netlist faulty = inject_fault(netlist, fault);
   const ClsEquivalenceResult r =
-      check_cls_equivalence(netlist, faulty, options.cls);
+      check_cls_equivalence(netlist, faulty, options.cls, budget);
+  // A budget-curtailed check proves nothing — never tie on its say-so.
+  if (r.verdict == Verdict::kExhausted) return false;
   if (!r.equivalent) return false;
   return r.exhaustive || !options.require_exhaustive;
 }
@@ -16,28 +19,34 @@ bool is_cls_redundant(const Netlist& netlist, const Fault& fault,
 }  // namespace
 
 std::vector<Fault> cls_redundant_faults(const Netlist& netlist,
-                                        const RedundancyOptions& options) {
+                                        const RedundancyOptions& options,
+                                        ResourceBudget* budget) {
   std::vector<Fault> redundant;
   for (const Fault& f : collapse_faults(netlist)) {
-    if (is_cls_redundant(netlist, f, options)) redundant.push_back(f);
+    if (budget != nullptr && !budget->checkpoint("redundancy/fault")) break;
+    if (is_cls_redundant(netlist, f, options, budget)) redundant.push_back(f);
   }
   return redundant;
 }
 
 RedundancyRemovalResult remove_cls_redundancies(
     const Netlist& netlist, const RedundancyOptions& options,
-    std::size_t max_rounds) {
+    std::size_t max_rounds, ResourceBudget* budget) {
   RedundancyRemovalResult result;
   result.gates_before = netlist.num_gates();
   Netlist current = netlist;
 
-  for (std::size_t round = 0; round < max_rounds; ++round) {
+  for (std::size_t round = 0; round < max_rounds && result.complete; ++round) {
     bool tied = false;
     for (const Fault& f : collapse_faults(current)) {
+      if (budget != nullptr && !budget->checkpoint("redundancy/fault")) {
+        result.complete = false;
+        break;
+      }
       // Skip fault sites on constants (tying them is a no-op churn).
       const CellKind k = current.kind(f.site.node);
       if (k == CellKind::kConst0 || k == CellKind::kConst1) continue;
-      if (!is_cls_redundant(current, f, options)) continue;
+      if (!is_cls_redundant(current, f, options, budget)) continue;
       Netlist next = inject_fault(current, f);
       next.propagate_constants();
       result.nodes_swept += next.sweep_unobservable();
@@ -50,8 +59,10 @@ RedundancyRemovalResult remove_cls_redundancies(
   }
 
   // Safety net: the optimized design must be CLS-equivalent to the input.
+  // (Under an exhausted budget this degrades to a partial check; the
+  // construction itself only ever tied faults with completed proofs.)
   const ClsEquivalenceResult verdict =
-      check_cls_equivalence(netlist, current, options.cls);
+      check_cls_equivalence(netlist, current, options.cls, budget);
   RTV_CHECK_MSG(verdict.equivalent,
                 "redundancy removal changed CLS-observable behaviour");
 

@@ -29,9 +29,12 @@ struct RedundancyOptions {
   bool require_exhaustive = true;
 };
 
-/// All collapsed stuck-at faults that are CLS-redundant.
+/// All collapsed stuck-at faults that are CLS-redundant. With a budget, a
+/// blown limit ends the scan early (faults not yet examined are simply not
+/// reported; a budget-curtailed equivalence check never counts as proof).
 std::vector<Fault> cls_redundant_faults(const Netlist& netlist,
-                                        const RedundancyOptions& options = {});
+                                        const RedundancyOptions& options = {},
+                                        ResourceBudget* budget = nullptr);
 
 struct RedundancyRemovalResult {
   Netlist optimized;
@@ -39,6 +42,10 @@ struct RedundancyRemovalResult {
   std::size_t nodes_swept = 0;          ///< dead logic removed afterwards
   std::size_t gates_before = 0;
   std::size_t gates_after = 0;
+  /// False when the resource budget stopped the removal early. The
+  /// optimized design is still CLS-equivalent by construction — it just
+  /// may retain redundancies that were never examined.
+  bool complete = true;
 };
 
 /// Greedy removal: repeatedly tie one CLS-redundant net to its constant and
@@ -47,6 +54,6 @@ struct RedundancyRemovalResult {
 /// designs are re-verified with check_cls_equivalence.
 RedundancyRemovalResult remove_cls_redundancies(
     const Netlist& netlist, const RedundancyOptions& options = {},
-    std::size_t max_rounds = 64);
+    std::size_t max_rounds = 64, ResourceBudget* budget = nullptr);
 
 }  // namespace rtv

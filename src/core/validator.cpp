@@ -15,9 +15,12 @@ std::string RetimingValidation::summary() const {
        << (safe_replacement ? "≼" : "⋠") << " D, min delay n with C^n ⊑ D: "
        << min_delay_implication << "\n";
     os << "theorems: " << (theorems_hold ? "consistent" : "VIOLATED") << "\n";
+  } else if (stg_budget_exhausted) {
+    os << "stg:      skipped (resource budget exhausted)\n";
   } else {
     os << "stg:      skipped (design beyond exact-analysis caps)\n";
   }
+  os << "verdict:  " << to_string(verdict) << " (" << usage.summary() << ")\n";
   return os.str();
 }
 
@@ -25,14 +28,17 @@ RetimingValidation validate_retiming(const Netlist& original,
                                      const RetimeGraph& graph,
                                      const std::vector<int>& lag,
                                      const ValidationOptions& options) {
+  ResourceBudget budget(options.budget, options.cancel);
   RetimingValidation v;
   SequencedRetiming seq;
   v.safety = analyze_lag_retiming(original, graph, lag, &seq);
   v.retimed = std::move(seq.retimed);
-  v.cls = check_cls_equivalence(original, v.retimed, options.cls);
+  v.cls = check_cls_equivalence(original, v.retimed, options.cls, &budget);
 
   // Corollary 5.3 is unconditional (given the all-X-preserving library);
-  // a CLS mismatch falsifies the paper (or this implementation).
+  // a CLS mismatch falsifies the paper (or this implementation). A found
+  // counterexample is definitive even in degraded modes; an exhausted
+  // partial report never claims inequivalence, so this stays sound.
   if (original.all_cells_preserve_all_x() &&
       v.retimed.all_cells_preserve_all_x() && !v.cls.equivalent) {
     v.theorems_hold = false;
@@ -43,28 +49,43 @@ RetimingValidation validate_retiming(const Netlist& original,
            n.primary_inputs().size() <= options.max_stg_inputs;
   };
   if (fits(original) && fits(v.retimed)) {
-    const Stg d = Stg::extract(original);
-    const Stg c = Stg::extract(v.retimed);
-    v.stg_checked = true;
-    v.implication = implies(c, d);
-    v.safe_replacement = safe_replacement(c, d);
-    v.min_delay_implication =
-        min_delay_for_implication(c, d, options.max_delay_search);
+    if (budget.exhausted()) {
+      v.stg_budget_exhausted = true;
+    } else {
+      try {
+        // Compute everything into locals and commit at the end: an
+        // exhaustion mid-phase must not leave half-true exact flags.
+        const Stg d = Stg::extract(original, kDefaultStgEntryCap, &budget);
+        const Stg c = Stg::extract(v.retimed, kDefaultStgEntryCap, &budget);
+        const bool implication = implies(c, d, &budget);
+        const bool safe_repl = safe_replacement(c, d, &budget);
+        const int min_delay =
+            min_delay_for_implication(c, d, options.max_delay_search, &budget);
+        v.stg_checked = true;
+        v.implication = implication;
+        v.safe_replacement = safe_repl;
+        v.min_delay_implication = min_delay;
 
-    // Cross-check the static guarantees against exact ground truth.
-    if (v.safety.safe_replacement_guaranteed &&
-        !(v.implication && v.safe_replacement)) {
-      v.theorems_hold = false;  // Prop 4.1 / Cor 4.4 violated
-    }
-    if (v.min_delay_implication < 0 ||
-        static_cast<std::size_t>(v.min_delay_implication) >
-            v.safety.delay_bound) {
-      v.theorems_hold = false;  // Thm 4.5 violated
-    }
-    if (v.implication && !v.safe_replacement) {
-      v.theorems_hold = false;  // Prop 3.1 violated
+        // Cross-check the static guarantees against exact ground truth.
+        if (v.safety.safe_replacement_guaranteed &&
+            !(v.implication && v.safe_replacement)) {
+          v.theorems_hold = false;  // Prop 4.1 / Cor 4.4 violated
+        }
+        if (v.min_delay_implication < 0 ||
+            static_cast<std::size_t>(v.min_delay_implication) >
+                v.safety.delay_bound) {
+          v.theorems_hold = false;  // Thm 4.5 violated
+        }
+        if (v.implication && !v.safe_replacement) {
+          v.theorems_hold = false;  // Prop 3.1 violated
+        }
+      } catch (const ResourceExhausted&) {
+        v.stg_budget_exhausted = true;
+      }
     }
   }
+  v.verdict = budget.exhausted() ? Verdict::kExhausted : v.cls.verdict;
+  v.usage = budget.usage();
   return v;
 }
 

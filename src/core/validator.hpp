@@ -27,6 +27,13 @@ struct ValidationOptions {
   unsigned max_stg_inputs = 8;
   /// Horizon for the minimal-delay search (Thm 4.5 cross-check).
   unsigned max_delay_search = 16;
+  /// Resource governance. One ResourceBudget built from these limits spans
+  /// the whole validation (CLS + STG phases share the wall clock). The
+  /// defaults leave everything unlimited except the standard BDD node cap.
+  ResourceLimits budget;
+  /// Cooperative cancellation: request_cancel() from any thread makes the
+  /// validation degrade at its next checkpoint.
+  CancellationToken cancel;
 };
 
 struct RetimingValidation {
@@ -38,10 +45,19 @@ struct RetimingValidation {
   bool implication = false;          ///< C ⊑ D (exact)
   bool safe_replacement = false;     ///< C ≼ D (exact)
   int min_delay_implication = -1;    ///< least n with C^n ⊑ D (exact)
+  /// STG phase was within caps but aborted by the resource budget.
+  bool stg_budget_exhausted = false;
 
   /// True iff every exact result is consistent with the paper's theorems
   /// (set by validate_retiming; a false value would falsify the paper).
   bool theorems_hold = true;
+
+  /// Overall label for this validation: kExhausted whenever the budget
+  /// blew anywhere (the report is partial), otherwise the CLS verdict.
+  /// A degraded validation never reports verdict kProven.
+  Verdict verdict = Verdict::kProven;
+  /// Resource consumption of the whole validation.
+  ResourceUsage usage;
 
   std::string summary() const;
 };

@@ -152,7 +152,8 @@ namespace {
 /// lane — not necessarily the globally first detecting test.
 int cls_witness(const Netlist& netlist, const std::vector<TritsSeq>& lifted,
                 const PackedResponseWords& good, const Fault& fault,
-                const std::atomic<int>* verdict, std::size_t* evals) {
+                const std::atomic<int>* verdict, std::size_t* evals,
+                ResourceBudget* budget) {
   const std::size_t total = lifted.size();
   if (total == 0) return -1;
   const Netlist faulty = inject_fault(netlist, fault);
@@ -161,6 +162,7 @@ int cls_witness(const Netlist& netlist, const std::vector<TritsSeq>& lifted,
   PackedTrits cycle_inputs(sim.num_inputs(), lanes);
   const unsigned outputs = sim.num_outputs();
   for (std::size_t chunk = 0; chunk * 64 < total; ++chunk) {
+    if (!budget->checkpoint("fault/cls-chunk")) return kUndecided;
     if (chunk > 0) {
       const int v = adopted_verdict(verdict);
       if (v != kUndecided) return v;
@@ -199,9 +201,11 @@ int cls_witness(const Netlist& netlist, const std::vector<TritsSeq>& lifted,
 /// definitely differs from the shared good response.
 int exact_witness(const Netlist& netlist, const std::vector<BitsSeq>& tests,
                   const std::vector<TritsSeq>& good, const Fault& fault,
-                  const std::atomic<int>* verdict, std::size_t* evals) {
+                  const std::atomic<int>* verdict, std::size_t* evals,
+                  ResourceBudget* budget) {
   const Netlist faulty = inject_fault(netlist, fault);
   for (std::size_t ti = 0; ti < tests.size(); ++ti) {
+    if (!budget->checkpoint("fault/exact-test")) return kUndecided;
     if (ti > 0) {
       const int v = adopted_verdict(verdict);
       if (v != kUndecided) return v;
@@ -221,12 +225,13 @@ int sampled_witness(const Netlist& netlist, const std::vector<BitsSeq>& tests,
                     unsigned lanes, const std::uint8_t* flags,
                     const std::size_t* offsets, std::uint64_t sample_seed,
                     const Fault& fault, const std::atomic<int>* verdict,
-                    std::size_t* evals) {
+                    std::size_t* evals, ResourceBudget* budget) {
   const Netlist faulty = inject_fault(netlist, fault);
   ParallelBinarySimulator bad(faulty, lanes);
   const unsigned outputs = bad.num_outputs();
   const unsigned words = bad.words();
   for (std::size_t ti = 0; ti < tests.size(); ++ti) {
+    if (!budget->checkpoint("fault/sampled-test")) return kUndecided;
     if (ti > 0) {
       const int v = adopted_verdict(verdict);
       if (v != kUndecided) return v;
@@ -267,6 +272,11 @@ int sampled_witness(const Netlist& netlist, const std::vector<BitsSeq>& tests,
 
 FaultSimResult FaultSimEngine::run(const std::vector<Fault>& faults) const {
   const auto t0 = std::chrono::steady_clock::now();
+  // One budget per run: workers probe it cooperatively (its counters are
+  // atomics, so concurrent checkpoints are safe) and wind down together
+  // once any limit blows. Exhaustion never throws out of the pool — an
+  // aborted fault simply stays undecided.
+  ResourceBudget budget(options_.budget, options_.cancel);
   FaultSimResult result;
   result.detected.assign(faults.size(), false);
   result.detecting_test.assign(faults.size(), -1);
@@ -294,15 +304,16 @@ FaultSimResult FaultSimEngine::run(const std::vector<Fault>& faults) const {
       switch (options_.mode) {
         case FaultSimMode::kCls:
           return cls_witness(netlist_, good_->lifted, good_->cls, fault, v,
-                             local_evals);
+                             local_evals, &budget);
         case FaultSimMode::kExact:
           return exact_witness(netlist_, tests_, good_->exact, fault, v,
-                               local_evals);
+                               local_evals, &budget);
         case FaultSimMode::kSampled:
           return sampled_witness(netlist_, tests_, good_->sample_lanes,
                                  good_->sample_flags.data(),
                                  good_->sample_offsets.data(),
-                                 options_.sample_seed, fault, v, local_evals);
+                                 options_.sample_seed, fault, v, local_evals,
+                                 &budget);
       }
       return -1;
     };
@@ -317,12 +328,17 @@ FaultSimResult FaultSimEngine::run(const std::vector<Fault>& faults) const {
             int w = v.load(std::memory_order_acquire);
             if (options_.drop_detected && w != kUndecided) {
               ++local_dropped;  // settled from the shared verdict table
+            } else if (!budget.checkpoint("fault/fault")) {
+              w = kUndecided;  // budget blown: leave this fault undecided
             } else {
               w = compute(faults[i],
                           options_.drop_detected ? &v : nullptr, &local_evals);
               // Verdicts are pure functions of (netlist, fault, tests,
-              // options), so racing stores write the same value.
-              v.store(w, std::memory_order_release);
+              // options), so racing stores write the same value. A
+              // budget-aborted walk returns kUndecided and must NOT be
+              // published — another worker adopting it would corrupt its
+              // own verdict.
+              if (w != kUndecided) v.store(w, std::memory_order_release);
             }
             witness[i] = w;
           }
@@ -331,17 +347,23 @@ FaultSimResult FaultSimEngine::run(const std::vector<Fault>& faults) const {
         });
 
     for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (witness[i] == kUndecided) {
+        ++result.faults_skipped;
+        continue;  // detecting_test stays -1, detected stays false
+      }
       result.detecting_test[i] = witness[i];
       if (witness[i] >= 0) {
         result.detected[i] = true;
         ++result.num_detected;
       }
     }
+    result.complete = result.faults_skipped == 0;
     result.tests_run = evals.load();
     result.faults_dropped = dropped.load();
     result.coverage = static_cast<double>(result.num_detected) /
                       static_cast<double>(faults.size());
   }
+  result.usage = budget.usage();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

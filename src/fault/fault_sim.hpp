@@ -12,6 +12,7 @@
 #include "fault/fault.hpp"
 #include "fault/test_eval.hpp"
 #include "sim/vectors.hpp"
+#include "util/budget.hpp"
 #include "util/rng.hpp"
 
 namespace rtv {
@@ -54,6 +55,14 @@ struct FaultSimOptions {
   /// raced to completion by another worker). Never changes the result,
   /// only the work performed.
   bool drop_detected = true;
+  /// Resource governance for the run (wall-clock deadline, step quota;
+  /// zeroes mean unlimited). On exhaustion the engine stops starting new
+  /// work, leaves the remaining faults undecided and returns a partial
+  /// result with complete == false — it never throws mid-run.
+  ResourceLimits budget;
+  /// Cooperative cancellation: request_cancel() from any thread makes every
+  /// worker wind down at its next checkpoint.
+  CancellationToken cancel;
 };
 
 struct FaultSimResult {
@@ -74,6 +83,14 @@ struct FaultSimResult {
   double wall_seconds = 0.0;
   std::size_t tests_run = 0;       ///< (fault, test) evaluations started
   std::size_t faults_dropped = 0;  ///< entries settled from the shared table
+
+  /// False when the resource budget (or a cancellation) stopped the run
+  /// before every fault was decided. Undecided faults count as undetected
+  /// in `detected`/`coverage` — check `complete` before treating coverage
+  /// as a measurement rather than a lower bound.
+  bool complete = true;
+  std::size_t faults_skipped = 0;  ///< entries left undecided on exhaustion
+  ResourceUsage usage;             ///< all-zero when run ungoverned
 };
 
 /// Runs every test in `tests` against every fault; a fault counts detected

@@ -319,14 +319,14 @@ std::string write_blif(const Netlist& netlist, const std::string& model_name) {
 void save_blif(const Netlist& netlist, const std::string& path,
                const std::string& model_name) {
   std::ofstream f(path);
-  if (!f) throw Error("cannot open '" + path + "' for writing");
+  if (!f) throw IoError("cannot open '" + path + "' for writing");
   f << write_blif(netlist, model_name);
-  if (!f) throw Error("write to '" + path + "' failed");
+  if (!f) throw IoError("write to '" + path + "' failed");
 }
 
 BlifDesign load_blif(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw Error("cannot open '" + path + "' for reading");
+  if (!f) throw IoError("cannot open '" + path + "' for reading");
   std::ostringstream buffer;
   buffer << f.rdbuf();
   return read_blif(buffer.str());

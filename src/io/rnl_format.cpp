@@ -272,14 +272,14 @@ Netlist read_rnl(const std::string& text, bool validate) {
 
 void save_rnl(const Netlist& netlist, const std::string& path) {
   std::ofstream f(path);
-  if (!f) throw Error("cannot open '" + path + "' for writing");
+  if (!f) throw IoError("cannot open '" + path + "' for writing");
   f << write_rnl(netlist);
-  if (!f) throw Error("write to '" + path + "' failed");
+  if (!f) throw IoError("write to '" + path + "' failed");
 }
 
 Netlist load_rnl(const std::string& path, bool validate) {
   std::ifstream f(path);
-  if (!f) throw Error("cannot open '" + path + "' for reading");
+  if (!f) throw IoError("cannot open '" + path + "' for reading");
   std::ostringstream buffer;
   buffer << f.rdbuf();
   return read_rnl(buffer.str(), validate);

@@ -115,9 +115,9 @@ std::string cls_simulate_to_vcd(const Netlist& netlist, const TritsSeq& inputs,
 
 void save_vcd(const std::string& vcd_text, const std::string& path) {
   std::ofstream f(path);
-  if (!f) throw Error("cannot open '" + path + "' for writing");
+  if (!f) throw IoError("cannot open '" + path + "' for writing");
   f << vcd_text;
-  if (!f) throw Error("write to '" + path + "' failed");
+  if (!f) throw IoError("write to '" + path + "' failed");
 }
 
 }  // namespace rtv

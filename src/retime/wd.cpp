@@ -1,6 +1,7 @@
 #include "retime/wd.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -22,7 +23,9 @@ std::vector<int> WdMatrices::candidate_periods() const {
 WdMatrices compute_wd(const RetimeGraph& graph, std::uint32_t vertex_cap) {
   const std::uint32_t n = graph.num_vertices();
   if (n > vertex_cap) {
-    throw CapacityError("compute_wd: graph exceeds the vertex cap");
+    throw CapacityError("compute_wd: graph exceeds the vertex cap (" +
+                        std::to_string(n) + " vertices, cap " +
+                        std::to_string(vertex_cap) + ")");
   }
   WdMatrices m;
   m.n = n;

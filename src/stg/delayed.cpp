@@ -38,18 +38,23 @@ Stg delayed_design(const Stg& stg, unsigned cycles) {
   return stg.restrict(states_after_delay(stg, cycles));
 }
 
-int min_delay_for_implication(const Stg& c, const Stg& d,
-                              unsigned max_cycles) {
+int min_delay_for_implication(const Stg& c, const Stg& d, unsigned max_cycles,
+                              ResourceBudget* budget) {
   for (unsigned n = 0; n <= max_cycles; ++n) {
-    if (implies(delayed_design(c, n), d)) return static_cast<int>(n);
+    if (budget != nullptr) budget->checkpoint_or_throw("stg/delay-step");
+    if (implies(delayed_design(c, n), d, budget)) return static_cast<int>(n);
   }
   return -1;
 }
 
 int min_delay_for_safe_replacement(const Stg& c, const Stg& d,
-                                   unsigned max_cycles) {
+                                   unsigned max_cycles,
+                                   ResourceBudget* budget) {
   for (unsigned n = 0; n <= max_cycles; ++n) {
-    if (safe_replacement(delayed_design(c, n), d)) return static_cast<int>(n);
+    if (budget != nullptr) budget->checkpoint_or_throw("stg/delay-step");
+    if (safe_replacement(delayed_design(c, n), d, budget)) {
+      return static_cast<int>(n);
+    }
   }
   return -1;
 }

@@ -29,7 +29,8 @@ struct VecHash {
 
 }  // namespace
 
-std::vector<std::uint32_t> equivalence_classes(const Stg& stg) {
+std::vector<std::uint32_t> equivalence_classes(const Stg& stg,
+                                               ResourceBudget* budget) {
   const std::uint64_t n = stg.num_states();
   const std::uint64_t ni = stg.num_inputs();
   std::vector<std::uint32_t> cls(n, 0);
@@ -48,6 +49,7 @@ std::vector<std::uint32_t> equivalence_classes(const Stg& stg) {
 
   // Refine until stable.
   for (;;) {
+    if (budget != nullptr) budget->checkpoint_or_throw("stg/refine-iter");
     std::unordered_map<std::vector<std::uint64_t>, std::uint32_t, VecHash> ids;
     std::vector<std::uint32_t> next_cls(n);
     std::vector<std::uint64_t> sig(ni + 1);

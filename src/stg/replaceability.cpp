@@ -21,10 +21,10 @@
 
 namespace rtv {
 
-bool implies(const Stg& c, const Stg& d) {
+bool implies(const Stg& c, const Stg& d, ResourceBudget* budget) {
   RTV_REQUIRE(c.compatible_with(d), "implies on incompatible machines");
   const Stg u = Stg::disjoint_union(c, d);
-  const std::vector<std::uint32_t> cls = equivalence_classes(u);
+  const std::vector<std::uint32_t> cls = equivalence_classes(u, budget);
   const std::uint32_t k = num_classes(cls);
   std::vector<bool> has_d_state(k, false);
   for (std::uint64_t s = 0; s < d.num_states(); ++s) {
@@ -67,7 +67,8 @@ bool set_empty(const std::vector<std::uint64_t>& set) {
 }  // namespace
 
 bool find_safe_replacement_violation(const Stg& c, const Stg& d,
-                                     SafeReplacementViolation* witness) {
+                                     SafeReplacementViolation* witness,
+                                     ResourceBudget* budget) {
   RTV_REQUIRE(c.compatible_with(d), "safe_replacement on incompatible machines");
   const std::uint64_t nd = d.num_states();
   const std::size_t set_words = words_for_bits(nd);
@@ -94,6 +95,7 @@ bool find_safe_replacement_violation(const Stg& c, const Stg& d,
   }
 
   while (!queue.empty()) {
+    if (budget != nullptr) budget->checkpoint_or_throw("stg/subset-pair");
     QueueEntry entry = std::move(queue.front());
     queue.pop_front();
     for (std::uint64_t a = 0; a < c.num_inputs(); ++a) {
@@ -129,8 +131,8 @@ bool find_safe_replacement_violation(const Stg& c, const Stg& d,
   return false;
 }
 
-bool safe_replacement(const Stg& c, const Stg& d) {
-  return !find_safe_replacement_violation(c, d, nullptr);
+bool safe_replacement(const Stg& c, const Stg& d, ResourceBudget* budget) {
+  return !find_safe_replacement_violation(c, d, nullptr, budget);
 }
 
 }  // namespace rtv

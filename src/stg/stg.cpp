@@ -32,7 +32,8 @@ std::size_t Stg::index(std::uint64_t state, std::uint64_t input) const {
   return static_cast<std::size_t>(state * num_inputs_ + input);
 }
 
-Stg Stg::extract(const Netlist& netlist, std::uint64_t entry_cap) {
+Stg Stg::extract(const Netlist& netlist, std::uint64_t entry_cap,
+                 ResourceBudget* budget) {
   const unsigned latches = static_cast<unsigned>(netlist.latches().size());
   const unsigned pis = static_cast<unsigned>(netlist.primary_inputs().size());
   RTV_REQUIRE(latches <= 32, "STG extraction supports at most 32 latches");
@@ -40,12 +41,15 @@ Stg Stg::extract(const Netlist& netlist, std::uint64_t entry_cap) {
   const std::uint64_t num_states = pow2(latches);
   const std::uint64_t num_inputs = pow2(pis);
   if (num_states * num_inputs > entry_cap) {
-    throw CapacityError("STG extraction: 2^(latches+inputs) exceeds cap");
+    throw CapacityError("STG extraction: 2^(latches+inputs) exceeds cap (" +
+                        std::to_string(num_states * num_inputs) +
+                        " entries, cap " + std::to_string(entry_cap) + ")");
   }
   BinarySimulator sim(netlist);
   std::vector<std::uint32_t> next(num_states * num_inputs);
   std::vector<std::uint64_t> out(num_states * num_inputs);
   for (std::uint64_t s = 0; s < num_states; ++s) {
+    if (budget != nullptr) budget->checkpoint_or_throw("stg/extract-state");
     for (std::uint64_t a = 0; a < num_inputs; ++a) {
       std::uint64_t o = 0, ns = 0;
       sim.eval_packed(s, a, o, ns);

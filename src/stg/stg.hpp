@@ -14,6 +14,7 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/vectors.hpp"
+#include "util/budget.hpp"
 
 namespace rtv {
 
@@ -30,8 +31,14 @@ class Stg {
 
   /// Exhaustive extraction: state ids are packed latch vectors (so state s
   /// corresponds to unpack_bits(s, L)), input symbols are packed PI vectors.
+  ///
+  /// Extraction cannot produce a partial machine, so with a budget attached
+  /// it throws ResourceExhausted when the budget blows mid-extraction —
+  /// governed entry points (validate_retiming, run_flow) catch that at the
+  /// phase boundary and degrade.
   static Stg extract(const Netlist& netlist,
-                     std::uint64_t entry_cap = kDefaultStgEntryCap);
+                     std::uint64_t entry_cap = kDefaultStgEntryCap,
+                     ResourceBudget* budget = nullptr);
 
   std::uint64_t num_states() const { return num_states_; }
   std::uint64_t num_inputs() const { return num_inputs_; }
@@ -79,8 +86,10 @@ class Stg {
 
 /// Partition of states into equivalence classes (Mealy equivalence: equal
 /// output and equivalent successor for every input). Returns class ids,
-/// dense in [0, num_classes).
-std::vector<std::uint32_t> equivalence_classes(const Stg& stg);
+/// dense in [0, num_classes). Budgeted variants here and below throw
+/// ResourceExhausted on a blown budget (pass nullptr for ungoverned runs).
+std::vector<std::uint32_t> equivalence_classes(const Stg& stg,
+                                               ResourceBudget* budget = nullptr);
 
 /// Number of classes in a dense class-id vector.
 std::uint32_t num_classes(const std::vector<std::uint32_t>& classes);
@@ -109,13 +118,14 @@ bool essentially_resettable(const Stg& stg);
 
 /// State-machine implication C ⊑ D: every state of C is Mealy-equivalent to
 /// some state of D. Requires compatible machines.
-bool implies(const Stg& c, const Stg& d);
+bool implies(const Stg& c, const Stg& d, ResourceBudget* budget = nullptr);
 
 /// Safe replacement C ≼ D [PSAB94]: for every state s1 of C and every input
 /// sequence, some state s0 of D produces the same outputs on that sequence
 /// (s0 may depend on the sequence). Decided by a subset construction over
 /// (C-state, set of still-consistent D-states).
-bool safe_replacement(const Stg& c, const Stg& d);
+bool safe_replacement(const Stg& c, const Stg& d,
+                      ResourceBudget* budget = nullptr);
 
 /// Witness for a safe-replacement violation: a C start state and an input
 /// sequence no D state can match. Empty optional if C ≼ D holds.
@@ -124,7 +134,8 @@ struct SafeReplacementViolation {
   std::vector<std::uint64_t> inputs;  ///< packed input symbols
 };
 bool find_safe_replacement_violation(const Stg& c, const Stg& d,
-                                     SafeReplacementViolation* witness);
+                                     SafeReplacementViolation* witness,
+                                     ResourceBudget* budget = nullptr);
 
 // ---- delayed.cpp -----------------------------------------------------------
 
@@ -136,11 +147,13 @@ std::vector<bool> states_after_delay(const Stg& stg, unsigned cycles);
 Stg delayed_design(const Stg& stg, unsigned cycles);
 
 /// Smallest n <= max_cycles with delayed_design(c, n) ⊑ d, or -1 if none.
-int min_delay_for_implication(const Stg& c, const Stg& d, unsigned max_cycles);
+int min_delay_for_implication(const Stg& c, const Stg& d, unsigned max_cycles,
+                              ResourceBudget* budget = nullptr);
 
 /// Smallest n <= max_cycles with delayed_design(c, n) ≼ d, or -1 if none.
 int min_delay_for_safe_replacement(const Stg& c, const Stg& d,
-                                   unsigned max_cycles);
+                                   unsigned max_cycles,
+                                   ResourceBudget* budget = nullptr);
 
 // ---- init_seq.cpp ----------------------------------------------------------
 

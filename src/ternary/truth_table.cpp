@@ -1,6 +1,7 @@
 #include "ternary/truth_table.hpp"
 
 #include <sstream>
+#include <string>
 
 #include "util/bits.hpp"
 #include "util/rng.hpp"
@@ -90,7 +91,8 @@ bool TruthTable::is_justifiable() const {
   if (num_outputs_ > 24) {
     // More outputs than 2^num_inputs rows can ever cover.
     if (num_outputs_ > num_inputs_) return false;
-    throw CapacityError("is_justifiable: output arity beyond bitmap capacity");
+    throw CapacityError("is_justifiable: output arity beyond bitmap capacity (" +
+                        std::to_string(num_outputs_) + " outputs, cap 24)");
   }
   // Pigeonhole shortcut: 2^n rows cannot cover 2^m vectors when m > n.
   if (num_outputs_ > num_inputs_) return false;

@@ -1,0 +1,134 @@
+#include "util/budget.hpp"
+
+#include <sstream>
+
+#include "util/fault_inject.hpp"
+
+namespace rtv {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kProven:
+      return "proven";
+    case Verdict::kBounded:
+      return "bounded";
+    case Verdict::kExhausted:
+      return "exhausted";
+  }
+  return "?";
+}
+
+const char* to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kWallClock:
+      return "wall-clock deadline";
+    case ResourceKind::kBddNodes:
+      return "BDD node cap";
+    case ResourceKind::kStatePairs:
+      return "state-pair cap";
+    case ResourceKind::kSteps:
+      return "step quota";
+    case ResourceKind::kCancelled:
+      return "cancelled";
+    case ResourceKind::kInjected:
+      return "fault injection";
+  }
+  return "?";
+}
+
+std::string ResourceUsage::summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << wall_ms << " ms, " << steps << " steps";
+  if (peak_bdd_nodes > 0) os << ", " << peak_bdd_nodes << " BDD nodes";
+  if (state_pairs > 0) os << ", " << state_pairs << " state pairs";
+  if (exhausted) {
+    os << "; EXHAUSTED (" << (blown ? to_string(*blown) : "?") << ")";
+  }
+  return os.str();
+}
+
+bool ResourceBudget::checkpoint(const char* site) {
+  if (!ok()) return false;
+  const std::uint64_t step = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (fault_inject::trip(site)) {
+    mark_exhausted(ResourceKind::kInjected);
+    return false;
+  }
+  if (cancel_.cancelled()) {
+    mark_exhausted(ResourceKind::kCancelled);
+    return false;
+  }
+  if (limits_.step_quota != 0 && step > limits_.step_quota) {
+    mark_exhausted(ResourceKind::kSteps);
+    return false;
+  }
+  if (limits_.time_budget_ms != 0 &&
+      elapsed_ms() > static_cast<double>(limits_.time_budget_ms)) {
+    mark_exhausted(ResourceKind::kWallClock);
+    return false;
+  }
+  return true;
+}
+
+void ResourceBudget::checkpoint_or_throw(const char* site) {
+  if (checkpoint(site)) return;
+  const auto kind = blown();
+  throw ResourceExhausted(
+      kind.value_or(ResourceKind::kSteps),
+      std::string("resource budget exhausted at ") +
+          (site != nullptr ? site : "?") + ": " +
+          to_string(kind.value_or(ResourceKind::kSteps)));
+}
+
+bool ResourceBudget::note_pairs(std::size_t pairs) {
+  std::size_t prev = peak_pairs_.load(std::memory_order_relaxed);
+  while (prev < pairs &&
+         !peak_pairs_.compare_exchange_weak(prev, pairs,
+                                            std::memory_order_relaxed)) {
+  }
+  if (limits_.pair_limit != 0 && pairs > limits_.pair_limit) {
+    mark_exhausted(ResourceKind::kStatePairs);
+    return false;
+  }
+  return ok();
+}
+
+void ResourceBudget::note_bdd_nodes(std::size_t nodes) {
+  std::size_t prev = peak_bdd_nodes_.load(std::memory_order_relaxed);
+  while (prev < nodes &&
+         !peak_bdd_nodes_.compare_exchange_weak(prev, nodes,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void ResourceBudget::mark_exhausted(ResourceKind kind) {
+  int expected = -1;
+  blown_.compare_exchange_strong(expected, static_cast<int>(kind),
+                                 std::memory_order_acq_rel);
+}
+
+std::optional<ResourceKind> ResourceBudget::blown() const {
+  const int b = blown_.load(std::memory_order_acquire);
+  if (b < 0) return std::nullopt;
+  return static_cast<ResourceKind>(b);
+}
+
+double ResourceBudget::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+ResourceUsage ResourceBudget::usage() const {
+  ResourceUsage u;
+  u.wall_ms = elapsed_ms();
+  u.steps = steps_.load(std::memory_order_relaxed);
+  u.peak_bdd_nodes = peak_bdd_nodes_.load(std::memory_order_relaxed);
+  u.state_pairs = peak_pairs_.load(std::memory_order_relaxed);
+  u.blown = blown();
+  u.exhausted = u.blown.has_value();
+  return u;
+}
+
+}  // namespace rtv

@@ -1,0 +1,184 @@
+#pragma once
+// Resource governance for long-running verification entry points.
+//
+// The paper's methodology gate (Section 5 / Cor 5.3) is only usable in a
+// synthesis flow if the checker always returns a verdict: a blown node cap
+// or a runaway pair-BFS must degrade to a weaker-but-labeled answer, never
+// abort the whole run. This header provides the machinery:
+//
+//   ResourceLimits     caps a caller can impose (wall clock, BDD nodes,
+//                      state pairs, abstract step quota).
+//   CancellationToken  cooperative cancellation shared across threads.
+//   ResourceBudget     the live meter: entry points call checkpoint() at
+//                      every unit of work; the first blown limit flips the
+//                      budget to exhausted and every later probe fails fast.
+//   Verdict            the degradation ladder every governed result is
+//                      labeled with: kProven (exhaustive) > kBounded
+//                      (completed sampling) > kExhausted (cut short by the
+//                      budget). A degraded verdict must never be reported
+//                      as a proof.
+//   ResourceExhausted  internal control-flow exception thrown by code that
+//                      cannot return partial results (BDD allocation, STG
+//                      extraction); governed entry points catch it at the
+//                      phase boundary and degrade. It never escapes a
+//                      governed entry point.
+//
+// checkpoint() also drives the fault-injection harness (util/fault_inject.hpp):
+// when armed, the N-th checkpoint anywhere in the process trips the budget
+// as if a limit had been blown, which is how the robustness sweep proves
+// every exhaustion path yields a well-formed partial report.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rtv {
+
+/// The library-wide default BDD node cap, shared by BddManager,
+/// SymbolicMachine and SymbolicImplication (previously repeated as a magic
+/// `1 << 22` in each header).
+inline constexpr std::size_t kDefaultBddNodeLimit = std::size_t{1} << 22;
+
+/// Degradation ladder of every governed verification result.
+enum class Verdict {
+  kProven,     ///< exhaustive analysis completed: the answer is a theorem
+  kBounded,    ///< bounded/randomized analysis completed: evidence, not proof
+  kExhausted,  ///< budget blown mid-flight: partial answer over work done
+};
+
+const char* to_string(Verdict verdict);
+
+/// Which resource blew first.
+enum class ResourceKind {
+  kWallClock,   ///< time_budget_ms deadline passed
+  kBddNodes,    ///< bdd_node_limit reached
+  kStatePairs,  ///< pair_limit reached
+  kSteps,       ///< step_quota reached
+  kCancelled,   ///< CancellationToken fired
+  kInjected,    ///< fault-injection harness tripped this checkpoint
+};
+
+const char* to_string(ResourceKind kind);
+
+/// Caps a caller imposes on one governed call. Zero means "no limit" for
+/// every field except bdd_node_limit (which always has the library default).
+struct ResourceLimits {
+  std::uint64_t time_budget_ms = 0;
+  std::size_t bdd_node_limit = kDefaultBddNodeLimit;
+  std::size_t pair_limit = 0;
+  std::uint64_t step_quota = 0;
+};
+
+/// Snapshot of what a governed call consumed, reported alongside its
+/// verdict so degraded results carry their own evidence.
+struct ResourceUsage {
+  double wall_ms = 0.0;
+  std::uint64_t steps = 0;
+  std::size_t peak_bdd_nodes = 0;
+  std::size_t state_pairs = 0;
+  bool exhausted = false;
+  std::optional<ResourceKind> blown;  ///< set iff exhausted
+
+  std::string summary() const;
+};
+
+/// Cooperative cancellation: copies share one flag; request_cancel() makes
+/// every governed call holding a copy fail its next checkpoint.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() const noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+  bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Thrown by budgeted code that has no way to return a partial result
+/// (BDD node allocation, STG extraction). Always caught by the governed
+/// entry point that owns the budget; user code never sees it escape
+/// check_cls_equivalence / validate_retiming / run_synthesis_flow /
+/// fault_simulate.
+class ResourceExhausted : public Error {
+ public:
+  ResourceExhausted(ResourceKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  ResourceKind kind() const { return kind_; }
+
+ private:
+  ResourceKind kind_;
+};
+
+/// The live meter. One budget governs one logical call (possibly spanning
+/// several phases: CLS gate, STG extraction, relation checks share the same
+/// wall clock). Thread-safe: fault-engine workers checkpoint concurrently.
+/// Non-copyable; pass by pointer (nullptr = ungoverned) or reference.
+class ResourceBudget {
+ public:
+  /// Unlimited budget (still drives fault injection and the wall clock).
+  ResourceBudget() : ResourceBudget(ResourceLimits{}) {}
+
+  explicit ResourceBudget(const ResourceLimits& limits,
+                          CancellationToken cancel = {})
+      : limits_(limits),
+        cancel_(std::move(cancel)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  /// Cooperative probe at one unit of work. Counts a step, then checks (in
+  /// order): already exhausted, fault injection, cancellation, step quota,
+  /// deadline. Returns true while within budget; after the first failure
+  /// every call returns false. `site` names the checkpoint for the
+  /// fault-injection harness.
+  bool checkpoint(const char* site);
+
+  /// checkpoint() for code that unwinds by exception instead of partial
+  /// return. Throws ResourceExhausted when the budget is blown.
+  void checkpoint_or_throw(const char* site);
+
+  /// Records the high-water state-pair count; false (and exhausted) when
+  /// it exceeds pair_limit.
+  bool note_pairs(std::size_t pairs);
+
+  /// Records the high-water BDD node count (cap itself is enforced by
+  /// BddManager against limits().bdd_node_limit).
+  void note_bdd_nodes(std::size_t nodes);
+
+  /// Flips the budget to exhausted with the given reason (idempotent: the
+  /// first reason wins). Used by BddManager and the injection harness.
+  void mark_exhausted(ResourceKind kind);
+
+  bool ok() const { return blown_.load(std::memory_order_acquire) < 0; }
+  bool exhausted() const { return !ok(); }
+  std::optional<ResourceKind> blown() const;
+
+  double elapsed_ms() const;
+  const ResourceLimits& limits() const { return limits_; }
+  const CancellationToken& cancel_token() const { return cancel_; }
+
+  /// Usage snapshot (wall clock read at call time).
+  ResourceUsage usage() const;
+
+ private:
+  ResourceLimits limits_;
+  CancellationToken cancel_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::size_t> peak_bdd_nodes_{0};
+  std::atomic<std::size_t> peak_pairs_{0};
+  std::atomic<int> blown_{-1};  ///< -1 = ok, else static_cast<ResourceKind>
+};
+
+}  // namespace rtv

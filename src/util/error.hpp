@@ -37,6 +37,14 @@ class CapacityError : public Error {
   explicit CapacityError(const std::string& what) : Error(what) {}
 };
 
+/// A file could not be opened, read, or written (missing input, unwritable
+/// output). Distinct from ParseError: the bytes never arrived, as opposed
+/// to arriving malformed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 /// An internal invariant failed; indicates a bug in this library.
 class InternalError : public Error {
  public:

@@ -1,0 +1,76 @@
+#include "util/fault_inject.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_set>
+
+namespace rtv::fault_inject {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_trip_at{0};
+std::atomic<std::uint64_t> g_counter{0};
+
+std::mutex g_sites_mutex;
+std::vector<std::string> g_sites;          // first-seen order
+std::unordered_set<std::string> g_known;
+
+void record_site(const char* site) {
+  const std::string name = site != nullptr ? site : "?";
+  std::lock_guard<std::mutex> lock(g_sites_mutex);
+  if (g_known.insert(name).second) g_sites.push_back(name);
+}
+
+}  // namespace
+
+void arm(std::uint64_t nth) {
+  {
+    std::lock_guard<std::mutex> lock(g_sites_mutex);
+    g_sites.clear();
+    g_known.clear();
+  }
+  g_counter.store(0, std::memory_order_relaxed);
+  g_trip_at.store(nth, std::memory_order_relaxed);
+  g_enabled.store(nth != 0, std::memory_order_release);
+}
+
+void arm_from_env() {
+  const char* v = std::getenv("RTV_FAULT_INJECT");
+  if (v == nullptr || v[0] == '\0') {
+    disarm();
+    return;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || n == 0) {
+    disarm();
+    return;
+  }
+  arm(n);
+}
+
+void disarm() { g_enabled.store(false, std::memory_order_release); }
+
+bool enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+std::uint64_t checkpoints_passed() {
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> sites_seen() {
+  std::lock_guard<std::mutex> lock(g_sites_mutex);
+  return g_sites;
+}
+
+bool trip(const char* site) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return false;
+  record_site(site);
+  const std::uint64_t n = g_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return n == g_trip_at.load(std::memory_order_relaxed);
+}
+
+}  // namespace rtv::fault_inject

@@ -1,0 +1,48 @@
+#pragma once
+// Fault-injection harness for the resource-governance layer.
+//
+// Every ResourceBudget::checkpoint(site) in the process reports here. When
+// the harness is armed to trip at the N-th checkpoint, that checkpoint
+// behaves exactly as if a resource limit had been blown (the budget flips
+// to exhausted with ResourceKind::kInjected), and every later probe of the
+// same budget fails fast. The robustness sweep (tests/test_fault_inject.cpp)
+// arms N = 1, 2, ... over a full validate+flow+faultsim run and asserts a
+// well-formed partial report at every trip point — the executable proof
+// that no exhaustion path crashes, leaks, or masquerades as a proof.
+//
+// Always compiled in (a disarmed trip() is one relaxed atomic load);
+// armed either programmatically (arm/disarm) or via the RTV_FAULT_INJECT
+// environment variable ("RTV_FAULT_INJECT=N" trips the N-th checkpoint of
+// the process; parsed once by the CLI via arm_from_env()).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtv::fault_inject {
+
+/// Arms the harness: the `nth` checkpoint after this call (1-based) trips.
+/// Resets the checkpoint counter and the seen-site record.
+void arm(std::uint64_t nth);
+
+/// Arms from RTV_FAULT_INJECT (positive integer); disarms when the
+/// variable is unset, empty, or unparseable.
+void arm_from_env();
+
+void disarm();
+
+bool enabled();
+
+/// Checkpoints passed since the last arm().
+std::uint64_t checkpoints_passed();
+
+/// Distinct checkpoint site labels recorded since the last arm(),
+/// in first-seen order.
+std::vector<std::string> sites_seen();
+
+/// Called by ResourceBudget::checkpoint. Returns true when this call is
+/// the armed trip point. Thread-safe; a disarmed harness costs one relaxed
+/// atomic load.
+bool trip(const char* site);
+
+}  // namespace rtv::fault_inject

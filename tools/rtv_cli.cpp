@@ -46,11 +46,28 @@
 #include "retime/moves.hpp"
 #include "sim/binary_sim.hpp"
 #include "sim/cls_sim.hpp"
+#include "util/budget.hpp"
+#include "util/fault_inject.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rtv::cli {
 namespace {
+
+// Exit codes (documented in usage() and docs/robustness.md). Every failure
+// class gets its own code so scripts can tell a malformed netlist from a
+// missing file from a blown budget without scraping stderr.
+enum ExitCode : int {
+  kExitOk = 0,              ///< success / property holds
+  kExitVerdictFalse = 1,    ///< ran fine, the checked property does not hold
+  kExitUsage = 2,           ///< bad command line
+  kExitParse = 3,           ///< input file failed to parse (ParseError)
+  kExitInvalidArgument = 4, ///< precondition violation (InvalidArgument)
+  kExitCapacity = 5,        ///< capacity limit exceeded (CapacityError)
+  kExitIo = 6,              ///< file missing/unreadable/unwritable (IoError)
+  kExitExhausted = 7,       ///< budget blown under --on-exhaust=fail
+  kExitInternal = 70,       ///< internal invariant failed (a bug)
+};
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
@@ -83,8 +100,22 @@ namespace {
                " summary\n"
                "      (default: cls mode, all hardware threads, collapsed"
                " faults,\n"
-               "      64 random tests of 16 cycles)\n");
-  std::exit(2);
+               "      64 random tests of 16 cycles)\n"
+               "\n"
+               "resource governance (validate, flow, faultsim):\n"
+               "  --time-budget-ms N   wall-clock budget (0 = unlimited)\n"
+               "  --node-limit N       BDD node cap for the budget\n"
+               "  --step-quota N       checkpoint quota (deterministic"
+               " budget)\n"
+               "  --on-exhaust MODE    degrade (default): return a partial,\n"
+               "                       honestly-labeled report; fail: exit"
+               " 7\n"
+               "\n"
+               "exit codes: 0 ok/property holds, 1 property fails, 2 usage,\n"
+               "  3 parse error, 4 invalid argument, 5 capacity exceeded,\n"
+               "  6 file I/O error, 7 budget exhausted (--on-exhaust=fail),\n"
+               "  70 internal error\n");
+  std::exit(kExitUsage);
 }
 
 /// Strict decimal parsing for numeric options: std::atoi would wrap
@@ -140,13 +171,37 @@ struct Args {
   std::optional<std::size_t> max_k;
   bool min_area = false, min_period = false, cls = false, packed = false;
   bool no_drop = false, all_faults = false, json = false, strict = false;
+  // Resource governance (validate, flow, faultsim).
+  std::optional<std::uint64_t> time_budget_ms, step_quota;
+  std::optional<std::size_t> node_limit;
+  bool fail_on_exhaust = false;  // --on-exhaust fail (default: degrade)
 };
+
+/// The limits a governed command should run under. Unset flags mean
+/// "unlimited" except the node cap, which keeps its library default.
+ResourceLimits limits_from_args(const Args& args) {
+  ResourceLimits limits;
+  limits.time_budget_ms = args.time_budget_ms.value_or(0);
+  limits.step_quota = args.step_quota.value_or(0);
+  if (args.node_limit) limits.bdd_node_limit = *args.node_limit;
+  return limits;
+}
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::optional<std::string> inline_value;
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+      const std::size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a = a.substr(0, eq);
+      }
+    }
     const auto value = [&](const char* flag) -> std::string {
+      if (inline_value) return *inline_value;
       if (i + 1 >= argc) usage((std::string(flag) + " needs a value").c_str());
       return argv[++i];
     };
@@ -204,6 +259,27 @@ Args parse_args(int argc, char** argv, int first) {
       args.cls = true;
     } else if (a == "--packed") {
       args.packed = true;
+    } else if (a == "--time-budget-ms") {
+      args.time_budget_ms =
+          parse_number("--time-budget-ms", value("--time-budget-ms"),
+                       std::numeric_limits<std::uint64_t>::max());
+    } else if (a == "--node-limit") {
+      args.node_limit = static_cast<std::size_t>(
+          parse_number("--node-limit", value("--node-limit"),
+                       std::numeric_limits<std::size_t>::max()));
+    } else if (a == "--step-quota") {
+      args.step_quota =
+          parse_number("--step-quota", value("--step-quota"),
+                       std::numeric_limits<std::uint64_t>::max());
+    } else if (a == "--on-exhaust") {
+      const std::string mode = value("--on-exhaust");
+      if (mode == "fail") {
+        args.fail_on_exhaust = true;
+      } else if (mode == "degrade") {
+        args.fail_on_exhaust = false;
+      } else {
+        usage("--on-exhaust must be degrade or fail");
+      }
     } else if (!a.empty() && a[0] == '-') {
       usage(("unknown flag " + a).c_str());
     } else {
@@ -347,13 +423,27 @@ int cmd_retime(const Args& args) {
   return 0;
 }
 
+/// --on-exhaust=fail: a blown budget is an error, not a degraded report.
+[[noreturn]] void exhausted_failure(const ResourceUsage& usage) {
+  std::fprintf(stderr, "error: resource budget exhausted (%s)\n",
+               usage.summary().c_str());
+  std::exit(kExitExhausted);
+}
+
 int cmd_validate(const Args& args) {
   if (args.positional.size() != 1) usage("validate needs one design");
   const Netlist n = load_design(args.positional[0]);
   const RetimeGraph g = RetimeGraph::from_netlist(n);
-  const RetimingValidation v = validate_retiming(n, g, solve_lags(g, args));
+  ValidationOptions opt;
+  opt.budget = limits_from_args(args);
+  const RetimingValidation v =
+      validate_retiming(n, g, solve_lags(g, args), opt);
   std::printf("%s", v.summary().c_str());
-  return v.theorems_hold && v.cls.equivalent ? 0 : 1;
+  if (v.verdict == Verdict::kExhausted) {
+    if (args.fail_on_exhaust) exhausted_failure(v.usage);
+    return kExitVerdictFalse;  // a partial report is never a pass
+  }
+  return v.theorems_hold && v.cls.equivalent ? kExitOk : kExitVerdictFalse;
 }
 
 /// Structured static analysis: structural diagnostics plus, with --plan,
@@ -410,10 +500,14 @@ int cmd_flow(const Args& args) {
   FlowOptions opt;
   if (args.min_period) opt.objective = FlowOptions::Objective::kMinPeriod;
   if (args.period) opt.objective = FlowOptions::Objective::kMinAreaAtMinPeriod;
+  opt.budget = limits_from_args(args);
   const FlowReport r = run_synthesis_flow(n, opt);
   std::printf("%s\n", r.summary().c_str());
+  if (r.verdict == Verdict::kExhausted && args.fail_on_exhaust) {
+    exhausted_failure(r.usage);
+  }
   if (args.out && r.accepted()) save_design(r.optimized, *args.out);
-  return r.accepted() ? 0 : 1;
+  return r.accepted() ? kExitOk : kExitVerdictFalse;
 }
 
 int cmd_reset(const Args& args) {
@@ -448,6 +542,7 @@ int cmd_faultsim(const Args& args) {
   opt.drop_detected = !args.no_drop;
   if (args.sample_lanes) opt.sample_lanes = *args.sample_lanes;
   if (args.seed) opt.sample_seed = *args.seed;
+  opt.budget = limits_from_args(args);
 
   std::vector<BitsSeq> tests;
   if (args.inputs) {
@@ -485,9 +580,19 @@ int cmd_faultsim(const Args& args) {
   std::printf("  \"coverage\": %.6g,\n", r.coverage);
   std::printf("  \"faults_dropped\": %zu,\n", r.faults_dropped);
   std::printf("  \"tests_run\": %zu,\n", r.tests_run);
-  std::printf("  \"wall_seconds\": %.6g\n", r.wall_seconds);
+  std::printf("  \"wall_seconds\": %.6g,\n", r.wall_seconds);
+  std::printf("  \"complete\": %s,\n", r.complete ? "true" : "false");
+  std::printf("  \"faults_skipped\": %zu,\n", r.faults_skipped);
+  std::printf("  \"budget_exhausted\": %s,\n",
+              r.usage.exhausted ? "true" : "false");
+  std::printf("  \"budget_blown\": \"%s\",\n",
+              r.usage.blown ? to_string(*r.usage.blown) : "none");
+  std::printf("  \"usage_wall_ms\": %.6g,\n", r.usage.wall_ms);
+  std::printf("  \"usage_steps\": %llu\n",
+              static_cast<unsigned long long>(r.usage.steps));
   std::printf("}\n");
-  return 0;
+  if (!r.complete && args.fail_on_exhaust) exhausted_failure(r.usage);
+  return kExitOk;
 }
 
 int cmd_equiv(const Args& args) {
@@ -533,10 +638,31 @@ int run(int argc, char** argv) {
 }  // namespace rtv::cli
 
 int main(int argc, char** argv) {
+  // Opt-in fault-injection harness: RTV_FAULT_INJECT=N trips budget
+  // exhaustion at the N-th checkpoint (see util/fault_inject.hpp). A no-op
+  // unless the variable is set.
+  rtv::fault_inject::arm_from_env();
+  // Most-derived classes first — every subclass gets its documented exit
+  // code, the Error base is the catch-all.
   try {
     return rtv::cli::run(argc, argv);
+  } catch (const rtv::InternalError& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return rtv::cli::kExitInternal;
+  } catch (const rtv::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return rtv::cli::kExitParse;
+  } catch (const rtv::CapacityError& e) {
+    std::fprintf(stderr, "capacity error: %s\n", e.what());
+    return rtv::cli::kExitCapacity;
+  } catch (const rtv::IoError& e) {
+    std::fprintf(stderr, "io error: %s\n", e.what());
+    return rtv::cli::kExitIo;
+  } catch (const rtv::InvalidArgument& e) {
+    std::fprintf(stderr, "invalid argument: %s\n", e.what());
+    return rtv::cli::kExitInvalidArgument;
   } catch (const rtv::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return rtv::cli::kExitVerdictFalse;
   }
 }
