@@ -1,8 +1,27 @@
-// Substrate benchmark: the symbolic (BDD) engine vs explicit enumeration —
-// delayed-design state sets, reachability and state-machine implication at
-// latch counts where 2^L enumeration is already infeasible.
+// Substrate benchmark: the symbolic (BDD) engine — partitioned-vs-monolithic
+// image computation on workloads where the monolithic transition relation
+// stops scaling, plus delayed-design state sets and state-machine
+// implication at latch counts where explicit 2^L enumeration is infeasible.
+//
+// The report times reachable() and states_after_delay(2) through BOTH image
+// paths per workload, cross-checks that the two agree on every state count
+// before writing anything, and emits machine-readable BENCH_symbolic.json
+// (path overridable via RTV_BENCH_JSON). The binary re-reads the file and
+// schema-checks it, exiting non-zero when the partitioned path fails the
+// contract: the `random L=28` workload must complete within the default
+// node limit (no capacity row) at a >= 3x wall-time speedup over the
+// monolithic path. Workloads that do blow a limit are reported honestly —
+// both CapacityError and ResourceExhausted rows (a budgeted run degrades,
+// it does not abort the whole report). RTV_BENCH_SMOKE=1 drops the stretch
+// workloads so CI runs the report in seconds.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "bdd/equivalence.hpp"
@@ -18,6 +37,13 @@ namespace rtv {
 
 namespace {
 
+constexpr double kRequiredSpeedup = 3.0;
+
+bool smoke_mode() {
+  const char* v = std::getenv("RTV_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 Netlist wide_random(unsigned latches, std::uint64_t seed) {
   Rng rng(seed);
   RandomCircuitOptions opt;
@@ -30,36 +56,251 @@ Netlist wide_random(unsigned latches, std::uint64_t seed) {
   return random_netlist(opt, rng);
 }
 
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One image path's measurements on one workload. status is "ok",
+/// "capacity" (CapacityError) or "exhausted" (ResourceExhausted); on a
+/// non-ok status the timings are honest lower bounds (time to blowup).
+struct PathResult {
+  std::string status = "ok";
+  double reach_ms = 0.0;
+  double reach_states = -1.0;
+  double delay2_ms = 0.0;
+  double delay2_states = -1.0;
+  std::size_t peak_nodes = 0;
+};
+
+struct WorkloadRow {
+  std::string name;
+  std::size_t latches = 0;
+  std::size_t clusters = 0;
+  PathResult partitioned;
+  PathResult monolithic;
+  double speedup_reach = 0.0;  ///< monolithic / partitioned reach time
+  std::string cross_check = "skipped";  ///< "ok" when both paths completed
+};
+
+/// Runs reachable-from-zero and delay-2 through one image path. The whole
+/// machine is rebuilt per path so peak node counts are attributable.
+PathResult run_path(const Netlist& n, bool monolithic) {
+  PathResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    SymbolicMachine sm(n);
+    const BddManager::Ref init = sm.state_cube(Bits(n.num_latches(), 0));
+    const BddManager::Ref reach =
+        monolithic ? sm.reachable_monolithic(init) : sm.reachable(init);
+    r.reach_ms = ms_since(t0);
+    r.reach_states = sm.count_states(reach);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    BddManager::Ref delayed = sm.all_states();
+    if (monolithic) {
+      for (unsigned k = 0; k < 2; ++k) {
+        const BddManager::Ref next = sm.image_monolithic(delayed);
+        if (next == delayed) break;
+        delayed = next;
+      }
+    } else {
+      delayed = sm.states_after_delay(2);
+    }
+    r.delay2_ms = ms_since(t1);
+    r.delay2_states = sm.count_states(delayed);
+    r.peak_nodes = sm.manager().num_nodes();
+  } catch (const CapacityError&) {
+    // Random dense logic is BDD-hostile without variable reordering; report
+    // the blowup honestly (elapsed time is a lower bound) instead of hiding
+    // the workload or aborting the report.
+    r.status = "capacity";
+    r.reach_ms = ms_since(t0);
+  } catch (const ResourceExhausted&) {
+    // A budgeted run (e.g. under the fault-injection harness) degrades to a
+    // labeled partial row, never an aborted report.
+    r.status = "exhausted";
+    r.reach_ms = ms_since(t0);
+  }
+  return r;
+}
+
+WorkloadRow run_workload(const std::string& name, const Netlist& n) {
+  WorkloadRow row;
+  row.name = name;
+  row.latches = n.num_latches();
+  {
+    SymbolicMachine sm(n);
+    row.clusters = sm.partition().size();
+  }
+  row.partitioned = run_path(n, /*monolithic=*/false);
+  row.monolithic = run_path(n, /*monolithic=*/true);
+  if (row.partitioned.status == "ok" && row.partitioned.reach_ms > 0.0) {
+    row.speedup_reach = row.monolithic.reach_ms / row.partitioned.reach_ms;
+  }
+  if (row.partitioned.status == "ok" && row.monolithic.status == "ok") {
+    const bool agree =
+        row.partitioned.reach_states == row.monolithic.reach_states &&
+        row.partitioned.delay2_states == row.monolithic.delay2_states;
+    row.cross_check = agree ? "ok" : "MISMATCH";
+  }
+  return row;
+}
+
+std::vector<WorkloadRow> run_report(bool smoke) {
+  std::vector<WorkloadRow> rows;
+  rows.push_back(run_workload("s27", iscas_s27()));
+  rows.push_back(run_workload("lfsr 24", lfsr(24, {0, 3, 5, 23})));
+  rows.push_back(run_workload("random L=20", wide_random(20, 1)));
+  rows.push_back(run_workload("random L=28", wide_random(28, 2)));
+  if (!smoke) {
+    // Stretch rows: the seed's monolithic path cannot finish these at all;
+    // the partitioned path can (the monolithic column reports its blowup).
+    rows.push_back(run_workload("random L=36", wide_random(36, 6)));
+    rows.push_back(run_workload("random L=48", wide_random(48, 6)));
+  }
+  return rows;
+}
+
+std::string bench_json_path() {
+  const char* v = std::getenv("RTV_BENCH_JSON");
+  return (v != nullptr && v[0] != '\0') ? v : "BENCH_symbolic.json";
+}
+
+void render_path(std::ostringstream& os, const char* key,
+                 const PathResult& r, const char* trailing) {
+  os << "      \"" << key << "\": {\"status\": \"" << r.status
+     << "\", \"reach_ms\": " << r.reach_ms
+     << ", \"reach_states\": " << r.reach_states
+     << ", \"delay2_ms\": " << r.delay2_ms
+     << ", \"delay2_states\": " << r.delay2_states
+     << ", \"peak_nodes\": " << r.peak_nodes << "}" << trailing << "\n";
+}
+
+std::string render_bench_json(const std::vector<WorkloadRow>& rows) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"benchmark\": \"symbolic_image\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n";
+  os << "  \"node_limit\": " << kDefaultBddNodeLimit << ",\n";
+  os << "  \"required_speedup\": " << kRequiredSpeedup << ",\n";
+  os << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WorkloadRow& r = rows[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << r.name << "\",\n";
+    os << "      \"latches\": " << r.latches << ",\n";
+    os << "      \"clusters\": " << r.clusters << ",\n";
+    render_path(os, "partitioned", r.partitioned, ",");
+    render_path(os, "monolithic", r.monolithic, ",");
+    os << "      \"speedup_reach\": " << r.speedup_reach << ",\n";
+    os << "      \"cross_check\": \"" << r.cross_check << "\"\n";
+    os << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// Minimal schema check (no JSON library in the image): required keys,
+/// balanced nesting, no cross-check mismatch anywhere, and the L=28
+/// contract — partitioned status ok with speedup_reach >= 3.
+std::string validate_bench_json(const std::string& text) {
+  for (const char* key :
+       {"\"benchmark\"", "\"schema_version\"", "\"smoke\"", "\"node_limit\"",
+        "\"required_speedup\"", "\"workloads\"", "\"name\"", "\"latches\"",
+        "\"clusters\"", "\"partitioned\"", "\"monolithic\"", "\"status\"",
+        "\"reach_ms\"", "\"reach_states\"", "\"delay2_ms\"",
+        "\"delay2_states\"", "\"peak_nodes\"", "\"speedup_reach\"",
+        "\"cross_check\""}) {
+    if (text.find(key) == std::string::npos) {
+      return std::string("missing key ") + key;
+    }
+  }
+  long depth_brace = 0, depth_bracket = 0;
+  for (char c : text) {
+    if (c == '{') ++depth_brace;
+    if (c == '}') --depth_brace;
+    if (c == '[') ++depth_bracket;
+    if (c == ']') --depth_bracket;
+    if (depth_brace < 0 || depth_bracket < 0) return "unbalanced nesting";
+  }
+  if (depth_brace != 0 || depth_bracket != 0) return "unbalanced nesting";
+  if (text.find("\"MISMATCH\"") != std::string::npos) {
+    return "partitioned and monolithic image paths disagree on a state set";
+  }
+  const std::size_t l28 = text.find("\"random L=28\"");
+  if (l28 == std::string::npos) return "missing the random L=28 workload";
+  const std::size_t row_end = text.find("\"cross_check\"", l28);
+  const std::string row = text.substr(l28, row_end - l28);
+  const std::size_t part = row.find("\"partitioned\"");
+  if (part == std::string::npos) return "L=28 row lacks a partitioned path";
+  if (row.find("\"status\": \"ok\"", part) != row.find("\"status\"", part)) {
+    return "random L=28 did not complete within the default node limit";
+  }
+  const std::size_t sp = row.find("\"speedup_reach\": ");
+  if (sp == std::string::npos) return "L=28 row lacks speedup_reach";
+  const double speedup = std::atof(row.c_str() + sp + 17);
+  if (speedup < kRequiredSpeedup) {
+    return "random L=28 partitioned speedup " + std::to_string(speedup) +
+           "x is below the required " + std::to_string(kRequiredSpeedup) +
+           "x";
+  }
+  return "";
+}
+
+void emit_bench_json(const std::vector<WorkloadRow>& rows) {
+  const std::string path = bench_json_path();
+  {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    f << render_bench_json(rows);
+  }
+  std::ifstream f(path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  const std::string problem = validate_bench_json(buffer.str());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "error: %s fails schema check: %s\n", path.c_str(),
+                 problem.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (schema ok)\n", path.c_str());
+}
+
+void print_path(const char* label, const PathResult& r) {
+  if (r.status == "ok") {
+    std::printf("  %-12s reach %9.2f ms (%10.4g states)  delay-2 %9.2f ms "
+                "(%10.4g states)  peak nodes %zu\n",
+                label, r.reach_ms, r.reach_states, r.delay2_ms,
+                r.delay2_states, r.peak_nodes);
+  } else {
+    std::printf("  %-12s %s after %.2f ms (honest lower bound)\n", label,
+                r.status.c_str(), r.reach_ms);
+  }
+}
+
 }  // namespace
 
 void report() {
   bench::heading("substrate / symbolic engine",
-                 "BDD reachability where 2^L enumeration stops scaling");
-  std::printf("%-22s %-10s %-14s %-16s %-12s\n", "workload", "latches",
-              "delay-2 states", "reach from 0", "BDD nodes");
-  const struct {
-    const char* name;
-    Netlist n;
-  } cases[] = {
-      {"s27", iscas_s27()},
-      {"lfsr 24", lfsr(24, {0, 3, 5, 23})},
-      {"random L=20", wide_random(20, 1)},
-      {"random L=28", wide_random(28, 2)},
-  };
-  for (const auto& c : cases) {
-    try {
-      SymbolicMachine sm(c.n);
-      const double delayed = sm.count_states(sm.states_after_delay(2));
-      const double reach = sm.count_states(
-          sm.reachable(sm.state_cube(Bits(c.n.num_latches(), 0))));
-      std::printf("%-22s %-10zu %-14.4g %-16.4g %-12zu\n", c.name,
-                  c.n.num_latches(), delayed, reach,
-                  sm.manager().num_nodes());
-    } catch (const CapacityError&) {
-      // Random dense logic is BDD-hostile without variable reordering;
-      // report the blowup honestly rather than hiding the workload.
-      std::printf("%-22s %-10zu %-14s %-16s %-12s\n", c.name,
-                  c.n.num_latches(), "blowup", "(node limit)", "-");
+                 "partitioned vs monolithic image computation — BDD "
+                 "reachability where 2^L enumeration stops scaling");
+  const std::vector<WorkloadRow> rows = run_report(smoke_mode());
+  for (const WorkloadRow& r : rows) {
+    std::printf("%s (%zu latches, %zu clusters)\n", r.name.c_str(),
+                r.latches, r.clusters);
+    print_path("partitioned", r.partitioned);
+    print_path("monolithic", r.monolithic);
+    if (r.speedup_reach > 0.0) {
+      std::printf("  %-12s %.1fx on reachable()  [cross-check %s]\n",
+                  "speedup", r.speedup_reach, r.cross_check.c_str());
     }
   }
 
@@ -69,6 +310,8 @@ void report() {
               "(matches the explicit STG result)\n",
               sym.implies() ? "holds" : "fails",
               sym.min_delay_for_implication(8));
+
+  emit_bench_json(rows);
 }
 
 namespace {
@@ -80,6 +323,29 @@ void BM_SymbolicMachineBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SymbolicMachineBuild)->Arg(12)->Arg(20)->Arg(28);
+
+void BM_ImagePartitioned(benchmark::State& state) {
+  const Netlist n = wide_random(static_cast<unsigned>(state.range(0)), 4);
+  SymbolicMachine sm(n);
+  const BddManager::Ref zero = sm.state_cube(Bits(n.num_latches(), 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sm.image(zero));
+  }
+  state.counters["nodes"] = static_cast<double>(sm.manager().num_nodes());
+}
+BENCHMARK(BM_ImagePartitioned)->Arg(12)->Arg(20)->Arg(28);
+
+void BM_ImageMonolithic(benchmark::State& state) {
+  const Netlist n = wide_random(static_cast<unsigned>(state.range(0)), 4);
+  SymbolicMachine sm(n);
+  sm.transition();  // build outside the timed loop
+  const BddManager::Ref zero = sm.state_cube(Bits(n.num_latches(), 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sm.image_monolithic(zero));
+  }
+  state.counters["nodes"] = static_cast<double>(sm.manager().num_nodes());
+}
+BENCHMARK(BM_ImageMonolithic)->Arg(12)->Arg(20);
 
 void BM_SymbolicDelayedStates(benchmark::State& state) {
   const Netlist n = wide_random(static_cast<unsigned>(state.range(0)), 4);
@@ -103,7 +369,7 @@ BENCHMARK(BM_SymbolicImplicationFigure1);
 void BM_BddIteThroughput(benchmark::State& state) {
   BddManager m(24);
   Rng rng(5);
-  // Random function soup to exercise ITE + unique table.
+  // Random function soup to exercise ITE + the open-addressed unique table.
   std::vector<BddManager::Ref> pool;
   for (unsigned v = 0; v < 24; ++v) pool.push_back(m.var(v));
   for (auto _ : state) {
@@ -115,8 +381,47 @@ void BM_BddIteThroughput(benchmark::State& state) {
     benchmark::DoNotOptimize(pool.back());
   }
   state.counters["nodes"] = static_cast<double>(m.num_nodes());
+  state.counters["op_hit_rate"] =
+      static_cast<double>(m.op_cache_stats().hits) /
+      static_cast<double>(m.op_cache_stats().lookups);
 }
 BENCHMARK(BM_BddIteThroughput);
+
+void BM_AndExistsFused(benchmark::State& state) {
+  // The relational-product kernel on its own: ∃x. f ∧ g vs the
+  // materialise-then-quantify baseline (BM_AndThenExists).
+  const Netlist n = wide_random(20, 4);
+  SymbolicMachine sm(n);
+  BddManager& m = sm.manager();
+  const BddManager::Ref f = sm.transition();
+  const BddManager::Ref g = sm.state_cube(Bits(n.num_latches(), 0));
+  std::vector<unsigned> vars;
+  for (unsigned i = 0; i < sm.num_latches(); ++i) {
+    vars.push_back(sm.state_var(i));
+  }
+  const BddManager::Ref cube = m.make_cube(vars);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.and_exists(f, g, cube));
+  }
+}
+BENCHMARK(BM_AndExistsFused);
+
+void BM_AndThenExists(benchmark::State& state) {
+  const Netlist n = wide_random(20, 4);
+  SymbolicMachine sm(n);
+  BddManager& m = sm.manager();
+  const BddManager::Ref f = sm.transition();
+  const BddManager::Ref g = sm.state_cube(Bits(n.num_latches(), 0));
+  std::vector<unsigned> vars;
+  for (unsigned i = 0; i < sm.num_latches(); ++i) {
+    vars.push_back(sm.state_var(i));
+  }
+  const BddManager::Ref cube = m.make_cube(vars);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.exists_cube(m.bdd_and(f, g), cube));
+  }
+}
+BENCHMARK(BM_AndThenExists);
 
 }  // namespace
 }  // namespace rtv

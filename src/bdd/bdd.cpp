@@ -2,16 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace rtv {
 
-BddManager::BddManager(unsigned num_vars, std::size_t node_limit)
+namespace {
+
+/// Initial/maximum sizes (entries) of the two hashed structures. The unique
+/// table grows without bound (it is exact); the op cache tops out — beyond
+/// that, collisions overwrite (lossy) rather than grow the footprint.
+constexpr std::size_t kInitialUniqueEntries = std::size_t{1} << 13;
+constexpr std::size_t kInitialOpEntries = std::size_t{1} << 15;
+constexpr std::size_t kMaxAdaptiveOpEntries = std::size_t{1} << 21;
+
+/// 64-bit finalizer (splitmix64 tail): full avalanche so consecutive node
+/// refs spread over the whole table.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c) {
+  return mix64(a * 0x9e3779b97f4a7c15ULL + b * 0xc2b2ae3d27d4eb4fULL + c);
+}
+
+}  // namespace
+
+BddManager::BddManager(unsigned num_vars, std::size_t node_limit,
+                       std::size_t op_cache_entries)
     : num_vars_(num_vars), node_limit_(node_limit) {
   RTV_REQUIRE(num_vars <= 4096, "too many BDD variables");
-  // Slots 0/1 are the terminals; their var field is a sentinel.
+  // Slots 0/1 are the terminals; their var field is a sentinel. Terminals
+  // are not hashed into the unique table.
   nodes_.push_back(Node{num_vars_, kFalse, kFalse});
   nodes_.push_back(Node{num_vars_, kTrue, kTrue});
+  table_.assign(kInitialUniqueEntries, kEmptySlot);
+  if (op_cache_entries != 0) {
+    ops_size_pinned_ = true;
+    std::size_t entries = 2;
+    while (entries < op_cache_entries) entries <<= 1;
+    ops_.assign(entries, OpEntry{});
+  } else {
+    ops_.assign(kInitialOpEntries, OpEntry{});
+  }
   var_refs_.resize(num_vars, kFalse);
   for (unsigned v = 0; v < num_vars; ++v) {
     var_refs_[v] = find_or_add(v, kFalse, kTrue);
@@ -27,11 +66,69 @@ BddManager::Ref BddManager::nvar(unsigned v) {
   return ite(var(v), kFalse, kTrue);
 }
 
+void BddManager::grow_unique_table() {
+  std::vector<Ref> bigger(table_.size() * 2, kEmptySlot);
+  const std::size_t mask = bigger.size() - 1;
+  for (Ref ref = 2; ref < nodes_.size(); ++ref) {
+    const Node& n = nodes_[ref];
+    std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
+    while (bigger[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    bigger[slot] = ref;
+  }
+  table_ = std::move(bigger);
+}
+
+void BddManager::maybe_grow_op_cache() {
+  if (ops_size_pinned_ || ops_.size() >= kMaxAdaptiveOpEntries ||
+      nodes_.size() <= ops_.size()) {
+    return;
+  }
+  // Rehash live entries into the doubled table: keeping the cache warm
+  // across a growth matters mid-way through a large image computation.
+  std::vector<OpEntry> bigger(ops_.size() * 2);
+  const std::size_t mask = bigger.size() - 1;
+  for (const OpEntry& e : ops_) {
+    if (e.tag == kFreeSlot) continue;
+    bigger[hash3((static_cast<std::uint64_t>(e.tag) << 32) | e.a, e.b, e.c) &
+           mask] = e;
+  }
+  ops_ = std::move(bigger);
+}
+
+std::size_t BddManager::op_slot(std::uint32_t tag, Ref a, Ref b,
+                                Ref c) const {
+  return hash3((static_cast<std::uint64_t>(tag) << 32) | a, b, c) &
+         (ops_.size() - 1);
+}
+
+bool BddManager::op_find(std::uint32_t tag, Ref a, Ref b, Ref c,
+                         Ref* result) {
+  ++op_stats_.lookups;
+  const OpEntry& e = ops_[op_slot(tag, a, b, c)];
+  if (e.tag == tag && e.a == a && e.b == b && e.c == c) {
+    ++op_stats_.hits;
+    *result = e.result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::op_store(std::uint32_t tag, Ref a, Ref b, Ref c,
+                          Ref result) {
+  OpEntry& e = ops_[op_slot(tag, a, b, c)];
+  if (e.tag != kFreeSlot) ++op_stats_.overwrites;
+  e = OpEntry{a, b, c, tag, result};
+}
+
 BddManager::Ref BddManager::find_or_add(unsigned var, Ref lo, Ref hi) {
   if (lo == hi) return lo;
-  const NodeKey key{var, lo, hi};
-  const auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
+  std::size_t mask = table_.size() - 1;
+  std::size_t slot = hash3(var, lo, hi) & mask;
+  while (table_[slot] != kEmptySlot) {
+    const Node& n = nodes_[table_[slot]];
+    if (n.var == var && n.lo == lo && n.hi == hi) return table_[slot];
+    slot = (slot + 1) & mask;
+  }
   if (budget_ != nullptr) {
     budget_->note_bdd_nodes(nodes_.size());
     if (nodes_.size() >= budget_->limits().bdd_node_limit) {
@@ -53,7 +150,11 @@ BddManager::Ref BddManager::find_or_add(unsigned var, Ref lo, Ref hi) {
   }
   nodes_.push_back(Node{var, lo, hi});
   const Ref ref = static_cast<Ref>(nodes_.size() - 1);
-  unique_.emplace(key, ref);
+  table_[slot] = ref;
+  if (++table_used_ * 4 >= table_.size() * 3) {
+    grow_unique_table();
+    maybe_grow_op_cache();
+  }
   return ref;
 }
 
@@ -69,9 +170,8 @@ BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
-  const IteKey key{f, g, h};
-  const auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  Ref cached;
+  if (op_find(kOpIte, f, g, h, &cached)) return cached;
 
   const unsigned v = std::min({top_var(f), top_var(g), top_var(h)});
   const Ref lo = ite(cofactor(f, v, false), cofactor(g, v, false),
@@ -79,30 +179,123 @@ BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
   const Ref hi =
       ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
   const Ref result = find_or_add(v, lo, hi);
-  ite_cache_.emplace(key, result);
+  op_store(kOpIte, f, g, h, result);
   return result;
 }
 
-BddManager::Ref BddManager::exists(Ref f, const std::vector<unsigned>& vars) {
-  std::vector<bool> quantified(num_vars_, false);
-  for (const unsigned v : vars) {
-    RTV_REQUIRE(v < num_vars_, "quantified variable out of range");
-    quantified[v] = true;
+template <typename Op>
+BddManager::Ref BddManager::balanced_reduce(std::vector<Ref>& ops,
+                                            Ref identity, Op&& op) {
+  if (ops.empty()) return identity;
+  while (ops.size() > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
+      ops[out++] = op(ops[i], ops[i + 1]);
+    }
+    if (ops.size() % 2 == 1) ops[out++] = ops.back();
+    ops.resize(out);
   }
-  std::unordered_map<Ref, Ref> cache;
-  const auto recurse = [&](auto&& self, Ref node) -> Ref {
-    if (node <= kTrue) return node;
-    const auto hit = cache.find(node);
-    if (hit != cache.end()) return hit->second;
-    const Node n = nodes_[node];  // copy: recursion may reallocate nodes_
-    const Ref lo = self(self, n.lo);
-    const Ref hi = self(self, n.hi);
-    const Ref result =
-        quantified[n.var] ? bdd_or(lo, hi) : find_or_add(n.var, lo, hi);
-    cache.emplace(node, result);
-    return result;
-  };
-  return recurse(recurse, f);
+  return ops[0];
+}
+
+BddManager::Ref BddManager::bdd_and_many(std::vector<Ref> ops) {
+  return balanced_reduce(ops, kTrue,
+                         [this](Ref a, Ref b) { return bdd_and(a, b); });
+}
+
+BddManager::Ref BddManager::bdd_or_many(std::vector<Ref> ops) {
+  return balanced_reduce(ops, kFalse,
+                         [this](Ref a, Ref b) { return bdd_or(a, b); });
+}
+
+BddManager::Ref BddManager::bdd_xor_many(std::vector<Ref> ops) {
+  return balanced_reduce(ops, kFalse,
+                         [this](Ref a, Ref b) { return bdd_xor(a, b); });
+}
+
+BddManager::Ref BddManager::make_cube(const std::vector<unsigned>& vars) {
+  std::vector<unsigned> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  Ref cube = kTrue;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    RTV_REQUIRE(*it < num_vars_, "cube variable out of range");
+    cube = find_or_add(*it, kFalse, cube);
+  }
+  return cube;
+}
+
+BddManager::Ref BddManager::exists(Ref f, const std::vector<unsigned>& vars) {
+  return exists_cube(f, make_cube(vars));
+}
+
+BddManager::Ref BddManager::exists_cube(Ref f, Ref cube) {
+  if (f <= kTrue) return f;
+  const unsigned fv = nodes_[f].var;
+  // Quantified variables above f's top are don't-cares: skip them so the
+  // cache keys stay maximally shareable.
+  while (cube > kTrue && nodes_[cube].var < fv) cube = nodes_[cube].hi;
+  if (cube == kTrue) return f;
+
+  Ref cached;
+  if (op_find(kOpExists, f, cube, 0, &cached)) return cached;
+
+  // Copy out of nodes_ before recursing: recursion may reallocate nodes_.
+  const Node n = nodes_[f];
+  const unsigned cube_var = nodes_[cube].var;
+  const Ref cube_rest = nodes_[cube].hi;
+  Ref result;
+  if (cube_var == fv) {
+    const Ref lo = exists_cube(n.lo, cube_rest);
+    // ∃v. f = f|v=0 ∨ f|v=1 — and an OR with kTrue needs no second branch.
+    result = lo == kTrue ? kTrue : bdd_or(lo, exists_cube(n.hi, cube_rest));
+  } else {
+    const Ref lo = exists_cube(n.lo, cube);
+    const Ref hi = exists_cube(n.hi, cube);
+    result = find_or_add(fv, lo, hi);
+  }
+  op_store(kOpExists, f, cube, 0, result);
+  return result;
+}
+
+BddManager::Ref BddManager::and_exists(Ref f, Ref g,
+                                       const std::vector<unsigned>& vars) {
+  return and_exists(f, g, make_cube(vars));
+}
+
+BddManager::Ref BddManager::and_exists(Ref f, Ref g, Ref cube) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  const unsigned top = std::min(top_var(f), top_var(g));
+  while (cube > kTrue && nodes_[cube].var < top) cube = nodes_[cube].hi;
+  if (cube == kTrue) return bdd_and(f, g);  // nothing left to quantify
+  if (f == g) return exists_cube(f, cube);
+  if (f == kTrue) return exists_cube(g, cube);
+  if (g == kTrue) return exists_cube(f, cube);
+  if (f > g) std::swap(f, g);  // AND commutes: canonical cache key
+
+  Ref cached;
+  if (op_find(kOpAndExists, f, g, cube, &cached)) return cached;
+
+  // Copy out of nodes_ before recursing: recursion may reallocate nodes_.
+  const Ref f0 = cofactor(f, top, false);
+  const Ref f1 = cofactor(f, top, true);
+  const Ref g0 = cofactor(g, top, false);
+  const Ref g1 = cofactor(g, top, true);
+  const unsigned cube_var = nodes_[cube].var;
+  const Ref cube_rest = nodes_[cube].hi;
+  Ref result;
+  if (cube_var == top) {
+    // ∃v. (f ∧ g) = (f0 ∧ g0)|∃rest ∨ (f1 ∧ g1)|∃rest, with kTrue
+    // short-circuiting the sibling branch.
+    const Ref lo = and_exists(f0, g0, cube_rest);
+    result = lo == kTrue ? kTrue : bdd_or(lo, and_exists(f1, g1, cube_rest));
+  } else {
+    const Ref lo = and_exists(f0, g0, cube);
+    const Ref hi = and_exists(f1, g1, cube);
+    result = find_or_add(top, lo, hi);
+  }
+  op_store(kOpAndExists, f, g, cube, result);
+  return result;
 }
 
 BddManager::Ref BddManager::rename(Ref f, const std::vector<unsigned>& map) {

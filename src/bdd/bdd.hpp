@@ -2,10 +2,23 @@
 // A reduced ordered binary decision diagram (ROBDD) package — the symbolic
 // engine of the paper's verification era ([Pix92]'s sequential hardware
 // equivalence and [PSAB94]'s safe-replacement checking were BDD-based).
-// Hash-consed unique table, memoized ITE, existential quantification,
-// monotone variable renaming and model counting: enough to run symbolic
-// reachability on netlists (see bdd/symbolic.hpp) without explicit 2^L
-// state enumeration.
+// Hash-consed unique table, memoized ITE, existential quantification with a
+// cube API, a fused and-exists relational product, monotone variable
+// renaming and model counting: enough to run symbolic reachability on
+// netlists (see bdd/symbolic.hpp) without explicit 2^L state enumeration.
+//
+// Performance layout (the hot path of every image computation):
+//   * The unique table is open-addressed with linear probing over a
+//     power-of-two array of node indices — probes walk consecutive 4-byte
+//     slots, so a miss costs one cache line instead of a chain of
+//     std::unordered_map buckets.
+//   * All recursive operators (ITE, exists, and-exists) share one
+//     fixed-size lossy operation cache, CUDD-style: a hashed slot is simply
+//     overwritten on collision. Losing an entry only costs recomputation —
+//     results stay canonical because the unique table is exact.
+//   * and_exists(f, g, cube) computes ∃cube. f ∧ g in one recursion and
+//     never materialises the full conjunction — the workhorse behind
+//     partitioned image computation in SymbolicMachine.
 //
 // Design notes: no complement edges and no garbage collection — nodes are
 // arena-allocated and live for the manager's lifetime, with a hard
@@ -13,7 +26,6 @@
 // invariants tiny, and the experiment workloads comfortably fit.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "util/budget.hpp"
@@ -28,8 +40,13 @@ class BddManager {
   static constexpr Ref kFalse = 0;
   static constexpr Ref kTrue = 1;
 
+  /// op_cache_entries = 0 lets the operation cache grow adaptively with the
+  /// node count (the default); a nonzero value pins it to that many slots
+  /// (rounded up to a power of two) — tests use tiny pinned caches to force
+  /// collisions and prove the lossy policy is correctness-neutral.
   explicit BddManager(unsigned num_vars,
-                      std::size_t node_limit = kDefaultBddNodeLimit);
+                      std::size_t node_limit = kDefaultBddNodeLimit,
+                      std::size_t op_cache_entries = 0);
 
   unsigned num_vars() const { return num_vars_; }
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -56,8 +73,32 @@ class BddManager {
   Ref bdd_xnor(Ref f, Ref g) { return ite(f, g, bdd_not(g)); }
   Ref bdd_implies(Ref f, Ref g) { return ite(f, g, kTrue); }
 
+  /// Wide-operand connectives by balanced tree reduction: combining
+  /// neighbours pairwise keeps intermediate BDDs small and cache hits high,
+  /// where a left fold grows one giant accumulator. Empty input yields the
+  /// operation's identity (kTrue for AND, kFalse for OR/XOR).
+  Ref bdd_and_many(std::vector<Ref> ops);
+  Ref bdd_or_many(std::vector<Ref> ops);
+  Ref bdd_xor_many(std::vector<Ref> ops);
+
+  /// The positive cube v0 ∧ v1 ∧ ... of a variable set (duplicates fine,
+  /// order irrelevant). Cubes are how quantifier sets are passed to the
+  /// recursive operators: walking a cube costs one pointer chase per level
+  /// instead of a num_vars-sized lookup table per call.
+  Ref make_cube(const std::vector<unsigned>& vars);
+
   /// Existential quantification over a set of variables.
   Ref exists(Ref f, const std::vector<unsigned>& vars);
+  /// Same, with the set pre-built by make_cube (cube must be a positive
+  /// cube; cheap to reuse across many calls).
+  Ref exists_cube(Ref f, Ref cube);
+
+  /// Fused relational product ∃cube. f ∧ g in a single recursion — the
+  /// conjunction is never materialised, quantified variables disappear the
+  /// moment both cofactor pairs are combined, and an OR branch that hits
+  /// kTrue short-circuits its sibling entirely.
+  Ref and_exists(Ref f, Ref g, Ref cube);
+  Ref and_exists(Ref f, Ref g, const std::vector<unsigned>& vars);
 
   /// Variable renaming v -> map[v] (identity where map[v] == v). The
   /// mapping must be strictly monotone on the support of f and the target
@@ -72,6 +113,9 @@ class BddManager {
   /// Universal quantification (dual of exists).
   Ref forall(Ref f, const std::vector<unsigned>& vars) {
     return bdd_not(exists(bdd_not(f), vars));
+  }
+  Ref forall_cube(Ref f, Ref cube) {
+    return bdd_not(exists_cube(bdd_not(f), cube));
   }
 
   /// Evaluates under a complete assignment (assignment[v] = value of v).
@@ -90,37 +134,37 @@ class BddManager {
   /// BDD node count of a single function (reachable nodes incl terminals).
   std::size_t size(Ref f) const;
 
+  /// Operation-cache observability (hit rates drive cache sizing; the
+  /// benches report them).
+  struct OpCacheStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t overwrites = 0;  ///< stores that evicted a live entry
+  };
+  const OpCacheStats& op_cache_stats() const { return op_stats_; }
+  std::size_t op_cache_entries() const { return ops_.size(); }
+  std::size_t unique_table_entries() const { return table_.size(); }
+
  private:
   struct Node {
     unsigned var;
     Ref lo;
     Ref hi;
   };
-  struct NodeKey {
-    unsigned var;
-    Ref lo;
-    Ref hi;
-    bool operator==(const NodeKey&) const = default;
+  /// Which recursive operator owns a cache entry. kFreeSlot doubles as the
+  /// empty marker so a zeroed table is all-free.
+  enum OpTag : std::uint32_t {
+    kFreeSlot = 0,
+    kOpIte,
+    kOpExists,
+    kOpAndExists,
   };
-  struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& k) const {
-      std::uint64_t h = k.var;
-      h = h * 0x9e3779b97f4a7c15ULL + k.lo;
-      h = h * 0x9e3779b97f4a7c15ULL + k.hi;
-      return static_cast<std::size_t>(h ^ (h >> 31));
-    }
-  };
-  struct IteKey {
-    Ref f, g, h;
-    bool operator==(const IteKey&) const = default;
-  };
-  struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const {
-      std::uint64_t h = k.f;
-      h = h * 0x9e3779b97f4a7c15ULL + k.g;
-      h = h * 0x9e3779b97f4a7c15ULL + k.h;
-      return static_cast<std::size_t>(h ^ (h >> 29));
-    }
+  struct OpEntry {
+    Ref a = 0;
+    Ref b = 0;
+    Ref c = 0;
+    std::uint32_t tag = kFreeSlot;
+    Ref result = 0;
   };
 
   unsigned top_var(Ref f) const {
@@ -129,13 +173,32 @@ class BddManager {
   Ref cofactor(Ref f, unsigned v, bool value) const;
   Ref find_or_add(unsigned var, Ref lo, Ref hi);
 
+  void grow_unique_table();
+  void maybe_grow_op_cache();
+  std::size_t op_slot(std::uint32_t tag, Ref a, Ref b, Ref c) const;
+  bool op_find(std::uint32_t tag, Ref a, Ref b, Ref c, Ref* result);
+  void op_store(std::uint32_t tag, Ref a, Ref b, Ref c, Ref result);
+
+  template <typename Op>
+  Ref balanced_reduce(std::vector<Ref>& ops, Ref identity, Op&& op);
+
   unsigned num_vars_;
   std::size_t node_limit_;
   ResourceBudget* budget_ = nullptr;
   std::vector<Node> nodes_;
   std::vector<Ref> var_refs_;
-  std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
-  std::unordered_map<IteKey, Ref, IteKeyHash> ite_cache_;
+
+  /// Open-addressed unique table: power-of-two array of node indices
+  /// (kEmptySlot = free), linear probing, resized at 3/4 load. Keys live in
+  /// nodes_ — a probe compares 12 contiguous bytes, no separate key copies.
+  static constexpr Ref kEmptySlot = 0xFFFFFFFFu;
+  std::vector<Ref> table_;
+  std::size_t table_used_ = 0;
+
+  /// Lossy operation cache shared by ITE / exists / and-exists.
+  std::vector<OpEntry> ops_;
+  bool ops_size_pinned_ = false;
+  OpCacheStats op_stats_;
 };
 
 }  // namespace rtv

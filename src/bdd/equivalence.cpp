@@ -10,20 +10,22 @@ SymbolicImplication::SymbolicImplication(const Netlist& c, const Netlist& d,
               "implication requires equal primary output counts");
   machine_ =
       std::make_unique<SymbolicMachine>(pair_.netlist, node_limit, budget_);
+  BddManager& m = machine_->manager();
+  std::vector<unsigned> input_vars;
   for (unsigned j = 0; j < machine_->num_inputs(); ++j) {
-    input_vars_.push_back(machine_->input_var(j));
+    input_vars.push_back(machine_->input_var(j));
   }
-  for (unsigned i = 0; i < pair_.a_latches; ++i) {
-    c_state_vars_.push_back(machine_->state_var(i));
-  }
+  input_cube_ = m.make_cube(input_vars);
+  std::vector<unsigned> d_state_vars;
   for (unsigned i = 0; i < pair_.b_latches; ++i) {
-    d_state_vars_.push_back(
+    d_state_vars.push_back(
         machine_->state_var(static_cast<unsigned>(pair_.a_latches) + i));
   }
+  d_state_cube_ = m.make_cube(d_state_vars);
 }
 
 BddManager::Ref SymbolicImplication::forall_inputs(BddManager::Ref f) {
-  return machine_->manager().forall(f, input_vars_);
+  return machine_->manager().forall_cube(f, input_cube_);
 }
 
 BddManager::Ref SymbolicImplication::equivalence_relation() {
@@ -65,7 +67,7 @@ BddManager::Ref SymbolicImplication::equivalence_relation() {
 bool SymbolicImplication::all_covered(BddManager::Ref c_states) {
   BddManager& m = machine_->manager();
   const BddManager::Ref has_match =
-      m.exists(equivalence_relation(), d_state_vars_);
+      m.exists_cube(equivalence_relation(), d_state_cube_);
   const BddManager::Ref uncovered =
       m.bdd_and(c_states, m.bdd_not(has_match));
   return uncovered == BddManager::kFalse;
@@ -80,7 +82,7 @@ int SymbolicImplication::min_delay_for_implication(unsigned max_cycles) {
   BddManager::Ref current = BddManager::kTrue;
   for (unsigned n = 0; n <= max_cycles; ++n) {
     if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/delay-step");
-    const BddManager::Ref c_part = m.exists(current, d_state_vars_);
+    const BddManager::Ref c_part = m.exists_cube(current, d_state_cube_);
     if (all_covered(c_part)) return static_cast<int>(n);
     const BddManager::Ref next = machine_->image(current);
     if (next == current) break;  // fixpoint: no further delay can help

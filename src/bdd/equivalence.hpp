@@ -48,9 +48,10 @@ class SymbolicImplication {
   PairedDesign pair_;
   ResourceBudget* budget_ = nullptr;
   std::unique_ptr<SymbolicMachine> machine_;
-  std::vector<unsigned> input_vars_;
-  std::vector<unsigned> c_state_vars_;
-  std::vector<unsigned> d_state_vars_;
+  /// Quantifier sets as cubes, built once (the recursive operators key
+  /// their shared lossy cache on the cube node, so reuse is free).
+  BddManager::Ref input_cube_ = BddManager::kTrue;
+  BddManager::Ref d_state_cube_ = BddManager::kTrue;
   BddManager::Ref relation_ = BddManager::kFalse;
   bool relation_computed_ = false;
 };

@@ -10,13 +10,15 @@ namespace rtv {
 
 SymbolicMachine::SymbolicMachine(const Netlist& netlist,
                                  std::size_t node_limit,
-                                 ResourceBudget* budget)
+                                 ResourceBudget* budget,
+                                 std::size_t cluster_node_cap)
     : budget_(budget),
       num_latches_(static_cast<unsigned>(netlist.latches().size())),
       num_inputs_(static_cast<unsigned>(netlist.primary_inputs().size())),
       num_outputs_(static_cast<unsigned>(netlist.primary_outputs().size())) {
   RTV_REQUIRE(num_latches_ <= 256 && num_inputs_ <= 256,
               "SymbolicMachine capacity exceeded");
+  RTV_REQUIRE(cluster_node_cap > 0, "cluster node cap must be positive");
   mgr_ = std::make_unique<BddManager>(2 * num_latches_ + num_inputs_,
                                       node_limit);
   mgr_->set_budget(budget_);
@@ -63,24 +65,40 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
         values[base] = m.bdd_not(value_of(n.fanin[0]));
         break;
       case CellKind::kAnd:
-      case CellKind::kNand: {
-        BddManager::Ref acc = BddManager::kTrue;
-        for (const PortRef& d : n.fanin) acc = m.bdd_and(acc, value_of(d));
-        values[base] = n.kind == CellKind::kNand ? m.bdd_not(acc) : acc;
-        break;
-      }
+      case CellKind::kNand:
       case CellKind::kOr:
-      case CellKind::kNor: {
-        BddManager::Ref acc = BddManager::kFalse;
-        for (const PortRef& d : n.fanin) acc = m.bdd_or(acc, value_of(d));
-        values[base] = n.kind == CellKind::kNor ? m.bdd_not(acc) : acc;
-        break;
-      }
+      case CellKind::kNor:
       case CellKind::kXor:
       case CellKind::kXnor: {
+        // Balanced tree reduction over the fanin cone: pairwise combining
+        // keeps intermediates small where a left fold grows one giant
+        // accumulator.
+        std::vector<BddManager::Ref> operands;
+        operands.reserve(n.fanin.size());
+        for (const PortRef& d : n.fanin) operands.push_back(value_of(d));
         BddManager::Ref acc = BddManager::kFalse;
-        for (const PortRef& d : n.fanin) acc = m.bdd_xor(acc, value_of(d));
-        values[base] = n.kind == CellKind::kXnor ? m.bdd_not(acc) : acc;
+        bool invert = false;
+        switch (n.kind) {
+          case CellKind::kNand:
+            invert = true;
+            [[fallthrough]];
+          case CellKind::kAnd:
+            acc = m.bdd_and_many(std::move(operands));
+            break;
+          case CellKind::kNor:
+            invert = true;
+            [[fallthrough]];
+          case CellKind::kOr:
+            acc = m.bdd_or_many(std::move(operands));
+            break;
+          case CellKind::kXnor:
+            invert = true;
+            [[fallthrough]];
+          default:  // kXor
+            acc = m.bdd_xor_many(std::move(operands));
+            break;
+        }
+        values[base] = invert ? m.bdd_not(acc) : acc;
         break;
       }
       case CellKind::kMux:
@@ -95,24 +113,39 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
         break;
       }
       case CellKind::kTable: {
-        // Minterm expansion per output.
+        // Minterm expansion, sharing cube prefixes: a recursive descent
+        // over the pins builds each partial cube exactly once (the old
+        // per-minterm rebuild from kTrue redid pin 0..k-1 work 2^(pins-k)
+        // times) and collects per-output minterm lists for one balanced OR
+        // at the end. The 2^pins walk is budget-checkpointed — it was an
+        // unbounded stretch between checkpoints.
         const TruthTable& t = netlist.table(n.table);
         std::vector<BddManager::Ref> pins(n.num_pins());
         for (std::uint32_t pin = 0; pin < n.num_pins(); ++pin) {
           pins[pin] = value_of(n.fanin[pin]);
         }
-        for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
-          BddManager::Ref acc = BddManager::kFalse;
-          for (std::uint64_t x = 0; x < pow2(n.num_pins()); ++x) {
-            if (!t.eval_bit(x, p)) continue;
-            BddManager::Ref term = BddManager::kTrue;
-            for (std::uint32_t pin = 0; pin < n.num_pins(); ++pin) {
-              term = m.bdd_and(
-                  term, get_bit(x, pin) ? pins[pin] : m.bdd_not(pins[pin]));
+        std::vector<std::vector<BddManager::Ref>> minterms(n.num_ports());
+        std::uint64_t leaves = 0;
+        const auto expand = [&](auto&& self, std::uint32_t pin,
+                                std::uint64_t x,
+                                BddManager::Ref cube) -> void {
+          if (cube == BddManager::kFalse) return;  // dead prefix
+          if (pin == n.num_pins()) {
+            if (budget_ != nullptr && (++leaves & 255u) == 0) {
+              budget_->checkpoint_or_throw("bdd/table-minterms");
             }
-            acc = m.bdd_or(acc, term);
+            for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+              if (t.eval_bit(x, p)) minterms[p].push_back(cube);
+            }
+            return;
           }
-          values[base + p] = acc;
+          self(self, pin + 1, x, m.bdd_and(cube, m.bdd_not(pins[pin])));
+          self(self, pin + 1, x | (std::uint64_t{1} << pin),
+               m.bdd_and(cube, pins[pin]));
+        };
+        expand(expand, 0, 0, BddManager::kTrue);
+        for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
+          values[base + p] = m.bdd_or_many(std::move(minterms[p]));
         }
         break;
       }
@@ -122,13 +155,6 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
   for (unsigned i = 0; i < num_latches_; ++i) {
     const Node& latch = netlist.node(netlist.latches()[i]);
     next_fn_[i] = values[ports.index(latch.fanin[0])];
-  }
-
-  // T(s, x, s') = AND_i (s'_i XNOR f_i(s, x)).
-  transition_ = BddManager::kTrue;
-  for (unsigned i = 0; i < num_latches_; ++i) {
-    transition_ = m.bdd_and(
-        transition_, m.bdd_xnor(m.var(next_var(i)), next_fn_[i]));
   }
 
   for (unsigned i = 0; i < num_latches_; ++i) {
@@ -142,35 +168,118 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
   for (unsigned i = 0; i < num_latches_; ++i) {
     rename_ns_[next_var(i)] = state_var(i);
   }
+
+  build_partition(cluster_node_cap);
+}
+
+void SymbolicMachine::build_partition(std::size_t cluster_node_cap) {
+  BddManager& m = *mgr_;
+
+  // Cluster the per-latch conjuncts s'ᵢ ↔ fᵢ(s, x) greedily under the node
+  // cap (a cluster is closed before it would exceed the cap; a single
+  // oversized conjunct still gets its own cluster).
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    const BddManager::Ref conjunct =
+        m.bdd_xnor(m.var(next_var(i)), next_fn_[i]);
+    const std::size_t conjunct_size = m.size(conjunct);
+    if (partition_.empty() ||
+        m.size(partition_.back().relation) + conjunct_size >
+            cluster_node_cap) {
+      partition_.push_back(TransitionCluster{conjunct, BddManager::kTrue,
+                                             {i}});
+    } else {
+      TransitionCluster& cluster = partition_.back();
+      cluster.relation = m.bdd_and(cluster.relation, conjunct);
+      cluster.latches.push_back(i);
+    }
+  }
+
+  // Quantification schedule (early quantification): each state/input
+  // variable is scheduled at the LAST cluster whose support contains it —
+  // once that cluster has been conjoined, the variable is dead in every
+  // remaining conjunct and can be existentially removed on the spot.
+  // Variables in no cluster at all are quantified from the source set
+  // before the chain starts.
+  std::vector<int> last_cluster(m.num_vars(), -1);
+  for (std::size_t k = 0; k < partition_.size(); ++k) {
+    for (const unsigned v : m.support(partition_[k].relation)) {
+      last_cluster[v] = static_cast<int>(k);
+    }
+  }
+  std::vector<std::vector<unsigned>> schedule(partition_.size());
+  std::vector<unsigned> pre_quantify;
+  for (const unsigned v : quantify_sx_) {
+    if (last_cluster[v] < 0) {
+      pre_quantify.push_back(v);
+    } else {
+      schedule[static_cast<std::size_t>(last_cluster[v])].push_back(v);
+    }
+  }
+  pre_quantify_cube_ = m.make_cube(pre_quantify);
+  for (std::size_t k = 0; k < partition_.size(); ++k) {
+    partition_[k].quantify_cube = m.make_cube(schedule[k]);
+  }
+}
+
+BddManager::Ref SymbolicMachine::transition() {
+  if (transition_ == BddManager::kFalse) {  // T is never kFalse: unbuilt
+    std::vector<BddManager::Ref> clusters;
+    clusters.reserve(partition_.size());
+    for (const TransitionCluster& c : partition_) {
+      clusters.push_back(c.relation);
+    }
+    transition_ = mgr_->bdd_and_many(std::move(clusters));
+  }
+  return transition_;
 }
 
 BddManager::Ref SymbolicMachine::state_cube(const Bits& state) {
   RTV_REQUIRE(state.size() == num_latches_, "state vector size mismatch");
   BddManager::Ref cube = BddManager::kTrue;
-  for (unsigned i = 0; i < num_latches_; ++i) {
-    cube = mgr_->bdd_and(cube, state[i] != 0 ? mgr_->var(state_var(i))
-                                             : mgr_->nvar(state_var(i)));
+  for (unsigned i = num_latches_; i-- > 0;) {
+    cube = mgr_->bdd_and(state[i] != 0 ? mgr_->var(state_var(i))
+                                       : mgr_->nvar(state_var(i)),
+                         cube);
   }
   return cube;
 }
 
 BddManager::Ref SymbolicMachine::image(BddManager::Ref states) {
-  const BddManager::Ref conj = mgr_->bdd_and(states, transition_);
+  BddManager& m = *mgr_;
+  BddManager::Ref acc = m.exists_cube(states, pre_quantify_cube_);
+  for (const TransitionCluster& cluster : partition_) {
+    acc = m.and_exists(acc, cluster.relation, cluster.quantify_cube);
+  }
+  return m.rename(acc, rename_ns_);
+}
+
+BddManager::Ref SymbolicMachine::image_monolithic(BddManager::Ref states) {
+  const BddManager::Ref conj = mgr_->bdd_and(states, transition());
   const BddManager::Ref next = mgr_->exists(conj, quantify_sx_);
   return mgr_->rename(next, rename_ns_);
 }
 
-BddManager::Ref SymbolicMachine::reachable(BddManager::Ref init) {
+BddManager::Ref SymbolicMachine::fixpoint_from(BddManager::Ref init,
+                                               bool monolithic) {
   BddManager::Ref frontier = init;
   BddManager::Ref all = init;
   while (frontier != BddManager::kFalse) {
     if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/reach-iter");
-    const BddManager::Ref next = image(frontier);
+    const BddManager::Ref next =
+        monolithic ? image_monolithic(frontier) : image(frontier);
     const BddManager::Ref fresh = mgr_->bdd_and(next, mgr_->bdd_not(all));
     all = mgr_->bdd_or(all, fresh);
     frontier = fresh;
   }
   return all;
+}
+
+BddManager::Ref SymbolicMachine::reachable(BddManager::Ref init) {
+  return fixpoint_from(init, /*monolithic=*/false);
+}
+
+BddManager::Ref SymbolicMachine::reachable_monolithic(BddManager::Ref init) {
+  return fixpoint_from(init, /*monolithic=*/true);
 }
 
 BddManager::Ref SymbolicMachine::states_after_delay(unsigned cycles) {
@@ -196,6 +305,9 @@ double SymbolicMachine::count_states(BddManager::Ref states) {
 SymbolicExactSimulator::SymbolicExactSimulator(const Netlist& netlist,
                                                std::size_t node_limit)
     : machine_(netlist, node_limit) {
+  BddManager& m = machine_.manager();
+  substitution_.resize(m.num_vars());
+  for (unsigned v = 0; v < m.num_vars(); ++v) substitution_[v] = m.var(v);
   reset_all_powerup();
 }
 
@@ -228,21 +340,20 @@ Trits SymbolicExactSimulator::step(const Bits& inputs) {
               "input vector size mismatch");
   BddManager& m = machine_.manager();
   // Substitute each state variable by the current symbolic latch value and
-  // each input variable by this cycle's constant.
-  std::vector<BddManager::Ref> substitution(m.num_vars());
-  for (unsigned v = 0; v < m.num_vars(); ++v) substitution[v] = m.var(v);
+  // each input variable by this cycle's constant. Every state/input slot is
+  // overwritten below, so the hoisted vector needs no re-initialisation.
   for (unsigned i = 0; i < machine_.num_latches(); ++i) {
-    substitution[machine_.state_var(i)] = state_fn_[i];
+    substitution_[machine_.state_var(i)] = state_fn_[i];
   }
   for (unsigned j = 0; j < machine_.num_inputs(); ++j) {
-    substitution[machine_.input_var(j)] =
+    substitution_[machine_.input_var(j)] =
         inputs[j] != 0 ? BddManager::kTrue : BddManager::kFalse;
   }
 
   Trits outs(machine_.num_outputs(), Trit::kX);
   for (unsigned j = 0; j < machine_.num_outputs(); ++j) {
     const BddManager::Ref f =
-        m.compose(machine_.output_function(j), substitution);
+        m.compose(machine_.output_function(j), substitution_);
     if (f == BddManager::kTrue) {
       outs[j] = Trit::kOne;
     } else if (f == BddManager::kFalse) {
@@ -251,7 +362,7 @@ Trits SymbolicExactSimulator::step(const Bits& inputs) {
   }
   std::vector<BddManager::Ref> next(machine_.num_latches());
   for (unsigned i = 0; i < machine_.num_latches(); ++i) {
-    next[i] = m.compose(machine_.next_function(i), substitution);
+    next[i] = m.compose(machine_.next_function(i), substitution_);
   }
   state_fn_ = std::move(next);
   return outs;

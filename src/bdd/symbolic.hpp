@@ -7,6 +7,14 @@
 // Variable order: current-state bit i at 2i, next-state bit i at 2i+1
 // (interleaved, so the transition relation stays small), primary input j at
 // 2L + j.
+//
+// The transition relation is kept PARTITIONED: the per-latch conjuncts
+// s'ᵢ ↔ fᵢ(s, x) are clustered under a node-size cap and image computation
+// runs a chain of fused and-exists steps over the clusters, quantifying
+// each state/input variable at the first cluster after which it is dead
+// (early quantification). The monolithic T(s, x, s') is still available —
+// lazily built — as the reference path the partitioned result is
+// cross-checked against in the tests.
 
 #include <memory>
 
@@ -16,17 +24,25 @@
 
 namespace rtv {
 
+/// Default cap on the BDD node size of one transition-relation cluster.
+/// Small clusters quantify early but repeat work; huge clusters degenerate
+/// to the monolithic product. ~2k nodes is the sweet spot on the bench
+/// workloads (see docs/performance.md).
+inline constexpr std::size_t kDefaultClusterNodeCap = 2048;
+
 class SymbolicMachine {
  public:
-  /// Builds the machine (combinational cone BDDs + transition relation).
-  /// With a budget attached (non-owning, may be nullptr) the construction
-  /// and every fixpoint below are cooperatively governed: node allocation
-  /// and each image iteration probe the budget and throw ResourceExhausted
-  /// when it is blown — callers that own the budget catch at the phase
-  /// boundary and degrade.
+  /// Builds the machine (combinational cone BDDs + partitioned transition
+  /// relation). With a budget attached (non-owning, may be nullptr) the
+  /// construction and every fixpoint below are cooperatively governed: node
+  /// allocation, table-cell minterm expansion and each image iteration
+  /// probe the budget and throw ResourceExhausted when it is blown —
+  /// callers that own the budget catch at the phase boundary and degrade.
   explicit SymbolicMachine(const Netlist& netlist,
                            std::size_t node_limit = kDefaultBddNodeLimit,
-                           ResourceBudget* budget = nullptr);
+                           ResourceBudget* budget = nullptr,
+                           std::size_t cluster_node_cap =
+                               kDefaultClusterNodeCap);
 
   BddManager& manager() { return *mgr_; }
   unsigned num_latches() const { return num_latches_; }
@@ -41,8 +57,25 @@ class SymbolicMachine {
   BddManager::Ref next_function(unsigned i) const { return next_fn_[i]; }
   /// Output function j over (state, input) variables.
   BddManager::Ref output_function(unsigned j) const { return out_fn_[j]; }
-  /// Monolithic transition relation T(s, x, s').
-  BddManager::Ref transition() const { return transition_; }
+
+  /// Monolithic transition relation T(s, x, s') = ∧ᵢ (s'ᵢ ↔ fᵢ(s, x)).
+  /// Built lazily (balanced conjunction of the partition's clusters) on
+  /// first use: the partitioned image path never needs it.
+  BddManager::Ref transition();
+
+  /// One cluster of the partitioned transition relation: the conjunction
+  /// of a consecutive run of per-latch conjuncts, plus the cube of
+  /// state/input variables scheduled for quantification at this cluster
+  /// (each variable is quantified at the LAST cluster whose support
+  /// contains it — after that it is dead).
+  struct TransitionCluster {
+    BddManager::Ref relation;
+    BddManager::Ref quantify_cube;
+    std::vector<unsigned> latches;  ///< member latch indices (introspection)
+  };
+  const std::vector<TransitionCluster>& partition() const {
+    return partition_;
+  }
 
   /// Characteristic function of a single state (over state variables).
   BddManager::Ref state_cube(const Bits& state);
@@ -50,11 +83,18 @@ class SymbolicMachine {
   BddManager::Ref all_states() { return BddManager::kTrue; }
 
   /// Image: states reachable in exactly one step from `states` under some
-  /// input (result over state variables).
+  /// input (result over state variables). Drives the and-exists chain over
+  /// the partition with early quantification.
   BddManager::Ref image(BddManager::Ref states);
+  /// Reference path: conjoin the monolithic T, then quantify. Must agree
+  /// with image() node-for-node (same manager, canonical BDDs).
+  BddManager::Ref image_monolithic(BddManager::Ref states);
 
   /// Least fixpoint of image from `init` (init included).
   BddManager::Ref reachable(BddManager::Ref init);
+  /// Same fixpoint over the monolithic reference image (for cross-checks
+  /// and the bench's partitioned-vs-monolithic comparison).
+  BddManager::Ref reachable_monolithic(BddManager::Ref init);
 
   /// The paper's delayed-design set: the n-fold image of ALL states
   /// (Section 3.4), computed symbolically.
@@ -64,6 +104,9 @@ class SymbolicMachine {
   double count_states(BddManager::Ref states);
 
  private:
+  void build_partition(std::size_t cluster_node_cap);
+  BddManager::Ref fixpoint_from(BddManager::Ref init, bool monolithic);
+
   std::unique_ptr<BddManager> mgr_;
   ResourceBudget* budget_ = nullptr;
   unsigned num_latches_;
@@ -71,8 +114,12 @@ class SymbolicMachine {
   unsigned num_outputs_;
   std::vector<BddManager::Ref> next_fn_;
   std::vector<BddManager::Ref> out_fn_;
-  BddManager::Ref transition_ = BddManager::kTrue;
-  std::vector<unsigned> quantify_sx_;   // state + input vars
+  BddManager::Ref transition_ = BddManager::kFalse;  ///< lazy; kFalse=unbuilt
+  std::vector<TransitionCluster> partition_;
+  /// Quantifiable (state/input) vars in no cluster's support: quantified
+  /// away from the source set before the and-exists chain starts.
+  BddManager::Ref pre_quantify_cube_ = BddManager::kTrue;
+  std::vector<unsigned> quantify_sx_;   // state + input vars (monolithic)
   std::vector<unsigned> rename_ns_;     // next-state -> state map
 };
 
@@ -117,6 +164,10 @@ class SymbolicExactSimulator {
  private:
   SymbolicMachine machine_;
   std::vector<BddManager::Ref> state_fn_;  ///< per latch, over state vars
+  /// Reused substitution vector for step(): next-state slots stay identity
+  /// forever; state/input slots are overwritten each cycle (hoisted out of
+  /// step — it was rebuilt from scratch every cycle).
+  std::vector<BddManager::Ref> substitution_;
 };
 
 }  // namespace rtv
