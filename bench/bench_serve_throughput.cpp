@@ -1,0 +1,557 @@
+// Experiment: `rtv serve` throughput and latency under concurrent clients.
+//
+// The report drives 1..64 concurrent clients through a real Unix-domain
+// socket (the production transport, not handle_line), each client running
+// a closed loop over a fixed lint/simulate/faultsim mix, and records
+// jobs/sec plus p50/p95/p99 latency per sweep point. Two contracts are
+// asserted, and the binary exits non-zero when either fails or when the
+// BENCH_serve.json it writes does not match its own schema:
+//
+//  1. Correctness under concurrency — every request id is answered exactly
+//     once, every response validates against the wire schema with ok:true,
+//     and each job type's result JSON is byte-identical across all clients
+//     and sweep points (the service is deterministic).
+//  2. The design cache earns its keep — a warm server (default cache)
+//     must beat a cold server (cache_bytes=0, every job re-parses) by at
+//     least kMinCacheSpeedup on a parse-dominated lint workload.
+//
+// Under RTV_BENCH_SMOKE=1 the sweep shrinks (CI smoke); RTV_BENCH_JSON
+// overrides the report path.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gen/datapath.hpp"
+#include "io/json.hpp"
+#include "io/rnl_format.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace rtv;
+using namespace rtv::serve;
+using Clock = std::chrono::steady_clock;
+
+bool smoke_mode() {
+  const char* v = std::getenv("RTV_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::string bench_json_path() {
+  const char* v = std::getenv("RTV_BENCH_JSON");
+  return (v != nullptr && v[0] != '\0') ? v : "BENCH_serve.json";
+}
+
+/// Warm must beat cold by at least this factor on the cache workload.
+constexpr double kMinCacheSpeedup = 1.3;
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "bench_serve_throughput: CONTRACT VIOLATION: %s\n",
+               what.c_str());
+  std::exit(1);
+}
+
+void check(bool ok, const std::string& what) {
+  if (!ok) fail(what);
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// A minimal NDJSON client over a Unix-domain socket: one blocking
+// connection, send_line / recv_line with an internal read buffer.
+
+class LineClient {
+ public:
+  explicit LineClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    check(fd_ >= 0, "client socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    check(socket_path.size() < sizeof(addr.sun_path),
+          "socket path too long for sockaddr_un");
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    // The server binds before clients start, but give the accept loop a
+    // moment under load anyway.
+    int rc = -1;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+      if (rc == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    check(rc == 0, "client connect() failed: " +
+                       std::string(std::strerror(errno)));
+  }
+
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  void send_line(const std::string& frame) {
+    std::string wire = frame;
+    wire.push_back('\n');
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      check(n > 0, "client send() failed");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      check(n > 0, "client recv() failed (connection closed early?)");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string unique_socket_path(const char* tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::ostringstream os;
+  os << ((tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp") << "/rtv-bench-"
+     << tag << "-" << ::getpid() << ".sock";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Workload frames.
+
+std::string design_field(const std::string& rnl) {
+  return "\"design\": \"" + json_escape(rnl) + "\"";
+}
+
+/// '.'-separated input vectors, alternating all-0 / all-1, `cycles` long.
+std::string alternating_inputs(std::size_t width, unsigned cycles) {
+  std::string out;
+  for (unsigned t = 0; t < cycles; ++t) {
+    if (t != 0) out.push_back('.');
+    out.append(width, (t % 2 == 0) ? '0' : '1');
+  }
+  return out;
+}
+
+struct JobKind {
+  std::string type;
+  std::string options;  // rendered JSON object, "" for none
+};
+
+std::string frame_for(const JobKind& kind, const std::string& id,
+                      const std::string& design_json) {
+  std::string f = "{\"rtv_serve\": 1, \"id\": \"" + id + "\", \"type\": \"" +
+                  kind.type + "\", " + design_json;
+  if (!kind.options.empty()) f += ", \"options\": " + kind.options;
+  f += "}";
+  return f;
+}
+
+struct ParsedResponse {
+  bool ok = false;
+  std::string id;
+  std::string type;
+  std::string verdict;
+  std::string result_json;  // canonical write_json of "result"
+};
+
+ParsedResponse parse_and_validate(const std::string& line) {
+  const JsonValue doc = parse_json(line);
+  const std::string problem = validate_response(doc);
+  check(problem.empty(), "response failed wire validation: " + problem +
+                             " in: " + line);
+  ParsedResponse out;
+  out.ok = doc.find("ok")->as_bool();
+  out.id = doc.find("id")->as_string();
+  if (const JsonValue* t = doc.find("type")) out.type = t->as_string();
+  if (const JsonValue* stats = doc.find("stats")) {
+    if (const JsonValue* v = stats->find("verdict")) {
+      out.verdict = v->as_string();
+    }
+  }
+  if (const JsonValue* result = doc.find("result")) {
+    out.result_json = write_json(*result);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep: N closed-loop clients over the socket.
+
+struct SweepPoint {
+  unsigned clients = 0;
+  std::uint64_t jobs = 0;
+  double wall_ms = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+SweepPoint run_sweep_point(const std::string& socket_path,
+                           const std::string& design_json,
+                           const std::vector<JobKind>& mix, unsigned clients,
+                           unsigned jobs_per_client,
+                           std::map<std::string, std::string>* results_by_type) {
+  std::vector<std::thread> threads;
+  std::vector<double> all_latencies;
+  std::mutex merge_mutex;
+  std::set<std::string> answered_ids;
+
+  const auto sweep_start = Clock::now();
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client(socket_path);
+      std::vector<double> latencies;
+      std::vector<ParsedResponse> responses;
+      latencies.reserve(jobs_per_client);
+      for (unsigned i = 0; i < jobs_per_client; ++i) {
+        const JobKind& kind = mix[(c + i) % mix.size()];
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        const auto start = Clock::now();
+        client.send_line(frame_for(kind, id, design_json));
+        const std::string line = client.recv_line();
+        latencies.push_back(ms_since(start));
+        ParsedResponse r = parse_and_validate(line);
+        check(r.ok, "job " + id + " failed: " + line);
+        check(r.id == id, "closed-loop client got id " + r.id +
+                              " while waiting for " + id);
+        responses.push_back(std::move(r));
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      all_latencies.insert(all_latencies.end(), latencies.begin(),
+                           latencies.end());
+      for (ParsedResponse& r : responses) {
+        check(answered_ids.insert(r.id).second,
+              "id " + r.id + " answered more than once");
+        // Determinism: one canonical result per job type, across every
+        // client and every sweep point.
+        auto [it, inserted] =
+            results_by_type->emplace(r.type, r.result_json);
+        check(inserted || it->second == r.result_json,
+              "nondeterministic " + r.type + " result: " + r.result_json +
+                  " vs " + it->second);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  SweepPoint point;
+  point.clients = clients;
+  point.jobs = std::uint64_t{clients} * jobs_per_client;
+  point.wall_ms = ms_since(sweep_start);
+  point.jobs_per_sec =
+      static_cast<double>(point.jobs) / (point.wall_ms / 1000.0);
+  std::sort(all_latencies.begin(), all_latencies.end());
+  point.p50_ms = percentile(all_latencies, 0.50);
+  point.p95_ms = percentile(all_latencies, 0.95);
+  point.p99_ms = percentile(all_latencies, 0.99);
+  check(answered_ids.size() == point.jobs,
+        "expected " + std::to_string(point.jobs) + " answered ids, got " +
+            std::to_string(answered_ids.size()));
+  return point;
+}
+
+// ---------------------------------------------------------------------------
+// Cache contract: warm server vs cold (cache_bytes=0) on a big design.
+
+struct CacheResult {
+  std::uint64_t jobs = 0;
+  double warm_jobs_per_sec = 0.0;
+  double cold_jobs_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+double lint_loop_jobs_per_sec(Server& server, const std::string& design_json,
+                              unsigned jobs) {
+  // handle_line: same dispatch/handler path as the socket, minus transport
+  // noise — exactly what isolates parse cost.
+  const auto start = Clock::now();
+  for (unsigned i = 0; i < jobs; ++i) {
+    const std::string response = server.handle_line(frame_for(
+        JobKind{"lint", ""}, "lint-" + std::to_string(i), design_json));
+    const ParsedResponse r = parse_and_validate(response);
+    check(r.ok, "cache-workload lint failed: " + response);
+  }
+  return static_cast<double>(jobs) / (ms_since(start) / 1000.0);
+}
+
+CacheResult run_cache_contrast(bool smoke) {
+  const Netlist big = controller_datapath(smoke ? 24 : 96);
+  const std::string design_json = design_field(write_rnl(big));
+  const unsigned jobs = smoke ? 24 : 200;
+
+  ServeOptions warm_opts;
+  warm_opts.threads = 1;  // serial: measure per-job cost, not scheduling
+  Server warm(warm_opts);
+
+  ServeOptions cold_opts;
+  cold_opts.threads = 1;
+  cold_opts.cache_bytes = 0;  // retention disabled: every job re-parses
+  Server cold(cold_opts);
+
+  CacheResult out;
+  out.jobs = jobs;
+  // Warm-up both servers once so the warm one holds the design and
+  // first-touch allocation noise hits neither timed loop.
+  lint_loop_jobs_per_sec(warm, design_json, 2);
+  lint_loop_jobs_per_sec(cold, design_json, 2);
+  out.warm_jobs_per_sec = lint_loop_jobs_per_sec(warm, design_json, jobs);
+  out.cold_jobs_per_sec = lint_loop_jobs_per_sec(cold, design_json, jobs);
+  out.speedup = out.warm_jobs_per_sec / out.cold_jobs_per_sec;
+
+  const ServeStats warm_stats = warm.stats();
+  check(warm_stats.cache.entries == 1,
+        "warm server should hold exactly the one design");
+  check(warm_stats.cache.hits >= jobs,
+        "warm server should have served the timed loop from cache");
+  const ServeStats cold_stats = cold.stats();
+  check(cold_stats.cache.hits == 0 && cold_stats.cache.entries == 0,
+        "cold server must not retain or hit anything");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Report.
+
+std::string render_bench_json(const std::vector<SweepPoint>& sweep,
+                              const CacheResult& cache) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"benchmark\": \"serve_throughput\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n";
+  os << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    os << "    {\"clients\": " << p.clients << ", \"jobs\": " << p.jobs
+       << ", \"jobs_per_sec\": " << p.jobs_per_sec
+       << ", \"p50_ms\": " << p.p50_ms << ", \"p95_ms\": " << p.p95_ms
+       << ", \"p99_ms\": " << p.p99_ms << "}"
+       << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"cache\": {\n";
+  os << "    \"jobs\": " << cache.jobs << ",\n";
+  os << "    \"warm_jobs_per_sec\": " << cache.warm_jobs_per_sec << ",\n";
+  os << "    \"cold_jobs_per_sec\": " << cache.cold_jobs_per_sec << ",\n";
+  os << "    \"speedup\": " << cache.speedup << ",\n";
+  os << "    \"min_speedup\": " << kMinCacheSpeedup << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+void validate_bench_json(const std::string& path,
+                         const std::vector<SweepPoint>& sweep) {
+  std::ifstream in(path);
+  check(in.good(), "cannot re-read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = parse_json(buf.str());
+  } catch (const Error& e) {
+    fail(path + " is not valid JSON: " + e.what());
+  }
+  const JsonValue* name = doc.find("benchmark");
+  check(name != nullptr && name->is_string() &&
+            name->as_string() == "serve_throughput",
+        "benchmark name mismatch in " + path);
+  const JsonValue* points = doc.find("sweep");
+  check(points != nullptr && points->is_array() &&
+            points->as_array().size() == sweep.size(),
+        "sweep array mismatch in " + path);
+  for (const JsonValue& p : points->as_array()) {
+    for (const char* key :
+         {"clients", "jobs", "jobs_per_sec", "p50_ms", "p95_ms", "p99_ms"}) {
+      const JsonValue* v = p.find(key);
+      check(v != nullptr && v->is_number() && v->as_number() >= 0.0,
+            std::string("sweep point missing numeric \"") + key + "\"");
+    }
+    check(p.find("jobs_per_sec")->as_number() > 0.0,
+          "jobs_per_sec must be positive");
+  }
+  const JsonValue* cache = doc.find("cache");
+  check(cache != nullptr && cache->is_object(), "missing cache object");
+  const double speedup = cache->find("speedup")->as_number();
+  const double min_speedup = cache->find("min_speedup")->as_number();
+  check(speedup >= min_speedup,
+        "cache speedup " + std::to_string(speedup) +
+            " below contract minimum " + std::to_string(min_speedup));
+}
+
+void report() {
+  const bool smoke = smoke_mode();
+  bench::heading("serve_throughput",
+                 "rtv serve: concurrent-client throughput and cache value");
+
+  // The sweep design: a small controller+datapath, cheap enough that the
+  // mix is dominated by dispatch + the service machinery, not one giant
+  // analysis (latency percentiles then actually describe the service).
+  const Netlist design = controller_datapath(smoke ? 4 : 8);
+  const std::string design_json = design_field(write_rnl(design));
+  const std::string inputs =
+      alternating_inputs(design.primary_inputs().size(), 4);
+  const std::vector<JobKind> mix = {
+      {"lint", ""},
+      {"simulate", "{\"inputs\": \"" + inputs + "\", \"mode\": \"cls\"}"},
+      {"faultsim", "{\"tests\": 4, \"cycles\": 4, \"seed\": 7}"},
+  };
+
+  ServeOptions options;
+  options.threads = smoke ? 2 : 4;
+  options.max_inflight = 64;
+  Server server(options);
+  const std::string socket_path = unique_socket_path("serve");
+  std::thread server_thread([&] { server.serve_socket(socket_path); });
+
+  const std::vector<unsigned> client_counts =
+      smoke ? std::vector<unsigned>{1, 2, 4}
+            : std::vector<unsigned>{1, 2, 4, 8, 16, 32, 64};
+  const unsigned jobs_per_client = smoke ? 9 : 30;
+
+  std::vector<SweepPoint> sweep;
+  std::map<std::string, std::string> results_by_type;
+  for (unsigned clients : client_counts) {
+    sweep.push_back(run_sweep_point(socket_path, design_json, mix, clients,
+                                    jobs_per_client, &results_by_type));
+    const SweepPoint& p = sweep.back();
+    std::ostringstream os;
+    os.precision(4);
+    os << "  clients=" << p.clients << "  jobs=" << p.jobs
+       << "  jobs/s=" << p.jobs_per_sec << "  p50=" << p.p50_ms
+       << "ms  p95=" << p.p95_ms << "ms  p99=" << p.p99_ms << "ms";
+    bench::line(os.str());
+  }
+  check(results_by_type.size() == mix.size(),
+        "expected one canonical result per job type");
+  const auto faultsim = results_by_type.find("faultsim");
+  check(faultsim != results_by_type.end() &&
+            faultsim->second.find("\"detected\"") != std::string::npos,
+        "faultsim result should carry a detection count");
+
+  {
+    LineClient control(socket_path);
+    control.send_line(
+        "{\"rtv_serve\": 1, \"id\": \"bye\", \"type\": \"shutdown\"}");
+    const ParsedResponse r = parse_and_validate(control.recv_line());
+    check(r.ok, "shutdown request failed");
+  }
+  server_thread.join();
+  const ServeStats final_stats = server.stats();
+  check(final_stats.jobs_failed == 0, "no job may fail in this workload");
+
+  bench::line("");
+  const CacheResult cache = run_cache_contrast(smoke);
+  {
+    std::ostringstream os;
+    os.precision(4);
+    os << "  cache: warm=" << cache.warm_jobs_per_sec
+       << " jobs/s  cold=" << cache.cold_jobs_per_sec
+       << " jobs/s  speedup=" << cache.speedup << "x  (contract >= "
+       << kMinCacheSpeedup << "x)";
+    bench::line(os.str());
+  }
+  check(cache.speedup >= kMinCacheSpeedup,
+        "warm cache speedup " + std::to_string(cache.speedup) +
+            "x below the " + std::to_string(kMinCacheSpeedup) +
+            "x contract");
+
+  const std::string path = bench_json_path();
+  {
+    std::ofstream out(path);
+    check(out.good(), "cannot write " + path);
+    out << render_bench_json(sweep, cache);
+  }
+  validate_bench_json(path, sweep);
+  bench::line("  wrote " + path + " (schema validated)");
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark timings: the in-process dispatch path, per job type.
+
+void BM_handle_line_lint(benchmark::State& state) {
+  ServeOptions options;
+  options.threads = 1;
+  Server server(options);
+  const std::string design_json =
+      design_field(write_rnl(controller_datapath(8)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(frame_for(
+        JobKind{"lint", ""}, "b" + std::to_string(i++), design_json)));
+  }
+}
+BENCHMARK(BM_handle_line_lint);
+
+void BM_handle_line_simulate(benchmark::State& state) {
+  ServeOptions options;
+  options.threads = 1;
+  Server server(options);
+  const Netlist n = controller_datapath(8);
+  const std::string design_json = design_field(write_rnl(n));
+  const std::string opts = "{\"inputs\": \"" +
+                           alternating_inputs(n.primary_inputs().size(), 8) +
+                           "\", \"mode\": \"cls\"}";
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(frame_for(
+        JobKind{"simulate", opts}, "b" + std::to_string(i++), design_json)));
+  }
+}
+BENCHMARK(BM_handle_line_simulate);
+
+}  // namespace
+
+RTV_BENCH_MAIN(report)

@@ -16,7 +16,8 @@ namespace {
 /// errors carry the character offset.
 class JsonParser {
  public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
+  JsonParser(const std::string& text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue parse_document() {
     JsonValue v = parse_value();
@@ -75,7 +76,23 @@ class JsonParser {
     }
   }
 
+  /// RAII depth guard: every nested object/array level passes through here,
+  /// so the recursion depth is bounded by max_depth and deeply-nested
+  /// adversarial documents fail with ParseError instead of blowing the
+  /// stack.
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& p) : parser(p) {
+      if (++parser.depth_ > parser.limits_.max_depth) {
+        parser.fail("document nested deeper than " +
+                    std::to_string(parser.limits_.max_depth) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    JsonParser& parser;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     JsonValue::Object members;
     if (peek() == '}') {
@@ -95,6 +112,7 @@ class JsonParser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     JsonValue::Array items;
     if (peek() == ']') {
@@ -231,8 +249,59 @@ class JsonParser {
   }
 
   const std::string& text_;
+  const JsonLimits& limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
+
+/// Number rendering for write_json: integers in the double-exact range
+/// print without a fraction so ids and counters round-trip byte-identical;
+/// everything else uses max_digits10 shortest-unambiguous form.
+void append_number(std::string& out, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9007199254740992.0 && v <= 9007199254740992.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_json(std::string& out, const JsonValue& value) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    append_number(out, value.as_number());
+  } else if (value.is_string()) {
+    out += '"';
+    out += json_escape(value.as_string());
+    out += '"';
+  } else if (value.is_array()) {
+    out += '[';
+    const auto& items = value.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i != 0) out += ',';
+      append_json(out, items[i]);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    const auto& members = value.as_object();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '"';
+      out += json_escape(members[i].first);
+      out += "\":";
+      append_json(out, members[i].second);
+    }
+    out += '}';
+  }
+}
 
 }  // namespace
 
@@ -269,8 +338,19 @@ const JsonValue* JsonValue::find(const std::string& key) const {
   return nullptr;
 }
 
-JsonValue parse_json(const std::string& text) {
-  return JsonParser(text).parse_document();
+JsonValue parse_json(const std::string& text, const JsonLimits& limits) {
+  if (limits.max_bytes != 0 && text.size() > limits.max_bytes) {
+    throw ParseError("JSON document of " + std::to_string(text.size()) +
+                     " bytes exceeds the " +
+                     std::to_string(limits.max_bytes) + "-byte limit");
+  }
+  return JsonParser(text, limits).parse_document();
+}
+
+std::string write_json(const JsonValue& value) {
+  std::string out;
+  append_json(out, value);
+  return out;
 }
 
 std::string json_escape(const std::string& s) {

@@ -53,9 +53,29 @@ class JsonValue {
       value_ = nullptr;
 };
 
+/// Caps on a single parsed document, for parsers facing untrusted input
+/// (the serve wire protocol reads these from arbitrary clients). Defaults
+/// are safe for trusted tool files: a depth far below stack exhaustion and
+/// no byte cap.
+struct JsonLimits {
+  /// Maximum container nesting depth (objects + arrays). The parser is
+  /// recursive-descent, so this bounds stack use; exceeding it raises
+  /// ParseError, never a stack overflow.
+  std::size_t max_depth = 256;
+  /// Maximum document size in bytes; 0 means unlimited. Checked before
+  /// parsing starts so an oversized payload is rejected in O(1).
+  std::size_t max_bytes = 0;
+};
+
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
-/// Throws ParseError with a character offset on malformed input.
-JsonValue parse_json(const std::string& text);
+/// Throws ParseError with a character offset on malformed input, and on
+/// documents exceeding `limits`.
+JsonValue parse_json(const std::string& text, const JsonLimits& limits = {});
+
+/// Serializes a JsonValue compactly (no whitespace, members in stored
+/// order). write_json(parse_json(x)) is a fixed point of the serializer:
+/// parsing its output and re-serializing yields the identical string.
+std::string write_json(const JsonValue& value);
 
 /// Escapes a string for embedding between double quotes in JSON output.
 std::string json_escape(const std::string& s);

@@ -1,0 +1,146 @@
+#include "serve/design_cache.hpp"
+
+#include <cstdio>
+
+#include "io/rnl_format.hpp"
+
+namespace rtv::serve {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+CachedDesign::CachedDesign(std::string design_id, Netlist netlist,
+                           std::string canonical)
+    : design_id_(std::move(design_id)),
+      netlist_(std::move(netlist)),
+      canonical_(std::move(canonical)) {
+  // The parsed form is the same order of magnitude as the text; 2x text
+  // plus a fixed overhead is a deliberately rough but monotone estimate —
+  // the cap needs relative sizes, not an allocator audit.
+  bytes_ = 2 * canonical_.size() + 1024;
+}
+
+const RetimeGraph& CachedDesign::graph() const {
+  std::call_once(graph_once_, [this] {
+    graph_ = std::make_unique<RetimeGraph>(RetimeGraph::from_netlist(netlist_));
+  });
+  return *graph_;
+}
+
+std::string DesignCache::content_hash(const std::string& canonical_text) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(canonical_text)));
+  return buf;
+}
+
+std::shared_ptr<const CachedDesign> DesignCache::intern(
+    const std::string& rnl_text, bool* cache_hit) {
+  const std::uint64_t raw_hash = fnv1a64(rnl_text);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto alias = raw_alias_.find(raw_hash);
+    if (alias != raw_alias_.end()) {
+      const auto it = entries_.find(alias->second);
+      if (it != entries_.end()) {
+        ++hits_;
+        if (cache_hit != nullptr) *cache_hit = true;
+        touch_locked(it->first);
+        return it->second.design;
+      }
+      raw_alias_.erase(alias);  // stale: its entry was evicted
+    }
+  }
+
+  // Parse outside the lock: one slow parse must not serialize the fleet.
+  Netlist netlist = read_rnl(rnl_text);
+  std::string canonical = write_rnl(netlist);
+  std::string design_id = content_hash(canonical);
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(design_id);
+  if (it != entries_.end()) {
+    // Canonical hit under a new spelling: remember the alias, drop our
+    // freshly parsed copy. Counted as a miss — the parse happened.
+    ++misses_;
+    if (cache_hit != nullptr) *cache_hit = false;
+    raw_alias_.emplace(raw_hash, design_id);
+    touch_locked(design_id);
+    return it->second.design;
+  }
+  ++misses_;
+  if (cache_hit != nullptr) *cache_hit = false;
+  auto entry = std::make_shared<const CachedDesign>(
+      std::move(design_id), std::move(netlist), std::move(canonical));
+  insert_locked(entry, raw_hash);
+  return entry;
+}
+
+std::shared_ptr<const CachedDesign> DesignCache::find(
+    const std::string& design_id) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(design_id);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  touch_locked(design_id);
+  return it->second.design;
+}
+
+DesignCacheStats DesignCache::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  DesignCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  s.byte_cap = byte_cap_;
+  return s;
+}
+
+void DesignCache::insert_locked(
+    const std::shared_ptr<const CachedDesign>& entry, std::uint64_t raw_hash) {
+  if (byte_cap_ == 0 || entry->bytes() > byte_cap_) {
+    // Retention disabled, or this one design alone exceeds the cap: hand
+    // the entry out uncached rather than evicting the whole fleet for it.
+    return;
+  }
+  lru_.push_front(entry->design_id());
+  entries_.emplace(entry->design_id(), Resident{entry, lru_.begin()});
+  raw_alias_.emplace(raw_hash, entry->design_id());
+  bytes_ += entry->bytes();
+  evict_locked();
+}
+
+void DesignCache::touch_locked(const std::string& design_id) {
+  const auto it = entries_.find(design_id);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+}
+
+void DesignCache::evict_locked() {
+  while (bytes_ > byte_cap_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.design->bytes();
+    entries_.erase(it);
+    ++evictions_;
+    // Alias entries pointing at the victim are pruned lazily on their
+    // next lookup (intern() drops a stale alias when its entry is gone).
+  }
+}
+
+}  // namespace rtv::serve

@@ -1,0 +1,116 @@
+#pragma once
+// Content-addressed design cache for the serve daemon.
+//
+// Parsing a netlist is the cold cost every one-shot CLI invocation pays;
+// a service seeing the same design across many jobs should pay it once.
+// The cache interns designs under their *canonical content hash* — the
+// FNV-1a-64 of write_rnl(netlist), so two textual variants of one design
+// share an entry — and retains the parsed Netlist plus warm per-design
+// analysis state (the RetimeGraph, built lazily on first validate) across
+// requests, LRU-evicted under a byte cap.
+//
+// A second index keyed by the hash of the *raw request text* lets a client
+// that resends identical inline text skip the parse entirely; the alias
+// map is invalidated alongside the entry it points to.
+//
+// Thread-safe: every public member takes the internal mutex; entries are
+// handed out as shared_ptr<const Entry> so a job keeps its design alive
+// even if the entry is evicted mid-run.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/netlist.hpp"
+#include "retime/graph.hpp"
+
+namespace rtv::serve {
+
+/// One interned design. Immutable after construction except the lazily
+/// built graph (guarded by graph_once_).
+class CachedDesign {
+ public:
+  CachedDesign(std::string design_id, Netlist netlist, std::string canonical);
+
+  const std::string& design_id() const { return design_id_; }
+  const Netlist& netlist() const { return netlist_; }
+  const std::string& canonical_text() const { return canonical_; }
+
+  /// Estimated retained bytes (canonical text + parsed form), the unit the
+  /// cache's byte cap is enforced in.
+  std::size_t bytes() const { return bytes_; }
+
+  /// The design's Leiserson–Saxe graph, built on first use and warm for
+  /// every later job on the same design. Thread-safe.
+  const RetimeGraph& graph() const;
+
+ private:
+  std::string design_id_;
+  Netlist netlist_;
+  std::string canonical_;
+  std::size_t bytes_ = 0;
+
+  mutable std::once_flag graph_once_;
+  mutable std::unique_ptr<RetimeGraph> graph_;
+};
+
+struct DesignCacheStats {
+  std::uint64_t hits = 0;    ///< served without a parse
+  std::uint64_t misses = 0;  ///< required a parse
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t byte_cap = 0;
+};
+
+/// The cache proper. byte_cap 0 disables retention entirely: intern()
+/// still parses and returns entries, but nothing is kept and find()
+/// always misses — the serve bench's cold mode.
+class DesignCache {
+ public:
+  explicit DesignCache(std::size_t byte_cap) : byte_cap_(byte_cap) {}
+
+  /// Parse-or-fetch inline design text. On an alias hit (same raw text
+  /// seen before) or a canonical hit (different text, same design) no new
+  /// entry is created. `cache_hit`, when non-null, reports whether the
+  /// parse was skipped. Throws ParseError on malformed text.
+  std::shared_ptr<const CachedDesign> intern(const std::string& rnl_text,
+                                             bool* cache_hit = nullptr);
+
+  /// Looks up a previously interned design by its content hash; nullptr
+  /// when absent (never parses).
+  std::shared_ptr<const CachedDesign> find(const std::string& design_id);
+
+  DesignCacheStats stats() const;
+
+  /// The canonical content hash (16 lowercase hex chars of FNV-1a-64 over
+  /// write_rnl output). Exposed for tests and the bench.
+  static std::string content_hash(const std::string& canonical_text);
+
+ private:
+  void insert_locked(const std::shared_ptr<const CachedDesign>& entry,
+                     std::uint64_t raw_hash);
+  void touch_locked(const std::string& design_id);
+  void evict_locked();
+
+  const std::size_t byte_cap_;
+
+  mutable std::mutex mutex_;
+  /// MRU-first list of resident design ids; eviction pops from the back.
+  std::list<std::string> lru_;
+  struct Resident {
+    std::shared_ptr<const CachedDesign> design;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Resident> entries_;  ///< by design_id
+  std::unordered_map<std::uint64_t, std::string> raw_alias_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace rtv::serve

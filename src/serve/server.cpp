@@ -1,0 +1,767 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "analysis/lint.hpp"
+#include "core/cls_equiv.hpp"
+#include "core/validator.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "retime/min_area.hpp"
+#include "retime/min_period.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+#include "sim/vectors.hpp"
+#include "util/rng.hpp"
+
+namespace rtv::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+[[noreturn]] void bad_option(const std::string& what) {
+  throw ProtocolError(ErrorCode::kBadRequest, what);
+}
+
+/// Rejects option keys a job type does not understand — a typo'd option
+/// silently ignored would look like a job that ran with it.
+void check_option_keys(const JsonValue& options,
+                       std::initializer_list<const char*> allowed) {
+  if (!options.is_object()) return;  // absent options arrive as JSON null
+  for (const auto& [key, value] : options.as_object()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : allowed) known |= key == k;
+    if (!known) bad_option("unknown option \"" + key + "\"");
+  }
+}
+
+std::optional<std::uint64_t> option_uint(const JsonValue& options,
+                                         const char* key) {
+  if (!options.is_object()) return std::nullopt;
+  const JsonValue* v = options.find(key);
+  if (v == nullptr || v->is_null()) return std::nullopt;
+  if (!v->is_number() || v->as_number() < 0 ||
+      v->as_number() != static_cast<double>(
+                            static_cast<std::uint64_t>(v->as_number()))) {
+    bad_option(std::string("option \"") + key +
+               "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v->as_number());
+}
+
+std::optional<std::string> option_string(const JsonValue& options,
+                                         const char* key) {
+  if (!options.is_object()) return std::nullopt;
+  const JsonValue* v = options.find(key);
+  if (v == nullptr || v->is_null()) return std::nullopt;
+  if (!v->is_string()) {
+    bad_option(std::string("option \"") + key + "\" must be a string");
+  }
+  return v->as_string();
+}
+
+std::optional<bool> option_bool(const JsonValue& options, const char* key) {
+  if (!options.is_object()) return std::nullopt;
+  const JsonValue* v = options.find(key);
+  if (v == nullptr || v->is_null()) return std::nullopt;
+  if (!v->is_bool()) {
+    bad_option(std::string("option \"") + key + "\" must be a boolean");
+  }
+  return v->as_bool();
+}
+
+std::vector<std::string> split_sequences(const std::string& list) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t end = list.find(',', begin);
+    if (end == std::string::npos) {
+      parts.push_back(list.substr(begin));
+      break;
+    }
+    parts.push_back(list.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+JsonValue uint_json(std::uint64_t v) {
+  return JsonValue(static_cast<double>(v));
+}
+
+}  // namespace
+
+/// Serializes writes of one connection and lets its reader wait for every
+/// submitted job's response before the output channel is torn down.
+struct Server::Connection {
+  std::function<void(const std::string&)> sink;  ///< raw frame writer
+
+  void write(const std::string& frame) {
+    std::lock_guard<std::mutex> lk(write_mutex);
+    sink(frame);
+  }
+  void job_started() {
+    std::lock_guard<std::mutex> lk(drain_mutex);
+    ++outstanding;
+  }
+  void job_finished() {
+    std::lock_guard<std::mutex> lk(drain_mutex);
+    --outstanding;
+    if (outstanding == 0) drain_cv.notify_all();
+  }
+  void wait_drained() {
+    std::unique_lock<std::mutex> lk(drain_mutex);
+    drain_cv.wait(lk, [&] { return outstanding == 0; });
+  }
+
+ private:
+  std::mutex write_mutex;
+  std::mutex drain_mutex;
+  std::condition_variable drain_cv;
+  unsigned outstanding = 0;
+};
+
+Server::Server(const ServeOptions& options)
+    : options_(options),
+      pool_(options.threads),
+      cache_(options.cache_bytes),
+      max_inflight_(options.max_inflight != 0 ? options.max_inflight
+                                              : pool_.size()) {}
+
+Server::~Server() {
+  // Jobs still queued in the pool hold no Server state beyond what their
+  // lambdas captured by shared_ptr; the pool's destructor drops queued
+  // tasks and joins running ones before members are destroyed.
+}
+
+void Server::acquire_slot() {
+  std::unique_lock<std::mutex> lk(inflight_mutex_);
+  inflight_cv_.wait(lk, [&] { return inflight_ < max_inflight_; });
+  ++inflight_;
+}
+
+void Server::release_slot() {
+  std::lock_guard<std::mutex> lk(inflight_mutex_);
+  --inflight_;
+  inflight_cv_.notify_all();
+}
+
+void Server::dispatch(const std::string& line,
+                      const std::shared_ptr<Connection>& conn) {
+  std::string id;
+  try {
+    if (options_.max_request_bytes != 0 &&
+        line.size() > options_.max_request_bytes) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "request frame exceeds max_request_bytes");
+    }
+    JsonLimits limits;
+    limits.max_depth = options_.max_json_depth;
+    limits.max_bytes = options_.max_request_bytes;
+    JsonValue document;
+    try {
+      document = parse_json(line, limits);
+    } catch (const ParseError& error) {
+      // parse_error is reserved for design payloads; a frame that is not
+      // JSON at all is a malformed request.
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          std::string("frame is not valid JSON: ") +
+                              error.what());
+    }
+    if (document.is_object()) {
+      // Recover the id before schema validation so even a malformed frame
+      // gets a correlatable error envelope.
+      if (const JsonValue* v = document.find("id");
+          v != nullptr && v->is_string()) {
+        id = v->as_string();
+      }
+    }
+    JobRequest request = parse_request(document);
+
+    if (request.type == JobType::kStats ||
+        request.type == JobType::kShutdown) {
+      // Control requests run inline on the reader thread: they must stay
+      // answerable while every pool slot is busy.
+      jobs_accepted_.fetch_add(1, std::memory_order_relaxed);
+      const auto start = Clock::now();
+      JsonValue result = request.type == JobType::kStats ? stats_result()
+                                                         : shutdown_result();
+      JobStatsWire stats;
+      stats.run_ms = ms_since(start);
+      jobs_done_.fetch_add(1, std::memory_order_relaxed);
+      conn->write(render_response(request.id, request.type, "", result,
+                                  stats));
+      return;
+    }
+
+    if (shutting_down()) {
+      throw ProtocolError(ErrorCode::kShuttingDown,
+                          "server is draining; job rejected");
+    }
+
+    jobs_accepted_.fetch_add(1, std::memory_order_relaxed);
+    acquire_slot();
+    conn->job_started();
+    auto shared = std::make_shared<JobRequest>(std::move(request));
+    const auto enqueued = Clock::now();
+    pool_.submit([this, shared, conn, enqueued] {
+      const std::string response = run_job(*shared, ms_since(enqueued));
+      conn->write(response);
+      release_slot();
+      conn->job_finished();
+    });
+  } catch (const std::exception& error) {
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    conn->write(
+        render_error(id, error_code_for_exception(error), error.what()));
+  }
+}
+
+std::string Server::run_job(const JobRequest& request, double queue_ms) {
+  JobStatsWire stats;
+  stats.queue_ms = queue_ms;
+  const auto start = Clock::now();
+  try {
+    std::string design_id;
+    JsonValue result = execute(request, &stats, &design_id);
+    stats.run_ms = ms_since(start);
+    jobs_done_.fetch_add(1, std::memory_order_relaxed);
+    return render_response(request.id, request.type, design_id, result,
+                           stats);
+  } catch (const std::exception& error) {
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    return render_error(request.id, error_code_for_exception(error),
+                        error.what());
+  } catch (...) {
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    return render_error(request.id, ErrorCode::kInternal,
+                        "unexpected non-standard exception");
+  }
+}
+
+JsonValue Server::execute(const JobRequest& request, JobStatsWire* stats,
+                          std::string* design_id) {
+  switch (request.type) {
+    case JobType::kLint: return handle_lint(request, stats, design_id);
+    case JobType::kValidate:
+      return handle_validate(request, stats, design_id);
+    case JobType::kFaultSim:
+      return handle_faultsim(request, stats, design_id);
+    case JobType::kClsEquivalence:
+      return handle_cls_equivalence(request, stats, design_id);
+    case JobType::kSimulate:
+      return handle_simulate(request, stats, design_id);
+    case JobType::kStats:
+    case JobType::kShutdown: break;  // handled inline by dispatch()
+  }
+  throw InternalError("unreachable job type in execute()");
+}
+
+std::shared_ptr<const CachedDesign> Server::resolve_design(
+    const std::optional<std::string>& text,
+    const std::optional<std::string>& id, bool* cache_hit) {
+  if (id) {
+    auto entry = cache_.find(*id);
+    if (!entry) {
+      throw ProtocolError(ErrorCode::kDesignNotFound,
+                          "design_id \"" + *id +
+                              "\" is not (or no longer) cached; resend the "
+                              "design inline");
+    }
+    *cache_hit = true;
+    return entry;
+  }
+  return cache_.intern(*text, cache_hit);
+}
+
+ResourceLimits Server::limits_for(const JobRequest& request) const {
+  const BudgetSpec spec = request.budget.value_or(BudgetSpec{});
+  ResourceLimits limits;
+  limits.time_budget_ms =
+      spec.time_ms != 0 ? spec.time_ms : options_.default_time_budget_ms;
+  if (spec.node_limit != 0) limits.bdd_node_limit = spec.node_limit;
+  limits.step_quota = spec.step_quota;
+  return limits;
+}
+
+JsonValue Server::handle_lint(const JobRequest& request, JobStatsWire* stats,
+                              std::string* design_id) {
+  check_option_keys(request.options,
+                    {"require_junction_normal", "warn_unreachable", "max_k"});
+  const auto entry = resolve_design(request.design_text, request.design_id,
+                                    &stats->cache_hit);
+  *design_id = entry->design_id();
+
+  LintOptions options;
+  options.require_junction_normal =
+      option_bool(request.options, "require_junction_normal").value_or(false);
+  options.warn_unreachable =
+      option_bool(request.options, "warn_unreachable").value_or(true);
+  if (const auto k = option_uint(request.options, "max_k")) {
+    options.max_k = static_cast<std::size_t>(*k);
+  }
+  const LintResult result = run_lint(entry->netlist(), options);
+
+  JsonValue::Object out;
+  out.emplace_back("clean", JsonValue(result.clean()));
+  out.emplace_back("errors", uint_json(result.diagnostics.num_errors()));
+  out.emplace_back("warnings", uint_json(result.diagnostics.num_warnings()));
+  out.emplace_back("notes", uint_json(result.diagnostics.num_notes()));
+  JsonValue::Array diagnostics;
+  for (const Diagnostic& d : result.diagnostics.diagnostics()) {
+    JsonValue::Object diag;
+    diag.emplace_back("code", JsonValue(to_string(d.code)));
+    diag.emplace_back("severity",
+                      JsonValue(std::string(to_string(d.severity))));
+    if (!d.node_name.empty()) {
+      diag.emplace_back("node", JsonValue(d.node_name));
+    }
+    diag.emplace_back("message", JsonValue(d.message));
+    diagnostics.emplace_back(std::move(diag));
+  }
+  out.emplace_back("diagnostics", JsonValue(std::move(diagnostics)));
+  return JsonValue(std::move(out));
+}
+
+JsonValue Server::handle_validate(const JobRequest& request,
+                                  JobStatsWire* stats,
+                                  std::string* design_id) {
+  check_option_keys(request.options,
+                    {"objective", "max_branching", "random_sequences",
+                     "random_length", "seed"});
+  const auto entry = resolve_design(request.design_text, request.design_id,
+                                    &stats->cache_hit);
+  *design_id = entry->design_id();
+
+  const std::string objective =
+      option_string(request.options, "objective").value_or("min-area");
+  if (objective != "min-area" && objective != "min-period") {
+    bad_option("option \"objective\" must be \"min-area\" or \"min-period\"");
+  }
+
+  ValidationOptions options;
+  if (const auto v = option_uint(request.options, "max_branching")) {
+    options.cls.max_branching = *v;
+  }
+  if (const auto v = option_uint(request.options, "random_sequences")) {
+    options.cls.random_sequences = static_cast<unsigned>(*v);
+  }
+  if (const auto v = option_uint(request.options, "random_length")) {
+    options.cls.random_length = static_cast<unsigned>(*v);
+  }
+  if (const auto v = option_uint(request.options, "seed")) {
+    options.cls.seed = *v;
+  }
+  options.budget = limits_for(request);
+  // Per-job isolation: a fresh token, never shared across jobs, so one
+  // cancelled/exhausted job cannot leak into a neighbour.
+  options.cancel = CancellationToken();
+
+  const RetimeGraph& graph = entry->graph();
+  const std::vector<int> lag = objective == "min-period"
+                                   ? min_period_retime_feas(graph).lag
+                                   : min_area_retime(graph).lag;
+  const RetimingValidation v =
+      validate_retiming(entry->netlist(), graph, lag, options);
+
+  stats->verdict = to_string(v.verdict);
+  stats->usage = v.usage;
+  stats->governed = true;
+
+  JsonValue::Object out;
+  out.emplace_back("objective", JsonValue(objective));
+  out.emplace_back("theorems_hold", JsonValue(v.theorems_hold));
+  out.emplace_back("cls_equivalent", JsonValue(v.cls.equivalent));
+  out.emplace_back("cls_exhaustive", JsonValue(v.cls.exhaustive));
+  out.emplace_back("stg_checked", JsonValue(v.stg_checked));
+  out.emplace_back("safe_replacement", JsonValue(v.safe_replacement));
+  out.emplace_back("min_delay_implication",
+                   JsonValue(static_cast<double>(v.min_delay_implication)));
+  return JsonValue(std::move(out));
+}
+
+JsonValue Server::handle_faultsim(const JobRequest& request,
+                                  JobStatsWire* stats,
+                                  std::string* design_id) {
+  check_option_keys(request.options,
+                    {"mode", "tests", "cycles", "seed", "inputs",
+                     "all_faults", "drop_detected", "sample_lanes"});
+  const auto entry = resolve_design(request.design_text, request.design_id,
+                                    &stats->cache_hit);
+  *design_id = entry->design_id();
+  const Netlist& netlist = entry->netlist();
+
+  FaultSimOptions options;
+  options.mode = FaultSimMode::kCls;
+  if (const auto name = option_string(request.options, "mode")) {
+    const auto mode = fault_sim_mode_from_string(*name);
+    if (!mode) bad_option("option \"mode\" must be exact, sampled or cls");
+    options.mode = *mode;
+  }
+  // One engine thread per job: concurrency comes from concurrent jobs, and
+  // a single job cannot occupy the whole pool.
+  options.threads = 1;
+  options.drop_detected =
+      option_bool(request.options, "drop_detected").value_or(true);
+  if (const auto v = option_uint(request.options, "sample_lanes")) {
+    options.sample_lanes = static_cast<unsigned>(*v);
+  }
+  const std::uint64_t seed =
+      option_uint(request.options, "seed").value_or(1);
+  options.sample_seed = seed;
+  options.budget = limits_for(request);
+  options.cancel = CancellationToken();
+
+  std::vector<BitsSeq> tests;
+  if (const auto inputs = option_string(request.options, "inputs")) {
+    for (const std::string& part : split_sequences(*inputs)) {
+      tests.push_back(bits_seq_from_string(part));
+    }
+  } else {
+    const unsigned count = static_cast<unsigned>(
+        option_uint(request.options, "tests").value_or(64));
+    const unsigned cycles = static_cast<unsigned>(
+        option_uint(request.options, "cycles").value_or(16));
+    const std::size_t width = netlist.primary_inputs().size();
+    Rng rng(seed);
+    tests.resize(count);
+    for (BitsSeq& seq : tests) {
+      for (unsigned t = 0; t < cycles; ++t) {
+        Bits in(width);
+        for (auto& v : in) v = rng.coin();
+        seq.push_back(std::move(in));
+      }
+    }
+  }
+
+  const bool all_faults =
+      option_bool(request.options, "all_faults").value_or(false);
+  const std::vector<Fault> faults =
+      all_faults ? enumerate_faults(netlist) : collapse_faults(netlist);
+  const FaultSimResult r = fault_simulate(netlist, faults, tests, options);
+
+  stats->verdict = r.complete ? "bounded" : "exhausted";
+  stats->usage = r.usage;
+  stats->governed = true;
+
+  JsonValue::Object out;
+  out.emplace_back("mode", JsonValue(std::string(to_string(options.mode))));
+  out.emplace_back("faults", uint_json(faults.size()));
+  out.emplace_back("tests", uint_json(tests.size()));
+  out.emplace_back("detected", uint_json(r.num_detected));
+  out.emplace_back("coverage", JsonValue(r.coverage));
+  out.emplace_back("complete", JsonValue(r.complete));
+  out.emplace_back("faults_skipped", uint_json(r.faults_skipped));
+  out.emplace_back("faults_dropped", uint_json(r.faults_dropped));
+  out.emplace_back("tests_run", uint_json(r.tests_run));
+  return JsonValue(std::move(out));
+}
+
+JsonValue Server::handle_cls_equivalence(const JobRequest& request,
+                                         JobStatsWire* stats,
+                                         std::string* design_id) {
+  check_option_keys(request.options,
+                    {"max_branching", "max_pairs", "random_sequences",
+                     "random_length", "seed"});
+  const auto a = resolve_design(request.design_text, request.design_id,
+                                &stats->cache_hit);
+  *design_id = a->design_id();
+  bool b_hit = false;
+  const auto b =
+      resolve_design(request.design_b_text, request.design_b_id, &b_hit);
+  // cache_hit reports the warm path only when *both* designs skipped their
+  // parse — a half-warm job still paid a parse.
+  stats->cache_hit = stats->cache_hit && b_hit;
+
+  ClsEquivOptions options;
+  if (const auto v = option_uint(request.options, "max_branching")) {
+    options.max_branching = *v;
+  }
+  if (const auto v = option_uint(request.options, "max_pairs")) {
+    options.max_pairs = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = option_uint(request.options, "random_sequences")) {
+    options.random_sequences = static_cast<unsigned>(*v);
+  }
+  if (const auto v = option_uint(request.options, "random_length")) {
+    options.random_length = static_cast<unsigned>(*v);
+  }
+  if (const auto v = option_uint(request.options, "seed")) {
+    options.seed = *v;
+  }
+
+  ResourceBudget budget(limits_for(request), CancellationToken());
+  const ClsEquivalenceResult r =
+      check_cls_equivalence(a->netlist(), b->netlist(), options, &budget);
+
+  stats->verdict = to_string(r.verdict);
+  stats->usage = r.usage;
+  stats->governed = true;
+
+  JsonValue::Object out;
+  out.emplace_back("design_b_id", JsonValue(b->design_id()));
+  out.emplace_back("equivalent", JsonValue(r.equivalent));
+  out.emplace_back("exhaustive", JsonValue(r.exhaustive));
+  out.emplace_back("pairs_explored", uint_json(r.pairs_explored));
+  out.emplace_back("counterexample",
+                   r.counterexample
+                       ? JsonValue(sequence_to_string(*r.counterexample))
+                       : JsonValue(nullptr));
+  return JsonValue(std::move(out));
+}
+
+JsonValue Server::handle_simulate(const JobRequest& request,
+                                  JobStatsWire* stats,
+                                  std::string* design_id) {
+  check_option_keys(request.options, {"inputs", "mode", "state"});
+  const auto entry = resolve_design(request.design_text, request.design_id,
+                                    &stats->cache_hit);
+  *design_id = entry->design_id();
+  const Netlist& netlist = entry->netlist();
+
+  const auto inputs = option_string(request.options, "inputs");
+  if (!inputs || inputs->empty()) {
+    bad_option("simulate needs options.inputs "
+               "(comma-separated '.'-delimited sequences)");
+  }
+  const std::string mode =
+      option_string(request.options, "mode").value_or("cls");
+  if (mode != "cls" && mode != "binary") {
+    bad_option("option \"mode\" must be \"cls\" or \"binary\"");
+  }
+
+  JsonValue::Array responses;
+  if (mode == "cls") {
+    if (option_string(request.options, "state")) {
+      bad_option("option \"state\" is only valid in binary mode "
+                 "(CLS always powers up all-X)");
+    }
+    for (const std::string& part : split_sequences(*inputs)) {
+      ClsSimulator sim(netlist);  // fresh all-X power-up per sequence
+      responses.emplace_back(
+          sequence_to_string(sim.run(trits_seq_from_string(part))));
+    }
+  } else {
+    Bits state(netlist.latches().size(), 0);
+    if (const auto s = option_string(request.options, "state")) {
+      state = bits_from_string(*s);
+    }
+    for (const std::string& part : split_sequences(*inputs)) {
+      BinarySimulator sim(netlist);
+      sim.set_state(state);
+      responses.emplace_back(
+          sequence_to_string(sim.run(bits_seq_from_string(part))));
+    }
+  }
+
+  JsonValue::Object out;
+  out.emplace_back("mode", JsonValue(mode));
+  out.emplace_back("responses", JsonValue(std::move(responses)));
+  return JsonValue(std::move(out));
+}
+
+JsonValue Server::stats_result() const {
+  const ServeStats s = stats();
+  JsonValue::Object out;
+  out.emplace_back("jobs_accepted", uint_json(s.jobs_accepted));
+  out.emplace_back("jobs_done", uint_json(s.jobs_done));
+  out.emplace_back("jobs_failed", uint_json(s.jobs_failed));
+  out.emplace_back("inflight", uint_json(s.inflight));
+  out.emplace_back("max_inflight", uint_json(s.max_inflight));
+  out.emplace_back("threads", uint_json(s.threads));
+  out.emplace_back("shutting_down", JsonValue(s.shutting_down));
+  JsonValue::Object cache;
+  cache.emplace_back("hits", uint_json(s.cache.hits));
+  cache.emplace_back("misses", uint_json(s.cache.misses));
+  cache.emplace_back("evictions", uint_json(s.cache.evictions));
+  cache.emplace_back("entries", uint_json(s.cache.entries));
+  cache.emplace_back("bytes", uint_json(s.cache.bytes));
+  cache.emplace_back("byte_cap", uint_json(s.cache.byte_cap));
+  out.emplace_back("cache", JsonValue(std::move(cache)));
+  return JsonValue(std::move(out));
+}
+
+JsonValue Server::shutdown_result() {
+  begin_shutdown();
+  unsigned inflight;
+  {
+    std::lock_guard<std::mutex> lk(inflight_mutex_);
+    inflight = inflight_;
+  }
+  JsonValue::Object out;
+  out.emplace_back("draining", JsonValue(true));
+  out.emplace_back("inflight", uint_json(inflight));
+  return JsonValue(std::move(out));
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.jobs_accepted = jobs_accepted_.load(std::memory_order_relaxed);
+  s.jobs_done = jobs_done_.load(std::memory_order_relaxed);
+  s.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(inflight_mutex_);
+    s.inflight = inflight_;
+  }
+  s.max_inflight = max_inflight_;
+  s.threads = pool_.size();
+  s.shutting_down = shutting_down();
+  s.cache = cache_.stats();
+  return s;
+}
+
+void Server::begin_shutdown() {
+  if (shutting_down_.exchange(true, std::memory_order_acq_rel)) return;
+  // Interrupt the accept loop and every blocked connection read; readers
+  // observe EOF, stop dispatching, and drain their in-flight jobs.
+  std::lock_guard<std::mutex> lk(fds_mutex_);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+std::string Server::handle_line(const std::string& line) {
+  auto conn = std::make_shared<Connection>();
+  std::string response;
+  conn->sink = [&response](const std::string& frame) { response = frame; };
+  dispatch(line, conn);
+  conn->wait_drained();  // synchronizes the pool thread's write
+  return response;
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  auto conn = std::make_shared<Connection>();
+  conn->sink = [&out](const std::string& frame) {
+    out << frame << '\n';
+    out.flush();
+  };
+  std::string line;
+  while (!shutting_down() && std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    dispatch(line, conn);
+  }
+  conn->wait_drained();
+}
+
+void Server::serve_fd(int fd) {
+  auto conn = std::make_shared<Connection>();
+  conn->sink = [fd](const std::string& frame) {
+    std::string out = frame;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      // MSG_NOSIGNAL: a client that hung up must cost us an error return,
+      // not a process-wide SIGPIPE.
+      const ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // client gone; drop the rest of the frame
+      off += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  while (!shutting_down()) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or shutdown(SHUT_RD)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      dispatch(line, conn);
+      if (shutting_down()) break;
+    }
+    if (options_.max_request_bytes != 0 &&
+        buffer.size() > options_.max_request_bytes) {
+      conn->write(render_error("", ErrorCode::kBadRequest,
+                               "unterminated frame exceeds "
+                               "max_request_bytes"));
+      break;
+    }
+  }
+  conn->wait_drained();
+}
+
+void Server::serve_socket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgument("socket path empty or too long: \"" + path + "\"");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw IoError("bind/listen on \"" + path + "\": " + why);
+  }
+  {
+    std::lock_guard<std::mutex> lk(fds_mutex_);
+    listen_fd_ = fd;
+  }
+
+  std::vector<std::thread> readers;
+  for (;;) {
+    const int cfd = ::accept(fd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (graceful) or fatal accept error
+    }
+    if (shutting_down()) {
+      ::close(cfd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(fds_mutex_);
+      conn_fds_.push_back(cfd);
+    }
+    readers.emplace_back([this, cfd] {
+      serve_fd(cfd);
+      {
+        std::lock_guard<std::mutex> lk(fds_mutex_);
+        conn_fds_.erase(
+            std::find(conn_fds_.begin(), conn_fds_.end(), cfd));
+      }
+      ::close(cfd);
+    });
+  }
+
+  for (std::thread& t : readers) t.join();
+  {
+    std::lock_guard<std::mutex> lk(fds_mutex_);
+    listen_fd_ = -1;
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+}
+
+}  // namespace rtv::serve

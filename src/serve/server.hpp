@@ -1,0 +1,166 @@
+#pragma once
+// The `rtv serve` daemon core: a long-running verification service that
+// accepts newline-delimited JSON job requests (serve/protocol.hpp) over a
+// Unix-domain socket or a stdin/stdout pipe, dispatches them onto the
+// work-stealing ThreadPool, and isolates every job behind its own
+// ResourceBudget + CancellationToken — an exhausted job degrades to a
+// labeled verdict in its own response, it never takes the process (or a
+// neighbouring job) down with it.
+//
+// Concurrency model:
+//  * one reader thread per connection parses frames and submits jobs;
+//  * up to --max-inflight jobs are in flight at once — when the limit is
+//    reached the reader simply stops reading, so backpressure propagates
+//    to the client through the socket buffer;
+//  * responses are written as jobs finish, possibly out of request order;
+//    clients correlate by "id";
+//  * stats/shutdown are control requests answered inline on the reader
+//    thread, so they cannot be starved by a full job queue;
+//  * shutdown flips a flag, stops all readers and the accept loop, lets
+//    in-flight jobs drain, then the serve loop returns.
+//
+// Designs are interned in a content-addressed DesignCache shared by all
+// connections (serve/design_cache.hpp); a response's stats.cache_hit says
+// whether the job skipped the parse.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/design_cache.hpp"
+#include "serve/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rtv::serve {
+
+struct ServeOptions {
+  /// Job worker threads (ThreadPool size); 0 = one per hardware thread.
+  /// A size-1 pool runs jobs inline on the reader thread (serial mode).
+  unsigned threads = 0;
+  /// Max jobs in flight (queued + running) before readers pause; 0 = the
+  /// resolved pool size.
+  unsigned max_inflight = 0;
+  /// Wall-clock budget applied to any job whose request does not carry its
+  /// own budget.time_ms; 0 = no default deadline.
+  std::uint64_t default_time_budget_ms = 0;
+  /// DesignCache byte cap; 0 disables retention (every job re-parses).
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Hard cap on one request frame's size; larger frames are rejected with
+  /// a bad_request envelope before JSON parsing.
+  std::size_t max_request_bytes = std::size_t{32} << 20;
+  /// JSON nesting depth cap for request frames (io/json JsonLimits).
+  std::size_t max_json_depth = 64;
+};
+
+/// Snapshot reported by the "stats" job type and Server::stats().
+struct ServeStats {
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_done = 0;    ///< success responses written
+  std::uint64_t jobs_failed = 0;  ///< error envelopes written
+  unsigned inflight = 0;
+  unsigned max_inflight = 0;
+  unsigned threads = 0;
+  bool shutting_down = false;
+  DesignCacheStats cache;
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Processes one request frame synchronously and returns its response
+  /// frame (no trailing newline). Thread-safe; used by tests and makes
+  /// every handler reachable without a socket.
+  std::string handle_line(const std::string& line);
+
+  /// NDJSON loop over a stream pair: one request per input line, one
+  /// response per output line. Returns after EOF or a shutdown request,
+  /// once every in-flight job has written its response.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// Binds a Unix-domain stream socket at `path` (replacing any stale
+  /// file), accepts connections until a shutdown request arrives, drains,
+  /// unlinks the socket and returns. One reader thread per connection.
+  /// Throws IoError when the socket cannot be created or bound.
+  void serve_socket(const std::string& path);
+
+  ServeStats stats() const;
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Connection;  // per-connection write ordering + drain tracking
+
+  /// Parses one frame and either answers inline (control requests,
+  /// malformed frames) or submits a job to the pool. The connection's
+  /// outstanding count is raised before submit so wait_drained() cannot
+  /// miss the job.
+  void dispatch(const std::string& line,
+                const std::shared_ptr<Connection>& conn);
+
+  /// Runs one job on a pool thread; always returns a response frame.
+  std::string run_job(const JobRequest& request, double queue_ms);
+
+  /// Per-type handlers. Each returns the "result" object and fills the
+  /// wire stats (verdict, usage, cache_hit).
+  JsonValue execute(const JobRequest& request, JobStatsWire* stats,
+                    std::string* design_id);
+  JsonValue handle_lint(const JobRequest& request, JobStatsWire* stats,
+                        std::string* design_id);
+  JsonValue handle_validate(const JobRequest& request, JobStatsWire* stats,
+                            std::string* design_id);
+  JsonValue handle_faultsim(const JobRequest& request, JobStatsWire* stats,
+                            std::string* design_id);
+  JsonValue handle_cls_equivalence(const JobRequest& request,
+                                   JobStatsWire* stats,
+                                   std::string* design_id);
+  JsonValue handle_simulate(const JobRequest& request, JobStatsWire* stats,
+                            std::string* design_id);
+  JsonValue stats_result() const;
+  JsonValue shutdown_result();
+
+  std::shared_ptr<const CachedDesign> resolve_design(
+      const std::optional<std::string>& text,
+      const std::optional<std::string>& id, bool* cache_hit);
+
+  /// The job's resource caps: its own budget fields, with the server's
+  /// default deadline filled in when the request has none.
+  ResourceLimits limits_for(const JobRequest& request) const;
+
+  void begin_shutdown();
+  void serve_fd(int fd);
+  void acquire_slot();
+  void release_slot();
+
+  const ServeOptions options_;
+  ThreadPool pool_;
+  DesignCache cache_;
+  unsigned max_inflight_;
+
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint64_t> jobs_accepted_{0};
+  std::atomic<std::uint64_t> jobs_done_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  unsigned inflight_ = 0;
+
+  /// Listener + live connection fds, tracked so begin_shutdown() can
+  /// interrupt blocked accept()/read() calls with shutdown(2).
+  std::mutex fds_mutex_;
+  int listen_fd_ = -1;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace rtv::serve

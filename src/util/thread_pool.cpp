@@ -32,18 +32,28 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_main(unsigned self) {
   std::uint64_t seen = 0;
   for (;;) {
+    bool in_job = false;
     {
       std::unique_lock<std::mutex> lk(mutex_);
-      work_cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+      work_cv_.wait(lk, [&] {
+        return stopping_ || generation_ != seen ||
+               tasks_pending_.load(std::memory_order_acquire) > 0;
+      });
       if (stopping_) return;
-      seen = generation_;
-      ++active_;
+      if (generation_ != seen) {
+        seen = generation_;
+        ++active_;
+        in_job = true;
+      }
     }
-    participate(self);
-    {
+    if (in_job) {
+      participate(self);
       std::lock_guard<std::mutex> lk(mutex_);
       if (--active_ == 0) done_cv_.notify_all();
     }
+    // Whether woken for a job or a task, drain any queued tasks before
+    // sleeping again (a task submitted during a job waits for this point).
+    drain_tasks(self);
   }
 }
 
@@ -68,6 +78,59 @@ bool ThreadPool::pop_or_steal(unsigned self, Chunk* out) {
     }
   }
   return false;
+}
+
+bool ThreadPool::pop_or_steal_task(unsigned self,
+                                   std::function<void()>* out) {
+  const unsigned n = size();
+  for (unsigned d = 0; d < n; ++d) {
+    Queue& q = *queues_[(self + d) % n];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      tasks_pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::drain_tasks(unsigned self) {
+  std::function<void()> task;
+  while (pop_or_steal_task(self, &task)) {
+    try {
+      task();
+    } catch (...) {
+      // Tasks own their error reporting (a serve handler renders every
+      // failure into a response); an exception reaching here has nowhere
+      // to go on a fire-and-forget path, so it is dropped.
+    }
+    task = nullptr;
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (size() == 1) {
+    // No workers to hand the task to: run it inline so it cannot languish.
+    task();
+    return;
+  }
+  const std::size_t slot =
+      next_task_queue_.fetch_add(1, std::memory_order_relaxed) % size();
+  {
+    Queue& q = *queues_[slot];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    q.tasks.push_back(std::move(task));
+  }
+  tasks_pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Fence against the sleep path: a worker between its predicate check
+    // (which saw no pending tasks) and blocking still holds mutex_, so
+    // taking it here delays the notify until the worker can receive it.
+    std::lock_guard<std::mutex> lk(mutex_);
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::participate(unsigned self) {

@@ -1,7 +1,9 @@
-// CI check that the .rnl examples in the documentation stay real: every
-// fenced ```rnl code block in docs/*.md must parse, pass check_valid, and
-// round-trip through write_rnl/read_rnl to a fixed point. RTV_DOCS_DIR is
-// injected by tests/CMakeLists.txt.
+// CI check that the examples in the documentation stay real: every fenced
+// ```rnl code block in docs/*.md must parse, pass check_valid, and
+// round-trip through write_rnl/read_rnl to a fixed point; every ```json
+// block must round-trip through the io/json codec, and serve wire-protocol
+// frames must satisfy the real request parser / response validator.
+// RTV_DOCS_DIR is injected by tests/CMakeLists.txt.
 
 #include <gtest/gtest.h>
 
@@ -11,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "io/json.hpp"
 #include "io/rnl_format.hpp"
+#include "serve/protocol.hpp"
 
 namespace rtv {
 namespace {
@@ -30,9 +34,10 @@ std::string read_file(const std::filesystem::path& path) {
   return buffer.str();
 }
 
-/// Extracts every ```rnl fenced block from one markdown file.
-void extract_rnl_blocks(const std::filesystem::path& path,
-                        std::vector<DocExample>* out) {
+/// Extracts every fenced block with the given tag from one markdown file.
+void extract_blocks(const std::filesystem::path& path, const std::string& tag,
+                    std::vector<DocExample>* out) {
+  const std::string fence = "```" + tag;
   std::istringstream is(read_file(path));
   std::string line;
   std::size_t line_no = 0;
@@ -41,7 +46,7 @@ void extract_rnl_blocks(const std::filesystem::path& path,
   while (std::getline(is, line)) {
     ++line_no;
     if (!in_block) {
-      if (line.rfind("```rnl", 0) == 0) {
+      if (line.rfind(fence, 0) == 0) {
         in_block = true;
         current = DocExample{path.filename().string(), line_no, ""};
       }
@@ -53,7 +58,12 @@ void extract_rnl_blocks(const std::filesystem::path& path,
       current.text += '\n';
     }
   }
-  EXPECT_FALSE(in_block) << path << ": unterminated ```rnl fence";
+  EXPECT_FALSE(in_block) << path << ": unterminated ```" << tag << " fence";
+}
+
+void extract_rnl_blocks(const std::filesystem::path& path,
+                        std::vector<DocExample>* out) {
+  extract_blocks(path, "rnl", out);
 }
 
 std::vector<DocExample> all_doc_examples() {
@@ -90,6 +100,68 @@ TEST(DocsExamples, EveryRnlBlockParsesAndRoundTrips) {
     EXPECT_EQ(second.primary_outputs().size(), first.primary_outputs().size());
     EXPECT_EQ(second.latches().size(), first.latches().size());
   }
+}
+
+// ---------------------------------------------------------------------------
+// docs/serve.md: every ```json block must round-trip through the real codec,
+// and every wire frame must satisfy the real protocol schema — request
+// frames ("rtv_serve" present, no "ok") go through parse_request, response
+// frames ("ok" present) through validate_response. The published protocol
+// reference IS a test vector set.
+
+std::vector<DocExample> all_json_examples() {
+  std::vector<DocExample> examples;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RTV_DOCS_DIR)) {
+    if (entry.path().extension() == ".md") {
+      extract_blocks(entry.path(), "json", &examples);
+    }
+  }
+  return examples;
+}
+
+TEST(DocsExamples, JsonBlocksArePresent) {
+  // serve.md documents every job type with at least a request + response
+  // pair; shrinking below this means blocks lost their ```json tag and
+  // escaped CI coverage.
+  EXPECT_GE(all_json_examples().size(), 16u);
+}
+
+TEST(DocsExamples, EveryJsonBlockRoundTripsThroughCodec) {
+  for (const DocExample& example : all_json_examples()) {
+    SCOPED_TRACE(example.file + " fence at line " +
+                 std::to_string(example.line));
+    JsonValue parsed;
+    ASSERT_NO_THROW(parsed = parse_json(example.text)) << example.text;
+    // write_json(parse_json(x)) must be a fixed point of the serializer.
+    const std::string canonical = write_json(parsed);
+    JsonValue reparsed;
+    ASSERT_NO_THROW(reparsed = parse_json(canonical)) << canonical;
+    EXPECT_EQ(write_json(reparsed), canonical);
+  }
+}
+
+TEST(DocsExamples, EveryWireFrameExampleSatisfiesTheProtocol) {
+  std::size_t requests = 0;
+  std::size_t responses = 0;
+  for (const DocExample& example : all_json_examples()) {
+    SCOPED_TRACE(example.file + " fence at line " +
+                 std::to_string(example.line));
+    const JsonValue doc = parse_json(example.text);
+    if (!doc.is_object() || doc.find("rtv_serve") == nullptr) {
+      continue;  // a fragment (e.g. the budget object), not a frame
+    }
+    if (doc.find("ok") != nullptr) {
+      EXPECT_EQ(serve::validate_response(doc), "") << example.text;
+      ++responses;
+    } else {
+      EXPECT_NO_THROW(serve::parse_request(doc)) << example.text;
+      ++requests;
+    }
+  }
+  // One request + response pair per job type, at minimum.
+  EXPECT_GE(requests, 7u);
+  EXPECT_GE(responses, 7u);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 // Tests for the second IO wave: BLIF interop, VCD traces, the s27
-// benchmark circuit and the sequential miter.
+// benchmark circuit, the sequential miter, and the hardened JSON codec
+// (adversarial-input limits, canonical serializer).
 
 #include <gtest/gtest.h>
 
 #include <fstream>
+
+#include "io/json.hpp"
 
 #include "core/cls_equiv.hpp"
 #include "core/miter.hpp"
@@ -300,6 +303,66 @@ TEST(Vcd, ClsTraceIdenticalAcrossRetiming) {
   const std::string vd = strip_latches(cls_simulate_to_vcd(figure1_original(), inputs));
   const std::string vc = strip_latches(cls_simulate_to_vcd(figure1_retimed(), inputs));
   EXPECT_EQ(vd, vc);
+}
+
+// ---------------------------------------------------------------------------
+// JSON hardening: the serve daemon feeds parse_json frames from arbitrary
+// clients, so adversarial shapes must be rejected with ParseError — never a
+// stack overflow or an unbounded allocation.
+
+TEST(JsonLimits, DeepNestingIsRejectedNotOverflowed) {
+  // 100k unclosed arrays would overflow the recursive-descent stack if
+  // depth were unchecked; the cap turns it into a clean ParseError.
+  const std::string deep(100000, '[');
+  EXPECT_THROW(parse_json(deep), ParseError);
+
+  JsonLimits tight;
+  tight.max_depth = 4;
+  EXPECT_THROW(parse_json("[[[[[1]]]]]", tight), ParseError);
+  EXPECT_NO_THROW(parse_json("[[[[1]]]]", tight));
+  // Objects count toward the same depth as arrays.
+  EXPECT_THROW(parse_json(R"({"a":{"b":{"c":{"d":{"e":1}}}}})", tight),
+               ParseError);
+  EXPECT_NO_THROW(parse_json(R"({"a":[{"b":[1]}]})", tight));
+}
+
+TEST(JsonLimits, DefaultDepthAcceptsRealisticDocuments) {
+  std::string nested;
+  for (int i = 0; i < 200; ++i) nested += "[";
+  nested += "1";
+  for (int i = 0; i < 200; ++i) nested += "]";
+  EXPECT_NO_THROW(parse_json(nested));  // default cap is 256
+}
+
+TEST(JsonLimits, ByteCapRejectsOversizedDocumentsUpFront) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_THROW(parse_json(std::string(17, ' ') + "1", limits), ParseError);
+  EXPECT_NO_THROW(parse_json("{\"a\":1}", limits));
+  limits.max_bytes = 0;  // 0 = unlimited
+  EXPECT_NO_THROW(parse_json(std::string(1024, ' ') + "true", limits));
+}
+
+TEST(JsonWrite, CompactSerializerIsAFixedPoint) {
+  const std::string text =
+      R"({"s":"a\"b\\c\nd","n":-12.5,"i":9007199254740992,"neg":-3,)"
+      R"("frac":0.1,"t":true,"f":false,"z":null,"arr":[1,[2,{"k":[]}]],)"
+      R"("empty":{},"u":"é"})";
+  const std::string once = write_json(parse_json(text));
+  const std::string twice = write_json(parse_json(once));
+  EXPECT_EQ(once, twice);
+  // Integers within the double-exact window print without an exponent or
+  // fraction, so ids and counters stay grep-able on the wire.
+  EXPECT_NE(once.find("\"i\":9007199254740992"), std::string::npos);
+  EXPECT_NE(once.find("\"neg\":-3"), std::string::npos);
+}
+
+TEST(JsonWrite, PreservesMemberOrderAndEscapes) {
+  JsonValue::Object object;
+  object.emplace_back("b", JsonValue(true));
+  object.emplace_back("a", JsonValue(std::string("x\"\n\t")));
+  const std::string out = write_json(JsonValue(std::move(object)));
+  EXPECT_EQ(out, "{\"b\":true,\"a\":\"x\\\"\\n\\t\"}");
 }
 
 TEST(Vcd, SaveToFile) {

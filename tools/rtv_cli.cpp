@@ -10,6 +10,7 @@
 //   rtv audit <design>                     per-move safety classification
 //   rtv redundancy <design> [-o OUT]       CLS-redundancy removal
 //   rtv faultsim <design> [--mode M] ...   batch fault simulation, JSON out
+//   rtv serve [--socket PATH] ...          long-running verification service
 //
 // Design files are read by extension: .rnl (native) or .blif.
 
@@ -19,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <optional>
 #include <string>
@@ -34,6 +36,7 @@
 #include "core/safety.hpp"
 #include "core/validator.hpp"
 #include "fault/fault.hpp"
+#include "serve/server.hpp"
 #include "fault/fault_sim.hpp"
 #include "io/blif.hpp"
 #include "io/dot_export.hpp"
@@ -101,6 +104,12 @@ enum ExitCode : int {
                "      (default: cls mode, all hardware threads, collapsed"
                " faults,\n"
                "      64 random tests of 16 cycles)\n"
+               "  rtv serve [--socket PATH] [--threads N] [--max-inflight N]\n"
+               "            [--default-time-budget-ms N] [--cache-bytes N]\n"
+               "      long-running verification service: newline-delimited"
+               " JSON jobs\n"
+               "      over a Unix socket (or stdin/stdout without --socket);\n"
+               "      wire protocol reference in docs/serve.md\n"
                "\n"
                "resource governance (validate, flow, faultsim):\n"
                "  --time-budget-ms N   wall-clock budget (0 = unlimited)\n"
@@ -169,6 +178,11 @@ struct Args {
   std::optional<unsigned> threads, random, cycles, sample_lanes;
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> max_k;
+  // serve
+  std::optional<std::string> socket;
+  std::optional<unsigned> max_inflight;
+  std::optional<std::uint64_t> default_time_budget_ms;
+  std::optional<std::size_t> cache_bytes;
   bool min_area = false, min_period = false, cls = false, packed = false;
   bool no_drop = false, all_faults = false, json = false, strict = false;
   // Resource governance (validate, flow, faultsim).
@@ -259,6 +273,19 @@ Args parse_args(int argc, char** argv, int first) {
       args.cls = true;
     } else if (a == "--packed") {
       args.packed = true;
+    } else if (a == "--socket") {
+      args.socket = value("--socket");
+    } else if (a == "--max-inflight") {
+      args.max_inflight = static_cast<unsigned>(
+          parse_number("--max-inflight", value("--max-inflight"), 4096));
+    } else if (a == "--default-time-budget-ms") {
+      args.default_time_budget_ms = parse_number(
+          "--default-time-budget-ms", value("--default-time-budget-ms"),
+          std::numeric_limits<std::uint64_t>::max());
+    } else if (a == "--cache-bytes") {
+      args.cache_bytes = static_cast<std::size_t>(
+          parse_number("--cache-bytes", value("--cache-bytes"),
+                       std::numeric_limits<std::size_t>::max()));
     } else if (a == "--time-budget-ms") {
       args.time_budget_ms =
           parse_number("--time-budget-ms", value("--time-budget-ms"),
@@ -595,6 +622,36 @@ int cmd_faultsim(const Args& args) {
   return kExitOk;
 }
 
+int cmd_serve(const Args& args) {
+  if (!args.positional.empty()) {
+    usage("serve takes no positional arguments (designs arrive as jobs)");
+  }
+  serve::ServeOptions opt;
+  opt.threads = args.threads.value_or(0);
+  opt.max_inflight = args.max_inflight.value_or(0);
+  opt.default_time_budget_ms = args.default_time_budget_ms.value_or(0);
+  if (args.cache_bytes) opt.cache_bytes = *args.cache_bytes;
+  serve::Server server(opt);
+  if (args.socket) {
+    std::fprintf(stderr, "rtv serve: listening on %s\n", args.socket->c_str());
+    server.serve_socket(*args.socket);
+  } else {
+    // No socket: NDJSON over stdin/stdout, one response line per request
+    // line. Exits on EOF or a shutdown request, after draining.
+    server.serve_stream(std::cin, std::cout);
+  }
+  const serve::ServeStats s = server.stats();
+  std::fprintf(stderr,
+               "rtv serve: drained; %llu jobs accepted, %llu ok, %llu "
+               "errors, cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(s.jobs_accepted),
+               static_cast<unsigned long long>(s.jobs_done),
+               static_cast<unsigned long long>(s.jobs_failed),
+               static_cast<unsigned long long>(s.cache.hits),
+               static_cast<unsigned long long>(s.cache.misses));
+  return kExitOk;
+}
+
 int cmd_equiv(const Args& args) {
   if (args.positional.size() != 2) usage("equiv needs two designs");
   const Netlist c = load_design(args.positional[0]);
@@ -631,6 +688,7 @@ int run(int argc, char** argv) {
   if (cmd == "reset") return cmd_reset(args);
   if (cmd == "equiv") return cmd_equiv(args);
   if (cmd == "faultsim") return cmd_faultsim(args);
+  if (cmd == "serve") return cmd_serve(args);
   usage(("unknown command '" + cmd + "'").c_str());
 }
 
