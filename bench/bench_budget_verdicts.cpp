@@ -199,16 +199,16 @@ std::vector<Row> run_report(bool smoke) {
     const Netlist n = controller_datapath(smoke ? 8 : 48);
     const RetimeGraph g = RetimeGraph::from_netlist(n);
     const std::vector<int> lag(g.num_vertices(), 0);
-    ClsEquivOptions cls;
+    VerifyOptions vopt;
     // Bounded mode outright: the exhaustive pair BFS takes minutes on the
     // datapath, and bounded checking is the realistic regime this report
     // is about (the budget behavior is identical).
-    cls.max_branching = 1;
-    cls.random_sequences = smoke ? 16 : 500;
-    cls.random_length = smoke ? 8 : 64;
+    vopt.explicit_opts.max_branching = 1;
+    vopt.explicit_opts.random_sequences = smoke ? 16 : 500;
+    vopt.explicit_opts.random_length = smoke ? 8 : 64;
     rows.push_back(measure("validate", [&](ResourceBudget* b) {
       ValidationOptions opt;
-      opt.cls = cls;
+      opt.verify = vopt;
       if (b != nullptr) opt.budget = b->limits();
       const RetimingValidation v = validate_retiming(n, g, lag, opt);
       return VerdictLabel{to_string(v.verdict),
@@ -219,13 +219,13 @@ std::vector<Row> run_report(bool smoke) {
   // flow: cleanup + retiming + CLS gate behind `rtv flow`.
   {
     const Netlist n = controller_datapath(smoke ? 8 : 48);
-    ClsEquivOptions cls;
-    cls.max_branching = 1;  // bounded mode, as above
-    cls.random_sequences = smoke ? 16 : 500;
-    cls.random_length = smoke ? 8 : 64;
+    VerifyOptions vopt;
+    vopt.explicit_opts.max_branching = 1;  // bounded mode, as above
+    vopt.explicit_opts.random_sequences = smoke ? 16 : 500;
+    vopt.explicit_opts.random_length = smoke ? 8 : 64;
     rows.push_back(measure("flow", [&](ResourceBudget* b) {
       FlowOptions opt;
-      opt.cls = cls;
+      opt.verify = vopt;
       if (b != nullptr) opt.budget = b->limits();
       const FlowReport r = run_synthesis_flow(n, opt);
       return VerdictLabel{to_string(r.verdict),

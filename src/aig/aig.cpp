@@ -1,0 +1,114 @@
+#include "aig/aig.hpp"
+
+namespace rtv {
+
+Aig::Aig() {
+  new_var(NodeKind::kConst);  // var 0: lit 0 = false, lit 1 = true
+}
+
+Aig::Var Aig::new_var(NodeKind kind) {
+  const Var var = static_cast<Var>(kinds_.size());
+  kinds_.push_back(kind);
+  fanins_.emplace_back();
+  return var;
+}
+
+Aig::Lit Aig::add_input() {
+  const Var var = new_var(NodeKind::kInput);
+  inputs_.push_back(var);
+  return make_lit(var, false);
+}
+
+Aig::Lit Aig::add_latch(bool init) {
+  const Var var = new_var(NodeKind::kLatch);
+  latches_.push_back(var);
+  latch_init_.push_back(init ? 1 : 0);
+  latch_next_.push_back(kNoNext);
+  return make_lit(var, false);
+}
+
+void Aig::set_latch_next(std::size_t latch_index, Lit next) {
+  RTV_REQUIRE(latch_index < latches_.size(), "latch index out of range");
+  RTV_REQUIRE(lit_var(next) < kinds_.size(), "next literal out of range");
+  latch_next_.at(latch_index) = next;
+}
+
+Aig::Lit Aig::latch_next(std::size_t i) const {
+  const Lit next = latch_next_.at(i);
+  RTV_REQUIRE(next != kNoNext, "latch next-state never wired");
+  return next;
+}
+
+std::size_t Aig::add_output(Lit f) {
+  RTV_REQUIRE(lit_var(f) < kinds_.size(), "output literal out of range");
+  outputs_.push_back(f);
+  return outputs_.size() - 1;
+}
+
+Aig::Lit Aig::fanin0(Var var) const {
+  RTV_REQUIRE(is_and(var), "fanin0 of a non-AND variable");
+  return fanins_.at(var).f0;
+}
+
+Aig::Lit Aig::fanin1(Var var) const {
+  RTV_REQUIRE(is_and(var), "fanin1 of a non-AND variable");
+  return fanins_.at(var).f1;
+}
+
+Aig::Lit Aig::land(Lit a, Lit b) {
+  RTV_REQUIRE(lit_var(a) < kinds_.size() && lit_var(b) < kinds_.size(),
+              "AND fanin literal out of range");
+  // Constant propagation and trivial-sharing rules.
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kFalse;
+  // Canonical fanin order for the structural hash.
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+  if (auto it = strash_.find(key); it != strash_.end()) {
+    return make_lit(it->second, false);
+  }
+  const Var var = new_var(NodeKind::kAnd);
+  fanins_.back() = Fanins{a, b};
+  strash_.emplace(key, var);
+  ++num_ands_;
+  return make_lit(var, false);
+}
+
+Aig::Lit Aig::lxor(Lit a, Lit b) {
+  // a ^ b = !(!(a & !b) & !(!a & b))
+  return lit_not(land(lit_not(land(a, lit_not(b))), lit_not(land(lit_not(a), b))));
+}
+
+Aig::Lit Aig::lmux(Lit s, Lit a, Lit b) {
+  // s ? b : a = !(!(s & b) & !(!s & a))
+  return lit_not(land(lit_not(land(s, b)), lit_not(land(lit_not(s), a))));
+}
+
+Aig::Lit Aig::land_many(const std::vector<Lit>& lits) {
+  if (lits.empty()) return kTrue;
+  std::vector<Lit> level = lits;
+  while (level.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(land(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+Aig::Lit Aig::lor_many(const std::vector<Lit>& lits) {
+  if (lits.empty()) return kFalse;
+  std::vector<Lit> negated;
+  negated.reserve(lits.size());
+  for (Lit l : lits) negated.push_back(lit_not(l));
+  return lit_not(land_many(negated));
+}
+
+}  // namespace rtv

@@ -1,0 +1,114 @@
+#pragma once
+// And-Inverter Graph IR — the structural substrate of the SAT equivalence
+// backend (ROADMAP: "Second backend: AIG + SAT-based equivalence").
+//
+// Every combinational function is expressed with two-input AND nodes and
+// edge inversions; sequential behaviour with latches whose next-state is an
+// AIG literal and whose initial value is a constant. Construction maintains
+// two invariants the downstream CNF unroller relies on:
+//
+//  * structural hashing — land() returns the existing node for a repeated
+//    (fanin, fanin) pair, so syntactically equal subcircuits share one node;
+//  * constant propagation — ANDs with constant or complementary fanins fold
+//    to a constant or a fanin at build time and never allocate a node.
+//
+// Literal encoding follows the AIGER convention: lit = 2*var + negated,
+// var 0 is the constant, so kFalse = 0 and kTrue = 1. AND fanin variables
+// are always created before the AND itself, so iterating variables in index
+// order is a topological order.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rtv {
+
+class Aig {
+ public:
+  using Lit = std::uint32_t;
+  using Var = std::uint32_t;
+
+  static constexpr Lit kFalse = 0;
+  static constexpr Lit kTrue = 1;
+
+  static constexpr Lit make_lit(Var var, bool negated) {
+    return 2 * var + (negated ? 1u : 0u);
+  }
+  static constexpr Var lit_var(Lit lit) { return lit >> 1; }
+  static constexpr bool lit_negated(Lit lit) { return (lit & 1u) != 0; }
+  static constexpr Lit lit_not(Lit lit) { return lit ^ 1u; }
+
+  enum class NodeKind : std::uint8_t { kConst, kInput, kLatch, kAnd };
+
+  Aig();
+
+  // ---- construction --------------------------------------------------------
+
+  /// Fresh primary input; returns its (positive) literal.
+  Lit add_input();
+
+  /// Fresh latch with the given power-up constant; returns the (positive)
+  /// literal of its current-state output. Wire the next-state function
+  /// later with set_latch_next — every latch must be wired before use.
+  Lit add_latch(bool init);
+  void set_latch_next(std::size_t latch_index, Lit next);
+
+  /// Registers `f` as primary output; returns the output index.
+  std::size_t add_output(Lit f);
+
+  /// Structural-hashed, constant-folded two-input AND.
+  Lit land(Lit a, Lit b);
+
+  Lit lor(Lit a, Lit b) { return lit_not(land(lit_not(a), lit_not(b))); }
+  Lit lxor(Lit a, Lit b);
+  Lit lxnor(Lit a, Lit b) { return lit_not(lxor(a, b)); }
+  /// 2:1 mux with the netlist's kMux pin order (s, a, b): s ? b : a.
+  Lit lmux(Lit s, Lit a, Lit b);
+  /// Balanced conjunction / disjunction reductions.
+  Lit land_many(const std::vector<Lit>& lits);
+  Lit lor_many(const std::vector<Lit>& lits);
+
+  // ---- queries -------------------------------------------------------------
+
+  std::size_t num_vars() const { return kinds_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_latches() const { return latches_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_ands() const { return num_ands_; }
+
+  NodeKind kind(Var var) const { return kinds_.at(var); }
+  bool is_and(Var var) const { return kinds_.at(var) == NodeKind::kAnd; }
+  /// Fanins of an AND variable (as literals).
+  Lit fanin0(Var var) const;
+  Lit fanin1(Var var) const;
+
+  Var input_var(std::size_t i) const { return inputs_.at(i); }
+  Var latch_var(std::size_t i) const { return latches_.at(i); }
+  bool latch_init(std::size_t i) const { return latch_init_.at(i) != 0; }
+  Lit latch_next(std::size_t i) const;
+  Lit output(std::size_t o) const { return outputs_.at(o); }
+
+ private:
+  struct Fanins {
+    Lit f0 = kFalse;
+    Lit f1 = kFalse;
+  };
+
+  std::vector<NodeKind> kinds_;       // per var
+  std::vector<Fanins> fanins_;        // per var (meaningful for kAnd)
+  std::vector<Var> inputs_;           // input index -> var
+  std::vector<Var> latches_;          // latch index -> var
+  std::vector<std::uint8_t> latch_init_;
+  std::vector<Lit> latch_next_;       // kNoNext until wired
+  std::vector<Lit> outputs_;
+  std::unordered_map<std::uint64_t, Var> strash_;
+  std::size_t num_ands_ = 0;
+
+  static constexpr Lit kNoNext = 0xffffffffu;
+
+  Var new_var(NodeKind kind);
+};
+
+}  // namespace rtv

@@ -1,0 +1,337 @@
+#include "aig/cls_encode.hpp"
+
+#include <unordered_map>
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+Bits ClsEncoding::all_x_state() const {
+  Bits state(2 * original_latches, 0);
+  for (std::size_t i = 0; i < original_latches; ++i) state[2 * i + 1] = 1;
+  return state;
+}
+
+Bits encode_trits(const Trits& trits) {
+  Bits bits;
+  bits.reserve(2 * trits.size());
+  for (Trit t : trits) {
+    bits.push_back(t == Trit::kOne ? 1 : 0);
+    bits.push_back(t == Trit::kX ? 1 : 0);
+  }
+  return bits;
+}
+
+Trits decode_trits(const Bits& bits) {
+  RTV_REQUIRE(bits.size() % 2 == 0, "dual-rail vector must have even size");
+  Trits trits;
+  trits.reserve(bits.size() / 2);
+  for (std::size_t i = 0; i < bits.size(); i += 2) {
+    if (bits[i + 1] != 0) {
+      trits.push_back(Trit::kX);  // (1,1) decodes as X too (masked input)
+    } else {
+      trits.push_back(bits[i] != 0 ? Trit::kOne : Trit::kZero);
+    }
+  }
+  return trits;
+}
+
+namespace {
+
+/// The (d, u) rails of one original signal.
+struct Rail {
+  PortRef d;
+  PortRef u;
+};
+
+class Encoder {
+ public:
+  explicit Encoder(const Netlist& src) : src_(src) {}
+
+  ClsEncoding run();
+
+ private:
+  PortRef mk_const(bool value) {
+    PortRef& cached = value ? const1_ : const0_;
+    if (!cached.valid()) {
+      cached = PortRef(out_.add_const(value), 0);
+    }
+    return cached;
+  }
+
+  PortRef mk_not(PortRef a) {
+    const NodeId g = out_.add_gate(CellKind::kNot);
+    out_.connect(a, PinRef(g, 0));
+    return PortRef(g, 0);
+  }
+
+  PortRef mk_gate(CellKind kind, const std::vector<PortRef>& ins) {
+    RTV_REQUIRE(!ins.empty(), "variadic gate needs at least one fanin");
+    if (ins.size() == 1 &&
+        (kind == CellKind::kAnd || kind == CellKind::kOr)) {
+      return ins[0];
+    }
+    const NodeId g =
+        out_.add_gate(kind, static_cast<unsigned>(ins.size()));
+    for (std::uint32_t i = 0; i < ins.size(); ++i) {
+      out_.connect(ins[i], PinRef(g, i));
+    }
+    return PortRef(g, 0);
+  }
+
+  PortRef mk_and2(PortRef a, PortRef b) { return mk_gate(CellKind::kAnd, {a, b}); }
+  PortRef mk_or2(PortRef a, PortRef b) { return mk_gate(CellKind::kOr, {a, b}); }
+  PortRef mk_nor2(PortRef a, PortRef b) { return mk_gate(CellKind::kNor, {a, b}); }
+
+  /// can-be-0 of a normalized rail: !d.
+  PortRef can0(const Rail& r) { return mk_not(r.d); }
+  /// can-be-1 of a normalized rail: d | u.
+  PortRef can1(const Rail& r) { return mk_or2(r.d, r.u); }
+  /// Definitely-0 of a normalized rail: !(d | u).
+  PortRef is_zero(const Rail& r) { return mk_nor2(r.d, r.u); }
+
+  Rail rail_of(PortRef src_port) const {
+    auto it = rails_.find(key(src_port));
+    RTV_REQUIRE(it != rails_.end(), "encoder visited a node before its driver");
+    return it->second;
+  }
+
+  void set_rail(PortRef src_port, Rail rail) {
+    rails_[key(src_port)] = rail;
+  }
+
+  static std::uint64_t key(PortRef p) {
+    return (static_cast<std::uint64_t>(p.node.value) << 32) | p.port;
+  }
+
+  void encode_node(NodeId id);
+  Rail encode_variadic(CellKind kind, const std::vector<Rail>& ins);
+  Rail encode_mux(const Rail& s, const Rail& a, const Rail& b);
+  std::vector<Rail> encode_table(const TruthTable& table,
+                                 const std::vector<Rail>& ins);
+
+  const Netlist& src_;
+  Netlist out_;
+  PortRef const0_;
+  PortRef const1_;
+  std::unordered_map<std::uint64_t, Rail> rails_;
+  std::vector<NodeId> d_latch_;  // per original latch
+  std::vector<NodeId> u_latch_;
+};
+
+Rail Encoder::encode_variadic(CellKind kind, const std::vector<Rail>& ins) {
+  std::vector<PortRef> ds, c1s, zeros;
+  ds.reserve(ins.size());
+  for (const Rail& r : ins) ds.push_back(r.d);
+
+  switch (kind) {
+    case CellKind::kAnd:
+    case CellKind::kNand: {
+      for (const Rail& r : ins) zeros.push_back(is_zero(r));
+      const PortRef all_one = mk_gate(CellKind::kAnd, ds);
+      const PortRef any_zero = mk_gate(CellKind::kOr, zeros);
+      const PortRef u = mk_nor2(any_zero, all_one);
+      if (kind == CellKind::kAnd) return Rail{all_one, u};
+      return Rail{any_zero, u};
+    }
+    case CellKind::kOr:
+    case CellKind::kNor: {
+      for (const Rail& r : ins) zeros.push_back(is_zero(r));
+      const PortRef any_one = mk_gate(CellKind::kOr, ds);
+      const PortRef all_zero = mk_gate(CellKind::kAnd, zeros);
+      const PortRef u = mk_nor2(any_one, all_zero);
+      if (kind == CellKind::kOr) return Rail{any_one, u};
+      return Rail{all_zero, u};
+    }
+    case CellKind::kXor:
+    case CellKind::kXnor: {
+      std::vector<PortRef> us;
+      for (const Rail& r : ins) us.push_back(r.u);
+      const PortRef any_x = mk_gate(CellKind::kOr, us);
+      const PortRef parity = mk_gate(
+          kind == CellKind::kXor ? CellKind::kXor : CellKind::kXnor, ds);
+      const PortRef d = mk_and2(parity, mk_not(any_x));
+      return Rail{d, any_x};
+    }
+    default:
+      RTV_CHECK_MSG(false, "encode_variadic: unexpected cell kind");
+      return Rail{};
+  }
+}
+
+Rail Encoder::encode_mux(const Rail& s, const Rail& a, const Rail& b) {
+  const PortRef s0 = can0(s), s1 = can1(s);
+  const PortRef can_one =
+      mk_or2(mk_and2(s0, can1(a)), mk_and2(s1, can1(b)));
+  const PortRef can_zero =
+      mk_or2(mk_and2(s0, can0(a)), mk_and2(s1, can0(b)));
+  const PortRef d = mk_and2(can_one, mk_not(can_zero));
+  const PortRef u = mk_and2(can_one, can_zero);
+  return Rail{d, u};
+}
+
+std::vector<Rail> Encoder::encode_table(const TruthTable& table,
+                                        const std::vector<Rail>& ins) {
+  const unsigned n = table.num_inputs();
+  const unsigned m = table.num_outputs();
+  RTV_REQUIRE(ins.size() == n, "table arity mismatch");
+
+  // Per-input compatibility rails, shared across all minterms.
+  std::vector<PortRef> in_can0, in_can1;
+  in_can0.reserve(n);
+  in_can1.reserve(n);
+  for (const Rail& r : ins) {
+    in_can0.push_back(can0(r));
+    in_can1.push_back(can1(r));
+  }
+
+  const std::uint64_t rows = pow2(n);
+  std::vector<std::vector<PortRef>> one_products(m), zero_products(m);
+  for (std::uint64_t x = 0; x < rows; ++x) {
+    std::vector<PortRef> factors;
+    factors.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      factors.push_back(get_bit(x, i) ? in_can1[i] : in_can0[i]);
+    }
+    const PortRef compat =
+        factors.empty() ? mk_const(true) : mk_gate(CellKind::kAnd, factors);
+    const std::uint64_t row = table.eval_row(x);
+    for (unsigned j = 0; j < m; ++j) {
+      (get_bit(row, j) ? one_products[j] : zero_products[j]).push_back(compat);
+    }
+  }
+
+  std::vector<Rail> rails;
+  rails.reserve(m);
+  for (unsigned j = 0; j < m; ++j) {
+    const PortRef can_one = one_products[j].empty()
+                                ? mk_const(false)
+                                : mk_gate(CellKind::kOr, one_products[j]);
+    const PortRef can_zero = zero_products[j].empty()
+                                 ? mk_const(false)
+                                 : mk_gate(CellKind::kOr, zero_products[j]);
+    const PortRef d = mk_and2(can_one, mk_not(can_zero));
+    const PortRef u = mk_and2(can_one, can_zero);
+    rails.push_back(Rail{d, u});
+  }
+  return rails;
+}
+
+void Encoder::encode_node(NodeId id) {
+  const Node& node = src_.node(id);
+  // Sources and sinks are handled by run(); in particular a latch's fanin
+  // (its next-state driver) is not encoded yet when the latch appears at
+  // the head of the topological order, so bail before touching rails.
+  if (node.kind == CellKind::kInput || node.kind == CellKind::kLatch ||
+      node.kind == CellKind::kOutput) {
+    return;
+  }
+  std::vector<Rail> ins;
+  ins.reserve(node.fanin.size());
+  for (const PortRef& p : node.fanin) ins.push_back(rail_of(p));
+
+  switch (node.kind) {
+    case CellKind::kInput:
+    case CellKind::kLatch:
+    case CellKind::kOutput:
+      return;  // unreachable (handled above)
+    case CellKind::kConst0:
+      set_rail(PortRef(id, 0), Rail{mk_const(false), mk_const(false)});
+      return;
+    case CellKind::kConst1:
+      set_rail(PortRef(id, 0), Rail{mk_const(true), mk_const(false)});
+      return;
+    case CellKind::kBuf:
+      set_rail(PortRef(id, 0), ins[0]);
+      return;
+    case CellKind::kNot:
+      set_rail(PortRef(id, 0), Rail{is_zero(ins[0]), ins[0].u});
+      return;
+    case CellKind::kAnd:
+    case CellKind::kNand:
+    case CellKind::kOr:
+    case CellKind::kNor:
+    case CellKind::kXor:
+    case CellKind::kXnor:
+      set_rail(PortRef(id, 0), encode_variadic(node.kind, ins));
+      return;
+    case CellKind::kMux:
+      set_rail(PortRef(id, 0), encode_mux(ins[0], ins[1], ins[2]));
+      return;
+    case CellKind::kJunc:
+      for (std::uint32_t p = 0; p < node.num_ports(); ++p) {
+        set_rail(PortRef(id, p), ins[0]);
+      }
+      return;
+    case CellKind::kTable: {
+      const std::vector<Rail> outs =
+          encode_table(src_.table(node.table), ins);
+      for (std::uint32_t p = 0; p < node.num_ports(); ++p) {
+        set_rail(PortRef(id, p), outs[p]);
+      }
+      return;
+    }
+  }
+  RTV_CHECK_MSG(false, "encode_node: unhandled cell kind");
+}
+
+ClsEncoding Encoder::run() {
+  // Primary inputs, in order: raw d rail masked with !u so the spare (1,1)
+  // pattern behaves exactly like X.
+  for (const NodeId id : src_.primary_inputs()) {
+    const std::string& name = src_.name(id);
+    const NodeId d_raw = out_.add_input(name.empty() ? "" : name + ".d");
+    const NodeId u_in = out_.add_input(name.empty() ? "" : name + ".u");
+    const PortRef u(u_in, 0);
+    const PortRef d_masked = mk_and2(PortRef(d_raw, 0), mk_not(u));
+    set_rail(PortRef(id, 0), Rail{d_masked, u});
+  }
+
+  // Latches, in order, so encoded latch 2i/2i+1 are the rails of latch i.
+  for (const NodeId id : src_.latches()) {
+    const std::string& name = src_.name(id);
+    const NodeId d = out_.add_latch(name.empty() ? "" : name + ".d");
+    const NodeId u = out_.add_latch(name.empty() ? "" : name + ".u");
+    d_latch_.push_back(d);
+    u_latch_.push_back(u);
+    set_rail(PortRef(id, 0), Rail{PortRef(d, 0), PortRef(u, 0)});
+  }
+
+  // Combinational cells after all of their drivers.
+  for (const NodeId id : combinational_topo_order(src_)) {
+    encode_node(id);
+  }
+
+  // Latch next-state rails.
+  const auto& latches = src_.latches();
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    const Rail next = rail_of(src_.node(latches[i]).fanin[0]);
+    out_.connect(next.d, PinRef(d_latch_[i], 0));
+    out_.connect(next.u, PinRef(u_latch_[i], 0));
+  }
+
+  // Primary outputs, in order.
+  for (const NodeId id : src_.primary_outputs()) {
+    const Rail r = rail_of(src_.node(id).fanin[0]);
+    const std::string& name = src_.name(id);
+    const NodeId d = out_.add_output(name.empty() ? "" : name + ".d");
+    const NodeId u = out_.add_output(name.empty() ? "" : name + ".u");
+    out_.connect(r.d, PinRef(d, 0));
+    out_.connect(r.u, PinRef(u, 0));
+  }
+
+  ClsEncoding result;
+  result.original_inputs = src_.primary_inputs().size();
+  result.original_outputs = src_.primary_outputs().size();
+  result.original_latches = latches.size();
+  result.netlist = std::move(out_);
+  return result;
+}
+
+}  // namespace
+
+ClsEncoding cls_encode(const Netlist& netlist) {
+  return Encoder(netlist).run();
+}
+
+}  // namespace rtv

@@ -1,0 +1,53 @@
+#pragma once
+// Dual-rail ternary encoding: compiles the CLS (conservative three-valued)
+// semantics of a netlist into a plain *binary* netlist, two wires per
+// original signal — the bridge that lets binary engines (SAT over AIGs,
+// BDD reachability) answer the paper's Section 5 CLS-equivalence queries.
+//
+// Each trit t is encoded as a (d, u) pair with the same plane convention as
+// the packed simulator's TritWord: 0 -> (0,0), 1 -> (1,0), X -> (0,1). The
+// encoding is kept *normalized* ((1,1) never appears on an internal wire):
+// gate outputs are normalized by construction, and primary-input d rails
+// are masked with !u, so the spare (d,u) = (1,1) input pattern behaves
+// exactly like X in every encoded design. Two designs are therefore
+// CLS-equivalent iff their encodings are sequentially equivalent as binary
+// machines from the all-X initial state ((d,u) = (0,1) per latch pair) —
+// over ALL 2^(2I) binary input patterns, no input constraint needed.
+//
+// Every gate is encoded with its exact per-cell ternary extension (output
+// definite iff it is the same Boolean under every completion of X inputs),
+// matching ClsSimulator / TruthTable::eval_ternary bit for bit; kTable
+// cells expand over their minterms: can_be_1 = OR over 1-minterms of the
+// input-compatibility products, can_be_0 likewise, d = can1 & !can0,
+// u = can1 & can0.
+
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+
+namespace rtv {
+
+struct ClsEncoding {
+  /// Binary netlist with 2x the PIs/POs/latches of the original, in rail
+  /// order: original index i maps to encoded index 2i (d rail) and 2i+1
+  /// (u rail), for primary_inputs(), primary_outputs() and latches() alike.
+  Netlist netlist;
+  std::size_t original_inputs = 0;
+  std::size_t original_outputs = 0;
+  std::size_t original_latches = 0;
+
+  /// The encoded all-X power-up state: (d, u) = (0, 1) for every pair.
+  Bits all_x_state() const;
+};
+
+/// Encodes the CLS semantics of `netlist` as a binary netlist (see file
+/// comment). The input may use implicit fanout or junctions; the result
+/// uses implicit fanout and passes check_valid(false).
+ClsEncoding cls_encode(const Netlist& netlist);
+
+/// Trit vector -> dual-rail bit vector (result is twice as long).
+Bits encode_trits(const Trits& trits);
+/// Dual-rail bit vector -> trit vector; (1,1) decodes as X (the masked
+/// semantics every encoded design gives that input pattern).
+Trits decode_trits(const Bits& bits);
+
+}  // namespace rtv

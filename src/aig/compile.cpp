@@ -1,0 +1,162 @@
+#include "aig/compile.hpp"
+
+#include <unordered_map>
+
+#include "util/bits.hpp"
+
+namespace rtv {
+
+namespace {
+
+std::uint64_t port_key(PortRef p) {
+  return (static_cast<std::uint64_t>(p.node.value) << 32) | p.port;
+}
+
+class Compiler {
+ public:
+  Compiler(const Netlist& src, const Bits& init, ResourceBudget* budget)
+      : src_(src), init_(init), budget_(budget) {}
+
+  Aig run();
+
+ private:
+  Aig::Lit lit_of(PortRef p) const {
+    auto it = lits_.find(port_key(p));
+    RTV_REQUIRE(it != lits_.end(), "compiler visited a node before its driver");
+    return it->second;
+  }
+
+  void compile_node(NodeId id);
+  void compile_table(NodeId id, const std::vector<Aig::Lit>& ins);
+
+  const Netlist& src_;
+  const Bits& init_;
+  ResourceBudget* budget_;
+  Aig aig_;
+  std::unordered_map<std::uint64_t, Aig::Lit> lits_;
+};
+
+void Compiler::compile_table(NodeId id, const std::vector<Aig::Lit>& ins) {
+  const TruthTable& table = src_.table(src_.node(id).table);
+  const unsigned n = table.num_inputs();
+  const unsigned m = table.num_outputs();
+  const std::uint64_t rows = pow2(n);
+  std::vector<std::vector<Aig::Lit>> products(m);
+  std::vector<Aig::Lit> factors;
+  for (std::uint64_t x = 0; x < rows; ++x) {
+    if (budget_ != nullptr && (x & 255u) == 255u) {
+      budget_->checkpoint_or_throw("aig/table-minterm");
+    }
+    const std::uint64_t row = table.eval_row(x);
+    if (row == 0) continue;
+    factors.clear();
+    for (unsigned i = 0; i < n; ++i) {
+      factors.push_back(get_bit(x, i) ? ins[i] : Aig::lit_not(ins[i]));
+    }
+    const Aig::Lit minterm = aig_.land_many(factors);
+    for (unsigned j = 0; j < m; ++j) {
+      if (get_bit(row, j)) products[j].push_back(minterm);
+    }
+  }
+  for (unsigned j = 0; j < m; ++j) {
+    lits_[port_key(PortRef(id, j))] = aig_.lor_many(products[j]);
+  }
+}
+
+void Compiler::compile_node(NodeId id) {
+  const Node& node = src_.node(id);
+  // Sources and sinks are handled by run(); in particular a latch's fanin
+  // (its next-state driver) is not compiled yet when the latch appears at
+  // the head of the topological order, so bail before touching literals.
+  if (node.kind == CellKind::kInput || node.kind == CellKind::kLatch ||
+      node.kind == CellKind::kOutput) {
+    return;
+  }
+  std::vector<Aig::Lit> ins;
+  ins.reserve(node.fanin.size());
+  for (const PortRef& p : node.fanin) ins.push_back(lit_of(p));
+
+  const auto set0 = [&](Aig::Lit l) { lits_[port_key(PortRef(id, 0))] = l; };
+
+  switch (node.kind) {
+    case CellKind::kInput:
+    case CellKind::kLatch:
+    case CellKind::kOutput:
+      return;  // unreachable (handled above)
+    case CellKind::kConst0:
+      set0(Aig::kFalse);
+      return;
+    case CellKind::kConst1:
+      set0(Aig::kTrue);
+      return;
+    case CellKind::kBuf:
+      set0(ins[0]);
+      return;
+    case CellKind::kNot:
+      set0(Aig::lit_not(ins[0]));
+      return;
+    case CellKind::kAnd:
+      set0(aig_.land_many(ins));
+      return;
+    case CellKind::kNand:
+      set0(Aig::lit_not(aig_.land_many(ins)));
+      return;
+    case CellKind::kOr:
+      set0(aig_.lor_many(ins));
+      return;
+    case CellKind::kNor:
+      set0(Aig::lit_not(aig_.lor_many(ins)));
+      return;
+    case CellKind::kXor:
+    case CellKind::kXnor: {
+      Aig::Lit acc = Aig::kFalse;
+      for (Aig::Lit l : ins) acc = aig_.lxor(acc, l);
+      set0(node.kind == CellKind::kXor ? acc : Aig::lit_not(acc));
+      return;
+    }
+    case CellKind::kMux:
+      set0(aig_.lmux(ins[0], ins[1], ins[2]));
+      return;
+    case CellKind::kJunc:
+      for (std::uint32_t p = 0; p < node.num_ports(); ++p) {
+        lits_[port_key(PortRef(id, p))] = ins[0];
+      }
+      return;
+    case CellKind::kTable:
+      compile_table(id, ins);
+      return;
+  }
+  RTV_CHECK_MSG(false, "compile_node: unhandled cell kind");
+}
+
+Aig Compiler::run() {
+  RTV_REQUIRE(init_.size() == src_.latches().size(),
+              "initial state size mismatch");
+
+  for (const NodeId id : src_.primary_inputs()) {
+    lits_[port_key(PortRef(id, 0))] = aig_.add_input();
+  }
+  const auto& latches = src_.latches();
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    lits_[port_key(PortRef(latches[i], 0))] = aig_.add_latch(init_[i] != 0);
+  }
+  for (const NodeId id : combinational_topo_order(src_)) {
+    compile_node(id);
+  }
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    aig_.set_latch_next(i, lit_of(src_.node(latches[i]).fanin[0]));
+  }
+  for (const NodeId id : src_.primary_outputs()) {
+    aig_.add_output(lit_of(src_.node(id).fanin[0]));
+  }
+  return std::move(aig_);
+}
+
+}  // namespace
+
+Aig aig_from_netlist(const Netlist& netlist, const Bits& init,
+                     ResourceBudget* budget) {
+  return Compiler(netlist, init, budget).run();
+}
+
+}  // namespace rtv

@@ -1,0 +1,24 @@
+#pragma once
+// Netlist -> AIG compiler (binary interpretation). Every combinational cell
+// maps onto structural-hashed AND/invert logic — generic kTable cells
+// expand over their minterms as a sum of products — and latches become AIG
+// state boundaries carrying an explicit power-up constant. Feed it a
+// dual-rail encoded netlist (aig/cls_encode.hpp) to obtain the unrolled-
+// miter substrate of the SAT CLS-equivalence backend.
+
+#include "aig/aig.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+#include "util/budget.hpp"
+
+namespace rtv {
+
+/// Compiles `netlist` under the plain binary semantics. `init` gives the
+/// power-up constant of each latch (same order as netlist.latches()).
+/// AIG inputs/latches/outputs are indexed in the netlist's PI/latch/PO
+/// order. With a budget attached, table-cell minterm expansion probes it
+/// and throws ResourceExhausted when blown.
+Aig aig_from_netlist(const Netlist& netlist, const Bits& init,
+                     ResourceBudget* budget = nullptr);
+
+}  // namespace rtv

@@ -1,0 +1,168 @@
+#include "bdd/cls_bdd.hpp"
+
+#include <sstream>
+
+#include "aig/cls_encode.hpp"
+#include "bdd/symbolic.hpp"
+#include "netlist/miter.hpp"
+
+namespace rtv {
+
+namespace {
+
+using Ref = BddManager::Ref;
+
+/// Walks the onion rings backward from a bad state at ring `k`, picking a
+/// concrete predecessor chain and reading the dual-rail input assignment of
+/// every step. rings[i] is the frontier first reached at step i.
+TritsSeq extract_counterexample(SymbolicMachine& machine,
+                                const std::vector<Ref>& rings, unsigned k,
+                                Ref bad_at_k, std::size_t original_inputs) {
+  BddManager& mgr = machine.manager();
+  const unsigned latches = machine.num_latches();
+
+  const auto input_trits = [&](const std::vector<bool>& model) {
+    Bits rails(2 * original_inputs, 0);
+    for (std::size_t j = 0; j < 2 * original_inputs; ++j) {
+      rails[j] = model[machine.input_var(static_cast<unsigned>(j))] ? 1 : 0;
+    }
+    return decode_trits(rails);
+  };
+  const auto state_bits = [&](const std::vector<bool>& model) {
+    Bits state(latches, 0);
+    for (unsigned i = 0; i < latches; ++i) {
+      state[i] = model[machine.state_var(i)] ? 1 : 0;
+    }
+    return state;
+  };
+
+  TritsSeq cex(k + 1);
+  std::vector<bool> model = mgr.pick_model(bad_at_k);
+  cex[k] = input_trits(model);
+  Bits successor = state_bits(model);
+
+  for (unsigned t = k; t-- > 0;) {
+    // Predecessor constraint: in ring t, and every latch's next-state
+    // function matches the chosen successor bit.
+    std::vector<Ref> conjuncts;
+    conjuncts.reserve(latches + 1);
+    conjuncts.push_back(rings[t]);
+    for (unsigned i = 0; i < latches; ++i) {
+      const Ref f = machine.next_function(i);
+      conjuncts.push_back(successor[i] != 0 ? f : mgr.bdd_not(f));
+    }
+    const Ref pred = mgr.bdd_and_many(conjuncts);
+    RTV_CHECK_MSG(pred != BddManager::kFalse,
+                  "backward cex walk lost the predecessor ring");
+    model = mgr.pick_model(pred);
+    cex[t] = input_trits(model);
+    successor = state_bits(model);
+  }
+  return cex;
+}
+
+}  // namespace
+
+BddClsOutcome bdd_cls_equivalence(const Netlist& a, const Netlist& b,
+                                  const BddEquivOptions& options,
+                                  ResourceBudget* budget) {
+  RTV_REQUIRE(a.primary_inputs().size() == b.primary_inputs().size(),
+              "designs differ in primary input count");
+  RTV_REQUIRE(a.primary_outputs().size() == b.primary_outputs().size(),
+              "designs differ in primary output count");
+
+  BddClsOutcome outcome;
+
+  // The symbolic machine carries a hard 256-variable cap per section
+  // (state, inputs). Dual-rail encoding doubles and the miter concatenates
+  // both designs, so a large-but-legitimate query can overflow it; that is
+  // an engine limitation, not a caller error — report exhaustion (so a
+  // portfolio run falls through to SAT) instead of throwing.
+  const std::size_t miter_latches = 2 * (a.latches().size() + b.latches().size());
+  const std::size_t miter_inputs = 2 * a.primary_inputs().size();
+  if (miter_latches > 256 || miter_inputs > 256) {
+    outcome.equivalent = true;
+    outcome.verdict = Verdict::kExhausted;
+    std::ostringstream os;
+    os << "design exceeds BDD engine capacity (" << miter_latches
+       << " dual-rail miter latches, " << miter_inputs
+       << " dual-rail inputs; cap 256 each)";
+    outcome.note = os.str();
+    return outcome;
+  }
+
+  try {
+    const ClsEncoding enc_a = cls_encode(a);
+    const ClsEncoding enc_b = cls_encode(b);
+    const Miter miter = build_miter(enc_a.netlist, enc_b.netlist);
+
+    Bits init = enc_a.all_x_state();
+    const Bits init_b = enc_b.all_x_state();
+    init.insert(init.end(), init_b.begin(), init_b.end());
+
+    SymbolicMachine machine(miter.netlist, options.node_limit, budget);
+    BddManager& mgr = machine.manager();
+    const Ref neq = machine.output_function(0);
+
+    std::vector<Ref> rings;
+    rings.push_back(machine.state_cube(init));
+    Ref total = rings.back();
+
+    for (unsigned k = 0;; ++k) {
+      if (budget != nullptr) budget->checkpoint_or_throw("bdd/cls-ring");
+      const Ref bad = mgr.bdd_and(rings[k], neq);
+      if (bad != BddManager::kFalse) {
+        outcome.equivalent = false;
+        outcome.verdict = Verdict::kProven;
+        outcome.iterations = k;
+        outcome.counterexample = extract_counterexample(
+            machine, rings, k, bad, a.primary_inputs().size());
+        std::ostringstream os;
+        os << "symbolic reachability found a distinguishing sequence at "
+              "depth "
+           << k;
+        outcome.note = os.str();
+        outcome.bdd_nodes = mgr.num_nodes();
+        return outcome;
+      }
+      const Ref next = machine.image(rings[k]);
+      const Ref frontier = mgr.bdd_and(next, mgr.bdd_not(total));
+      if (frontier == BddManager::kFalse) {
+        outcome.equivalent = true;
+        outcome.verdict = Verdict::kProven;
+        outcome.iterations = k + 1;
+        std::ostringstream os;
+        os << "reachability fixpoint after " << (k + 1)
+           << " images; neq unreachable";
+        outcome.note = os.str();
+        outcome.bdd_nodes = mgr.num_nodes();
+        return outcome;
+      }
+      if (options.max_iterations != 0 && k + 1 >= options.max_iterations) {
+        outcome.equivalent = true;
+        outcome.verdict = Verdict::kBounded;
+        outcome.iterations = k + 1;
+        std::ostringstream os;
+        os << "no difference within " << (k + 1)
+           << " images (iteration cap hit before the fixpoint)";
+        outcome.note = os.str();
+        outcome.bdd_nodes = mgr.num_nodes();
+        return outcome;
+      }
+      total = mgr.bdd_or(total, frontier);
+      rings.push_back(frontier);
+    }
+  } catch (const ResourceExhausted& e) {
+    outcome.equivalent = true;
+    outcome.verdict = Verdict::kExhausted;
+    outcome.note = std::string("budget exhausted: ") + e.what();
+    return outcome;
+  } catch (const CapacityError& e) {
+    outcome.equivalent = true;
+    outcome.verdict = Verdict::kExhausted;
+    outcome.note = std::string("BDD node cap: ") + e.what();
+    return outcome;
+  }
+}
+
+}  // namespace rtv

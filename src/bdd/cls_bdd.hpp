@@ -1,0 +1,48 @@
+#pragma once
+// BDD-based CLS-equivalence: the symbolic-reachability twin of the SAT
+// backend in sat/equiv.hpp. Both designs are dual-rail encoded
+// (aig/cls_encode.hpp), mitered, and the product machine's reachable set is
+// computed as onion rings from the all-X initial state ((d,u) = (0,1) per
+// latch pair); the single "neq" output is checked against each ring. A
+// fixpoint with neq unreachable is a proof of CLS equivalence; a ring
+// intersecting neq yields a concrete distinguishing ternary input sequence
+// by walking the rings backward with pick_model. Node-cap or budget
+// exhaustion degrades to kExhausted (never an exception).
+
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+#include "util/budget.hpp"
+
+namespace rtv {
+
+struct BddEquivOptions {
+  /// Node cap of the miter's BDD manager (also bounded by the budget's
+  /// bdd_node_limit when one is attached).
+  std::size_t node_limit = kDefaultBddNodeLimit;
+  /// Cap on image iterations; 0 = run to the fixpoint.
+  unsigned max_iterations = 0;
+};
+
+struct BddClsOutcome {
+  bool equivalent = false;
+  Verdict verdict = Verdict::kExhausted;
+  std::optional<TritsSeq> counterexample;
+  /// Image iterations performed (rings beyond the initial state).
+  unsigned iterations = 0;
+  /// BDD nodes in the manager when the verdict was reached.
+  std::size_t bdd_nodes = 0;
+  /// Human-readable account of how the verdict was reached.
+  std::string note;
+};
+
+/// Requires equal PI and PO counts. Verdicts: kProven (fixpoint reached or
+/// counterexample found), kBounded (max_iterations hit without a
+/// difference), kExhausted (node cap / budget blown).
+BddClsOutcome bdd_cls_equivalence(const Netlist& a, const Netlist& b,
+                                  const BddEquivOptions& options = {},
+                                  ResourceBudget* budget = nullptr);
+
+}  // namespace rtv

@@ -14,7 +14,7 @@
 #include <memory>
 
 #include "bdd/symbolic.hpp"
-#include "core/miter.hpp"
+#include "netlist/miter.hpp"
 #include "netlist/netlist.hpp"
 
 namespace rtv {

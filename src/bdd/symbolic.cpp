@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "core/miter.hpp"
+#include "netlist/miter.hpp"
 #include "sim/port_map.hpp"
 #include "util/bits.hpp"
 

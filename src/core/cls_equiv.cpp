@@ -12,6 +12,29 @@
 
 namespace rtv {
 
+const char* to_string(EquivalenceBackend backend) {
+  switch (backend) {
+    case EquivalenceBackend::kExplicit:
+      return "explicit";
+    case EquivalenceBackend::kBdd:
+      return "bdd";
+    case EquivalenceBackend::kSat:
+      return "sat";
+    case EquivalenceBackend::kPortfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
+std::optional<EquivalenceBackend> equivalence_backend_from_string(
+    std::string_view name) {
+  if (name == "explicit") return EquivalenceBackend::kExplicit;
+  if (name == "bdd") return EquivalenceBackend::kBdd;
+  if (name == "sat") return EquivalenceBackend::kSat;
+  if (name == "portfolio") return EquivalenceBackend::kPortfolio;
+  return std::nullopt;
+}
+
 std::string ClsEquivalenceResult::summary() const {
   std::ostringstream os;
   os << (equivalent ? "CLS-equivalent" : "CLS-DISTINGUISHABLE") << " ("
@@ -137,11 +160,9 @@ ClsEquivalenceResult bounded_check(const Netlist& a, const Netlist& b,
   return result;
 }
 
-}  // namespace
-
-ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
-                                           const ClsEquivOptions& options,
-                                           ResourceBudget* budget) {
+ClsEquivalenceResult explicit_engine(const Netlist& a, const Netlist& b,
+                                     const ClsEquivOptions& options,
+                                     ResourceBudget* budget) {
   RTV_REQUIRE(a.primary_inputs().size() == b.primary_inputs().size(),
               "designs differ in primary input count");
   RTV_REQUIRE(a.primary_outputs().size() == b.primary_outputs().size(),
@@ -150,12 +171,15 @@ ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
   const unsigned width = static_cast<unsigned>(a.primary_inputs().size());
   const unsigned la = static_cast<unsigned>(a.latches().size());
   const unsigned lb = static_cast<unsigned>(b.latches().size());
-  const bool can_exhaust =
-      width <= 12 && la <= 40 && lb <= 40 && pow3(width) <= options.max_branching;
+  // pow3_saturating clamps to UINT64_MAX past 3^40, so a wide-input design
+  // can never wrap around the comparison and get routed into the
+  // exhaustive enumeration it could not possibly finish.
+  const std::uint64_t branching = pow3_saturating(width);
+  const bool can_exhaust = width <= 12 && la <= 40 && lb <= 40 &&
+                           branching <= options.max_branching;
   if (!can_exhaust) return bounded_check(a, b, options, budget);
 
   ClsSimulator sa(a), sb(b);
-  const std::uint64_t branching = pow3(width);
 
   struct Entry {
     Trits state_a;
@@ -221,6 +245,39 @@ ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
   result.verdict = Verdict::kProven;
   result.pairs_explored = visited.size();
   if (budget != nullptr) result.usage = budget->usage();
+  return result;
+}
+
+}  // namespace
+
+ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
+                                           const ClsEquivOptions& options,
+                                           ResourceBudget* budget) {
+  ClsEquivalenceResult result = explicit_engine(a, b, options, budget);
+  result.decided_by = EquivalenceBackend::kExplicit;
+  std::ostringstream os;
+  switch (result.verdict) {
+    case Verdict::kProven:
+      if (result.counterexample) {
+        os << "pair BFS found a counterexample after " << result.pairs_explored
+           << " state pairs";
+      } else {
+        os << "pair-reachability BFS completed (" << result.pairs_explored
+           << " state pairs)";
+      }
+      break;
+    case Verdict::kBounded:
+      if (result.counterexample) {
+        os << "random sampling found a counterexample";
+      } else {
+        os << "random sampling completed without a difference";
+      }
+      break;
+    case Verdict::kExhausted:
+      os << "budget exhausted mid-search";
+      break;
+  }
+  result.decided_reason = os.str();
   return result;
 }
 

@@ -16,12 +16,36 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "netlist/netlist.hpp"
 #include "sim/vectors.hpp"
 #include "util/budget.hpp"
 
 namespace rtv {
+
+/// The engine families that can answer a CLS-equivalence query (see
+/// core/verify.hpp for the dispatching entry point and docs/backends.md for
+/// the engine matrix):
+///  * kExplicit  — ternary state-pair BFS / packed random sampling (this
+///                 file; the original engine);
+///  * kBdd       — symbolic reachability over the dual-rail encoded miter
+///                 (bdd/cls_bdd.hpp);
+///  * kSat       — CDCL BMC + k-induction over the unrolled miter AIG
+///                 (sat/equiv.hpp);
+///  * kPortfolio — BDD and SAT raced on the same query with verdict
+///                 cross-checking.
+enum class EquivalenceBackend : std::uint8_t {
+  kExplicit,
+  kBdd,
+  kSat,
+  kPortfolio,
+};
+
+const char* to_string(EquivalenceBackend backend);
+/// Parses "explicit" | "bdd" | "sat" | "portfolio"; nullopt otherwise.
+std::optional<EquivalenceBackend> equivalence_backend_from_string(
+    std::string_view name);
 
 struct ClsEquivOptions {
   /// Exhaustive BFS is used when 3^num_inputs <= max_branching and both
@@ -57,6 +81,13 @@ struct ClsEquivalenceResult {
   std::size_t pairs_explored = 0;
   /// Resource consumption snapshot (all-zero when run without a budget).
   ResourceUsage usage;
+  /// Which engine produced this verdict (kExplicit for the legacy entry
+  /// point; the dispatcher in core/verify.hpp stamps the winning engine,
+  /// which for portfolio runs is whichever backend concluded first).
+  EquivalenceBackend decided_by = EquivalenceBackend::kExplicit;
+  /// One-line human-readable account of why that engine decided (e.g.
+  /// "k-induction closed at k=2", "reachability fixpoint after 4 images").
+  std::string decided_reason;
 
   std::string summary() const;
 };
@@ -67,6 +98,12 @@ struct ClsEquivalenceResult {
 /// throws on exhaustion: blowing the pair cap, step quota, deadline or a
 /// cancellation degrades down the ladder (exhaustive BFS -> bounded random
 /// checking -> partial kExhausted report) and labels the verdict honestly.
+///
+/// DEPRECATED shim: this is the explicit engine only, kept for source
+/// compatibility. New code should call verify_cls_equivalence
+/// (core/verify.hpp), which dispatches over every backend — it behaves
+/// identically to this function when VerifyOptions::backend is kExplicit
+/// (the default).
 ClsEquivalenceResult check_cls_equivalence(const Netlist& a, const Netlist& b,
                                            const ClsEquivOptions& options = {},
                                            ResourceBudget* budget = nullptr);

@@ -88,7 +88,7 @@ FlowReport run_synthesis_flow(const Netlist& design,
 
   if (options.redundancy_removal && budget.checkpoint("flow/redundancy")) {
     RedundancyOptions ropt;
-    ropt.cls = options.cls;
+    ropt.verify = options.verify;
     RedundancyRemovalResult rr =
         remove_cls_redundancies(work, ropt, 64, &budget);
     report.redundancy_curtailed = !rr.complete;
@@ -102,7 +102,7 @@ FlowReport run_synthesis_flow(const Netlist& design,
   report.registers_after = work.num_latches();
   report.gates_after = work.num_gates();
   budget.checkpoint("flow/cls-gate");
-  report.cls = check_cls_equivalence(design, work, options.cls, &budget);
+  report.cls = verify_cls_equivalence(design, work, options.verify, &budget);
   report.optimized = std::move(work);
   report.verdict = budget.exhausted() ? Verdict::kExhausted : report.cls.verdict;
   report.usage = budget.usage();

@@ -10,8 +10,8 @@
 
 #include <string>
 
-#include "core/cls_equiv.hpp"
 #include "core/safety.hpp"
+#include "core/verify.hpp"
 #include "netlist/netlist.hpp"
 
 namespace rtv {
@@ -38,7 +38,9 @@ struct FlowOptions {
   /// CLS-preserving redundancy removal (expensive: per-fault equivalence
   /// proofs); only sensible for small designs.
   bool redundancy_removal = false;
-  ClsEquivOptions cls;
+  /// The CLS equivalence gate: backend selection plus every engine's
+  /// sub-options (core/verify.hpp). The explicit engine stays the default.
+  VerifyOptions verify;
   /// Resource governance: one budget built from these limits spans every
   /// phase of the flow (cleanup, retiming, redundancy removal, CLS gate).
   ResourceLimits budget;

@@ -9,7 +9,7 @@ bool is_cls_redundant(const Netlist& netlist, const Fault& fault,
                       ResourceBudget* budget) {
   const Netlist faulty = inject_fault(netlist, fault);
   const ClsEquivalenceResult r =
-      check_cls_equivalence(netlist, faulty, options.cls, budget);
+      verify_cls_equivalence(netlist, faulty, options.verify, budget);
   // A budget-curtailed check proves nothing — never tie on its say-so.
   if (r.verdict == Verdict::kExhausted) return false;
   if (!r.equivalent) return false;
@@ -62,7 +62,7 @@ RedundancyRemovalResult remove_cls_redundancies(
   // (Under an exhausted budget this degrades to a partial check; the
   // construction itself only ever tied faults with completed proofs.)
   const ClsEquivalenceResult verdict =
-      check_cls_equivalence(netlist, current, options.cls, budget);
+      verify_cls_equivalence(netlist, current, options.verify, budget);
   RTV_CHECK_MSG(verdict.equivalent,
                 "redundancy removal changed CLS-observable behaviour");
 

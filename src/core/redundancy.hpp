@@ -15,14 +15,16 @@
 
 #include <vector>
 
-#include "core/cls_equiv.hpp"
+#include "core/verify.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 
 namespace rtv {
 
 struct RedundancyOptions {
-  ClsEquivOptions cls;
+  /// Per-fault equivalence proofs run through this backend selection
+  /// (core/verify.hpp); the explicit engine stays the default.
+  VerifyOptions verify;
   /// Only faults whose equivalence was proven exhaustively count as
   /// redundant when true; bounded-mode "equivalent" results are skipped
   /// (they are evidence, not proof).

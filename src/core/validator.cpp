@@ -33,7 +33,7 @@ RetimingValidation validate_retiming(const Netlist& original,
   SequencedRetiming seq;
   v.safety = analyze_lag_retiming(original, graph, lag, &seq);
   v.retimed = std::move(seq.retimed);
-  v.cls = check_cls_equivalence(original, v.retimed, options.cls, &budget);
+  v.cls = verify_cls_equivalence(original, v.retimed, options.verify, &budget);
 
   // Corollary 5.3 is unconditional (given the all-X-preserving library);
   // a CLS mismatch falsifies the paper (or this implementation). A found

@@ -13,15 +13,17 @@
 #include <string>
 #include <vector>
 
-#include "core/cls_equiv.hpp"
 #include "core/safety.hpp"
+#include "core/verify.hpp"
 #include "netlist/netlist.hpp"
 #include "retime/graph.hpp"
 
 namespace rtv {
 
 struct ValidationOptions {
-  ClsEquivOptions cls;
+  /// The CLS equivalence gate: backend selection plus every engine's
+  /// sub-options (core/verify.hpp). The explicit engine stays the default.
+  VerifyOptions verify;
   /// Exact STG analysis runs only when both designs fit these caps.
   unsigned max_stg_latches = 14;
   unsigned max_stg_inputs = 8;

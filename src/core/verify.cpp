@@ -1,0 +1,231 @@
+#include "core/verify.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace rtv {
+
+namespace {
+
+/// A found counterexample must actually distinguish the designs under the
+/// concrete CLS simulators; anything else is an engine bug, surfaced as an
+/// InternalError (never a degradation).
+void validate_counterexample(const Netlist& a, const Netlist& b,
+                             const ClsEquivalenceResult& result) {
+  if (!result.counterexample) return;
+  if (cls_outputs_match(a, b, *result.counterexample)) {
+    throw InternalError(
+        std::string("equivalence backend '") + to_string(result.decided_by) +
+        "' returned a counterexample that does not distinguish the designs: " +
+        sequence_to_string(*result.counterexample));
+  }
+}
+
+ClsEquivalenceResult from_bdd(const BddClsOutcome& outcome,
+                              ResourceBudget* budget) {
+  ClsEquivalenceResult result;
+  result.equivalent = outcome.equivalent;
+  result.verdict = outcome.verdict;
+  result.exhaustive = outcome.verdict == Verdict::kProven;
+  result.counterexample = outcome.counterexample;
+  result.decided_by = EquivalenceBackend::kBdd;
+  result.decided_reason = outcome.note;
+  if (budget != nullptr) result.usage = budget->usage();
+  return result;
+}
+
+ClsEquivalenceResult from_sat(const SatClsOutcome& outcome,
+                              ResourceBudget* budget) {
+  ClsEquivalenceResult result;
+  result.equivalent = outcome.equivalent;
+  result.verdict = outcome.verdict;
+  result.exhaustive = outcome.verdict == Verdict::kProven;
+  result.counterexample = outcome.counterexample;
+  result.decided_by = EquivalenceBackend::kSat;
+  result.decided_reason = outcome.note;
+  if (budget != nullptr) result.usage = budget->usage();
+  return result;
+}
+
+/// Limits for one portfolio engine: the caller's caps minus what the parent
+/// budget has already consumed (each engine gets its own budget object and
+/// cancellation token, so one engine blowing its slice never flips the
+/// sibling's budget).
+ResourceLimits slice_limits(ResourceBudget* parent) {
+  if (parent == nullptr) return ResourceLimits{};
+  ResourceLimits limits = parent->limits();
+  if (limits.time_budget_ms != 0) {
+    const double remaining =
+        static_cast<double>(limits.time_budget_ms) - parent->elapsed_ms();
+    limits.time_budget_ms =
+        remaining > 1.0 ? static_cast<std::uint64_t>(remaining) : 1;
+  }
+  if (limits.step_quota != 0) {
+    const std::uint64_t used = parent->usage().steps;
+    limits.step_quota = used < limits.step_quota ? limits.step_quota - used : 1;
+  }
+  return limits;
+}
+
+ClsEquivalenceResult run_portfolio(const Netlist& a, const Netlist& b,
+                                   const VerifyOptions& options,
+                                   ResourceBudget* budget) {
+  CancellationToken bdd_cancel, sat_cancel;
+  ResourceLimits bdd_limits = slice_limits(budget);
+  bdd_limits.bdd_node_limit = options.bdd.node_limit < bdd_limits.bdd_node_limit
+                                  ? options.bdd.node_limit
+                                  : bdd_limits.bdd_node_limit;
+  ResourceBudget bdd_budget(bdd_limits, bdd_cancel);
+  ResourceBudget sat_budget(slice_limits(budget), sat_cancel);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done[2] = {false, false};
+  int first_conclusive = -1;  // 0 = bdd, 1 = sat
+  BddClsOutcome bdd_outcome;
+  SatClsOutcome sat_outcome;
+  std::exception_ptr errors[2];
+
+  const auto finish_engine = [&](int which, bool conclusive) {
+    std::lock_guard<std::mutex> lock(mutex);
+    done[which] = true;
+    if (conclusive && first_conclusive < 0) {
+      first_conclusive = which;
+      // The race is decided: stop the sibling.
+      (which == 0 ? sat_cancel : bdd_cancel).request_cancel();
+    }
+    cv.notify_all();
+  };
+
+  std::thread bdd_thread([&] {
+    bool conclusive = false;
+    try {
+      bdd_outcome = bdd_cls_equivalence(a, b, options.bdd, &bdd_budget);
+      conclusive = bdd_outcome.verdict == Verdict::kProven;
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    finish_engine(0, conclusive);
+  });
+  std::thread sat_thread([&] {
+    bool conclusive = false;
+    try {
+      sat_outcome = sat_cls_equivalence(a, b, options.sat, &sat_budget);
+      conclusive = sat_outcome.verdict == Verdict::kProven;
+    } catch (...) {
+      errors[1] = std::current_exception();
+    }
+    finish_engine(1, conclusive);
+  });
+
+  {
+    // Babysit the race: relay a blown parent budget (deadline, cancellation,
+    // injected fault) to both engines so the portfolio honours its caller's
+    // caps even while both engines are mid-flight.
+    std::unique_lock<std::mutex> lock(mutex);
+    bool parent_blown = false;
+    while (!(done[0] && done[1])) {
+      cv.wait_for(lock, std::chrono::milliseconds(10));
+      if (!parent_blown && budget != nullptr &&
+          !budget->checkpoint("portfolio/wait")) {
+        parent_blown = true;
+        bdd_cancel.request_cancel();
+        sat_cancel.request_cancel();
+      }
+    }
+  }
+  bdd_thread.join();
+  sat_thread.join();
+
+  if (errors[0]) std::rethrow_exception(errors[0]);
+  if (errors[1]) std::rethrow_exception(errors[1]);
+
+  const bool bdd_conclusive = bdd_outcome.verdict == Verdict::kProven;
+  const bool sat_conclusive = sat_outcome.verdict == Verdict::kProven;
+
+  if (options.portfolio.cross_check && bdd_conclusive && sat_conclusive &&
+      bdd_outcome.equivalent != sat_outcome.equivalent) {
+    std::ostringstream os;
+    os << "portfolio cross-check failed: BDD and SAT backends disagree on a "
+          "conclusive verdict (bdd: "
+       << (bdd_outcome.equivalent ? "equivalent" : "distinguishable") << " — "
+       << bdd_outcome.note << "; sat: "
+       << (sat_outcome.equivalent ? "equivalent" : "distinguishable") << " — "
+       << sat_outcome.note << ")";
+    throw BackendDisagreement(os.str());
+  }
+
+  // Merged usage across both slices (the engines ran concurrently, so the
+  // wall clock is the max, not the sum).
+  const ResourceUsage bdd_usage = bdd_budget.usage();
+  const ResourceUsage sat_usage = sat_budget.usage();
+  ResourceUsage merged;
+  merged.wall_ms = std::max(bdd_usage.wall_ms, sat_usage.wall_ms);
+  merged.steps = bdd_usage.steps + sat_usage.steps;
+  merged.peak_bdd_nodes =
+      std::max(bdd_usage.peak_bdd_nodes, sat_usage.peak_bdd_nodes);
+
+  ClsEquivalenceResult result;
+  if (bdd_conclusive || sat_conclusive) {
+    const int winner =
+        first_conclusive >= 0 ? first_conclusive : (bdd_conclusive ? 0 : 1);
+    result = winner == 0 ? from_bdd(bdd_outcome, nullptr)
+                         : from_sat(sat_outcome, nullptr);
+    result.decided_reason = "portfolio: " + result.decided_reason +
+                            (bdd_conclusive && sat_conclusive
+                                 ? " [cross-checked: engines agree]"
+                                 : "");
+  } else if (sat_outcome.verdict == Verdict::kBounded) {
+    result = from_sat(sat_outcome, nullptr);
+    result.decided_reason = "portfolio: no engine concluded; best evidence "
+                            "from sat (" +
+                            sat_outcome.note + ")";
+  } else if (bdd_outcome.verdict == Verdict::kBounded) {
+    result = from_bdd(bdd_outcome, nullptr);
+    result.decided_reason = "portfolio: no engine concluded; best evidence "
+                            "from bdd (" +
+                            bdd_outcome.note + ")";
+  } else {
+    result = from_sat(sat_outcome, nullptr);
+    result.decided_reason = "portfolio: both engines exhausted (bdd: " +
+                            bdd_outcome.note + "; sat: " + sat_outcome.note +
+                            ")";
+    merged.exhausted = true;
+    merged.blown = sat_usage.blown ? sat_usage.blown : bdd_usage.blown;
+  }
+  result.usage = budget != nullptr ? budget->usage() : merged;
+  return result;
+}
+
+}  // namespace
+
+ClsEquivalenceResult verify_cls_equivalence(const Netlist& a, const Netlist& b,
+                                            const VerifyOptions& options,
+                                            ResourceBudget* budget) {
+  RTV_REQUIRE(a.primary_inputs().size() == b.primary_inputs().size(),
+              "designs differ in primary input count");
+  RTV_REQUIRE(a.primary_outputs().size() == b.primary_outputs().size(),
+              "designs differ in primary output count");
+
+  ClsEquivalenceResult result;
+  switch (options.backend) {
+    case EquivalenceBackend::kExplicit:
+      result = check_cls_equivalence(a, b, options.explicit_opts, budget);
+      break;
+    case EquivalenceBackend::kBdd:
+      result = from_bdd(bdd_cls_equivalence(a, b, options.bdd, budget), budget);
+      break;
+    case EquivalenceBackend::kSat:
+      result = from_sat(sat_cls_equivalence(a, b, options.sat, budget), budget);
+      break;
+    case EquivalenceBackend::kPortfolio:
+      result = run_portfolio(a, b, options, budget);
+      break;
+  }
+  validate_counterexample(a, b, result);
+  return result;
+}
+
+}  // namespace rtv

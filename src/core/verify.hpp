@@ -1,0 +1,63 @@
+#pragma once
+// Backend-agnostic CLS-equivalence verification — the unified entry point
+// in front of the explicit pair-BFS engine (core/cls_equiv.hpp), the BDD
+// symbolic-reachability backend (bdd/cls_bdd.hpp) and the AIG/SAT backend
+// (sat/equiv.hpp). One VerifyOptions selects the backend and carries every
+// engine's sub-options; every result is a ClsEquivalenceResult stamped with
+// which backend decided (decided_by) and why (decided_reason).
+//
+// Portfolio mode races the BDD and SAT backends concurrently on the same
+// query, each under its own slice of the caller's budget (so one engine
+// exhausting its slice can never poison the other), cancels the loser as
+// soon as either produces a conclusive (kProven) answer, and — whenever
+// both engines conclude — cross-checks their verdicts: a disagreement
+// between two independent engines is a BackendDisagreement hard error,
+// surfaced loudly and never silently resolved. Counterexamples from every
+// backend are replay-validated against the concrete CLS simulators before
+// being returned.
+
+#include "bdd/cls_bdd.hpp"
+#include "core/cls_equiv.hpp"
+#include "sat/equiv.hpp"
+
+namespace rtv {
+
+struct PortfolioOptions {
+  /// When both engines reach conclusive verdicts, require them to agree
+  /// (throwing BackendDisagreement otherwise). Disabling this is only
+  /// meant for harness tests of the cross-check machinery itself.
+  bool cross_check = true;
+};
+
+/// The consolidated option set of every equivalence backend. Engines read
+/// only their own sub-struct; `backend` picks who answers.
+struct VerifyOptions {
+  EquivalenceBackend backend = EquivalenceBackend::kExplicit;
+  /// Explicit engine (pair BFS / packed random sampling) knobs.
+  ClsEquivOptions explicit_opts;
+  BddEquivOptions bdd;
+  SatEquivOptions sat;
+  PortfolioOptions portfolio;
+};
+
+/// Two independent engines returned contradictory conclusive verdicts on
+/// the same query — a bug in one of them, never a degradation. Subclasses
+/// InternalError so the CLI / serve layers map it onto their
+/// internal-error envelopes (exit code 70 / "internal" error code).
+class BackendDisagreement : public InternalError {
+ public:
+  explicit BackendDisagreement(const std::string& what)
+      : InternalError(what) {}
+};
+
+/// Dispatching twin of check_cls_equivalence: answers the same query with
+/// the backend selected in `options`. Requires equal PI and PO counts.
+/// With a budget attached every backend degrades down the Verdict ladder
+/// instead of throwing on exhaustion. Throws BackendDisagreement (portfolio
+/// cross-check failure) or InternalError (a backend returned an invalid
+/// counterexample) — both are engine bugs, not degradations.
+ClsEquivalenceResult verify_cls_equivalence(const Netlist& a, const Netlist& b,
+                                            const VerifyOptions& options = {},
+                                            ResourceBudget* budget = nullptr);
+
+}  // namespace rtv

@@ -1,4 +1,4 @@
-#include "core/miter.hpp"
+#include "netlist/miter.hpp"
 
 namespace rtv {
 

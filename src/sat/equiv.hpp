@@ -1,0 +1,65 @@
+#pragma once
+// SAT-based CLS-equivalence (the ROADMAP's "second backend"): both designs
+// are dual-rail encoded (aig/cls_encode.hpp), their encodings mitered and
+// compiled to an AIG, and the single "neq" output checked over the unrolled
+// time frames with a CDCL solver:
+//
+//  * BMC — frames from the all-X initial state ((d,u) = (0,1) per latch).
+//    SAT at depth k yields a concrete distinguishing ternary input sequence
+//    (definitive: the pair is CLS-distinguishable); UNSAT advances.
+//  * k-induction — a second, free-initial-state unroller. If
+//    "neq clean for k frames, neq at frame k+0" is unsatisfiable from ANY
+//    state, then together with the BMC base case the designs are
+//    CLS-equivalent on every input sequence (definitive proof). Frame-0
+//    states are constrained with the dual-rail normalization invariant
+//    (!(d & u) per latch pair) — an invariant of every reachable encoded
+//    state that substantially strengthens induction. No uniqueness
+//    constraints are added, so induction may fail to converge (incomplete
+//    but sound); BMC keeps deepening until max_depth.
+//
+// Verdict mapping: cex -> kProven (not equivalent); induction closes ->
+// kProven (equivalent); depth cap hit -> kBounded (equivalent-so-far
+// evidence); budget/conflict caps tripped -> kExhausted.
+
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/vectors.hpp"
+#include "util/budget.hpp"
+
+namespace rtv {
+
+struct SatEquivOptions {
+  /// Maximum BMC depth (frames - 1); depth d checks sequences of d+1 input
+  /// vectors.
+  unsigned max_depth = 64;
+  /// Try to close the proof by k-induction up to this k (0 disables).
+  unsigned max_induction_depth = 32;
+  /// Per-solve conflict cap (0 = unlimited; the ResourceBudget still
+  /// governs).
+  std::uint64_t conflict_limit = 0;
+};
+
+struct SatClsOutcome {
+  bool equivalent = false;
+  Verdict verdict = Verdict::kBounded;
+  std::optional<TritsSeq> counterexample;
+  /// Deepest frame proven difference-free by BMC.
+  unsigned depth_reached = 0;
+  /// k at which induction closed (meaningful when proven equivalent).
+  unsigned induction_depth = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  /// Human-readable account of how the verdict was reached.
+  std::string note;
+};
+
+/// Requires equal PI and PO counts. With a budget attached the search
+/// degrades to kExhausted instead of throwing when the budget blows.
+SatClsOutcome sat_cls_equivalence(const Netlist& a, const Netlist& b,
+                                  const SatEquivOptions& options = {},
+                                  ResourceBudget* budget = nullptr);
+
+}  // namespace rtv

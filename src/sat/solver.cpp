@@ -1,0 +1,373 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rtv::sat {
+
+// ---- VarOrder --------------------------------------------------------------
+
+void Solver::VarOrder::up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    pos_[heap_[i]] = static_cast<int>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  pos_[v] = static_cast<int>(i);
+}
+
+void Solver::VarOrder::down(std::size_t i) {
+  const Var v = heap_[i];
+  while (2 * i + 1 < heap_.size()) {
+    std::size_t child = 2 * i + 1;
+    if (child + 1 < heap_.size() && less(heap_[child], heap_[child + 1])) {
+      ++child;
+    }
+    if (!less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    pos_[heap_[i]] = static_cast<int>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  pos_[v] = static_cast<int>(i);
+}
+
+void Solver::VarOrder::insert(Var v) {
+  if (contains(v)) return;
+  heap_.push_back(v);
+  pos_[v] = static_cast<int>(heap_.size() - 1);
+  up(heap_.size() - 1);
+}
+
+void Solver::VarOrder::bumped(Var v) {
+  if (contains(v)) up(static_cast<std::size_t>(pos_[v]));
+}
+
+Var Solver::VarOrder::pop_max() {
+  const Var top = heap_.front();
+  pos_[top] = -1;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    pos_[last] = 0;
+    down(0);
+  }
+  return top;
+}
+
+// ---- Solver ----------------------------------------------------------------
+
+Solver::Solver() : order_(activity_) {}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(value_.size());
+  value_.push_back(-1);
+  polarity_.push_back(1);  // default phase: false
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_.grow();
+  order_.insert(v);
+  return v;
+}
+
+void Solver::attach(std::uint32_t ref) {
+  const Clause& c = clauses_[ref];
+  watches_[c.lits[0]].push_back(ref);
+  watches_[c.lits[1]].push_back(ref);
+}
+
+void Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return;
+  RTV_CHECK_MSG(decision_level() == 0, "add_clause above decision level 0");
+  // Normalize: sort, dedupe, drop tautologies and level-0-false literals.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (const Lit l : lits) {
+    RTV_REQUIRE(var_of(l) < num_vars(), "clause literal out of range");
+    if (!out.empty() && out.back() == l) continue;
+    if (!out.empty() && out.back() == neg(l)) return;  // tautology
+    const int8_t v = value_lit(l);
+    if (v == 0) return;       // already satisfied at level 0
+    if (v == 1) continue;     // false at level 0: drop the literal
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) ok_ = false;
+    return;
+  }
+  clauses_.push_back(Clause{std::move(out)});
+  attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+}
+
+void Solver::enqueue(Lit l, std::uint32_t reason) {
+  const Var v = var_of(l);
+  value_[v] = static_cast<int8_t>(l & 1u);
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+std::uint32_t Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    const Lit false_lit = neg(p);
+    std::vector<std::uint32_t>& watch_list = watches_[false_lit];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const std::uint32_t ref = watch_list[i];
+      Clause& c = clauses_[ref];
+      // Ensure the false literal sits in slot 1.
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      if (value_lit(c.lits[0]) == 0) {
+        watch_list[keep++] = ref;  // satisfied: keep the watch
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t j = 2; j < c.lits.size(); ++j) {
+        if (value_lit(c.lits[j]) != 1) {
+          std::swap(c.lits[1], c.lits[j]);
+          watches_[c.lits[1]].push_back(ref);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watch_list[keep++] = ref;
+      if (value_lit(c.lits[0]) == 1) {
+        // Conflict: restore the remaining watches and report.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return ref;
+      }
+      enqueue(c.lits[0], ref);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::bump_activity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_.bumped(v);
+}
+
+void Solver::decay_activities() { var_inc_ *= (1.0 / 0.95); }
+
+void Solver::analyze(std::uint32_t confl, std::vector<Lit>& learnt,
+                     unsigned& bt_level) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting (first-UIP) literal
+  unsigned path_count = 0;
+  Lit p = kLitUndef;
+  std::size_t index = trail_.size();
+  std::vector<Var> to_clear;
+
+  do {
+    RTV_CHECK_MSG(confl != kNoReason, "conflict analysis lost its reason");
+    const Clause& c = clauses_[confl];
+    for (std::size_t j = (p == kLitUndef ? 0 : 1); j < c.lits.size(); ++j) {
+      const Lit q = c.lits[j];
+      const Var v = var_of(q);
+      if (seen_[v] == 0 && level_[v] > 0) {
+        seen_[v] = 1;
+        to_clear.push_back(v);
+        bump_activity(v);
+        if (level_[v] >= decision_level()) {
+          ++path_count;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Walk back to the next marked trail literal.
+    while (seen_[var_of(trail_[--index])] == 0) {
+    }
+    p = trail_[index];
+    confl = reason_[var_of(p)];
+    seen_[var_of(p)] = 0;
+    --path_count;
+  } while (path_count > 0);
+  learnt[0] = neg(p);
+
+  // Backtrack level: highest level among the non-asserting literals; put
+  // one literal of that level in slot 1 so it is watched.
+  bt_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[var_of(learnt[i])] > level_[var_of(learnt[max_i])]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[var_of(learnt[1])];
+  }
+  for (const Var v : to_clear) seen_[v] = 0;
+}
+
+void Solver::record_learnt(std::vector<Lit> learnt) {
+  ++stats_.learnt_clauses;
+  if (learnt.size() == 1) {
+    enqueue(learnt[0], kNoReason);
+    return;
+  }
+  clauses_.push_back(Clause{std::move(learnt)});
+  const std::uint32_t ref = static_cast<std::uint32_t>(clauses_.size() - 1);
+  attach(ref);
+  enqueue(clauses_[ref].lits[0], ref);
+}
+
+void Solver::cancel_until(unsigned level) {
+  if (decision_level() <= level) return;
+  const std::size_t bound = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = var_of(trail_[i]);
+    polarity_[v] = static_cast<std::uint8_t>(value_[v]);
+    value_[v] = -1;
+    reason_[v] = kNoReason;
+    order_.insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(level);
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  while (!order_.empty()) {
+    // pop_max is safe here: order_ only empties when all vars are assigned.
+    Var v = order_.pop_max();
+    if (value_[v] < 0) return mk_lit(v, polarity_[v] != 0);
+  }
+  return kLitUndef;
+}
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t x) {
+  std::uint64_t size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x %= size;
+  }
+  return 1ULL << seq;
+}
+
+}  // namespace
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
+                             ResourceBudget* budget,
+                             std::uint64_t conflict_limit) {
+  if (!ok_) return Result::kUnsat;
+  for (const Lit a : assumptions) {
+    RTV_REQUIRE(var_of(a) < num_vars(), "assumption literal out of range");
+  }
+
+  std::uint64_t conflicts_this_call = 0;
+  std::uint64_t restart_base = 100;
+  std::uint64_t conflicts_until_restart = restart_base * luby(0);
+  std::uint64_t restart_index = 0;
+  std::vector<Lit> learnt;
+
+  const auto finish = [&](Result r) {
+    cancel_until(0);
+    return r;
+  };
+
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return finish(Result::kUnsat);
+  }
+
+  for (;;) {
+    const std::uint32_t confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_call;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return finish(Result::kUnsat);
+      }
+      unsigned bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      cancel_until(bt_level);
+      record_learnt(std::move(learnt));
+      learnt = {};
+      decay_activities();
+
+      if (conflict_limit != 0 && conflicts_this_call >= conflict_limit) {
+        return finish(Result::kUnknown);
+      }
+      if (budget != nullptr &&
+          conflicts_this_call % kBudgetCheckInterval == 0 &&
+          !budget->checkpoint("sat/conflict")) {
+        return finish(Result::kUnknown);
+      }
+      if (conflicts_this_call >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_index;
+        conflicts_until_restart =
+            conflicts_this_call + restart_base * luby(restart_index);
+        cancel_until(0);
+      }
+      continue;
+    }
+
+    if (decision_level() < assumptions.size()) {
+      const Lit a = assumptions[decision_level()];
+      const int8_t v = value_lit(a);
+      if (v == 1) return finish(Result::kUnsat);  // assumption already false
+      new_decision_level();
+      if (v < 0) {
+        ++stats_.decisions;
+        enqueue(a, kNoReason);
+      }
+      continue;
+    }
+
+    const Lit next = pick_branch();
+    if (next == kLitUndef) {
+      model_ = value_;
+      return finish(Result::kSat);
+    }
+    ++stats_.decisions;
+    new_decision_level();
+    enqueue(next, kNoReason);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  RTV_REQUIRE(v < model_.size(), "model_value before a kSat solve");
+  return model_[v] == 0;
+}
+
+}  // namespace rtv::sat

@@ -1,0 +1,149 @@
+#pragma once
+// Small CDCL SAT solver — the decision engine of the AIG/SAT equivalence
+// backend. Classic MiniSat-style architecture, sized for the unrolled-miter
+// CNFs the Tseitin encoder produces:
+//
+//  * two-literal watching with lazy watch repair in propagate();
+//  * first-UIP conflict clause learning;
+//  * VSIDS-lite branching (exponentially decayed per-variable activity in
+//    an indexed max-heap) with phase saving;
+//  * Luby-sequence restarts;
+//  * incremental solving under assumptions: solve() re-decides the
+//    assumption prefix after every restart/backjump, clauses may be added
+//    between calls, learnt clauses persist.
+//
+// Resource governance: solve() probes a ResourceBudget (deadline,
+// cancellation, step quota, fault injection) every kBudgetCheckInterval
+// conflicts and honours an optional per-call conflict cap; both degrade to
+// Result::kUnknown, never an exception. Learnt clauses are kept for the
+// lifetime of the solver (no database reduction) — the budget and conflict
+// caps bound memory in practice for the BMC/induction workloads this
+// serves.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/budget.hpp"
+
+namespace rtv::sat {
+
+using Var = std::uint32_t;
+/// Literal encoding: 2 * var + sign (sign 1 = negated).
+using Lit = std::uint32_t;
+
+inline constexpr Lit kLitUndef = 0xffffffffu;
+
+constexpr Lit mk_lit(Var v, bool negated = false) {
+  return 2 * v + (negated ? 1u : 0u);
+}
+constexpr Var var_of(Lit l) { return l >> 1; }
+constexpr bool sign_of(Lit l) { return (l & 1u) != 0; }
+constexpr Lit neg(Lit l) { return l ^ 1u; }
+
+class Solver {
+ public:
+  enum class Result { kSat, kUnsat, kUnknown };
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learnt_clauses = 0;
+  };
+
+  Solver();
+
+  Var new_var();
+  std::size_t num_vars() const { return value_.size(); }
+
+  /// Adds a clause (top level). Duplicate and level-0-false literals are
+  /// removed, tautologies and already-satisfied clauses dropped. An empty
+  /// clause (or a unit contradicting a level-0 assignment) makes the solver
+  /// permanently unsatisfiable (okay() == false).
+  void add_clause(std::vector<Lit> lits);
+
+  /// Solves under the given assumptions. `conflict_limit` (0 = none) caps
+  /// the conflicts of THIS call; the budget (nullptr = ungoverned) is
+  /// probed at conflict checkpoints. Returns kUnknown when either trips.
+  /// kUnsat means the clauses are unsatisfiable together with the
+  /// assumptions (permanently so iff okay() is false afterwards).
+  Result solve(const std::vector<Lit>& assumptions = {},
+               ResourceBudget* budget = nullptr,
+               std::uint64_t conflict_limit = 0);
+
+  /// Model access, valid after solve() returned kSat.
+  bool model_value(Var v) const;
+
+  bool okay() const { return ok_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kNoReason = 0xffffffffu;
+  static constexpr std::uint64_t kBudgetCheckInterval = 256;
+
+  struct Clause {
+    std::vector<Lit> lits;
+  };
+
+  // Indexed max-heap over activity_ (VSIDS-lite order).
+  class VarOrder {
+   public:
+    explicit VarOrder(const std::vector<double>& activity)
+        : activity_(activity) {}
+    void grow() { pos_.push_back(-1); }
+    bool empty() const { return heap_.empty(); }
+    bool contains(Var v) const { return pos_[v] >= 0; }
+    void insert(Var v);
+    void bumped(Var v);  // percolate up after an activity increase
+    Var pop_max();
+
+   private:
+    bool less(Var a, Var b) const { return activity_[a] < activity_[b]; }
+    void up(std::size_t i);
+    void down(std::size_t i);
+
+    const std::vector<double>& activity_;
+    std::vector<Var> heap_;
+    std::vector<int> pos_;
+  };
+
+  int8_t value_lit(Lit l) const {
+    const int8_t v = value_[var_of(l)];
+    return v < 0 ? v : static_cast<int8_t>(v ^ static_cast<int8_t>(l & 1u));
+  }
+  unsigned decision_level() const {
+    return static_cast<unsigned>(trail_lim_.size());
+  }
+
+  void enqueue(Lit l, std::uint32_t reason);
+  std::uint32_t propagate();  // returns conflicting clause or kNoReason
+  void analyze(std::uint32_t confl, std::vector<Lit>& learnt,
+               unsigned& bt_level);
+  void record_learnt(std::vector<Lit> learnt);
+  void new_decision_level() { trail_lim_.push_back(trail_.size()); }
+  void cancel_until(unsigned level);
+  void bump_activity(Var v);
+  void decay_activities();
+  Lit pick_branch();
+  void attach(std::uint32_t ref);
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::uint32_t>> watches_;  // per literal
+  std::vector<int8_t> value_;        // per var: -1 undef, 0 true, 1 false
+  std::vector<std::uint8_t> polarity_;  // saved phase (1 = last was false)
+  std::vector<unsigned> level_;
+  std::vector<std::uint32_t> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  VarOrder order_;
+  std::vector<std::uint8_t> seen_;
+  std::vector<int8_t> model_;
+  Stats stats_;
+};
+
+}  // namespace rtv::sat

@@ -1,0 +1,55 @@
+#pragma once
+// Time-frame expansion of an AIG into a Solver's CNF via Tseitin encoding.
+// Frames are built lazily: asking for a literal at frame t materializes
+// frames 0..t. Latches at frame t > 0 take the solver literal of their
+// next-state function at frame t-1; at frame 0 they are either pinned to
+// their power-up constants (BMC from the initial state) or left as free
+// variables (the induction unroller, where any state may start a trace).
+//
+// Each AND node contributes the three Tseitin clauses
+//   (!f | a) (!f | b) (f | !a | !b)
+// per frame; structural hashing in the Aig already deduplicated the logic,
+// so no CNF-level simplification is attempted beyond the solver's own
+// level-0 propagation of the pinned constants.
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace rtv::sat {
+
+class Unroller {
+ public:
+  /// `constrain_init` pins frame-0 latches to their AIG power-up constants;
+  /// otherwise frame-0 latches are free variables.
+  Unroller(const Aig& aig, Solver& solver, bool constrain_init);
+
+  /// Solver literal of AIG literal `lit` at frame `t` (builds frames on
+  /// demand).
+  Lit lit_at(Aig::Lit lit, std::size_t t);
+
+  Lit output_lit(std::size_t output, std::size_t t) {
+    return lit_at(aig_.output(output), t);
+  }
+  Lit input_lit(std::size_t input, std::size_t t) {
+    return lit_at(Aig::make_lit(aig_.input_var(input), false), t);
+  }
+  Lit latch_lit(std::size_t latch, std::size_t t) {
+    return lit_at(Aig::make_lit(aig_.latch_var(latch), false), t);
+  }
+
+  std::size_t frames_built() const { return frames_.size(); }
+
+ private:
+  void build_frame(std::size_t t);
+
+  const Aig& aig_;
+  Solver& solver_;
+  bool constrain_init_;
+  Lit const_true_;  // solver literal pinned true (frame-independent)
+  /// frames_[t][var] = solver literal of AIG var at frame t.
+  std::vector<std::vector<Lit>> frames_;
+};
+
+}  // namespace rtv::sat

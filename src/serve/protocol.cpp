@@ -90,8 +90,10 @@ JobRequest parse_request(const JsonValue& document) {
 
   const JsonValue* version = document.find("rtv_serve");
   if (version == nullptr || !version->is_number() ||
-      version->as_number() != kProtocolVersion) {
-    bad_request("\"rtv_serve\" must be present and equal to " +
+      version->as_number() < kMinProtocolVersion ||
+      version->as_number() > kProtocolVersion) {
+    bad_request("\"rtv_serve\" must be present and between " +
+                std::to_string(kMinProtocolVersion) + " and " +
                 std::to_string(kProtocolVersion));
   }
 

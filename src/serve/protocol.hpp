@@ -21,8 +21,12 @@
 namespace rtv::serve {
 
 /// Wire protocol version; every request and response carries it as
-/// "rtv_serve". Bumped only on breaking schema changes.
-inline constexpr int kProtocolVersion = 1;
+/// "rtv_serve". Bumped only on breaking schema changes. Version 2 added
+/// backend selection to cls-equivalence requests ("backend") and the
+/// "decided_by"/"decided_reason" result fields; requests are still
+/// accepted at kMinProtocolVersion since v1 frames are a strict subset.
+inline constexpr int kProtocolVersion = 2;
+inline constexpr int kMinProtocolVersion = 1;
 
 /// What a request asks the service to do. The five job types mirror the
 /// CLI subcommands of the same names; kStats and kShutdown are

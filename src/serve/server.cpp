@@ -359,16 +359,16 @@ JsonValue Server::handle_validate(const JobRequest& request,
 
   ValidationOptions options;
   if (const auto v = option_uint(request.options, "max_branching")) {
-    options.cls.max_branching = *v;
+    options.verify.explicit_opts.max_branching = *v;
   }
   if (const auto v = option_uint(request.options, "random_sequences")) {
-    options.cls.random_sequences = static_cast<unsigned>(*v);
+    options.verify.explicit_opts.random_sequences = static_cast<unsigned>(*v);
   }
   if (const auto v = option_uint(request.options, "random_length")) {
-    options.cls.random_length = static_cast<unsigned>(*v);
+    options.verify.explicit_opts.random_length = static_cast<unsigned>(*v);
   }
   if (const auto v = option_uint(request.options, "seed")) {
-    options.cls.seed = *v;
+    options.verify.explicit_opts.seed = *v;
   }
   options.budget = limits_for(request);
   // Per-job isolation: a fresh token, never shared across jobs, so one
@@ -479,8 +479,8 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
                                          JobStatsWire* stats,
                                          std::string* design_id) {
   check_option_keys(request.options,
-                    {"max_branching", "max_pairs", "random_sequences",
-                     "random_length", "seed"});
+                    {"backend", "max_branching", "max_pairs",
+                     "random_sequences", "random_length", "seed"});
   const auto a = resolve_design(request.design_text, request.design_id,
                                 &stats->cache_hit);
   *design_id = a->design_id();
@@ -491,26 +491,34 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
   // parse — a half-warm job still paid a parse.
   stats->cache_hit = stats->cache_hit && b_hit;
 
-  ClsEquivOptions options;
+  VerifyOptions options;
+  if (const auto name = option_string(request.options, "backend")) {
+    const auto backend = equivalence_backend_from_string(*name);
+    if (!backend) {
+      bad_option("option \"backend\" must be \"explicit\", \"bdd\", "
+                 "\"sat\" or \"portfolio\"");
+    }
+    options.backend = *backend;
+  }
   if (const auto v = option_uint(request.options, "max_branching")) {
-    options.max_branching = *v;
+    options.explicit_opts.max_branching = *v;
   }
   if (const auto v = option_uint(request.options, "max_pairs")) {
-    options.max_pairs = static_cast<std::size_t>(*v);
+    options.explicit_opts.max_pairs = static_cast<std::size_t>(*v);
   }
   if (const auto v = option_uint(request.options, "random_sequences")) {
-    options.random_sequences = static_cast<unsigned>(*v);
+    options.explicit_opts.random_sequences = static_cast<unsigned>(*v);
   }
   if (const auto v = option_uint(request.options, "random_length")) {
-    options.random_length = static_cast<unsigned>(*v);
+    options.explicit_opts.random_length = static_cast<unsigned>(*v);
   }
   if (const auto v = option_uint(request.options, "seed")) {
-    options.seed = *v;
+    options.explicit_opts.seed = *v;
   }
 
   ResourceBudget budget(limits_for(request), CancellationToken());
   const ClsEquivalenceResult r =
-      check_cls_equivalence(a->netlist(), b->netlist(), options, &budget);
+      verify_cls_equivalence(a->netlist(), b->netlist(), options, &budget);
 
   stats->verdict = to_string(r.verdict);
   stats->usage = r.usage;
@@ -521,6 +529,8 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
   out.emplace_back("equivalent", JsonValue(r.equivalent));
   out.emplace_back("exhaustive", JsonValue(r.exhaustive));
   out.emplace_back("pairs_explored", uint_json(r.pairs_explored));
+  out.emplace_back("decided_by", JsonValue(std::string(to_string(r.decided_by))));
+  out.emplace_back("decided_reason", JsonValue(r.decided_reason));
   out.emplace_back("counterexample",
                    r.counterexample
                        ? JsonValue(sequence_to_string(*r.counterexample))

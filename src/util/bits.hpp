@@ -41,6 +41,18 @@ inline std::uint64_t pow3(unsigned n) {
   return r;
 }
 
+/// 3^n as uint64, saturating at UINT64_MAX instead of overflowing or
+/// throwing. Safe for mode-selection comparisons ("is 3^I below this cap?")
+/// on designs with arbitrarily many inputs: 3^41 and beyond clamp to
+/// UINT64_MAX, so a wide design can never wrap around and masquerade as a
+/// small branching factor.
+inline std::uint64_t pow3_saturating(unsigned n) {
+  if (n > 40) return ~0ULL;  // 3^41 > 2^64
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < n; ++i) r *= 3;
+  return r;
+}
+
 /// Mask with the low `n` bits set (n <= 64).
 inline std::uint64_t low_mask(unsigned n) {
   RTV_REQUIRE(n <= 64, "low_mask width must be <= 64");

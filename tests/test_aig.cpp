@@ -1,0 +1,228 @@
+// AIG substrate tests: structural-hashing and constant-folding invariants,
+// the netlist -> AIG compiler cross-checked cycle-by-cycle against
+// BinarySimulator, and the dual-rail CLS encoding cross-checked against
+// ClsSimulator (the encoding is only useful if it is *exactly* the CLS).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/cls_encode.hpp"
+#include "aig/compile.hpp"
+#include "gen/random_circuits.hpp"
+#include "sim/binary_sim.hpp"
+#include "sim/cls_sim.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+using testing::and2_circuit;
+using testing::toggle_circuit;
+
+// ---- raw AIG invariants ----------------------------------------------------
+
+TEST(Aig, StrashSharesRepeatedAnds) {
+  Aig aig;
+  const Aig::Lit a = aig.add_input();
+  const Aig::Lit b = aig.add_input();
+  const Aig::Lit ab = aig.land(a, b);
+  EXPECT_EQ(aig.land(a, b), ab);
+  EXPECT_EQ(aig.land(b, a), ab) << "strash key must be fanin-order canonical";
+  EXPECT_EQ(aig.num_ands(), 1u);
+}
+
+TEST(Aig, ConstantAndIdempotenceFolding) {
+  Aig aig;
+  const Aig::Lit a = aig.add_input();
+  EXPECT_EQ(aig.land(a, Aig::kTrue), a);
+  EXPECT_EQ(aig.land(Aig::kTrue, a), a);
+  EXPECT_EQ(aig.land(a, Aig::kFalse), Aig::kFalse);
+  EXPECT_EQ(aig.land(a, a), a);
+  EXPECT_EQ(aig.land(a, Aig::lit_not(a)), Aig::kFalse);
+  EXPECT_EQ(aig.num_ands(), 0u) << "all of those must fold, not allocate";
+}
+
+TEST(Aig, XorFolding) {
+  Aig aig;
+  const Aig::Lit a = aig.add_input();
+  EXPECT_EQ(aig.lxor(a, a), Aig::kFalse);
+  EXPECT_EQ(aig.lxor(a, Aig::kFalse), a);
+  EXPECT_EQ(aig.lxor(a, Aig::kTrue), Aig::lit_not(a));
+  EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, FaninVarsPrecedeAnds) {
+  // The unroller evaluates variables in index order; that is only a
+  // topological order if every AND's fanins have smaller variable indices.
+  Rng rng(7);
+  RandomCircuitOptions opt;
+  opt.num_gates = 24;
+  opt.table_probability = 0.3;
+  const Netlist n = random_netlist(opt, rng);
+  const Aig aig = aig_from_netlist(n, Bits(n.latches().size(), 0));
+  for (Aig::Var v = 0; v < aig.num_vars(); ++v) {
+    if (!aig.is_and(v)) continue;
+    EXPECT_LT(Aig::lit_var(aig.fanin0(v)), v);
+    EXPECT_LT(Aig::lit_var(aig.fanin1(v)), v);
+  }
+}
+
+// ---- reference AIG interpreter --------------------------------------------
+
+/// Direct cycle-accurate interpreter over the AIG: evaluates variables in
+/// increasing index order (valid per FaninVarsPrecedeAnds), then clocks
+/// every latch with its next-state literal.
+class AigEval {
+ public:
+  explicit AigEval(const Aig& aig) : aig_(aig), values_(aig.num_vars(), 0) {
+    for (std::size_t i = 0; i < aig_.num_latches(); ++i) {
+      state_.push_back(aig_.latch_init(i) ? 1 : 0);
+    }
+  }
+
+  const Bits& state() const { return state_; }
+
+  Bits step(const Bits& inputs) {
+    for (std::size_t i = 0; i < aig_.num_inputs(); ++i) {
+      values_[aig_.input_var(i)] = inputs.at(i);
+    }
+    for (std::size_t i = 0; i < aig_.num_latches(); ++i) {
+      values_[aig_.latch_var(i)] = state_[i];
+    }
+    for (Aig::Var v = 0; v < aig_.num_vars(); ++v) {
+      if (!aig_.is_and(v)) continue;
+      values_[v] = lit_value(aig_.fanin0(v)) && lit_value(aig_.fanin1(v));
+    }
+    Bits outputs;
+    for (std::size_t o = 0; o < aig_.num_outputs(); ++o) {
+      outputs.push_back(lit_value(aig_.output(o)) ? 1 : 0);
+    }
+    Bits next;
+    for (std::size_t i = 0; i < aig_.num_latches(); ++i) {
+      next.push_back(lit_value(aig_.latch_next(i)) ? 1 : 0);
+    }
+    state_ = next;
+    return outputs;
+  }
+
+ private:
+  bool lit_value(Aig::Lit l) const {
+    return (values_[Aig::lit_var(l)] != 0) != Aig::lit_negated(l);
+  }
+
+  const Aig& aig_;
+  std::vector<std::uint8_t> values_;
+  Bits state_;
+};
+
+// ---- netlist -> AIG compiler ----------------------------------------------
+
+TEST(AigCompile, MatchesBinarySimulatorOnRandomNetlists) {
+  Rng rng(1234);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_outputs = 2;
+  opt.num_gates = 18;
+  opt.num_latches = 4;
+  opt.table_probability = 0.3;  // exercise the minterm expansion path
+  for (int trial = 0; trial < 8; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const Netlist n = random_netlist(opt, rng);
+    Bits init;
+    for (std::size_t i = 0; i < n.latches().size(); ++i) {
+      init.push_back(static_cast<std::uint8_t>(rng.coin()));
+    }
+    const Aig aig = aig_from_netlist(n, init);
+    AigEval eval(aig);
+    BinarySimulator sim(n);
+    sim.set_state(init);
+    EXPECT_EQ(eval.state(), init);
+    for (int cycle = 0; cycle < 12; ++cycle) {
+      Bits in;
+      for (std::size_t i = 0; i < n.primary_inputs().size(); ++i) {
+        in.push_back(static_cast<std::uint8_t>(rng.coin()));
+      }
+      EXPECT_EQ(eval.step(in), sim.step(in)) << "cycle " << cycle;
+      EXPECT_EQ(eval.state(), sim.state()) << "cycle " << cycle;
+    }
+  }
+}
+
+TEST(AigCompile, ToggleStructure) {
+  const Netlist n = toggle_circuit();
+  const Aig aig = aig_from_netlist(n, Bits{0});
+  EXPECT_EQ(aig.num_inputs(), 1u);
+  EXPECT_EQ(aig.num_latches(), 1u);
+  EXPECT_EQ(aig.num_outputs(), 1u);
+  EXPECT_FALSE(aig.latch_init(0));
+}
+
+// ---- dual-rail CLS encoding -----------------------------------------------
+
+TEST(ClsEncode, RailLayoutDoublesTheInterface) {
+  const Netlist n = toggle_circuit();
+  const ClsEncoding enc = cls_encode(n);
+  EXPECT_EQ(enc.original_inputs, 1u);
+  EXPECT_EQ(enc.original_outputs, 1u);
+  EXPECT_EQ(enc.original_latches, 1u);
+  EXPECT_EQ(enc.netlist.primary_inputs().size(), 2u);
+  EXPECT_EQ(enc.netlist.primary_outputs().size(), 2u);
+  EXPECT_EQ(enc.netlist.latches().size(), 2u);
+  EXPECT_EQ(enc.all_x_state(), (Bits{0, 1}));  // (d, u) = (0, 1) per latch
+}
+
+TEST(ClsEncode, TritCodecRoundTrips) {
+  const Trits trits{kT0, kT1, kTX};
+  EXPECT_EQ(encode_trits(trits), (Bits{0, 0, 1, 0, 0, 1}));
+  EXPECT_EQ(decode_trits(encode_trits(trits)), trits);
+  // The spare (1,1) pattern decodes as X, matching the masked semantics.
+  EXPECT_EQ(decode_trits(Bits{1, 1}), (Trits{kTX}));
+}
+
+TEST(ClsEncode, MatchesClsSimulatorOnRandomNetlists) {
+  Rng rng(4321);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 3;
+  opt.num_outputs = 2;
+  opt.num_gates = 18;
+  opt.num_latches = 4;
+  opt.table_probability = 0.3;  // exercise the per-minterm ternary extension
+  for (int trial = 0; trial < 8; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const Netlist n = random_netlist(opt, rng);
+    const ClsEncoding enc = cls_encode(n);
+    enc.netlist.check_valid(false);
+    BinarySimulator enc_sim(enc.netlist);
+    enc_sim.set_state(enc.all_x_state());
+    ClsSimulator cls(n);
+    for (int cycle = 0; cycle < 12; ++cycle) {
+      Trits in;
+      for (std::size_t i = 0; i < n.primary_inputs().size(); ++i) {
+        const auto r = rng.below(3);
+        in.push_back(r == 0 ? kT0 : (r == 1 ? kT1 : kTX));
+      }
+      const Trits expected = cls.step(in);
+      const Trits got = decode_trits(enc_sim.step(encode_trits(in)));
+      EXPECT_EQ(got, expected) << "cycle " << cycle;
+    }
+  }
+}
+
+TEST(ClsEncode, SpareInputPatternBehavesLikeX) {
+  // and2: feeding a = (d,u) = (1,1) must act exactly like a = X, because
+  // the d rail is masked with !u at the boundary.
+  const Netlist n = and2_circuit();
+  const ClsEncoding enc = cls_encode(n);
+  BinarySimulator sim(enc.netlist);
+  sim.set_state({});
+  // a = spare (1,1), b = 1  ->  X AND 1 = X = (0,1).
+  EXPECT_EQ(sim.step(Bits{1, 1, 1, 0}), (Bits{0, 1}));
+  // a = spare (1,1), b = 0  ->  X AND 0 = 0 = (0,0).
+  EXPECT_EQ(sim.step(Bits{1, 1, 0, 0}), (Bits{0, 0}));
+}
+
+}  // namespace
+}  // namespace rtv

@@ -45,8 +45,8 @@ WorkloadReport run_workload() {
     const Netlist n = inverter_pipeline();
     const RetimeGraph g = RetimeGraph::from_netlist(n);
     ValidationOptions opt;
-    opt.cls.random_sequences = 4;
-    opt.cls.random_length = 4;
+    opt.verify.explicit_opts.random_sequences = 4;
+    opt.verify.explicit_opts.random_length = 4;
     w.validation = validate_retiming(n, g, min_area_retime(g).lag, opt);
   }
 
@@ -54,8 +54,8 @@ WorkloadReport run_workload() {
   {
     FlowOptions opt;
     opt.redundancy_removal = true;
-    opt.cls.random_sequences = 4;
-    opt.cls.random_length = 4;
+    opt.verify.explicit_opts.random_sequences = 4;
+    opt.verify.explicit_opts.random_length = 4;
     w.flow = run_synthesis_flow(toggle_circuit(), opt);
   }
 

@@ -77,7 +77,7 @@ TEST(Flow, MinAreaOnPipelineAccepted) {
   const Netlist n = pipelined_adder(3, 2);
   FlowOptions opt;
   opt.objective = FlowOptions::Objective::kMinArea;
-  opt.cls.max_branching = 1;  // bounded CLS check
+  opt.verify.explicit_opts.max_branching = 1;  // bounded CLS check
   const FlowReport r = run_synthesis_flow(n, opt);
   EXPECT_TRUE(r.accepted()) << r.summary();
   EXPECT_LE(r.registers_after, r.registers_before);
@@ -88,7 +88,7 @@ TEST(Flow, MinPeriodOnPipelineAccepted) {
   const Netlist n = pipelined_adder(3, 3);
   FlowOptions opt;
   opt.objective = FlowOptions::Objective::kMinPeriod;
-  opt.cls.max_branching = 1;  // bounded CLS check: pipelines explode the BFS
+  opt.verify.explicit_opts.max_branching = 1;  // bounded CLS check: pipelines explode the BFS
   const FlowReport r = run_synthesis_flow(n, opt);
   EXPECT_TRUE(r.accepted()) << r.summary();
   EXPECT_LE(r.period_after, r.period_before);
@@ -98,12 +98,12 @@ TEST(Flow, MinAreaAtMinPeriodMeetsBothGoals) {
   const Netlist n = pipelined_adder(3, 2);
   FlowOptions fastest;
   fastest.objective = FlowOptions::Objective::kMinPeriod;
-  fastest.cls.max_branching = 1;  // bounded CLS check
+  fastest.verify.explicit_opts.max_branching = 1;  // bounded CLS check
   const FlowReport fast = run_synthesis_flow(n, fastest);
 
   FlowOptions both;
   both.objective = FlowOptions::Objective::kMinAreaAtMinPeriod;
-  both.cls.max_branching = 1;
+  both.verify.explicit_opts.max_branching = 1;
   const FlowReport r = run_synthesis_flow(n, both);
   EXPECT_TRUE(r.accepted()) << r.summary();
   EXPECT_EQ(r.period_after, fast.period_after);

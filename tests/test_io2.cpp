@@ -9,7 +9,7 @@
 #include "io/json.hpp"
 
 #include "core/cls_equiv.hpp"
-#include "core/miter.hpp"
+#include "netlist/miter.hpp"
 #include "gen/iscas.hpp"
 #include "gen/paper_circuits.hpp"
 #include "gen/random_circuits.hpp"

@@ -1,0 +1,213 @@
+// CDCL solver tests (brute-force cross-checks, assumptions, conflict
+// limits) and SAT CLS-equivalence engine tests on known design pairs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cls_equiv.hpp"
+#include "sat/equiv.hpp"
+#include "sat/solver.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+using sat::Solver;
+using testing::inverter_pipeline;
+using testing::toggle_circuit;
+
+/// inverter_pipeline with the NOT replaced by a BUF: CLS-distinguishable
+/// once the X has flushed through both latches (cycle 2 onward).
+Netlist buffer_pipeline() {
+  Netlist n;
+  const NodeId in = n.add_input("in");
+  const NodeId out = n.add_output("out");
+  const NodeId l0 = n.add_latch("L0");
+  const NodeId l1 = n.add_latch("L1");
+  const NodeId b = n.add_gate(CellKind::kBuf, 0, "b");
+  n.connect(in, l0);
+  n.connect(l0, b);
+  n.connect(b, l1);
+  n.connect(PortRef(l1, 0), PinRef(out, 0));
+  n.check_valid(true);
+  return n;
+}
+
+// ---- Solver ---------------------------------------------------------------
+
+TEST(SatSolver, TrivialSatWithForcedModel) {
+  Solver s;
+  const sat::Var x = s.new_var();
+  const sat::Var y = s.new_var();
+  s.add_clause({sat::mk_lit(x), sat::mk_lit(y)});
+  s.add_clause({sat::mk_lit(x, true)});
+  ASSERT_EQ(s.solve(), Solver::Result::kSat);
+  EXPECT_FALSE(s.model_value(x));
+  EXPECT_TRUE(s.model_value(y));
+}
+
+TEST(SatSolver, ContradictionIsUnsat) {
+  Solver s;
+  const sat::Var x = s.new_var();
+  s.add_clause({sat::mk_lit(x)});
+  s.add_clause({sat::mk_lit(x, true)});
+  EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(SatSolver, AssumptionsAreRemovable) {
+  Solver s;
+  const sat::Var x = s.new_var();
+  const sat::Var y = s.new_var();
+  s.add_clause({sat::mk_lit(x), sat::mk_lit(y)});
+  EXPECT_EQ(s.solve({sat::mk_lit(x, true), sat::mk_lit(y, true)}),
+            Solver::Result::kUnsat);
+  // The solver must remain usable: the assumptions were not clauses.
+  ASSERT_EQ(s.solve({sat::mk_lit(x, true)}), Solver::Result::kSat);
+  EXPECT_TRUE(s.model_value(y));
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+}
+
+TEST(SatSolver, MatchesBruteForceOnRandomCnf) {
+  Rng rng(2024);
+  for (int instance = 0; instance < 60; ++instance) {
+    SCOPED_TRACE("instance " + std::to_string(instance));
+    const unsigned nv = 3 + static_cast<unsigned>(rng.below(6));  // <= 8 vars
+    const unsigned nc = 2 + static_cast<unsigned>(rng.below(20));
+    std::vector<std::vector<sat::Lit>> clauses;
+    Solver s;
+    for (unsigned v = 0; v < nv; ++v) s.new_var();
+    for (unsigned c = 0; c < nc; ++c) {
+      std::vector<sat::Lit> clause;
+      const unsigned width = 1 + static_cast<unsigned>(rng.below(3));
+      for (unsigned l = 0; l < width; ++l) {
+        const auto v = static_cast<sat::Var>(rng.below(nv));
+        clause.push_back(sat::mk_lit(v, rng.coin()));
+      }
+      clauses.push_back(clause);
+      s.add_clause(clause);
+    }
+    // Brute force over all assignments of the original clause set.
+    const auto satisfies = [&](std::uint64_t assignment,
+                               const std::vector<sat::Lit>& clause) {
+      for (const sat::Lit l : clause) {
+        const bool value = ((assignment >> sat::var_of(l)) & 1u) != 0;
+        if (value != sat::sign_of(l)) return true;
+      }
+      return false;
+    };
+    bool brute_sat = false;
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << nv) && !brute_sat;
+         ++a) {
+      bool all = true;
+      for (const auto& clause : clauses) {
+        if (!satisfies(a, clause)) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    const Solver::Result r = s.solve();
+    EXPECT_EQ(r, brute_sat ? Solver::Result::kSat : Solver::Result::kUnsat);
+    if (r == Solver::Result::kSat) {
+      // The model must satisfy every original clause, not just be "sat".
+      std::uint64_t model = 0;
+      for (unsigned v = 0; v < nv; ++v) {
+        if (s.model_value(v)) model |= std::uint64_t{1} << v;
+      }
+      for (const auto& clause : clauses) EXPECT_TRUE(satisfies(model, clause));
+    }
+  }
+}
+
+/// Pigeonhole principle PHP(pigeons, holes): unsatisfiable when
+/// pigeons > holes, and never decidable by unit propagation alone.
+sat::Var php(Solver& s, std::vector<std::vector<sat::Var>>& p,
+                unsigned pigeons, unsigned holes) {
+  p.assign(pigeons, {});
+  for (unsigned i = 0; i < pigeons; ++i) {
+    for (unsigned j = 0; j < holes; ++j) p[i].push_back(s.new_var());
+  }
+  for (unsigned i = 0; i < pigeons; ++i) {
+    std::vector<sat::Lit> clause;
+    for (unsigned j = 0; j < holes; ++j) clause.push_back(sat::mk_lit(p[i][j]));
+    s.add_clause(clause);
+  }
+  for (unsigned j = 0; j < holes; ++j) {
+    for (unsigned i = 0; i < pigeons; ++i) {
+      for (unsigned k = i + 1; k < pigeons; ++k) {
+        s.add_clause({sat::mk_lit(p[i][j], true), sat::mk_lit(p[k][j], true)});
+      }
+    }
+  }
+  return 0;
+}
+
+TEST(SatSolver, PigeonholeIsUnsat) {
+  Solver s;
+  std::vector<std::vector<sat::Var>> p;
+  php(s, p, 5, 4);
+  EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(SatSolver, ConflictLimitReturnsUnknown) {
+  Solver s;
+  std::vector<std::vector<sat::Var>> p;
+  php(s, p, 5, 4);
+  // One conflict cannot refute the pigeonhole principle; the solver must
+  // give up honestly rather than guess.
+  EXPECT_EQ(s.solve({}, nullptr, 1), Solver::Result::kUnknown);
+  // And the truncated attempt must not have poisoned the instance.
+  EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+}
+
+// ---- SAT CLS-equivalence engine -------------------------------------------
+
+TEST(SatClsEquiv, InductionClosesToggleSelfEquivalence) {
+  const Netlist n = toggle_circuit();
+  const SatClsOutcome r = sat_cls_equivalence(n, n);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.verdict, Verdict::kProven);
+  EXPECT_FALSE(r.counterexample.has_value());
+  EXPECT_GT(r.induction_depth, 0u);
+  EXPECT_FALSE(r.note.empty());
+}
+
+TEST(SatClsEquiv, FindsDefinitiveCounterexample) {
+  const Netlist a = inverter_pipeline();
+  const Netlist b = buffer_pipeline();
+  const SatClsOutcome r = sat_cls_equivalence(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.verdict, Verdict::kProven) << "a counterexample is definitive";
+  ASSERT_TRUE(r.counterexample.has_value());
+  // The witness must actually distinguish the two CLS machines.
+  EXPECT_FALSE(cls_outputs_match(a, b, *r.counterexample));
+}
+
+TEST(SatClsEquiv, DepthCapDegradesToBounded) {
+  // The pipelines differ only from cycle 2 on; a depth-1 BMC with induction
+  // disabled must come back bounded-equivalent, never "proven".
+  const Netlist a = inverter_pipeline();
+  const Netlist b = buffer_pipeline();
+  SatEquivOptions opt;
+  opt.max_depth = 1;
+  opt.max_induction_depth = 0;
+  const SatClsOutcome r = sat_cls_equivalence(a, b, opt);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.verdict, Verdict::kBounded);
+  EXPECT_FALSE(r.counterexample.has_value());
+  EXPECT_EQ(r.depth_reached, 1u);
+}
+
+TEST(SatClsEquiv, RejectsInterfaceMismatch) {
+  EXPECT_THROW(sat_cls_equivalence(toggle_circuit(), testing::and2_circuit()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rtv

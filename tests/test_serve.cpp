@@ -86,7 +86,7 @@ TEST(ServeProtocol, RejectsMalformedFrames) {
   };
   expect_bad("[1,2]");                                  // not an object
   expect_bad("{\"id\":\"a\",\"type\":\"lint\"}");       // missing version
-  expect_bad("{\"rtv_serve\":2,\"id\":\"a\",\"type\":\"lint\"}");  // wrong
+  expect_bad("{\"rtv_serve\":3,\"id\":\"a\",\"type\":\"lint\"}");  // wrong
   expect_bad(frame("", "lint", design_field("x")));     // empty id
   expect_bad(frame("a", "frobnicate"));                 // unknown type
   expect_bad(frame("a", "lint"));                       // missing design
@@ -129,7 +129,7 @@ TEST(ServeProtocol, RenderedFramesValidate) {
   EXPECT_EQ(serve::validate_response(parse_json(err)), "");
   // And the validator actually rejects: wrong verdict label.
   EXPECT_NE(serve::validate_response(parse_json(
-                "{\"rtv_serve\":1,\"id\":\"a\",\"ok\":true,"
+                "{\"rtv_serve\":2,\"id\":\"a\",\"ok\":true,"
                 "\"type\":\"lint\",\"result\":{},\"stats\":{"
                 "\"queue_ms\":0,\"run_ms\":0,\"cache_hit\":false,"
                 "\"verdict\":\"perhaps\"}}")),
@@ -255,6 +255,41 @@ TEST(Server, EveryJobTypeAnswersOverTheSameEntryPoint) {
       parse_response(server.handle_line(frame("st", "stats")));
   EXPECT_TRUE(response_ok(stats));
   EXPECT_GE(stats.find("result")->find("jobs_done")->as_number(), 6.0);
+}
+
+TEST(Server, ClsEquivalenceBackendSelectionRoundTrips) {
+  Server server(small_server_options());
+  const std::string pair =
+      design_field(write_rnl(figure1_original())) + ",\"design_b\":\"" +
+      json_escape(write_rnl(figure1_retimed())) + "\"";
+  for (const std::string backend : {"explicit", "bdd", "sat", "portfolio"}) {
+    const JsonValue r = parse_response(server.handle_line(
+        frame("be-" + backend, "cls-equivalence",
+              pair + ",\"options\":{\"backend\":\"" + backend + "\"}")));
+    EXPECT_TRUE(response_ok(r)) << backend;
+    const JsonValue* result = r.find("result");
+    EXPECT_TRUE(result->find("equivalent")->as_bool()) << backend;
+    const std::string decided = result->find("decided_by")->as_string();
+    if (backend == "portfolio") {
+      // The race winner is timing-dependent but must be a real engine, and
+      // the reason must say the portfolio decided.
+      EXPECT_TRUE(decided == "bdd" || decided == "sat") << decided;
+      EXPECT_NE(
+          result->find("decided_reason")->as_string().find("portfolio"),
+          std::string::npos);
+    } else {
+      EXPECT_EQ(decided, backend);
+      EXPECT_FALSE(result->find("decided_reason")->as_string().empty());
+    }
+  }
+
+  // An unknown backend gets the standard bad-request envelope, same as any
+  // other unknown option value.
+  const JsonValue bad = parse_response(server.handle_line(
+      frame("be-bad", "cls-equivalence",
+            pair + ",\"options\":{\"backend\":\"quantum\"}")));
+  EXPECT_FALSE(response_ok(bad));
+  EXPECT_EQ(error_code(bad), "bad_request");
 }
 
 TEST(Server, ErrorEnvelopesCarryTheDocumentedCodes) {

@@ -41,6 +41,27 @@ TEST(Error, HierarchyRootsAtError) {
       { throw CapacityError("x"); }, Error);
 }
 
+TEST(Bits, Pow3SaturatingExactSmallValues) {
+  EXPECT_EQ(pow3_saturating(0), 1u);
+  EXPECT_EQ(pow3_saturating(1), 3u);
+  EXPECT_EQ(pow3_saturating(4), 81u);
+}
+
+TEST(Bits, Pow3SaturatingLargestExactPower) {
+  std::uint64_t expected = 1;
+  for (int i = 0; i < 40; ++i) expected *= 3;
+  EXPECT_EQ(pow3_saturating(40), expected);
+}
+
+TEST(Bits, Pow3SaturatingClampsBeyond40) {
+  // 3^41 overflows 64 bits; the clamp guarantees a wide design can never
+  // wrap around and masquerade as a small branching factor (which would
+  // silently flip the CLS checker into exhaustive mode).
+  EXPECT_EQ(pow3_saturating(41), ~std::uint64_t{0});
+  EXPECT_EQ(pow3_saturating(64), ~std::uint64_t{0});
+  EXPECT_EQ(pow3_saturating(4096), ~std::uint64_t{0});
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());

@@ -31,6 +31,7 @@
 #include "bdd/symbolic.hpp"
 #include "core/cls_equiv.hpp"
 #include "core/cls_reset.hpp"
+#include "core/verify.hpp"
 #include "core/flow.hpp"
 #include "core/redundancy.hpp"
 #include "core/safety.hpp"
@@ -94,6 +95,9 @@ enum ExitCode : int {
                " [-o OUT]\n"
                "  rtv reset <design>                find a CLS reset sequence\n"
                "  rtv equiv <a> <b>                 symbolic C ⊑ D + min delay\n"
+               "  rtv cls-equiv <a> <b> [--backend B] [--seed S]\n"
+               "      CLS equivalence from all-X (Thm 5.1); exit 0 iff"
+               " equivalent\n"
                "  rtv faultsim <design> [--mode exact|sampled|cls]"
                " [--threads N] [--no-drop]\n"
                "               [--inputs SEQ[,SEQ...] | --random N --cycles L"
@@ -111,7 +115,12 @@ enum ExitCode : int {
                "      over a Unix socket (or stdin/stdout without --socket);\n"
                "      wire protocol reference in docs/serve.md\n"
                "\n"
-               "resource governance (validate, flow, faultsim):\n"
+               "equivalence backends (validate, flow, cls-equiv):\n"
+               "  --backend B          explicit (default) | bdd | sat |"
+               " portfolio\n"
+               "                       (engine matrix in docs/backends.md)\n"
+               "\n"
+               "resource governance (validate, flow, cls-equiv, faultsim):\n"
                "  --time-budget-ms N   wall-clock budget (0 = unlimited)\n"
                "  --node-limit N       BDD node cap for the budget\n"
                "  --step-quota N       checkpoint quota (deterministic"
@@ -173,7 +182,7 @@ void save_design(const Netlist& n, const std::string& path) {
 
 struct Args {
   std::vector<std::string> positional;
-  std::optional<std::string> inputs, state, out, vcd, mode, plan;
+  std::optional<std::string> inputs, state, out, vcd, mode, plan, backend;
   std::optional<int> period;
   std::optional<unsigned> threads, random, cycles, sample_lanes;
   std::optional<std::uint64_t> seed;
@@ -199,6 +208,16 @@ ResourceLimits limits_from_args(const Args& args) {
   limits.step_quota = args.step_quota.value_or(0);
   if (args.node_limit) limits.bdd_node_limit = *args.node_limit;
   return limits;
+}
+
+/// --backend selection for the CLS-equivalence gate (default: explicit).
+EquivalenceBackend backend_from_args(const Args& args) {
+  if (!args.backend) return EquivalenceBackend::kExplicit;
+  const auto backend = equivalence_backend_from_string(*args.backend);
+  if (!backend) {
+    usage("--backend must be explicit, bdd, sat or portfolio");
+  }
+  return *backend;
 }
 
 Args parse_args(int argc, char** argv, int first) {
@@ -234,6 +253,8 @@ Args parse_args(int argc, char** argv, int first) {
       args.mode = value("--mode");
     } else if (a == "--plan") {
       args.plan = value("--plan");
+    } else if (a == "--backend") {
+      args.backend = value("--backend");
     } else if (a == "--max-k") {
       args.max_k = static_cast<std::size_t>(parse_number(
           "--max-k", value("--max-k"), std::numeric_limits<std::size_t>::max()));
@@ -462,6 +483,7 @@ int cmd_validate(const Args& args) {
   const Netlist n = load_design(args.positional[0]);
   const RetimeGraph g = RetimeGraph::from_netlist(n);
   ValidationOptions opt;
+  opt.verify.backend = backend_from_args(args);
   opt.budget = limits_from_args(args);
   const RetimingValidation v =
       validate_retiming(n, g, solve_lags(g, args), opt);
@@ -527,6 +549,7 @@ int cmd_flow(const Args& args) {
   FlowOptions opt;
   if (args.min_period) opt.objective = FlowOptions::Objective::kMinPeriod;
   if (args.period) opt.objective = FlowOptions::Objective::kMinAreaAtMinPeriod;
+  opt.verify.backend = backend_from_args(args);
   opt.budget = limits_from_args(args);
   const FlowReport r = run_synthesis_flow(n, opt);
   std::printf("%s\n", r.summary().c_str());
@@ -652,6 +675,27 @@ int cmd_serve(const Args& args) {
   return kExitOk;
 }
 
+/// CLS equivalence of two concrete designs (Thm 5.1) through any backend.
+/// Exit 0 when equivalent, 1 when distinguishable or undecided.
+int cmd_cls_equiv(const Args& args) {
+  if (args.positional.size() != 2) usage("cls-equiv needs two designs");
+  const Netlist a = load_design(args.positional[0]);
+  const Netlist b = load_design(args.positional[1]);
+  VerifyOptions opt;
+  opt.backend = backend_from_args(args);
+  if (args.seed) opt.explicit_opts.seed = *args.seed;
+  ResourceBudget budget(limits_from_args(args));
+  const ClsEquivalenceResult r = verify_cls_equivalence(a, b, opt, &budget);
+  std::printf("%s\n", r.summary().c_str());
+  std::printf("decided by: %s (%s)\n", to_string(r.decided_by),
+              r.decided_reason.c_str());
+  if (r.verdict == Verdict::kExhausted) {
+    if (args.fail_on_exhaust) exhausted_failure(r.usage);
+    return kExitVerdictFalse;  // undecided is never a pass
+  }
+  return r.equivalent ? kExitOk : kExitVerdictFalse;
+}
+
 int cmd_equiv(const Args& args) {
   if (args.positional.size() != 2) usage("equiv needs two designs");
   const Netlist c = load_design(args.positional[0]);
@@ -686,6 +730,7 @@ int run(int argc, char** argv) {
   if (cmd == "redundancy") return cmd_redundancy(args);
   if (cmd == "flow") return cmd_flow(args);
   if (cmd == "reset") return cmd_reset(args);
+  if (cmd == "cls-equiv") return cmd_cls_equiv(args);
   if (cmd == "equiv") return cmd_equiv(args);
   if (cmd == "faultsim") return cmd_faultsim(args);
   if (cmd == "serve") return cmd_serve(args);
