@@ -1,0 +1,292 @@
+// Lint scaling — the ternary dataflow fixpoint on 10^4..10^5-gate random
+// netlists. The header comment of src/analysis/dataflow.hpp promises
+// near-linear convergence: monotone transfer functions over a height-3
+// lattice mean every port can grow at most 3 times, so worklist effort is
+// bounded by fanout-weighted updates, not by iteration-to-quiescence.
+//
+// The report asserts the contract before writing anything: per size,
+// updates <= 3 * ports (the lattice-height bound, exact and deterministic),
+// and end-to-end the largest/smallest lint time ratio must stay within
+// kLinearSlack times the port-count ratio — a quadratic engine would blow
+// that bound by an order of magnitude at the 10x size spread measured
+// here. The machine-readable BENCH_lint.json (path overridable via
+// RTV_BENCH_JSON) records per-size timings and convergence statistics; the
+// binary re-reads and schema-checks the file, exiting non-zero on any
+// violation so the scaling contract cannot silently bit-rot.
+// RTV_BENCH_SMOKE=1 shrinks the sizes (same 10x spread) so CI can run the
+// report in seconds.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/lint.hpp"
+#include "bench_util.hpp"
+#include "gen/random_circuits.hpp"
+#include "util/rng.hpp"
+
+namespace rtv {
+namespace {
+
+/// Largest-over-smallest lint time may exceed the port-count ratio by at
+/// most this factor. Linear engines sit near 1; a quadratic one would show
+/// ~10x the port ratio at the 10x size spread and fail loudly.
+constexpr double kLinearSlack = 4.0;
+
+/// Additive damping (ms) so sub-millisecond smoke timings cannot produce a
+/// flaky ratio; irrelevant against any genuine super-linear blowup.
+constexpr double kNoiseFloorMs = 1.0;
+
+bool smoke_mode() {
+  const char* v = std::getenv("RTV_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+struct Row {
+  unsigned gates = 0;
+  std::size_t ports = 0;
+  double dataflow_ms = 0.0;   ///< run_dataflow alone
+  double lint_ms = 0.0;       ///< full run_lint (structural + semantic)
+  std::size_t iterations = 0;
+  std::size_t updates = 0;
+  std::size_t table_fallbacks = 0;
+  bool updates_bound_ok = false;  ///< updates <= 3 * ports
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Netlist workload(unsigned gates, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomCircuitOptions opt;
+  opt.num_inputs = 16;
+  opt.num_outputs = 8;
+  opt.num_gates = gates;
+  opt.num_latches = gates / 8;
+  opt.table_probability = 0.05;
+  opt.latch_after_gate_probability = 0.05;
+  return random_netlist(opt, rng);
+}
+
+Row measure(unsigned gates) {
+  Row row;
+  row.gates = gates;
+  const Netlist n = workload(gates, 0xD5);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const DataflowResult df = run_dataflow(n);
+  row.dataflow_ms = ms_since(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const LintResult lint = run_lint(n);
+  row.lint_ms = ms_since(t1);
+
+  const DataflowStats& stats =
+      lint.dataflow_stats.has_value() ? *lint.dataflow_stats : df.stats();
+  row.ports = stats.num_ports;
+  row.iterations = stats.iterations;
+  row.updates = stats.updates;
+  row.table_fallbacks = stats.table_fallbacks;
+  row.updates_bound_ok = row.updates <= 3 * row.ports;
+  return row;
+}
+
+std::vector<Row> run_report(bool smoke) {
+  const std::vector<unsigned> sizes =
+      smoke ? std::vector<unsigned>{1'000, 3'000, 10'000}
+            : std::vector<unsigned>{10'000, 30'000, 100'000};
+  std::vector<Row> rows;
+  rows.reserve(sizes.size());
+  for (unsigned gates : sizes) rows.push_back(measure(gates));
+  return rows;
+}
+
+/// time(L)/time(S) <= kLinearSlack * ports(L)/ports(S), noise-damped.
+bool near_linear(const std::vector<Row>& rows, double* time_ratio,
+                 double* port_ratio) {
+  const Row& small = rows.front();
+  const Row& large = rows.back();
+  *time_ratio = (large.lint_ms + kNoiseFloorMs) /
+                (small.lint_ms + kNoiseFloorMs);
+  *port_ratio = static_cast<double>(large.ports) /
+                static_cast<double>(small.ports);
+  return *time_ratio <= kLinearSlack * *port_ratio;
+}
+
+std::string bench_json_path() {
+  const char* v = std::getenv("RTV_BENCH_JSON");
+  return (v != nullptr && v[0] != '\0') ? v : "BENCH_lint.json";
+}
+
+std::string render_bench_json(const std::vector<Row>& rows, double time_ratio,
+                              double port_ratio, bool linear) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"benchmark\": \"lint_scale\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n";
+  os << "  \"linear_slack\": " << kLinearSlack << ",\n";
+  os << "  \"time_ratio\": " << time_ratio << ",\n";
+  os << "  \"port_ratio\": " << port_ratio << ",\n";
+  os << "  \"near_linear\": " << (linear ? "true" : "false") << ",\n";
+  os << "  \"sizes\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\n";
+    os << "      \"gates\": " << r.gates << ",\n";
+    os << "      \"ports\": " << r.ports << ",\n";
+    os << "      \"dataflow_ms\": " << r.dataflow_ms << ",\n";
+    os << "      \"lint_ms\": " << r.lint_ms << ",\n";
+    os << "      \"iterations\": " << r.iterations << ",\n";
+    os << "      \"updates\": " << r.updates << ",\n";
+    os << "      \"table_fallbacks\": " << r.table_fallbacks << ",\n";
+    os << "      \"updates_bound_ok\": "
+       << (r.updates_bound_ok ? "true" : "false") << "\n";
+    os << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// Minimal schema check (no JSON library in the image): required keys,
+/// balanced nesting, at least two sizes, the lattice bound true in every
+/// row, and the scaling flag true.
+std::string validate_bench_json(const std::string& text) {
+  for (const char* key :
+       {"\"benchmark\"", "\"schema_version\"", "\"smoke\"", "\"linear_slack\"",
+        "\"time_ratio\"", "\"port_ratio\"", "\"near_linear\"", "\"sizes\"",
+        "\"gates\"", "\"ports\"", "\"dataflow_ms\"", "\"lint_ms\"",
+        "\"iterations\"", "\"updates\"", "\"table_fallbacks\"",
+        "\"updates_bound_ok\""}) {
+    if (text.find(key) == std::string::npos) {
+      return std::string("missing key ") + key;
+    }
+  }
+  long depth_brace = 0, depth_bracket = 0;
+  for (char c : text) {
+    if (c == '{') ++depth_brace;
+    if (c == '}') --depth_brace;
+    if (c == '[') ++depth_bracket;
+    if (c == ']') --depth_bracket;
+    if (depth_brace < 0 || depth_bracket < 0) return "unbalanced nesting";
+  }
+  if (depth_brace != 0 || depth_bracket != 0) return "unbalanced nesting";
+  std::size_t pos = 0;
+  unsigned entries = 0;
+  while ((pos = text.find("\"updates_bound_ok\":", pos)) !=
+         std::string::npos) {
+    pos += 19;
+    if (text.compare(pos, 5, " true") != 0) {
+      return "a size broke the 3-updates-per-port lattice bound";
+    }
+    ++entries;
+  }
+  if (entries < 2) return "fewer than two sizes measured";
+  pos = text.find("\"near_linear\":");
+  if (pos == std::string::npos || text.compare(pos + 14, 5, " true") != 0) {
+    return "lint time scaled super-linearly in netlist size";
+  }
+  return "";
+}
+
+void emit_bench_json(const std::vector<Row>& rows, double time_ratio,
+                     double port_ratio, bool linear) {
+  const std::string path = bench_json_path();
+  {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    f << render_bench_json(rows, time_ratio, port_ratio, linear);
+  }
+  std::ifstream f(path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  const std::string problem = validate_bench_json(buffer.str());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "error: %s fails schema check: %s\n", path.c_str(),
+                 problem.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (schema ok)\n", path.c_str());
+}
+
+void bm_dataflow(::benchmark::State& state) {
+  const Netlist n = workload(static_cast<unsigned>(state.range(0)), 0xD5);
+  for (auto _ : state) {
+    const DataflowResult df = run_dataflow(n);
+    ::benchmark::DoNotOptimize(df.stats().updates);
+  }
+}
+BENCHMARK(bm_dataflow)->Arg(10'000)->Arg(100'000)
+    ->Unit(::benchmark::kMillisecond);
+
+void bm_lint(::benchmark::State& state) {
+  const Netlist n = workload(static_cast<unsigned>(state.range(0)), 0xD5);
+  for (auto _ : state) {
+    const LintResult lint = run_lint(n);
+    ::benchmark::DoNotOptimize(lint.diagnostics.size());
+  }
+}
+BENCHMARK(bm_lint)->Arg(10'000)->Arg(100'000)
+    ->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+
+void report() {
+  bench::heading("lint scaling / ternary dataflow fixpoint",
+                 "run_dataflow and full run_lint on 10^4..10^5-gate random "
+                 "netlists; updates <= 3 * ports and near-linear time");
+  const std::vector<Row> rows = run_report(smoke_mode());
+
+  std::printf("%-10s %-10s %-12s %-12s %-12s %-10s %-10s %-6s\n", "gates",
+              "ports", "dataflow ms", "lint ms", "iterations", "updates",
+              "upd/port", "bound");
+  for (const Row& r : rows) {
+    std::printf("%-10u %-10zu %-12.2f %-12.2f %-12zu %-10zu %-10.3f %-6s\n",
+                r.gates, r.ports, r.dataflow_ms, r.lint_ms, r.iterations,
+                r.updates,
+                static_cast<double>(r.updates) /
+                    static_cast<double>(r.ports),
+                r.updates_bound_ok ? "ok" : "NO");
+    if (!r.updates_bound_ok) {
+      std::fprintf(stderr,
+                   "error: %u gates: %zu updates over %zu ports breaks the "
+                   "3-per-port lattice bound\n",
+                   r.gates, r.updates, r.ports);
+      std::exit(1);
+    }
+  }
+
+  double time_ratio = 0.0, port_ratio = 0.0;
+  const bool linear = near_linear(rows, &time_ratio, &port_ratio);
+  std::printf("largest/smallest: lint time %.2fx over %.2fx the ports "
+              "(slack %.1fx) — %s\n",
+              time_ratio, port_ratio, kLinearSlack,
+              linear ? "near-linear" : "SUPER-LINEAR");
+  if (!linear) {
+    std::fprintf(stderr,
+                 "error: lint time ratio %.2f exceeds %.1f * port ratio "
+                 "%.2f — scaling is super-linear\n",
+                 time_ratio, kLinearSlack, port_ratio);
+    std::exit(1);
+  }
+  emit_bench_json(rows, time_ratio, port_ratio, linear);
+}
+
+}  // namespace rtv
+
+RTV_BENCH_MAIN(rtv::report)

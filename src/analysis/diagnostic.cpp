@@ -1,5 +1,6 @@
 #include "analysis/diagnostic.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "io/json.hpp"
@@ -38,6 +39,12 @@ const char* diag_code_title(DiagCode code) {
     case DiagCode::kDelayBoundExceeded: return "delay bound exceeded";
     case DiagCode::kSettleCertificate: return "settle-cycle certificate";
     case DiagCode::kPlanNotAnalyzable: return "plan not analyzable";
+    case DiagCode::kLatchNeverInitializes: return "latch never initializes";
+    case DiagCode::kStaticConstant: return "static constant signal";
+    case DiagCode::kDeadLogicCone: return "dead logic cone";
+    case DiagCode::kCombinationalScc: return "combinational feedback group";
+    case DiagCode::kStaticallySafeMove:
+      return "move statically certified safe";
   }
   return "unknown diagnostic";
 }
@@ -48,8 +55,13 @@ Severity diag_default_severity(DiagCode code) {
     case DiagCode::kImplicitFanout:
     case DiagCode::kUnreachableCell:
     case DiagCode::kUnsafeForwardMove:
+    case DiagCode::kLatchNeverInitializes:
       return Severity::kWarning;
     case DiagCode::kSettleCertificate:
+    case DiagCode::kStaticConstant:
+    case DiagCode::kDeadLogicCone:
+    case DiagCode::kCombinationalScc:
+    case DiagCode::kStaticallySafeMove:
       return Severity::kNote;
     default:
       return Severity::kError;
@@ -83,6 +95,15 @@ void DiagnosticReport::add(DiagCode code, const Netlist& netlist, NodeId node,
 
 void DiagnosticReport::merge(const DiagnosticReport& other) {
   for (const Diagnostic& d : other.diagnostics_) add(d);
+}
+
+void DiagnosticReport::sort_canonical() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.code != b.code) return a.code < b.code;
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.move_index < b.move_index;
+                   });
 }
 
 std::string render_text(const DiagnosticReport& report) {

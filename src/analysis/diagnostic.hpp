@@ -22,7 +22,9 @@ enum class Severity : std::uint8_t { kNote, kWarning, kError };
 const char* to_string(Severity severity);
 
 /// Stable diagnostic codes. RTV1xx: structural netlist defects. RTV2xx:
-/// retiming-plan analysis (paper Section 4). Values are the printed number.
+/// retiming-plan analysis (paper Section 4). RTV3xx: semantic findings from
+/// the ternary dataflow fixpoint (dataflow.hpp). Values are the printed
+/// number.
 enum class DiagCode : std::uint16_t {
   // -- structural lint (RTV1xx) --------------------------------------------
   kUnconnectedPin = 101,     ///< input pin with no driver
@@ -42,6 +44,12 @@ enum class DiagCode : std::uint16_t {
   kDelayBoundExceeded = 204, ///< Thm 4.5 k above the user bound
   kSettleCertificate = 205,  ///< note: C^k ⊑ D certificate (Thm 4.5/4.6)
   kPlanNotAnalyzable = 206,  ///< netlist fails plan-analysis preconditions
+  // -- semantic dataflow lint (RTV3xx) --------------------------------------
+  kLatchNeverInitializes = 301,  ///< latch stuck at X in the fixpoint
+  kStaticConstant = 302,         ///< signal provably constant on every cycle
+  kDeadLogicCone = 303,          ///< unobservable cone (no path to an output)
+  kCombinationalScc = 304,       ///< the cells of a latch-free feedback SCC
+  kStaticallySafeMove = 305,     ///< unsafe-class move certified safe
 };
 
 /// "RTV101", "RTV201", ...
@@ -84,6 +92,11 @@ class DiagnosticReport {
 
   /// Appends every diagnostic of `other`.
   void merge(const DiagnosticReport& other);
+
+  /// Stable-sorts into the canonical output order — (code, node, move
+  /// index), ties kept in emission order — so two runs over the same design
+  /// render byte-identically in both the text and JSON renderers.
+  void sort_canonical();
 
  private:
   std::vector<Diagnostic> diagnostics_;

@@ -18,10 +18,30 @@ LintResult run_passes(const Netlist& netlist,
     ctx.plan = plan;
     ctx.plan_analysis = &*result.plan;
   }
+
+  // Stage 1: every pass that works on structure alone. Their verdict
+  // decides whether the fixpoint is worth computing — its claims are only
+  // meaningful on a structurally sound netlist.
   for (const LintPass& pass : lint_passes()) {
+    if (pass.needs_dataflow) continue;
     if (pass.needs_plan && ctx.plan == nullptr) continue;
     pass.run(ctx, result.diagnostics);
   }
+
+  // Stage 2: the ternary dataflow fixpoint and the passes that read it.
+  std::optional<DataflowResult> dataflow;
+  if (options.semantic && !result.diagnostics.has_errors()) {
+    dataflow.emplace(run_dataflow(netlist));
+    ctx.dataflow = &*dataflow;
+    result.dataflow_stats = dataflow->stats();
+    for (const LintPass& pass : lint_passes()) {
+      if (!pass.needs_dataflow) continue;
+      if (pass.needs_plan && ctx.plan == nullptr) continue;
+      pass.run(ctx, result.diagnostics);
+    }
+  }
+
+  result.diagnostics.sort_canonical();
   return result;
 }
 
@@ -40,6 +60,12 @@ LintResult run_lint(const Netlist& netlist,
 std::string render_text(const LintResult& result) {
   std::ostringstream os;
   os << render_text(result.diagnostics);
+  if (result.dataflow_stats) {
+    const DataflowStats& s = *result.dataflow_stats;
+    os << "dataflow: " << s.num_ports << " port(s), " << s.iterations
+       << " iteration(s), " << s.updates << " update(s), "
+       << s.table_fallbacks << " table fallback(s)\n";
+  }
   if (result.plan) {
     const PlanAnalysis& p = *result.plan;
     os << "plan: " << p.stats.total_moves << " move(s), "
@@ -69,6 +95,12 @@ std::string render_json(const LintResult& result) {
     os << (i == 0 ? "\n" : ",\n") << "    " << diagnostic_to_json(diags[i]);
   }
   os << (diags.empty() ? "]" : "\n  ]");
+  if (result.dataflow_stats) {
+    const DataflowStats& s = *result.dataflow_stats;
+    os << ",\n  \"dataflow\": {\"ports\": " << s.num_ports
+       << ", \"iterations\": " << s.iterations << ", \"updates\": "
+       << s.updates << ", \"table_fallbacks\": " << s.table_fallbacks << "}";
+  }
   if (result.plan) {
     const PlanAnalysis& p = *result.plan;
     os << ",\n  \"plan\": {\n    \"analyzable\": "

@@ -10,10 +10,13 @@
 
 namespace rtv {
 
-/// Result of a lint run. `plan` is populated only when a plan was given.
+/// Result of a lint run. `plan` is populated only when a plan was given;
+/// `dataflow_stats` only when the semantic stage actually ran the ternary
+/// fixpoint (LintOptions::semantic on and no structural errors).
 struct LintResult {
   DiagnosticReport diagnostics;
   std::optional<PlanAnalysis> plan;
+  std::optional<DataflowStats> dataflow_stats;
 
   bool clean() const { return diagnostics.empty(); }
   bool has_errors() const { return diagnostics.has_errors(); }

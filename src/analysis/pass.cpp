@@ -7,6 +7,7 @@ const std::vector<LintPass>& lint_passes() {
     std::vector<LintPass> p;
     register_structural_passes(p);
     register_plan_passes(p);
+    register_semantic_passes(p);
     return p;
   }();
   return passes;

@@ -2,18 +2,25 @@
 // The lint pass framework: a registry of named passes that read a netlist
 // (and optionally a retiming plan) and accumulate Diagnostics.
 //
-// Two pass families ship with the library. The *structural* family lifts
+// Three pass families ship with the library. The *structural* family lifts
 // Netlist::structural_violations into coded diagnostics and adds the
 // move-engine lint checks (dangling ports, junction normality, unreachable
 // cells). The *plan* family runs over a PlanAnalysis (see plan.hpp) and
 // emits the paper's Section-4 findings: RTV201 for every move that breaks
 // safe replacement, feasibility errors, and the Theorem 4.5 certificate.
-// The driver in lint.hpp runs every registered pass in order.
+// The *semantic* family (RTV3xx, semantic_passes.cpp) reads the ternary
+// dataflow fixpoint: stuck-at-X latches, static constants, dead cones,
+// combinational SCCs, and static safety certificates for plan moves. The
+// driver in lint.hpp runs every registered pass in two stages — passes
+// whose `needs_dataflow` is set run only after the fixpoint has been
+// computed, which the driver skips when structural errors were found (the
+// fixpoint's claims are only meaningful on a sound netlist).
 
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/diagnostic.hpp"
 #include "analysis/plan.hpp"
 #include "netlist/netlist.hpp"
@@ -26,18 +33,25 @@ struct LintOptions {
   bool require_junction_normal = false;
   /// Emit RTV110 warnings for cells that cannot influence any output.
   bool warn_unreachable = true;
+  /// Run the semantic (RTV3xx) pass family: the ternary dataflow fixpoint
+  /// plus the structural SCC/dead-cone reports. `rtv lint --no-semantic`
+  /// turns it off for structural-only runs.
+  bool semantic = true;
   /// Error (RTV204) when the plan's Thm 4.5 k exceeds this bound.
   std::optional<std::size_t> max_k;
 };
 
 /// Everything a pass may look at. `plan`/`plan_analysis` are null for
 /// structure-only runs; the driver computes the analysis once and shares it
-/// with every plan pass.
+/// with every plan pass. `dataflow` is null until the driver's second stage
+/// (and stays null when semantic analysis is off or structural errors made
+/// the fixpoint meaningless).
 struct LintContext {
   const Netlist& netlist;
   const LintOptions& options;
   const std::vector<RetimingMove>* plan = nullptr;
   const PlanAnalysis* plan_analysis = nullptr;
+  const DataflowResult* dataflow = nullptr;
 };
 
 struct LintPass {
@@ -45,6 +59,9 @@ struct LintPass {
   const char* description;
   bool needs_plan;  ///< skipped when the context carries no plan
   std::function<void(const LintContext&, DiagnosticReport&)> run;
+  /// Deferred to the driver's second stage, after the ternary fixpoint is
+  /// available; skipped entirely when it never becomes available.
+  bool needs_dataflow = false;
 };
 
 /// The built-in pass registry, in execution order.
@@ -53,5 +70,6 @@ const std::vector<LintPass>& lint_passes();
 /// Registration hooks (one per pass family, called once by lint_passes()).
 void register_structural_passes(std::vector<LintPass>& passes);
 void register_plan_passes(std::vector<LintPass>& passes);
+void register_semantic_passes(std::vector<LintPass>& passes);
 
 }  // namespace rtv

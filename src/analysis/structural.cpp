@@ -77,24 +77,7 @@ void dangling_port_pass(const LintContext& ctx, DiagnosticReport& report) {
 void unreachable_pass(const LintContext& ctx, DiagnosticReport& report) {
   if (!ctx.options.warn_unreachable) return;
   const Netlist& n = ctx.netlist;
-  std::vector<bool> observable(n.num_slots(), false);
-  std::vector<std::uint32_t> stack;
-  for (const NodeId po : n.primary_outputs()) {
-    observable[po.value] = true;
-    stack.push_back(po.value);
-  }
-  while (!stack.empty()) {
-    const std::uint32_t v = stack.back();
-    stack.pop_back();
-    for (std::uint32_t pin = 0; pin < n.num_pins(NodeId(v)); ++pin) {
-      const PortRef drv = n.driver(PinRef(NodeId(v), pin));
-      if (!drv.valid() || drv.node.value >= n.num_slots()) continue;
-      if (!observable[drv.node.value]) {
-        observable[drv.node.value] = true;
-        stack.push_back(drv.node.value);
-      }
-    }
-  }
+  const std::vector<bool> observable = observable_mask(n);
   for (const NodeId id : n.live_nodes()) {
     if (observable[id.value] || n.kind(id) == CellKind::kInput) continue;
     report.add(DiagCode::kUnreachableCell, n, id,

@@ -22,6 +22,8 @@ const char* to_string(EquivalenceBackend backend) {
       return "sat";
     case EquivalenceBackend::kPortfolio:
       return "portfolio";
+    case EquivalenceBackend::kStatic:
+      return "static";
   }
   return "?";
 }
@@ -32,6 +34,7 @@ std::optional<EquivalenceBackend> equivalence_backend_from_string(
   if (name == "bdd") return EquivalenceBackend::kBdd;
   if (name == "sat") return EquivalenceBackend::kSat;
   if (name == "portfolio") return EquivalenceBackend::kPortfolio;
+  if (name == "static") return EquivalenceBackend::kStatic;
   return std::nullopt;
 }
 

@@ -34,16 +34,25 @@ namespace rtv {
 ///  * kSat       — CDCL BMC + k-induction over the unrolled miter AIG
 ///                 (sat/equiv.hpp);
 ///  * kPortfolio — BDD and SAT raced on the same query with verdict
-///                 cross-checking.
+///                 cross-checking;
+///  * kStatic    — the ternary dataflow fixpoint (analysis/dataflow.hpp):
+///                 a whole-design abstract-interpretation proof with no
+///                 state-space search at all. Can prove equivalence but
+///                 never disprove it; queries it cannot decide come back
+///                 kExhausted when it is selected explicitly. The
+///                 dispatcher also tries it first as a fast path for every
+///                 other backend (VerifyOptions::allow_static_proof).
 enum class EquivalenceBackend : std::uint8_t {
   kExplicit,
   kBdd,
   kSat,
   kPortfolio,
+  kStatic,
 };
 
 const char* to_string(EquivalenceBackend backend);
-/// Parses "explicit" | "bdd" | "sat" | "portfolio"; nullopt otherwise.
+/// Parses "explicit" | "bdd" | "sat" | "portfolio" | "static"; nullopt
+/// otherwise.
 std::optional<EquivalenceBackend> equivalence_backend_from_string(
     std::string_view name);
 

@@ -35,8 +35,10 @@ FlowReport run_synthesis_flow(const Netlist& design,
   if (options.lint_input) {
     LintOptions lint_options;
     // The flow junctionizes and sweeps unobservable logic itself, so only
-    // hard structural defects should block it.
+    // hard structural defects should block it; semantic findings are
+    // advisory and never errors, so skip the fixpoint here.
     lint_options.warn_unreachable = false;
+    lint_options.semantic = false;
     const LintResult lint = run_lint(design, lint_options);
     RTV_REQUIRE(!lint.has_errors(),
                 "input design fails structural lint:\n" + render_text(lint));

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/plan.hpp"
 
 namespace rtv {
@@ -15,6 +16,9 @@ std::string SafetyReport::summary() const {
     os << "delayed replacement C^" << delay_bound << " ⊑ D (Thm 4.5)";
   }
   if (statically_verified) os << " [statically verified]";
+  if (cls_certified_safe) {
+    os << " [unsafe moves CLS-certified by ternary fixpoint]";
+  }
   return os.str();
 }
 
@@ -46,6 +50,32 @@ bool cross_check_static(const Netlist& netlist,
   return true;
 }
 
+/// Above this moves × slots product the per-move fixpoint replay of
+/// certify_plan_moves would dominate the analysis; the report then simply
+/// carries no certificate (cls_certified_safe stays false, which claims
+/// nothing).
+constexpr std::size_t kClsCertifyBudget = 4'000'000;
+
+/// True iff every unsafe-class move of the sequence holds an individual
+/// certificate from the ternary dataflow fixpoint. Move classification is
+/// position-independent, so each move is classified against the original
+/// netlist while certify_plan_moves replays positions internally.
+bool cls_certify(const Netlist& netlist,
+                 const std::vector<RetimingMove>& moves,
+                 const MoveSequenceStats& stats) {
+  if (stats.forward_across_non_justifiable == 0) return false;
+  if (moves.size() * netlist.num_slots() > kClsCertifyBudget) return false;
+  const std::vector<MoveCertificate> certificates =
+      certify_plan_moves(netlist, moves);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    if (classify_move(netlist, moves[i]).preserves_safe_replacement()) {
+      continue;
+    }
+    if (!certificates[i].certified) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 SafetyReport analyze_lag_retiming(const Netlist& netlist,
@@ -56,6 +86,7 @@ SafetyReport analyze_lag_retiming(const Netlist& netlist,
   SafetyReport report = report_from_stats(seq.stats);
   report.statically_verified = cross_check_static(netlist, seq.moves,
                                                   seq.stats);
+  report.cls_certified_safe = cls_certify(netlist, seq.moves, seq.stats);
   if (sequenced != nullptr) *sequenced = std::move(seq);
   return report;
 }
@@ -72,6 +103,7 @@ SafetyReport analyze_move_sequence(const Netlist& netlist,
   }
   SafetyReport report = report_from_stats(stats);
   report.statically_verified = cross_check_static(netlist, moves, stats);
+  report.cls_certified_safe = cls_certify(netlist, moves, stats);
   if (retimed != nullptr) *retimed = std::move(work);
   return report;
 }

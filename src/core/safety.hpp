@@ -30,6 +30,14 @@ struct SafetyReport {
   /// delay_bound is then an independently derived certificate, not just a
   /// by-product of applying the moves.
   bool statically_verified = false;
+  /// Every move that breaks safe replacement in the Section-4 taxonomy was
+  /// individually certified harmless by the ternary dataflow fixpoint
+  /// (analysis/dataflow.hpp, RTV305): this concrete sequence preserves
+  /// every CLS trace even though its move classes alone cannot guarantee
+  /// it. False means only "no certificate" — certification is skipped for
+  /// sequences with no unsafe moves (nothing to certify) and for very
+  /// large moves×netlist products (the fixpoint replay would dominate).
+  bool cls_certified_safe = false;
 
   std::string summary() const;
 };

@@ -5,9 +5,36 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/dataflow.hpp"
+
 namespace rtv {
 
 namespace {
+
+/// The static fast path: a whole-design proof from the ternary dataflow
+/// fixpoint, attempted before any state-space engine. Returns nullopt when
+/// the fixpoint cannot decide — which says nothing about the designs, so
+/// the caller falls through to the selected backend.
+std::optional<ClsEquivalenceResult> try_static_proof(const Netlist& a,
+                                                     const Netlist& b,
+                                                     ResourceBudget* budget) {
+  // The fixpoint is cheap but not free: it answers to the same budget as
+  // every engine, so a blown/cancelled budget skips straight to the
+  // selected backend, which degrades honestly.
+  if (budget != nullptr && !budget->checkpoint("verify/static")) {
+    return std::nullopt;
+  }
+  const std::optional<std::string> proof = static_cls_equivalence_proof(a, b);
+  if (!proof) return std::nullopt;
+  ClsEquivalenceResult result;
+  result.equivalent = true;
+  result.exhaustive = true;
+  result.verdict = Verdict::kProven;
+  result.decided_by = EquivalenceBackend::kStatic;
+  result.decided_reason = *proof;
+  if (budget != nullptr) result.usage = budget->usage();
+  return result;
+}
 
 /// A found counterexample must actually distinguish the designs under the
 /// concrete CLS simulators; anything else is an engine bug, surfaced as an
@@ -209,6 +236,32 @@ ClsEquivalenceResult verify_cls_equivalence(const Netlist& a, const Netlist& b,
   RTV_REQUIRE(a.primary_outputs().size() == b.primary_outputs().size(),
               "designs differ in primary output count");
 
+  // Static fast path: a fixpoint proof needs no state-space search, so it
+  // short-circuits before any backend is even constructed. The fixpoint
+  // over-approximates, so an inconclusive attempt proves nothing and falls
+  // through; only the explicit kStatic backend reports it (honestly, as
+  // kExhausted — "could not decide", never a fake verdict).
+  if (options.allow_static_proof ||
+      options.backend == EquivalenceBackend::kStatic) {
+    if (std::optional<ClsEquivalenceResult> static_result =
+            try_static_proof(a, b, budget)) {
+      return *static_result;
+    }
+    if (options.backend == EquivalenceBackend::kStatic) {
+      ClsEquivalenceResult result;
+      result.equivalent = false;
+      result.exhaustive = false;
+      result.verdict = Verdict::kExhausted;
+      result.decided_by = EquivalenceBackend::kStatic;
+      result.decided_reason =
+          "static fixpoint proof inconclusive: some paired primary output "
+          "has a non-singleton or differing value set (select an engine "
+          "backend to decide)";
+      if (budget != nullptr) result.usage = budget->usage();
+      return result;
+    }
+  }
+
   ClsEquivalenceResult result;
   switch (options.backend) {
     case EquivalenceBackend::kExplicit:
@@ -223,6 +276,8 @@ ClsEquivalenceResult verify_cls_equivalence(const Netlist& a, const Netlist& b,
     case EquivalenceBackend::kPortfolio:
       result = run_portfolio(a, b, options, budget);
       break;
+    case EquivalenceBackend::kStatic:
+      break;  // handled above; unreachable
   }
   validate_counterexample(a, b, result);
   return result;

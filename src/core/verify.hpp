@@ -38,6 +38,13 @@ struct VerifyOptions {
   BddEquivOptions bdd;
   SatEquivOptions sat;
   PortfolioOptions portfolio;
+  /// Try the ternary dataflow fixpoint (analysis/dataflow.hpp) before
+  /// dispatching to the selected engine: when every paired primary output
+  /// carries the same singleton fixpoint set, equivalence is proven with no
+  /// state-space search and the result is stamped decided_by = kStatic.
+  /// The fixpoint can only prove, never disprove, so an inconclusive
+  /// attempt just falls through to the selected backend.
+  bool allow_static_proof = true;
 };
 
 /// Two independent engines returned contradictory conclusive verdicts on

@@ -276,4 +276,21 @@ class Netlist {
 /// Throws InvalidArgument if a combinational cycle exists.
 std::vector<NodeId> combinational_topo_order(const Netlist& netlist);
 
+/// The latch-free feedback cycles of the netlist, reported as the strongly
+/// connected components of the combinational subgraph (edges through
+/// latches and primary inputs are cut, so every SCC here violates the
+/// synchrony condition). Only offending SCCs are returned: components of
+/// two or more cells, or a single cell driving itself. Each component is
+/// sorted by NodeId and the list is ordered by smallest member, so output
+/// is deterministic. Tolerates structurally broken netlists (dangling or
+/// out-of-range references are skipped), which is what makes it usable
+/// from lint before validity is established.
+std::vector<std::vector<NodeId>> combinational_sccs(const Netlist& netlist);
+
+/// Per-slot observability: mask[id.value] is true iff `id` can influence
+/// some primary output through a chain of fanin edges (the backward
+/// closure that sweep_unobservable() deletes against). Dead slots are
+/// false; tolerates structurally broken netlists.
+std::vector<bool> observable_mask(const Netlist& netlist);
+
 }  // namespace rtv

@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "netlist/netlist.hpp"
 
 namespace rtv {
@@ -54,6 +56,137 @@ std::vector<NodeId> combinational_topo_order(const Netlist& netlist) {
 
   for (NodeId id : netlist.primary_outputs()) order.push_back(id);
   return order;
+}
+
+namespace {
+
+/// True for a live slot holding a combinational cell — the only nodes that
+/// participate in combinational-cycle analysis.
+bool comb_live(const Netlist& n, NodeId id) {
+  return id.valid() && id.value < n.num_slots() && !n.is_dead(id) &&
+         is_combinational(n.kind(id));
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> combinational_sccs(const Netlist& netlist) {
+  const std::size_t slots = netlist.num_slots();
+
+  // Iterative Tarjan over the combinational subgraph. Edges follow fanout
+  // (driver -> sink) between live combinational cells only; anything that
+  // crosses a latch, PI, or PO is cut, so a non-trivial SCC is exactly a
+  // latch-free feedback cycle.
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(slots, kUnvisited);
+  std::vector<std::uint32_t> lowlink(slots, 0);
+  std::vector<bool> on_stack(slots, false);
+  std::vector<std::uint32_t> scc_stack;
+  std::uint32_t next_index = 0;
+  std::vector<std::vector<NodeId>> offending;
+
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t port = 0;
+    std::uint32_t sink = 0;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint32_t root = 0; root < slots; ++root) {
+    if (index[root] != kUnvisited || !comb_live(netlist, NodeId(root))) {
+      continue;
+    }
+    dfs.push_back({root});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const Node& node = netlist.node(NodeId(f.node));
+      bool descended = false;
+      while (f.port < node.fanout.size()) {
+        if (f.sink >= node.fanout[f.port].size()) {
+          ++f.port;
+          f.sink = 0;
+          continue;
+        }
+        const NodeId succ = node.fanout[f.port][f.sink++].node;
+        if (!comb_live(netlist, succ)) continue;
+        if (index[succ.value] == kUnvisited) {
+          dfs.push_back({succ.value});
+          index[succ.value] = lowlink[succ.value] = next_index++;
+          scc_stack.push_back(succ.value);
+          on_stack[succ.value] = true;
+          descended = true;
+          break;
+        }
+        if (on_stack[succ.value]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[succ.value]);
+        }
+      }
+      if (descended) continue;
+
+      // f.node is fully expanded: pop it, fold its lowlink into the parent,
+      // and emit the component if f.node is its root.
+      const std::uint32_t v = f.node;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().node] =
+            std::min(lowlink[dfs.back().node], lowlink[v]);
+      }
+      if (lowlink[v] != index[v]) continue;
+      std::vector<NodeId> component;
+      while (true) {
+        const std::uint32_t w = scc_stack.back();
+        scc_stack.pop_back();
+        on_stack[w] = false;
+        component.push_back(NodeId(w));
+        if (w == v) break;
+      }
+      bool cyclic = component.size() > 1;
+      if (!cyclic) {
+        for (const auto& port_sinks : netlist.node(component[0]).fanout) {
+          for (const PinRef& s : port_sinks) {
+            if (s.node == component[0]) cyclic = true;
+          }
+        }
+      }
+      if (!cyclic) continue;
+      std::sort(component.begin(), component.end());
+      offending.push_back(std::move(component));
+    }
+  }
+
+  std::sort(offending.begin(), offending.end(),
+            [](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+              return a.front() < b.front();
+            });
+  return offending;
+}
+
+std::vector<bool> observable_mask(const Netlist& netlist) {
+  const std::size_t slots = netlist.num_slots();
+  std::vector<bool> observable(slots, false);
+  std::vector<std::uint32_t> stack;
+  for (const NodeId po : netlist.primary_outputs()) {
+    if (!po.valid() || po.value >= slots || netlist.is_dead(po)) continue;
+    if (observable[po.value]) continue;
+    observable[po.value] = true;
+    stack.push_back(po.value);
+  }
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (std::uint32_t pin = 0; pin < netlist.num_pins(NodeId(v)); ++pin) {
+      const PortRef drv = netlist.driver(PinRef(NodeId(v), pin));
+      if (!drv.valid() || drv.node.value >= slots) continue;
+      if (!observable[drv.node.value]) {
+        observable[drv.node.value] = true;
+        stack.push_back(drv.node.value);
+      }
+    }
+  }
+  return observable;
 }
 
 }  // namespace rtv

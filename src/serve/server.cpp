@@ -304,8 +304,9 @@ ResourceLimits Server::limits_for(const JobRequest& request) const {
 
 JsonValue Server::handle_lint(const JobRequest& request, JobStatsWire* stats,
                               std::string* design_id) {
-  check_option_keys(request.options,
-                    {"require_junction_normal", "warn_unreachable", "max_k"});
+  check_option_keys(request.options, {"require_junction_normal",
+                                      "warn_unreachable", "max_k",
+                                      "semantic"});
   const auto entry = resolve_design(request.design_text, request.design_id,
                                     &stats->cache_hit);
   *design_id = entry->design_id();
@@ -315,6 +316,8 @@ JsonValue Server::handle_lint(const JobRequest& request, JobStatsWire* stats,
       option_bool(request.options, "require_junction_normal").value_or(false);
   options.warn_unreachable =
       option_bool(request.options, "warn_unreachable").value_or(true);
+  options.semantic =
+      option_bool(request.options, "semantic").value_or(true);
   if (const auto k = option_uint(request.options, "max_k")) {
     options.max_k = static_cast<std::size_t>(*k);
   }
@@ -338,6 +341,15 @@ JsonValue Server::handle_lint(const JobRequest& request, JobStatsWire* stats,
     diagnostics.emplace_back(std::move(diag));
   }
   out.emplace_back("diagnostics", JsonValue(std::move(diagnostics)));
+  if (result.dataflow_stats) {
+    const DataflowStats& s = *result.dataflow_stats;
+    JsonValue::Object dataflow;
+    dataflow.emplace_back("ports", uint_json(s.num_ports));
+    dataflow.emplace_back("iterations", uint_json(s.iterations));
+    dataflow.emplace_back("updates", uint_json(s.updates));
+    dataflow.emplace_back("table_fallbacks", uint_json(s.table_fallbacks));
+    out.emplace_back("dataflow", JsonValue(std::move(dataflow)));
+  }
   return JsonValue(std::move(out));
 }
 
@@ -496,7 +508,7 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
     const auto backend = equivalence_backend_from_string(*name);
     if (!backend) {
       bad_option("option \"backend\" must be \"explicit\", \"bdd\", "
-                 "\"sat\" or \"portfolio\"");
+                 "\"sat\", \"portfolio\" or \"static\"");
     }
     options.backend = *backend;
   }

@@ -35,10 +35,30 @@ std::size_t count_code(const DiagnosticReport& report, DiagCode code) {
 // ---- structural lint -------------------------------------------------------
 
 TEST(StructuralLint, CleanCircuitsProduceEmptyReports) {
-  for (const Netlist& n :
-       {toggle_circuit(), inverter_pipeline(), figure1_original()}) {
+  for (const Netlist& n : {inverter_pipeline(), and2_circuit()}) {
     const LintResult result = run_lint(n);
     EXPECT_TRUE(result.clean()) << render_text(result);
+  }
+}
+
+TEST(StructuralLint, StuckAtXLatchesAreFlaggedOnlyBySemanticLint) {
+  // toggle and Figure 1 are structurally sound, but their latches can never
+  // leave the all-X power-up state: semantic lint warns RTV301; turning the
+  // semantic stage off restores the purely structural (clean) verdict.
+  for (const Netlist& n : {toggle_circuit(), figure1_original()}) {
+    const LintResult result = run_lint(n);
+    EXPECT_FALSE(result.clean()) << render_text(result);
+    EXPECT_FALSE(result.has_errors()) << render_text(result);
+    EXPECT_GE(count_code(result.diagnostics, DiagCode::kLatchNeverInitializes),
+              1u);
+    ASSERT_TRUE(result.dataflow_stats.has_value());
+    EXPECT_GT(result.dataflow_stats->num_ports, 0u);
+
+    LintOptions structural_only;
+    structural_only.semantic = false;
+    const LintResult off = run_lint(n, structural_only);
+    EXPECT_TRUE(off.clean()) << render_text(off);
+    EXPECT_FALSE(off.dataflow_stats.has_value());
   }
 }
 
@@ -162,7 +182,12 @@ TEST(PlanAnalysis, Figure2BackwardAcrossJ1IsClean) {
   EXPECT_TRUE(result.plan->feasible);
   EXPECT_EQ(result.plan->k(), 0u);
   EXPECT_TRUE(result.plan->stats.preserves_safe_replacement());
-  EXPECT_TRUE(result.clean()) << render_text(result);
+  // The plan itself raises nothing; the only diagnostics are the semantic
+  // RTV301s on Figure 1's stuck-at-X latches.
+  EXPECT_EQ(count_code(result.diagnostics, DiagCode::kUnsafeForwardMove), 0u);
+  EXPECT_EQ(result.diagnostics.size(),
+            count_code(result.diagnostics, DiagCode::kLatchNeverInitializes))
+      << render_text(result);
 }
 
 TEST(PlanAnalysis, JustifiableForwardMoveIsClean) {
@@ -352,21 +377,35 @@ TEST(LintJson, ReportParsesAndHasTheDocumentedShape) {
   ASSERT_TRUE(doc.is_object());
   EXPECT_EQ(doc.find("rtv_lint_version")->as_number(), 1.0);
 
+  // RTV201 (unsafe forward) + RTV301 (stuck-at-X latch) warnings; RTV205
+  // (delay bound) + RTV305 (move statically certified: junctions preserve
+  // all-X) notes. Canonical order sorts by code.
   const JsonValue* summary = doc.find("summary");
   ASSERT_NE(summary, nullptr);
   EXPECT_EQ(summary->find("errors")->as_number(), 0.0);
-  EXPECT_EQ(summary->find("warnings")->as_number(), 1.0);
-  EXPECT_EQ(summary->find("notes")->as_number(), 1.0);
+  EXPECT_EQ(summary->find("warnings")->as_number(), 2.0);
+  EXPECT_EQ(summary->find("notes")->as_number(), 2.0);
   EXPECT_FALSE(summary->find("clean")->as_bool());
+
+  const JsonValue* dataflow = doc.find("dataflow");
+  ASSERT_NE(dataflow, nullptr);
+  EXPECT_GT(dataflow->find("ports")->as_number(), 0.0);
 
   const JsonValue* diags = doc.find("diagnostics");
   ASSERT_NE(diags, nullptr);
-  ASSERT_EQ(diags->as_array().size(), 2u);
+  ASSERT_EQ(diags->as_array().size(), 4u);
   const JsonValue& unsafe = diags->as_array()[0];
   EXPECT_EQ(unsafe.find("code")->as_string(), "RTV201");
   EXPECT_EQ(unsafe.find("severity")->as_string(), "warning");
   EXPECT_EQ(unsafe.find("name")->as_string(), "J1");
   EXPECT_EQ(unsafe.find("move")->as_number(), 0.0);
+  EXPECT_EQ(diags->as_array()[1].find("code")->as_string(), "RTV205");
+  EXPECT_EQ(diags->as_array()[2].find("code")->as_string(), "RTV301");
+  const JsonValue& certified = diags->as_array()[3];
+  EXPECT_EQ(certified.find("code")->as_string(), "RTV305");
+  EXPECT_EQ(certified.find("severity")->as_string(), "note");
+  EXPECT_EQ(certified.find("name")->as_string(), "J1");
+  EXPECT_EQ(certified.find("move")->as_number(), 0.0);
 
   const JsonValue* p = doc.find("plan");
   ASSERT_NE(p, nullptr);
@@ -382,7 +421,8 @@ TEST(LintJson, ReportParsesAndHasTheDocumentedShape) {
 }
 
 TEST(LintJson, CleanReportIsCleanAndPlanless) {
-  const JsonValue doc = parse_json(render_json(run_lint(toggle_circuit())));
+  const JsonValue doc =
+      parse_json(render_json(run_lint(inverter_pipeline())));
   EXPECT_TRUE(doc.find("summary")->find("clean")->as_bool());
   EXPECT_TRUE(doc.find("diagnostics")->as_array().empty());
   EXPECT_EQ(doc.find("plan"), nullptr);

@@ -64,9 +64,11 @@ std::vector<int> random_legal_lag(const RetimeGraph& g, Rng& rng,
 
 ClsEquivalenceResult run_backend(EquivalenceBackend backend, const Netlist& a,
                                  const Netlist& b,
-                                 ResourceBudget* budget = nullptr) {
+                                 ResourceBudget* budget = nullptr,
+                                 bool allow_static_proof = true) {
   VerifyOptions opt;
   opt.backend = backend;
+  opt.allow_static_proof = allow_static_proof;
   return verify_cls_equivalence(a, b, opt, budget);
 }
 
@@ -131,6 +133,9 @@ TEST(BackendCrosscheck, PortfolioStampsTheDecidingEngine) {
   const Netlist n = toggle_circuit();
   VerifyOptions opt;
   opt.backend = EquivalenceBackend::kPortfolio;
+  // This test exists to exercise the race machinery; keep the static
+  // fixpoint proof from short-circuiting it.
+  opt.allow_static_proof = false;
   const ClsEquivalenceResult r = verify_cls_equivalence(n, n, opt);
   EXPECT_TRUE(r.equivalent);
   EXPECT_EQ(r.verdict, Verdict::kProven);
@@ -191,14 +196,15 @@ TEST(BackendCrosscheckFaultSweep, SatDegradesToBoundedOrExhausted) {
 TEST(BackendCrosscheckFaultSweep, PortfolioIsNotPoisonedByTrippedEngines) {
   // A fault tripping inside one (or both) portfolio engines must never
   // crash the race, produce a verdict disagreement, or surface a bogus
-  // counterexample; the merged report stays honest.
+  // counterexample; the merged report stays honest. Static proof off: the
+  // sweep must reach the engines, not a fixpoint short-circuit.
   const Netlist n = toggle_circuit();
 
   fault_inject::arm(std::uint64_t{1} << 62);
   {
     ResourceBudget budget((ResourceLimits()));
-    const ClsEquivalenceResult r =
-        run_backend(EquivalenceBackend::kPortfolio, n, n, &budget);
+    const ClsEquivalenceResult r = run_backend(
+        EquivalenceBackend::kPortfolio, n, n, &budget, /*allow_static=*/false);
     EXPECT_TRUE(r.equivalent) << r.summary();
   }
   const std::uint64_t total = fault_inject::checkpoints_passed();
@@ -209,8 +215,8 @@ TEST(BackendCrosscheckFaultSweep, PortfolioIsNotPoisonedByTrippedEngines) {
     fault_inject::arm(trip);
     ResourceBudget budget((ResourceLimits()));
     ClsEquivalenceResult r;
-    ASSERT_NO_THROW(
-        r = run_backend(EquivalenceBackend::kPortfolio, n, n, &budget))
+    ASSERT_NO_THROW(r = run_backend(EquivalenceBackend::kPortfolio, n, n,
+                                    &budget, /*allow_static=*/false))
         << "injection at checkpoint " << trip;
     fault_inject::disarm();
     expect_degraded_honestly(r, trip);

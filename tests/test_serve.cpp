@@ -216,7 +216,10 @@ TEST(Server, EveryJobTypeAnswersOverTheSameEntryPoint) {
   const JsonValue lint =
       parse_response(server.handle_line(frame("l", "lint", design)));
   EXPECT_TRUE(response_ok(lint));
-  EXPECT_TRUE(lint.find("result")->find("clean")->as_bool());
+  // toggle's latch can never leave X, so semantic lint flags RTV301 — the
+  // report is structurally sound but not clean.
+  EXPECT_FALSE(lint.find("result")->find("clean")->as_bool());
+  EXPECT_EQ(lint.find("result")->find("errors")->as_number(), 0.0);
   EXPECT_EQ(verdict_of(lint), "none");
   const std::string design_id = lint.find("design_id")->as_string();
 
@@ -255,6 +258,59 @@ TEST(Server, EveryJobTypeAnswersOverTheSameEntryPoint) {
       parse_response(server.handle_line(frame("st", "stats")));
   EXPECT_TRUE(response_ok(stats));
   EXPECT_GE(stats.find("result")->find("jobs_done")->as_number(), 6.0);
+}
+
+TEST(Server, SemanticLintAndStaticProofRoundTripOverTheWire) {
+  Server server(small_server_options());
+  const std::string design = design_field(toggle_text());
+
+  // Semantic lint: the RTV301 finding and the fixpoint statistics travel
+  // the wire intact.
+  const JsonValue lint =
+      parse_response(server.handle_line(frame("sl", "lint", design)));
+  ASSERT_TRUE(response_ok(lint));
+  const JsonValue* result = lint.find("result");
+  EXPECT_FALSE(result->find("clean")->as_bool());
+  EXPECT_EQ(result->find("warnings")->as_number(), 1.0);
+  const auto& diags = result->find("diagnostics")->as_array();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].find("code")->as_string(), "RTV301");
+  EXPECT_EQ(diags[0].find("severity")->as_string(), "warning");
+  EXPECT_EQ(diags[0].find("node")->as_string(), "t");
+  const JsonValue* dataflow = result->find("dataflow");
+  ASSERT_NE(dataflow, nullptr);
+  EXPECT_GT(dataflow->find("ports")->as_number(), 0.0);
+  EXPECT_GT(dataflow->find("iterations")->as_number(), 0.0);
+  EXPECT_GT(dataflow->find("updates")->as_number(), 0.0);
+  EXPECT_EQ(dataflow->find("table_fallbacks")->as_number(), 0.0);
+
+  // semantic:false restores the structural-only verdict — and no
+  // dataflow key, since the fixpoint never ran.
+  const JsonValue off = parse_response(server.handle_line(
+      frame("sl-off", "lint", design + ",\"options\":{\"semantic\":false}")));
+  ASSERT_TRUE(response_ok(off));
+  EXPECT_TRUE(off.find("result")->find("clean")->as_bool());
+  EXPECT_EQ(off.find("result")->find("dataflow"), nullptr);
+
+  // The static fixpoint proof decides toggle-vs-toggle with no engine run.
+  const JsonValue equiv = parse_response(server.handle_line(
+      frame("se", "cls-equivalence",
+            design + ",\"design_b\":\"" + json_escape(toggle_text()) + "\"")));
+  ASSERT_TRUE(response_ok(equiv));
+  EXPECT_TRUE(equiv.find("result")->find("equivalent")->as_bool());
+  EXPECT_EQ(equiv.find("result")->find("decided_by")->as_string(), "static");
+  EXPECT_EQ(verdict_of(equiv), "proven");
+
+  // The explicit static backend answers honestly when it cannot decide.
+  const std::string pipeline = write_rnl(testing::inverter_pipeline());
+  const JsonValue und = parse_response(server.handle_line(frame(
+      "su", "cls-equivalence",
+      design_field(pipeline) + ",\"design_b\":\"" + json_escape(pipeline) +
+          "\",\"options\":{\"backend\":\"static\"}")));
+  ASSERT_TRUE(response_ok(und));
+  EXPECT_FALSE(und.find("result")->find("equivalent")->as_bool());
+  EXPECT_EQ(und.find("result")->find("decided_by")->as_string(), "static");
+  EXPECT_EQ(verdict_of(und), "exhausted");
 }
 
 TEST(Server, ClsEquivalenceBackendSelectionRoundTrips) {

@@ -85,10 +85,12 @@ enum ExitCode : int {
                " [-o OUT]\n"
                "  rtv validate <design> (--min-area | --min-period)\n"
                "  rtv lint <design> [--plan FILE] [--json] [--max-k N]"
-               " [--strict]\n"
-               "      structural diagnostics (RTV1xx) and, with --plan, the\n"
-               "      Section-4 safety verdict of a retiming-move plan"
-               " (RTV2xx)\n"
+               " [--strict] [--no-semantic]\n"
+               "      structural diagnostics (RTV1xx), semantic ternary-\n"
+               "      dataflow findings (RTV3xx, on by default; disable"
+               " with\n"
+               "      --no-semantic) and, with --plan, the Section-4 safety\n"
+               "      verdict of a retiming-move plan (RTV2xx)\n"
                "  rtv audit <design>\n"
                "  rtv redundancy <design> [-o OUT]\n"
                "  rtv flow <design> [--min-area|--min-period|--period-then-area]"
@@ -117,8 +119,10 @@ enum ExitCode : int {
                "\n"
                "equivalence backends (validate, flow, cls-equiv):\n"
                "  --backend B          explicit (default) | bdd | sat |"
-               " portfolio\n"
-               "                       (engine matrix in docs/backends.md)\n"
+               " portfolio | static\n"
+               "                       (engine matrix in docs/backends.md;\n"
+               "                       every backend tries the static\n"
+               "                       ternary-fixpoint proof first)\n"
                "\n"
                "resource governance (validate, flow, cls-equiv, faultsim):\n"
                "  --time-budget-ms N   wall-clock budget (0 = unlimited)\n"
@@ -194,6 +198,7 @@ struct Args {
   std::optional<std::size_t> cache_bytes;
   bool min_area = false, min_period = false, cls = false, packed = false;
   bool no_drop = false, all_faults = false, json = false, strict = false;
+  bool semantic = true;  // lint: ternary dataflow passes (RTV3xx)
   // Resource governance (validate, flow, faultsim).
   std::optional<std::uint64_t> time_budget_ms, step_quota;
   std::optional<std::size_t> node_limit;
@@ -215,7 +220,7 @@ EquivalenceBackend backend_from_args(const Args& args) {
   if (!args.backend) return EquivalenceBackend::kExplicit;
   const auto backend = equivalence_backend_from_string(*args.backend);
   if (!backend) {
-    usage("--backend must be explicit, bdd, sat or portfolio");
+    usage("--backend must be explicit, bdd, sat, portfolio or static");
   }
   return *backend;
 }
@@ -262,6 +267,10 @@ Args parse_args(int argc, char** argv, int first) {
       args.json = true;
     } else if (a == "--strict") {
       args.strict = true;
+    } else if (a == "--semantic") {
+      args.semantic = true;
+    } else if (a == "--no-semantic") {
+      args.semantic = false;
     } else if (a == "--threads") {
       // 0 means "all hardware threads"; cap explicit counts well past any
       // real machine but short of exhausting the OS thread limit.
@@ -495,8 +504,9 @@ int cmd_validate(const Args& args) {
   return v.theorems_hold && v.cls.equivalent ? kExitOk : kExitVerdictFalse;
 }
 
-/// Structured static analysis: structural diagnostics plus, with --plan,
-/// the Section-4 verdict of a retiming-move plan. Exit 0 when clean, 1 on
+/// Structured static analysis: structural diagnostics, the semantic
+/// ternary-dataflow passes (RTV3xx, on by default) plus, with --plan, the
+/// Section-4 verdict of a retiming-move plan. Exit 0 when clean, 1 on
 /// errors (or on warnings too with --strict). .rnl designs are loaded
 /// without the loader's own validation so every defect is reported, not
 /// just the first one check_valid would throw on.
@@ -507,6 +517,7 @@ int cmd_lint(const Args& args) {
                                             : load_design(path);
   LintOptions opt;
   opt.max_k = args.max_k;
+  opt.semantic = args.semantic;
   LintResult result;
   if (args.plan) {
     result = run_lint(n, load_plan(*args.plan, n).moves, opt);
