@@ -1,0 +1,484 @@
+// Experiment: `rtv serve` behaviour past saturation — does goodput hold
+// and does latency stay honest when the offered load exceeds capacity?
+//
+// The report drives an open-loop paced workload (clients send on a timer,
+// they do not wait for responses) through a real Unix-domain socket at
+// 1x, 2x and 4x the server's nominal capacity. Jobs are the deterministic
+// chaos_spin_cooperative_ms simulate handler, so per-job service time is
+// known and the measurement describes the admission machinery, not an
+// analysis kernel. Contracts asserted (the binary exits non-zero when any
+// fails, or when the BENCH_serve_overload.json it writes does not match
+// its own schema):
+//
+//  1. Every request id is answered exactly once — as a schema-valid
+//     success or a schema-valid "overloaded" rejection. Nothing is
+//     dropped, nothing is answered twice, no client blocks forever.
+//  2. Past saturation the server sheds: at >= 2x offered load the shed
+//     count is positive (bounded queue, not unbounded latency).
+//  3. Accepted jobs stay fast: p99 completion latency of successful jobs
+//     stays under kMaxAcceptedP99Ms at every load point — the bounded
+//     admission queue caps how long an accepted job can have waited.
+//  4. Goodput does not collapse: successful jobs/sec at 4x load must be
+//     at least kMinGoodputRatio of goodput at 1x.
+//  5. The server stays observable: a "health" probe sent mid-flood at 4x
+//     is answered inline in under kMaxHealthMs.
+//
+// Under RTV_BENCH_SMOKE=1 the pacing windows shrink (CI smoke);
+// RTV_BENCH_JSON overrides the report path.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gen/paper_circuits.hpp"
+#include "io/json.hpp"
+#include "io/rnl_format.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace rtv;
+using namespace rtv::serve;
+using Clock = std::chrono::steady_clock;
+
+bool smoke_mode() {
+  const char* v = std::getenv("RTV_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::string bench_json_path() {
+  const char* v = std::getenv("RTV_BENCH_JSON");
+  return (v != nullptr && v[0] != '\0') ? v : "BENCH_serve_overload.json";
+}
+
+/// Accepted-job p99 latency cap at every load point. Queue depth x
+/// service time bounds the wait, so this is generous headroom for
+/// scheduler noise, not a tuned number.
+constexpr double kMaxAcceptedP99Ms = 250.0;
+/// Goodput at 4x offered load must be at least this fraction of 1x.
+constexpr double kMinGoodputRatio = 0.5;
+/// A health probe mid-flood must answer within this.
+constexpr double kMaxHealthMs = 1000.0;
+/// Deterministic per-job service time (cooperative chaos spin).
+constexpr std::uint64_t kServiceMs = 5;
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "bench_serve_overload: CONTRACT VIOLATION: %s\n",
+               what.c_str());
+  std::exit(1);
+}
+
+void check(bool ok, const std::string& what) {
+  if (!ok) fail(what);
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double index = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(index);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = index - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+// ---------------------------------------------------------------------------
+// Socket client (same minimal NDJSON idiom as bench_serve_throughput).
+
+class LineClient {
+ public:
+  explicit LineClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    check(fd_ >= 0, "client socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    check(socket_path.size() < sizeof(addr.sun_path),
+          "socket path too long for sockaddr_un");
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    int rc = -1;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+      if (rc == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    check(rc == 0,
+          "client connect() failed: " + std::string(std::strerror(errno)));
+  }
+
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  void send_line(const std::string& frame) {
+    std::string wire = frame;
+    wire.push_back('\n');
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      check(n > 0, "client send() failed");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      check(n > 0, "client recv() failed (connection closed early?)");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string unique_socket_path(const char* tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::ostringstream os;
+  os << ((tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp")
+     << "/rtv-bench-" << tag << "-" << ::getpid() << ".sock";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Workload.
+
+std::string spin_frame(const std::string& id, const std::string& design) {
+  std::ostringstream os;
+  os << "{\"rtv_serve\": 1, \"id\": \"" << id
+     << "\", \"type\": \"simulate\", \"design\": \"" << design
+     << "\", \"options\": {\"chaos_spin_cooperative_ms\": " << kServiceMs
+     << "}}";
+  return os.str();
+}
+
+/// One measured load point: paced open-loop offered load at `multiple`
+/// times nominal capacity, split across `clients` connections.
+struct LoadPoint {
+  double multiple = 0.0;
+  std::uint64_t offered = 0;
+  double offered_per_sec = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  double wall_ms = 0.0;
+  double goodput_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double health_ms = 0.0;  ///< mid-flood probe; 0 when not probed
+};
+
+LoadPoint run_load_point(const std::string& socket_path,
+                         const std::string& design, double capacity_per_sec,
+                         double multiple, double window_sec,
+                         bool probe_health) {
+  const unsigned clients = 4;
+  const double rate = capacity_per_sec * multiple;
+  const std::uint64_t per_client = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(rate * window_sec /
+                                    static_cast<double>(clients)));
+  const double interval_ms =
+      1000.0 * static_cast<double>(clients) / rate;
+
+  std::mutex merge_mutex;
+  std::vector<double> ok_latencies;
+  std::uint64_t ok_count = 0;
+  std::uint64_t shed_count = 0;
+
+  const auto point_start = Clock::now();
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client(socket_path);
+      std::map<std::string, Clock::time_point> sent_at;
+      // Paced sender: one frame per interval, never waiting for answers —
+      // offered load is a property of the clock, not of server speed.
+      std::thread sender([&] {
+        auto next = Clock::now();
+        for (std::uint64_t j = 0; j < per_client; ++j) {
+          const std::string id =
+              "m" + std::to_string(static_cast<int>(multiple * 100)) + "-c" +
+              std::to_string(c) + "-" + std::to_string(j);
+          {
+            std::lock_guard<std::mutex> lk(merge_mutex);
+            sent_at.emplace(id, Clock::now());
+          }
+          client.send_line(spin_frame(id, design));
+          next += std::chrono::microseconds(
+              static_cast<std::int64_t>(interval_ms * 1000.0));
+          std::this_thread::sleep_until(next);
+        }
+      });
+
+      std::vector<double> latencies;
+      std::uint64_t oks = 0;
+      std::uint64_t sheds = 0;
+      std::map<std::string, int> seen;
+      for (std::uint64_t j = 0; j < per_client; ++j) {
+        const std::string line = client.recv_line();
+        const JsonValue doc = parse_json(line);
+        const std::string problem = validate_response(doc);
+        check(problem.empty(),
+              "response failed wire validation: " + problem + " in: " + line);
+        const std::string id = doc.find("id")->as_string();
+        check(++seen[id] == 1, "duplicate response for id " + id);
+        Clock::time_point t0;
+        {
+          std::lock_guard<std::mutex> lk(merge_mutex);
+          const auto it = sent_at.find(id);
+          check(it != sent_at.end(), "response for an id never sent: " + id);
+          t0 = it->second;
+        }
+        if (doc.find("ok")->as_bool()) {
+          ++oks;
+          latencies.push_back(ms_since(t0));
+        } else {
+          const JsonValue* error = doc.find("error");
+          check(error->find("code")->as_string() == "overloaded",
+                "rejection must be overloaded, got: " + line);
+          check(error->find("retry_after_ms") != nullptr,
+                "overloaded rejection must carry retry_after_ms: " + line);
+          ++sheds;
+        }
+      }
+      sender.join();
+      std::lock_guard<std::mutex> lk(merge_mutex);
+      ok_count += oks;
+      shed_count += sheds;
+      ok_latencies.insert(ok_latencies.end(), latencies.begin(),
+                          latencies.end());
+    });
+  }
+
+  double health_ms = 0.0;
+  if (probe_health) {
+    // Mid-flood liveness probe on its own connection: answered inline on
+    // the reader thread, so saturation must not delay it.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(window_sec * 300.0)));
+    LineClient probe(socket_path);
+    const auto t0 = Clock::now();
+    probe.send_line("{\"rtv_serve\": 1, \"id\": \"hp\", \"type\": \"health\"}");
+    const JsonValue doc = parse_json(probe.recv_line());
+    check(validate_response(doc).empty() && doc.find("ok")->as_bool(),
+          "health probe failed mid-flood");
+    health_ms = ms_since(t0);
+    check(health_ms < kMaxHealthMs,
+          "health probe took " + std::to_string(health_ms) + "ms mid-flood");
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadPoint point;
+  point.multiple = multiple;
+  point.offered = std::uint64_t{clients} * per_client;
+  point.wall_ms = ms_since(point_start);
+  point.offered_per_sec =
+      static_cast<double>(point.offered) / (point.wall_ms / 1000.0);
+  point.ok = ok_count;
+  point.shed = shed_count;
+  point.goodput_per_sec =
+      static_cast<double>(ok_count) / (point.wall_ms / 1000.0);
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  point.p50_ms = percentile(ok_latencies, 0.50);
+  point.p99_ms = percentile(ok_latencies, 0.99);
+  point.health_ms = health_ms;
+  check(point.ok + point.shed == point.offered,
+        "answered " + std::to_string(point.ok + point.shed) + " of " +
+            std::to_string(point.offered) + " offered jobs");
+  return point;
+}
+
+// ---------------------------------------------------------------------------
+// Report.
+
+std::string render_bench_json(const std::vector<LoadPoint>& points,
+                              double goodput_ratio) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"benchmark\": \"serve_overload\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n";
+  os << "  \"service_ms\": " << kServiceMs << ",\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    os << "    {\"load_multiple\": " << p.multiple
+       << ", \"offered\": " << p.offered
+       << ", \"offered_per_sec\": " << p.offered_per_sec
+       << ", \"ok\": " << p.ok << ", \"shed\": " << p.shed
+       << ", \"goodput_per_sec\": " << p.goodput_per_sec
+       << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+       << ", \"health_ms\": " << p.health_ms << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"contracts\": {\n";
+  os << "    \"max_accepted_p99_ms\": " << kMaxAcceptedP99Ms << ",\n";
+  os << "    \"min_goodput_ratio\": " << kMinGoodputRatio << ",\n";
+  os << "    \"goodput_ratio_4x\": " << goodput_ratio << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+void validate_bench_json(const std::string& path, std::size_t n_points) {
+  std::ifstream in(path);
+  check(in.good(), "cannot re-read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = parse_json(buf.str());
+  } catch (const Error& e) {
+    fail(path + " is not valid JSON: " + e.what());
+  }
+  const JsonValue* name = doc.find("benchmark");
+  check(name != nullptr && name->is_string() &&
+            name->as_string() == "serve_overload",
+        "benchmark name mismatch in " + path);
+  const JsonValue* points = doc.find("points");
+  check(points != nullptr && points->is_array() &&
+            points->as_array().size() == n_points,
+        "points array mismatch in " + path);
+  for (const JsonValue& p : points->as_array()) {
+    for (const char* key :
+         {"load_multiple", "offered", "offered_per_sec", "ok", "shed",
+          "goodput_per_sec", "p50_ms", "p99_ms", "health_ms"}) {
+      const JsonValue* v = p.find(key);
+      check(v != nullptr && v->is_number() && v->as_number() >= 0.0,
+            std::string("load point missing numeric \"") + key + "\"");
+    }
+    check(p.find("goodput_per_sec")->as_number() > 0.0,
+          "goodput must be positive at every load point");
+    check(p.find("p99_ms")->as_number() <= kMaxAcceptedP99Ms,
+          "accepted-job p99 above contract in " + path);
+  }
+  const JsonValue* contracts = doc.find("contracts");
+  check(contracts != nullptr && contracts->is_object(),
+        "missing contracts object");
+  check(contracts->find("goodput_ratio_4x")->as_number() >=
+            contracts->find("min_goodput_ratio")->as_number(),
+        "goodput ratio below contract minimum in " + path);
+}
+
+void report() {
+  const bool smoke = smoke_mode();
+  bench::heading("serve_overload",
+                 "rtv serve: load shedding and goodput past saturation");
+
+  ServeOptions options;
+  options.threads = 4;
+  options.max_inflight = 2;
+  options.admission_queue = 4;
+  options.chaos_hooks = true;  // deterministic kServiceMs spin jobs
+  Server server(options);
+  const std::string socket_path = unique_socket_path("overload");
+  std::thread server_thread([&] { server.serve_socket(socket_path); });
+
+  // Nominal capacity: slots / service time. The spin job sleeps in 1ms
+  // slices, so real service time runs slightly over kServiceMs — using the
+  // nominal value keeps "1x" a little above true capacity, which is
+  // exactly the regime admission control is for.
+  const double capacity_per_sec =
+      1000.0 / static_cast<double>(kServiceMs) * options.max_inflight;
+  const double window_sec = smoke ? 1.0 : 2.5;
+  const std::string design = json_escape(write_rnl(figure1_original()));
+
+  std::vector<LoadPoint> points;
+  for (const double multiple : {1.0, 2.0, 4.0}) {
+    points.push_back(run_load_point(socket_path, design, capacity_per_sec,
+                                    multiple, window_sec,
+                                    /*probe_health=*/multiple == 4.0));
+    const LoadPoint& p = points.back();
+    std::ostringstream os;
+    os.precision(4);
+    os << "  load=" << p.multiple << "x  offered=" << p.offered << " ("
+       << p.offered_per_sec << "/s)  ok=" << p.ok << "  shed=" << p.shed
+       << "  goodput=" << p.goodput_per_sec << "/s  p50=" << p.p50_ms
+       << "ms  p99=" << p.p99_ms << "ms";
+    if (p.health_ms > 0.0) os << "  health=" << p.health_ms << "ms";
+    bench::line(os.str());
+  }
+
+  {
+    LineClient control(socket_path);
+    control.send_line(
+        "{\"rtv_serve\": 1, \"id\": \"bye\", \"type\": \"shutdown\"}");
+    const JsonValue doc = parse_json(control.recv_line());
+    check(validate_response(doc).empty() && doc.find("ok")->as_bool(),
+          "shutdown request failed");
+  }
+  server_thread.join();
+
+  // Contracts 2-4 (contract 1, exactly-once, is checked per point; 5,
+  // health, inside the 4x point).
+  for (const LoadPoint& p : points) {
+    if (p.multiple >= 2.0) {
+      check(p.shed > 0, "no shedding at " + std::to_string(p.multiple) +
+                            "x load: the queue cannot be bounded");
+    }
+    check(p.p99_ms <= kMaxAcceptedP99Ms,
+          "accepted-job p99 " + std::to_string(p.p99_ms) + "ms at " +
+              std::to_string(p.multiple) + "x exceeds " +
+              std::to_string(kMaxAcceptedP99Ms) + "ms");
+  }
+  const double goodput_ratio =
+      points.back().goodput_per_sec / points.front().goodput_per_sec;
+  check(goodput_ratio >= kMinGoodputRatio,
+        "goodput collapsed past saturation: 4x/1x ratio " +
+            std::to_string(goodput_ratio) + " < " +
+            std::to_string(kMinGoodputRatio));
+
+  const ServeStats stats = server.stats();
+  check(stats.jobs_shed > 0, "server stats must record the shedding");
+  check(stats.jobs_accepted == stats.jobs_done + stats.jobs_failed,
+        "counter invariant broken at quiescence");
+
+  const std::string path = bench_json_path();
+  {
+    std::ofstream out(path);
+    check(out.good(), "cannot write " + path);
+    out << render_bench_json(points, goodput_ratio);
+  }
+  validate_bench_json(path, points.size());
+  bench::line("");
+  bench::line("  wrote " + path + " (schema validated)");
+}
+
+}  // namespace
+
+RTV_BENCH_MAIN(report)

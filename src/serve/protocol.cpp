@@ -56,6 +56,7 @@ const char* to_string(JobType type) {
     case JobType::kClsEquivalence: return "cls-equivalence";
     case JobType::kSimulate: return "simulate";
     case JobType::kStats: return "stats";
+    case JobType::kHealth: return "health";
     case JobType::kShutdown: return "shutdown";
   }
   return "?";
@@ -68,6 +69,7 @@ std::optional<JobType> job_type_from_string(std::string_view name) {
   if (name == "cls-equivalence") return JobType::kClsEquivalence;
   if (name == "simulate") return JobType::kSimulate;
   if (name == "stats") return JobType::kStats;
+  if (name == "health") return JobType::kHealth;
   if (name == "shutdown") return JobType::kShutdown;
   return std::nullopt;
 }
@@ -80,6 +82,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kCapacity: return "capacity";
     case ErrorCode::kDesignNotFound: return "design_not_found";
     case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";
@@ -141,6 +144,15 @@ JobRequest parse_request(const JsonValue& document) {
                 " request takes no design");
   }
 
+  if (const std::optional<std::uint64_t> deadline =
+          opt_uint(document, "deadline_ms")) {
+    if (!needs_design) {
+      bad_request(std::string("a ") + to_string(request.type) +
+                  " request takes no deadline_ms");
+    }
+    request.deadline_ms = *deadline;
+  }
+
   if (const JsonValue* budget = document.find("budget")) {
     if (!budget->is_null()) {
       if (!budget->is_object()) bad_request("\"budget\" must be an object");
@@ -190,7 +202,8 @@ std::string render_response(const std::string& id, JobType type,
 }
 
 std::string render_error(const std::string& id, ErrorCode code,
-                         const std::string& message) {
+                         const std::string& message,
+                         const ErrorDetail& detail) {
   JsonValue::Object frame;
   frame.emplace_back("rtv_serve",
                      JsonValue(static_cast<double>(kProtocolVersion)));
@@ -200,6 +213,13 @@ std::string render_error(const std::string& id, ErrorCode code,
   JsonValue::Object error;
   error.emplace_back("code", JsonValue(std::string(to_string(code))));
   error.emplace_back("message", JsonValue(message));
+  if (detail.retry_after_ms) {
+    error.emplace_back("retry_after_ms",
+                       JsonValue(static_cast<double>(*detail.retry_after_ms)));
+  }
+  if (detail.expired_in_queue) {
+    error.emplace_back("expired_in_queue", JsonValue(true));
+  }
   frame.emplace_back("error", JsonValue(std::move(error)));
   return write_json(JsonValue(std::move(frame)));
 }
@@ -246,13 +266,23 @@ std::string validate_response(const JsonValue& document) {
     static const char* known[] = {"bad_request",      "parse_error",
                                   "invalid_argument", "capacity",
                                   "design_not_found", "shutting_down",
-                                  "internal"};
+                                  "overloaded",       "internal"};
     bool found = false;
     for (const char* k : known) found |= code->as_string() == k;
     if (!found) return "unknown error code \"" + code->as_string() + "\"";
     const JsonValue* message = error->find("message");
     if (message == nullptr || !message->is_string()) {
       return "\"error.message\" must be a string";
+    }
+    if (const JsonValue* retry = error->find("retry_after_ms")) {
+      if (!retry->is_number() || retry->as_number() < 0) {
+        return "\"error.retry_after_ms\" must be a non-negative number";
+      }
+    }
+    if (const JsonValue* expired = error->find("expired_in_queue")) {
+      if (!expired->is_bool()) {
+        return "\"error.expired_in_queue\" must be a boolean";
+      }
     }
     return "";
   }

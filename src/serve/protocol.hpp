@@ -23,13 +23,16 @@ namespace rtv::serve {
 /// Wire protocol version; every request and response carries it as
 /// "rtv_serve". Bumped only on breaking schema changes. Version 2 added
 /// backend selection to cls-equivalence requests ("backend") and the
-/// "decided_by"/"decided_reason" result fields; requests are still
-/// accepted at kMinProtocolVersion since v1 frames are a strict subset.
-inline constexpr int kProtocolVersion = 2;
+/// "decided_by"/"decided_reason" result fields. Version 3 added overload
+/// semantics: the "overloaded" error code with "retry_after_ms" /
+/// "expired_in_queue" hints, a per-request "deadline_ms", and the "health"
+/// control job type. Requests are still accepted at kMinProtocolVersion
+/// since older frames are a strict subset.
+inline constexpr int kProtocolVersion = 3;
 inline constexpr int kMinProtocolVersion = 1;
 
 /// What a request asks the service to do. The five job types mirror the
-/// CLI subcommands of the same names; kStats and kShutdown are
+/// CLI subcommands of the same names; kStats, kHealth and kShutdown are
 /// service-control requests handled without touching a design.
 enum class JobType {
   kLint,            ///< structural diagnostics (RTV1xx)
@@ -38,6 +41,7 @@ enum class JobType {
   kClsEquivalence,  ///< CLS equivalence of two designs (Thm 5.1)
   kSimulate,        ///< binary/CLS simulation of input sequences
   kStats,           ///< server statistics snapshot
+  kHealth,          ///< lightweight liveness probe, answered inline
   kShutdown,        ///< graceful drain-and-exit
 };
 
@@ -53,6 +57,7 @@ enum class ErrorCode {
   kCapacity,         ///< a capacity limit was exceeded          (CLI exit 5)
   kDesignNotFound,   ///< design_id not (or no longer) in the cache
   kShuttingDown,     ///< request arrived after shutdown began
+  kOverloaded,       ///< admission queue full or deadline expired queued
   kInternal,         ///< internal invariant failed              (CLI exit 70)
 };
 
@@ -95,6 +100,12 @@ struct JobRequest {
   std::optional<std::string> design_b_id;
   std::optional<BudgetSpec> budget;
   JsonValue options;
+  /// Client latency bound in milliseconds, measured from admission: the
+  /// server converts it to an absolute deadline, counts queue wait against
+  /// it, and sheds the job ("overloaded", expired_in_queue) rather than run
+  /// it after the deadline has passed. 0 = inherit --default-deadline-ms.
+  /// Only valid on design job types.
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Parses one already-JSON-parsed request frame. Throws ProtocolError
@@ -125,10 +136,22 @@ std::string render_response(const std::string& id, JobType type,
                             const JsonValue& result,
                             const JobStatsWire& stats);
 
+/// Optional machine-readable hints attached to an error envelope
+/// (protocol v3; today only kOverloaded rejections carry them).
+struct ErrorDetail {
+  /// Suggested client backoff before retrying, derived from the server's
+  /// recent job-duration average and current queue depth.
+  std::optional<std::uint64_t> retry_after_ms;
+  /// True when the job was admitted but its deadline expired while it sat
+  /// in the queue, so it was rejected without running.
+  bool expired_in_queue = false;
+};
+
 /// Renders an error envelope frame. `id` may be empty when the frame was
 /// too malformed to recover one (rendered as JSON null).
 std::string render_error(const std::string& id, ErrorCode code,
-                         const std::string& message);
+                         const std::string& message,
+                         const ErrorDetail& detail = {});
 
 /// Maps a caught exception to its wire error code (ProtocolError carries
 /// its own; ParseError -> kParseError, InvalidArgument -> kInvalidArgument,

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -23,6 +24,7 @@
 #include "sim/binary_sim.hpp"
 #include "sim/cls_sim.hpp"
 #include "sim/vectors.hpp"
+#include "util/fault_inject.hpp"
 #include "util/rng.hpp"
 
 namespace rtv::serve {
@@ -107,6 +109,30 @@ JsonValue uint_json(std::uint64_t v) {
   return JsonValue(static_cast<double>(v));
 }
 
+/// Runs `rollback` on scope exit unless dismissed — the RAII unwind for
+/// admission bookkeeping raised before pool_.submit: a throw there must
+/// not leak an inflight slot or a connection's outstanding count.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(std::function<void()> rollback)
+      : rollback_(std::move(rollback)) {}
+  ~ScopeGuard() {
+    if (rollback_) {
+      try {
+        rollback_();
+      } catch (...) {
+      }
+    }
+  }
+  void dismiss() { rollback_ = nullptr; }
+
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  std::function<void()> rollback_;
+};
+
 }  // namespace
 
 /// Serializes writes of one connection and lets its reader wait for every
@@ -144,24 +170,33 @@ Server::Server(const ServeOptions& options)
       pool_(options.threads),
       cache_(options.cache_bytes),
       max_inflight_(options.max_inflight != 0 ? options.max_inflight
-                                              : pool_.size()) {}
+                                              : pool_.size()),
+      admission_queue_(options.admission_queue != 0 ? options.admission_queue
+                                                    : 2 * max_inflight_),
+      watchdog_grace_(std::max(1u, options.watchdog_grace)) {
+  watchdog_ = std::thread([this] { watchdog_main(); });
+}
 
 Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lk(admission_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_.join();
   // Jobs still queued in the pool hold no Server state beyond what their
-  // lambdas captured by shared_ptr; the pool's destructor drops queued
-  // tasks and joins running ones before members are destroyed.
+  // lambdas captured by shared_ptr; callers (handle_line / serve_*) drain
+  // before destruction, so no pool task outlives the members it touches.
 }
 
-void Server::acquire_slot() {
-  std::unique_lock<std::mutex> lk(inflight_mutex_);
-  inflight_cv_.wait(lk, [&] { return inflight_ < max_inflight_; });
-  ++inflight_;
-}
-
-void Server::release_slot() {
-  std::lock_guard<std::mutex> lk(inflight_mutex_);
-  --inflight_;
-  inflight_cv_.notify_all();
+std::uint64_t Server::retry_hint_locked() const {
+  // Estimate how long until a freshly retried job would find a slot: the
+  // recent per-job run time scaled by how many jobs are ahead of it.
+  const double per_job = avg_run_ms_ > 0.0 ? avg_run_ms_ : 10.0;
+  const double width = static_cast<double>(std::max(1u, max_inflight_));
+  const double estimate =
+      per_job * (static_cast<double>(queue_.size()) + 1.0) / width;
+  return static_cast<std::uint64_t>(std::clamp(estimate, 1.0, 30000.0));
 }
 
 void Server::dispatch(const std::string& line,
@@ -196,17 +231,21 @@ void Server::dispatch(const std::string& line,
     }
     JobRequest request = parse_request(document);
 
-    if (request.type == JobType::kStats ||
+    if (request.type == JobType::kStats || request.type == JobType::kHealth ||
         request.type == JobType::kShutdown) {
       // Control requests run inline on the reader thread: they must stay
-      // answerable while every pool slot is busy.
+      // answerable while every pool slot is busy or the queue is full.
       jobs_accepted_.fetch_add(1, std::memory_order_relaxed);
+      // Counted done before the result is built so a stats snapshot sees
+      // itself on both sides of the accepted == done + failed + inflight +
+      // queued invariant.
+      jobs_done_.fetch_add(1, std::memory_order_relaxed);
       const auto start = Clock::now();
-      JsonValue result = request.type == JobType::kStats ? stats_result()
-                                                         : shutdown_result();
+      JsonValue result = request.type == JobType::kStats    ? stats_result()
+                         : request.type == JobType::kHealth ? health_result()
+                                                            : shutdown_result();
       JobStatsWire stats;
       stats.run_ms = ms_since(start);
-      jobs_done_.fetch_add(1, std::memory_order_relaxed);
       conn->write(render_response(request.id, request.type, "", result,
                                   stats));
       return;
@@ -217,59 +256,321 @@ void Server::dispatch(const std::string& line,
                           "server is draining; job rejected");
     }
 
-    jobs_accepted_.fetch_add(1, std::memory_order_relaxed);
-    acquire_slot();
+    auto job = std::make_shared<Job>();
+    job->request = std::move(request);
+    job->conn = conn;
+    job->admitted = Clock::now();
+    const std::uint64_t span = job->request.deadline_ms != 0
+                                   ? job->request.deadline_ms
+                                   : options_.default_deadline_ms;
+    if (span != 0) {
+      job->deadline = job->admitted + std::chrono::milliseconds(span);
+      job->deadline_span_ms = span;
+    }
+
+    // The outstanding count and accepted counter go up before the job is
+    // visible to the queue pump: another pool thread may start *and
+    // finish* a queued job the instant the admission lock drops, and
+    // job_finished must never run before job_started.
     conn->job_started();
-    auto shared = std::make_shared<JobRequest>(std::move(request));
-    const auto enqueued = Clock::now();
-    pool_.submit([this, shared, conn, enqueued] {
-      const std::string response = run_job(*shared, ms_since(enqueued));
-      conn->write(response);
-      release_slot();
+    jobs_accepted_.fetch_add(1, std::memory_order_relaxed);
+    ScopeGuard admission([&] {
+      jobs_accepted_.fetch_sub(1, std::memory_order_relaxed);
       conn->job_finished();
     });
+
+    enum class Admit { kStart, kQueue, kShed };
+    Admit admit = Admit::kShed;
+    std::uint64_t retry = 0;
+    {
+      std::lock_guard<std::mutex> lk(admission_mutex_);
+      // Armed fault injection trips the admission checkpoint as synthetic
+      // overload: the job is shed exactly as if the queue were full.
+      const bool injected = fault_inject::trip("serve.admit");
+      if (!injected && running_ < max_inflight_) {
+        ++running_;
+        running_jobs_.push_back(job);
+        admit = Admit::kStart;
+      } else if (!injected && queue_.size() < admission_queue_) {
+        queue_.push_back(job);
+        admit = Admit::kQueue;
+      } else {
+        retry = retry_hint_locked();
+      }
+    }
+
+    if (admit == Admit::kShed) {
+      // Load shedding: reject immediately — never admitted, never run —
+      // with a backoff hint instead of blocking the reader thread.
+      jobs_shed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ErrorDetail detail;
+      detail.retry_after_ms = retry;
+      conn->write(render_error(job->request.id, ErrorCode::kOverloaded,
+                               "admission queue full; retry after backoff",
+                               detail));
+      return;  // ~ScopeGuard unwinds the tentative admission
+    }
+
+    if (job->deadline) watchdog_cv_.notify_all();
+    if (admit == Admit::kStart) {
+      ScopeGuard slot([&] {
+        {
+          std::lock_guard<std::mutex> lk(admission_mutex_);
+          running_jobs_.erase(std::find(running_jobs_.begin(),
+                                        running_jobs_.end(), job));
+          if (job->quarantined) {
+            --quarantined_;
+          } else {
+            --running_;
+          }
+        }
+        pump_queue();
+      });
+      submit_job(job);
+      slot.dismiss();
+    }
+    admission.dismiss();
   } catch (const std::exception& error) {
-    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    // Nothing past admission throws, so anything caught here was never
+    // admitted: it counts as rejected, not accepted-then-failed.
+    jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
     conn->write(
         render_error(id, error_code_for_exception(error), error.what()));
   }
 }
 
-std::string Server::run_job(const JobRequest& request, double queue_ms) {
+void Server::submit_job(const std::shared_ptr<Job>& job) {
+  pool_.submit([this, job] {
+    const auto started = Clock::now();
+    const std::string response = run_job(*job);
+    job->conn->write(response);
+    finish_job(job, ms_since(started));
+    job->conn->job_finished();
+  });
+}
+
+void Server::collect_runnable_locked(
+    std::vector<std::shared_ptr<Job>>* to_start,
+    std::vector<std::shared_ptr<Job>>* to_expire) {
+  const auto now = Clock::now();
+  // Dead-on-arrival jobs must not consume a freed slot.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if ((*it)->deadline && now > *(*it)->deadline) {
+      to_expire->push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  while (running_ < max_inflight_ && !queue_.empty()) {
+    std::shared_ptr<Job> job = queue_.front();
+    queue_.pop_front();
+    ++running_;
+    running_jobs_.push_back(job);
+    to_start->push_back(job);
+  }
+}
+
+void Server::process_runnable(
+    const std::vector<std::shared_ptr<Job>>& to_start,
+    const std::vector<std::shared_ptr<Job>>& to_expire) {
+  for (const std::shared_ptr<Job>& job : to_expire) {
+    jobs_expired_.fetch_add(1, std::memory_order_relaxed);
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    ErrorDetail detail;
+    detail.expired_in_queue = true;
+    {
+      std::lock_guard<std::mutex> lk(admission_mutex_);
+      detail.retry_after_ms = retry_hint_locked();
+    }
+    job->conn->write(render_error(job->request.id, ErrorCode::kOverloaded,
+                                  "deadline expired while the job was "
+                                  "queued; it was not run",
+                                  detail));
+    job->conn->job_finished();
+  }
+  for (const std::shared_ptr<Job>& job : to_start) {
+    try {
+      submit_job(job);
+    } catch (const std::exception& error) {
+      // Admitted but failed to start: release the slot and answer with an
+      // error envelope so the client is never left waiting.
+      {
+        std::lock_guard<std::mutex> lk(admission_mutex_);
+        running_jobs_.erase(
+            std::find(running_jobs_.begin(), running_jobs_.end(), job));
+        if (job->quarantined) {
+          --quarantined_;
+        } else {
+          --running_;
+        }
+      }
+      jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+      job->conn->write(render_error(job->request.id,
+                                    error_code_for_exception(error),
+                                    error.what()));
+      job->conn->job_finished();
+      pump_queue();
+    }
+  }
+}
+
+void Server::pump_queue() {
+  std::vector<std::shared_ptr<Job>> to_start;
+  std::vector<std::shared_ptr<Job>> to_expire;
+  {
+    std::lock_guard<std::mutex> lk(admission_mutex_);
+    collect_runnable_locked(&to_start, &to_expire);
+  }
+  // Outside the lock: on a size-1 pool submit_job runs the job inline,
+  // which re-enters finish_job and the admission lock.
+  process_runnable(to_start, to_expire);
+}
+
+void Server::finish_job(const std::shared_ptr<Job>& job, double run_ms) {
+  std::vector<std::shared_ptr<Job>> to_start;
+  std::vector<std::shared_ptr<Job>> to_expire;
+  {
+    std::lock_guard<std::mutex> lk(admission_mutex_);
+    avg_run_ms_ = avg_run_ms_ == 0.0 ? run_ms
+                                     : avg_run_ms_ * 0.8 + run_ms * 0.2;
+    running_jobs_.erase(
+        std::find(running_jobs_.begin(), running_jobs_.end(), job));
+    if (job->quarantined) {
+      // A wedged job finally yielded: its written-off slot is recovered
+      // (running_ was already handed back when it was quarantined).
+      --quarantined_;
+    } else {
+      --running_;
+    }
+    collect_runnable_locked(&to_start, &to_expire);
+  }
+  process_runnable(to_start, to_expire);
+}
+
+void Server::watchdog_main() {
+  std::unique_lock<std::mutex> lk(admission_mutex_);
+  while (!watchdog_stop_) {
+    const auto now = Clock::now();
+    auto next = Clock::time_point::max();
+    bool slots_freed = false;
+    for (const std::shared_ptr<Job>& job : running_jobs_) {
+      if (!job->deadline || job->quarantined) continue;
+      if (!job->kill_fired) {
+        if (now >= *job->deadline ||
+            fault_inject::trip("serve.watchdog.kill")) {
+          // Deadline: fire the job's token; a cooperative backend yields
+          // at its next checkpoint with an exhausted verdict.
+          job->cancel.request_cancel();
+          job->kill_fired = true;
+          watchdog_kills_.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t span =
+              std::max<std::uint64_t>(job->deadline_span_ms, 1);
+          job->wedge_at = *job->deadline +
+                          std::chrono::milliseconds(span * watchdog_grace_);
+          next = std::min(next, job->wedge_at);
+        } else {
+          next = std::min(next, *job->deadline);
+        }
+      } else if (now >= job->wedge_at) {
+        // The kill was ignored past the grace window: the job is wedged.
+        // Write the slot off (quarantine) so usable capacity recovers
+        // instead of shrinking forever; if the job ever yields,
+        // finish_job reclaims the quarantined slot.
+        job->quarantined = true;
+        ++quarantined_;
+        --running_;
+        watchdog_wedged_.fetch_add(1, std::memory_order_relaxed);
+        slots_freed = true;
+      } else {
+        next = std::min(next, job->wedge_at);
+      }
+    }
+    bool queue_has_expired = false;
+    for (const std::shared_ptr<Job>& job : queue_) {
+      if (!job->deadline) continue;
+      if (now > *job->deadline) {
+        queue_has_expired = true;
+      } else {
+        next = std::min(next, *job->deadline);
+      }
+    }
+    if (slots_freed || queue_has_expired) {
+      std::vector<std::shared_ptr<Job>> to_start;
+      std::vector<std::shared_ptr<Job>> to_expire;
+      collect_runnable_locked(&to_start, &to_expire);
+      lk.unlock();
+      process_runnable(to_start, to_expire);
+      lk.lock();
+      continue;  // rescan: the world changed while unlocked
+    }
+    if (next == Clock::time_point::max()) {
+      watchdog_cv_.wait(lk);
+    } else {
+      watchdog_cv_.wait_until(lk, next);
+    }
+  }
+}
+
+std::string Server::run_job(const Job& job) {
   JobStatsWire stats;
-  stats.queue_ms = queue_ms;
+  stats.queue_ms = ms_since(job.admitted);
   const auto start = Clock::now();
+  // Queue expiry, re-checked at the last moment before any work happens:
+  // a job whose deadline passed while it waited is answered without
+  // running — its client has already given up on it. An armed
+  // fault-injection trip behaves as a synthetic expiry.
+  if ((job.deadline && start > *job.deadline) ||
+      fault_inject::trip("serve.start")) {
+    jobs_expired_.fetch_add(1, std::memory_order_relaxed);
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    ErrorDetail detail;
+    detail.expired_in_queue = true;
+    {
+      std::lock_guard<std::mutex> lk(admission_mutex_);
+      detail.retry_after_ms = retry_hint_locked();
+    }
+    return render_error(job.request.id, ErrorCode::kOverloaded,
+                        "deadline expired while the job was queued; it was "
+                        "not run",
+                        detail);
+  }
   try {
+    JobEnv env;
+    env.cancel = job.cancel;
+    env.deadline = job.deadline;
     std::string design_id;
-    JsonValue result = execute(request, &stats, &design_id);
+    JsonValue result = execute(job.request, env, &stats, &design_id);
     stats.run_ms = ms_since(start);
     jobs_done_.fetch_add(1, std::memory_order_relaxed);
-    return render_response(request.id, request.type, design_id, result,
-                           stats);
+    return render_response(job.request.id, job.request.type, design_id,
+                           result, stats);
   } catch (const std::exception& error) {
     jobs_failed_.fetch_add(1, std::memory_order_relaxed);
-    return render_error(request.id, error_code_for_exception(error),
+    return render_error(job.request.id, error_code_for_exception(error),
                         error.what());
   } catch (...) {
     jobs_failed_.fetch_add(1, std::memory_order_relaxed);
-    return render_error(request.id, ErrorCode::kInternal,
+    return render_error(job.request.id, ErrorCode::kInternal,
                         "unexpected non-standard exception");
   }
 }
 
-JsonValue Server::execute(const JobRequest& request, JobStatsWire* stats,
-                          std::string* design_id) {
+JsonValue Server::execute(const JobRequest& request, const JobEnv& env,
+                          JobStatsWire* stats, std::string* design_id) {
   switch (request.type) {
     case JobType::kLint: return handle_lint(request, stats, design_id);
     case JobType::kValidate:
-      return handle_validate(request, stats, design_id);
+      return handle_validate(request, env, stats, design_id);
     case JobType::kFaultSim:
-      return handle_faultsim(request, stats, design_id);
+      return handle_faultsim(request, env, stats, design_id);
     case JobType::kClsEquivalence:
-      return handle_cls_equivalence(request, stats, design_id);
+      return handle_cls_equivalence(request, env, stats, design_id);
     case JobType::kSimulate:
-      return handle_simulate(request, stats, design_id);
+      return handle_simulate(request, env, stats, design_id);
     case JobType::kStats:
+    case JobType::kHealth:
     case JobType::kShutdown: break;  // handled inline by dispatch()
   }
   throw InternalError("unreachable job type in execute()");
@@ -292,13 +593,29 @@ std::shared_ptr<const CachedDesign> Server::resolve_design(
   return cache_.intern(*text, cache_hit);
 }
 
-ResourceLimits Server::limits_for(const JobRequest& request) const {
+ResourceLimits Server::limits_for(
+    const JobRequest& request,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline)
+    const {
   const BudgetSpec spec = request.budget.value_or(BudgetSpec{});
   ResourceLimits limits;
   limits.time_budget_ms =
       spec.time_ms != 0 ? spec.time_ms : options_.default_time_budget_ms;
   if (spec.node_limit != 0) limits.bdd_node_limit = spec.node_limit;
   limits.step_quota = spec.step_quota;
+  if (deadline) {
+    // Deadline propagation: queue wait already spent part of the client's
+    // latency bound, so the handler's wall-clock budget is only what is
+    // left until the absolute deadline.
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(*deadline - Clock::now())
+            .count();
+    const auto remaining =
+        static_cast<std::uint64_t>(std::max(remaining_ms, 1.0));
+    if (limits.time_budget_ms == 0 || limits.time_budget_ms > remaining) {
+      limits.time_budget_ms = remaining;
+    }
+  }
   return limits;
 }
 
@@ -354,7 +671,7 @@ JsonValue Server::handle_lint(const JobRequest& request, JobStatsWire* stats,
 }
 
 JsonValue Server::handle_validate(const JobRequest& request,
-                                  JobStatsWire* stats,
+                                  const JobEnv& env, JobStatsWire* stats,
                                   std::string* design_id) {
   check_option_keys(request.options,
                     {"objective", "max_branching", "random_sequences",
@@ -382,10 +699,11 @@ JsonValue Server::handle_validate(const JobRequest& request,
   if (const auto v = option_uint(request.options, "seed")) {
     options.verify.explicit_opts.seed = *v;
   }
-  options.budget = limits_for(request);
-  // Per-job isolation: a fresh token, never shared across jobs, so one
-  // cancelled/exhausted job cannot leak into a neighbour.
-  options.cancel = CancellationToken();
+  options.budget = limits_for(request, env.deadline);
+  // Per-job isolation: the job's own token (never shared across jobs), so
+  // one cancelled/exhausted job cannot leak into a neighbour — and the
+  // watchdog can cancel exactly this job at its deadline.
+  options.cancel = env.cancel;
 
   const RetimeGraph& graph = entry->graph();
   const std::vector<int> lag = objective == "min-period"
@@ -411,7 +729,7 @@ JsonValue Server::handle_validate(const JobRequest& request,
 }
 
 JsonValue Server::handle_faultsim(const JobRequest& request,
-                                  JobStatsWire* stats,
+                                  const JobEnv& env, JobStatsWire* stats,
                                   std::string* design_id) {
   check_option_keys(request.options,
                     {"mode", "tests", "cycles", "seed", "inputs",
@@ -439,8 +757,8 @@ JsonValue Server::handle_faultsim(const JobRequest& request,
   const std::uint64_t seed =
       option_uint(request.options, "seed").value_or(1);
   options.sample_seed = seed;
-  options.budget = limits_for(request);
-  options.cancel = CancellationToken();
+  options.budget = limits_for(request, env.deadline);
+  options.cancel = env.cancel;
 
   std::vector<BitsSeq> tests;
   if (const auto inputs = option_string(request.options, "inputs")) {
@@ -488,6 +806,7 @@ JsonValue Server::handle_faultsim(const JobRequest& request,
 }
 
 JsonValue Server::handle_cls_equivalence(const JobRequest& request,
+                                         const JobEnv& env,
                                          JobStatsWire* stats,
                                          std::string* design_id) {
   check_option_keys(request.options,
@@ -528,7 +847,8 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
     options.explicit_opts.seed = *v;
   }
 
-  ResourceBudget budget(limits_for(request), CancellationToken());
+  ResourceBudget budget = ResourceBudget::with_deadline(
+      limits_for(request, env.deadline), env.cancel, env.deadline);
   const ClsEquivalenceResult r =
       verify_cls_equivalence(a->netlist(), b->netlist(), options, &budget);
 
@@ -551,13 +871,51 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
 }
 
 JsonValue Server::handle_simulate(const JobRequest& request,
-                                  JobStatsWire* stats,
+                                  const JobEnv& env, JobStatsWire* stats,
                                   std::string* design_id) {
-  check_option_keys(request.options, {"inputs", "mode", "state"});
+  if (options_.chaos_hooks) {
+    check_option_keys(request.options,
+                      {"inputs", "mode", "state", "chaos_spin_ms",
+                       "chaos_spin_cooperative_ms"});
+  } else {
+    check_option_keys(request.options, {"inputs", "mode", "state"});
+  }
   const auto entry = resolve_design(request.design_text, request.design_id,
                                     &stats->cache_hit);
   *design_id = entry->design_id();
   const Netlist& netlist = entry->netlist();
+
+  if (options_.chaos_hooks) {
+    // Deterministic occupancy handlers for the overload tests and bench:
+    // chaos_spin_ms holds a slot while *ignoring* cancellation (a wedged
+    // backend); chaos_spin_cooperative_ms polls its token like a
+    // well-behaved one.
+    const auto spin = option_uint(request.options, "chaos_spin_ms");
+    const auto coop =
+        option_uint(request.options, "chaos_spin_cooperative_ms");
+    if (spin && coop) {
+      bad_option("chaos_spin_ms and chaos_spin_cooperative_ms are "
+                 "mutually exclusive");
+    }
+    if (spin || coop) {
+      const auto start = Clock::now();
+      const auto until =
+          start + std::chrono::milliseconds(spin ? *spin : *coop);
+      bool cancelled = false;
+      while (Clock::now() < until) {
+        if (coop && env.cancel.cancelled()) {
+          cancelled = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      JsonValue::Object out;
+      out.emplace_back("mode", JsonValue(std::string("chaos")));
+      out.emplace_back("spun_ms", JsonValue(ms_since(start)));
+      out.emplace_back("cancelled", JsonValue(cancelled));
+      return JsonValue(std::move(out));
+    }
+  }
 
   const auto inputs = option_string(request.options, "inputs");
   if (!inputs || inputs->empty()) {
@@ -606,8 +964,17 @@ JsonValue Server::stats_result() const {
   out.emplace_back("jobs_accepted", uint_json(s.jobs_accepted));
   out.emplace_back("jobs_done", uint_json(s.jobs_done));
   out.emplace_back("jobs_failed", uint_json(s.jobs_failed));
+  out.emplace_back("jobs_rejected", uint_json(s.jobs_rejected));
+  out.emplace_back("jobs_shed", uint_json(s.jobs_shed));
+  out.emplace_back("jobs_expired", uint_json(s.jobs_expired));
+  out.emplace_back("watchdog_kills", uint_json(s.watchdog_kills));
+  out.emplace_back("watchdog_wedged", uint_json(s.watchdog_wedged));
+  out.emplace_back("write_timeouts", uint_json(s.write_timeouts));
   out.emplace_back("inflight", uint_json(s.inflight));
+  out.emplace_back("queued", uint_json(s.queued));
+  out.emplace_back("quarantined", uint_json(s.quarantined));
   out.emplace_back("max_inflight", uint_json(s.max_inflight));
+  out.emplace_back("admission_queue", uint_json(s.admission_queue));
   out.emplace_back("threads", uint_json(s.threads));
   out.emplace_back("shutting_down", JsonValue(s.shutting_down));
   JsonValue::Object cache;
@@ -621,12 +988,38 @@ JsonValue Server::stats_result() const {
   return JsonValue(std::move(out));
 }
 
+JsonValue Server::health_result() const {
+  // Answered inline on the reader thread — one cheap snapshot, no pool
+  // slot, so liveness probes work even when the server is saturated.
+  unsigned running = 0;
+  unsigned queued = 0;
+  unsigned quarantined = 0;
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lk(admission_mutex_);
+    running = running_;
+    queued = static_cast<unsigned>(queue_.size());
+    quarantined = quarantined_;
+    full = running_ >= max_inflight_ && queue_.size() >= admission_queue_;
+  }
+  const char* status =
+      shutting_down() ? "draining" : (full ? "overloaded" : "ok");
+  JsonValue::Object out;
+  out.emplace_back("status", JsonValue(std::string(status)));
+  out.emplace_back("inflight", uint_json(running));
+  out.emplace_back("queued", uint_json(queued));
+  out.emplace_back("quarantined", uint_json(quarantined));
+  out.emplace_back("max_inflight", uint_json(max_inflight_));
+  out.emplace_back("admission_queue", uint_json(admission_queue_));
+  return JsonValue(std::move(out));
+}
+
 JsonValue Server::shutdown_result() {
   begin_shutdown();
   unsigned inflight;
   {
-    std::lock_guard<std::mutex> lk(inflight_mutex_);
-    inflight = inflight_;
+    std::lock_guard<std::mutex> lk(admission_mutex_);
+    inflight = running_ + static_cast<unsigned>(queue_.size());
   }
   JsonValue::Object out;
   out.emplace_back("draining", JsonValue(true));
@@ -639,11 +1032,20 @@ ServeStats Server::stats() const {
   s.jobs_accepted = jobs_accepted_.load(std::memory_order_relaxed);
   s.jobs_done = jobs_done_.load(std::memory_order_relaxed);
   s.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
+  s.jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
+  s.jobs_shed = jobs_shed_.load(std::memory_order_relaxed);
+  s.jobs_expired = jobs_expired_.load(std::memory_order_relaxed);
+  s.watchdog_kills = watchdog_kills_.load(std::memory_order_relaxed);
+  s.watchdog_wedged = watchdog_wedged_.load(std::memory_order_relaxed);
+  s.write_timeouts = write_timeouts_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(inflight_mutex_);
-    s.inflight = inflight_;
+    std::lock_guard<std::mutex> lk(admission_mutex_);
+    s.inflight = running_;
+    s.queued = static_cast<unsigned>(queue_.size());
+    s.quarantined = quarantined_;
   }
   s.max_inflight = max_inflight_;
+  s.admission_queue = admission_queue_;
   s.threads = pool_.size();
   s.shutting_down = shutting_down();
   s.cache = cache_.stats();
@@ -685,18 +1087,57 @@ void Server::serve_stream(std::istream& in, std::ostream& out) {
 
 void Server::serve_fd(int fd) {
   auto conn = std::make_shared<Connection>();
-  conn->sink = [fd](const std::string& frame) {
+  // Once one frame times out the connection is written off: later frames
+  // are dropped immediately instead of each burning a fresh timeout.
+  auto write_dead = std::make_shared<std::atomic<bool>>(false);
+  conn->sink = [this, fd, write_dead](const std::string& frame) {
+    if (write_dead->load(std::memory_order_relaxed)) return;
     std::string out = frame;
     out.push_back('\n');
+    const std::optional<Clock::time_point> give_up =
+        options_.write_timeout_ms != 0
+            ? std::optional<Clock::time_point>(
+                  Clock::now() +
+                  std::chrono::milliseconds(options_.write_timeout_ms))
+            : std::nullopt;
     std::size_t off = 0;
     while (off < out.size()) {
       // MSG_NOSIGNAL: a client that hung up must cost us an error return,
-      // not a process-wide SIGPIPE.
+      // not a process-wide SIGPIPE. MSG_DONTWAIT keeps the pool thread
+      // off a blocking send so the write deadline below is enforceable
+      // even against a reader that never drains its socket.
       const ssize_t n = ::send(fd, out.data() + off, out.size() - off,
-                               MSG_NOSIGNAL);
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
       if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return;  // client gone; drop the rest of the frame
-      off += static_cast<std::size_t>(n);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        int wait_ms = -1;
+        if (give_up) {
+          const double remaining =
+              std::chrono::duration<double, std::milli>(*give_up -
+                                                        Clock::now())
+                  .count();
+          if (remaining <= 0) {
+            // Slow-reader backpressure turned into a stall: sever the
+            // connection instead of wedging this pool thread. The reader
+            // loop observes EOF and drains normally.
+            write_dead->store(true, std::memory_order_relaxed);
+            write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+            ::shutdown(fd, SHUT_RDWR);
+            return;
+          }
+          wait_ms = static_cast<int>(std::min(remaining, 1000.0)) + 1;
+        }
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        ::poll(&pfd, 1, wait_ms);
+        continue;
+      }
+      return;  // client gone; drop the rest of the frame
     }
   };
 

@@ -68,6 +68,10 @@ bool ResourceBudget::checkpoint(const char* site) {
     mark_exhausted(ResourceKind::kWallClock);
     return false;
   }
+  if (deadline_ && std::chrono::steady_clock::now() > *deadline_) {
+    mark_exhausted(ResourceKind::kWallClock);
+    return false;
+  }
   return true;
 }
 

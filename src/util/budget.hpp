@@ -137,6 +137,21 @@ class ResourceBudget {
   ResourceBudget(const ResourceBudget&) = delete;
   ResourceBudget& operator=(const ResourceBudget&) = delete;
 
+  /// Budget additionally bounded by an absolute wall-clock deadline
+  /// (`std::nullopt` = none). Unlike time_budget_ms — which is relative to
+  /// construction — the deadline is fixed before the budget exists, so time
+  /// a job spent queued before its budget was built still counts against
+  /// it. checkpoint() fails with kWallClock once the deadline passes.
+  static ResourceBudget with_deadline(
+      const ResourceLimits& limits, CancellationToken cancel,
+      std::optional<std::chrono::steady_clock::time_point> deadline) {
+    return ResourceBudget(limits, std::move(cancel), deadline);
+  }
+
+  std::optional<std::chrono::steady_clock::time_point> deadline() const {
+    return deadline_;
+  }
+
   /// Cooperative probe at one unit of work. Counts a step, then checks (in
   /// order): already exhausted, fault injection, cancellation, step quota,
   /// deadline. Returns true while within budget; after the first failure
@@ -172,9 +187,17 @@ class ResourceBudget {
   ResourceUsage usage() const;
 
  private:
+  ResourceBudget(const ResourceLimits& limits, CancellationToken cancel,
+                 std::optional<std::chrono::steady_clock::time_point> deadline)
+      : limits_(limits),
+        cancel_(std::move(cancel)),
+        start_(std::chrono::steady_clock::now()),
+        deadline_(deadline) {}
+
   ResourceLimits limits_;
   CancellationToken cancel_;
   std::chrono::steady_clock::time_point start_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::atomic<std::uint64_t> steps_{0};
   std::atomic<std::size_t> peak_bdd_nodes_{0};
   std::atomic<std::size_t> peak_pairs_{0};

@@ -77,6 +77,12 @@ class ThreadPool {
   /// callers get synchronous execution instead of a task that never runs.
   void submit(std::function<void()> task);
 
+  /// Tasks submitted but not yet started (queue-depth introspection for
+  /// callers that layer admission control on top, e.g. serve::Server).
+  std::size_t pending_tasks() const {
+    return tasks_pending_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Chunk {
     std::size_t begin = 0, end = 0;

@@ -86,7 +86,7 @@ TEST(ServeProtocol, RejectsMalformedFrames) {
   };
   expect_bad("[1,2]");                                  // not an object
   expect_bad("{\"id\":\"a\",\"type\":\"lint\"}");       // missing version
-  expect_bad("{\"rtv_serve\":3,\"id\":\"a\",\"type\":\"lint\"}");  // wrong
+  expect_bad("{\"rtv_serve\":99,\"id\":\"a\",\"type\":\"lint\"}");  // wrong
   expect_bad(frame("", "lint", design_field("x")));     // empty id
   expect_bad(frame("a", "frobnicate"));                 // unknown type
   expect_bad(frame("a", "lint"));                       // missing design
@@ -129,7 +129,7 @@ TEST(ServeProtocol, RenderedFramesValidate) {
   EXPECT_EQ(serve::validate_response(parse_json(err)), "");
   // And the validator actually rejects: wrong verdict label.
   EXPECT_NE(serve::validate_response(parse_json(
-                "{\"rtv_serve\":2,\"id\":\"a\",\"ok\":true,"
+                "{\"rtv_serve\":3,\"id\":\"a\",\"ok\":true,"
                 "\"type\":\"lint\",\"result\":{},\"stats\":{"
                 "\"queue_ms\":0,\"run_ms\":0,\"cache_hit\":false,"
                 "\"verdict\":\"perhaps\"}}")),
@@ -467,9 +467,11 @@ TEST(Server, BudgetTrippedJobDegradesWhileNeighboursComplete) {
 
 TEST(Server, InjectedFaultYieldsLabeledDegradedResponse) {
   // The robustness harness through the service path: trip the first
-  // checkpoint, the job reports exhausted+injected instead of crashing.
+  // handler checkpoint, the job reports exhausted+injected instead of
+  // crashing. The admission path owns checkpoints 1 ("serve.admit") and 2
+  // ("serve.start"), so the first budget checkpoint is the third.
   Server server(small_server_options());
-  fault_inject::arm(1);
+  fault_inject::arm(3);
   const std::string response = server.handle_line(
       frame("inj", "validate", design_field(toggle_text())));
   fault_inject::disarm();
@@ -478,6 +480,44 @@ TEST(Server, InjectedFaultYieldsLabeledDegradedResponse) {
   EXPECT_EQ(verdict_of(doc), "exhausted");
   EXPECT_EQ(doc.find("stats")->find("usage")->find("blown")->as_string(),
             "fault injection");
+}
+
+TEST(Server, CounterInvariantHoldsAndRejectionsAreNotAccepted) {
+  // Every frame lands in exactly one bucket. Admitted jobs satisfy
+  // accepted == done + failed at quiescence; frames refused at the door
+  // (malformed, shed) count only as rejected and never inflate accepted.
+  Server server(small_server_options());
+  const std::string design = design_field(toggle_text());
+
+  // Two successes, one admitted failure (handler precondition violation).
+  EXPECT_TRUE(response_ok(
+      parse_response(server.handle_line(frame("ok1", "lint", design)))));
+  EXPECT_TRUE(response_ok(
+      parse_response(server.handle_line(frame("ok2", "validate", design)))));
+  EXPECT_EQ(error_code(parse_response(server.handle_line(
+                frame("bad-arg", "simulate",
+                      design + ",\"options\":{\"inputs\":\"101.010\"}")))),
+            "invalid_argument");
+
+  // Never admitted: a malformed frame and a synthetic admission shed.
+  EXPECT_EQ(error_code(parse_response(server.handle_line("not json"))),
+            "bad_request");
+  fault_inject::arm(1);  // checkpoint 1 is "serve.admit"
+  const JsonValue shed =
+      parse_response(server.handle_line(frame("shed", "lint", design)));
+  fault_inject::disarm();
+  EXPECT_EQ(error_code(shed), "overloaded");
+  ASSERT_NE(shed.find("error")->find("retry_after_ms"), nullptr);
+
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.jobs_accepted, 3u);
+  EXPECT_EQ(stats.jobs_done, 2u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_rejected, 2u);
+  EXPECT_EQ(stats.jobs_shed, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.jobs_accepted, stats.jobs_done + stats.jobs_failed);
 }
 
 TEST(Server, TinyCacheEvictsButNeverCorruptsResults) {

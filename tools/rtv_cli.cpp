@@ -111,11 +111,18 @@ enum ExitCode : int {
                " faults,\n"
                "      64 random tests of 16 cycles)\n"
                "  rtv serve [--socket PATH] [--threads N] [--max-inflight N]\n"
+               "            [--admission-queue N] [--default-deadline-ms N]\n"
+               "            [--watchdog-grace N] [--write-timeout-ms N]\n"
                "            [--default-time-budget-ms N] [--cache-bytes N]\n"
                "      long-running verification service: newline-delimited"
                " JSON jobs\n"
                "      over a Unix socket (or stdin/stdout without --socket);\n"
-               "      wire protocol reference in docs/serve.md\n"
+               "      jobs beyond max-inflight wait in a bounded admission\n"
+               "      queue (default 2x max-inflight) and are shed with an\n"
+               "      'overloaded' envelope when it is full; a watchdog\n"
+               "      cancels jobs at their deadline and quarantines ones\n"
+               "      that ignore it; wire protocol reference in"
+               " docs/serve.md\n"
                "\n"
                "equivalence backends (validate, flow, cls-equiv):\n"
                "  --backend B          explicit (default) | bdd | sat |"
@@ -193,8 +200,9 @@ struct Args {
   std::optional<std::size_t> max_k;
   // serve
   std::optional<std::string> socket;
-  std::optional<unsigned> max_inflight;
-  std::optional<std::uint64_t> default_time_budget_ms;
+  std::optional<unsigned> max_inflight, admission_queue, watchdog_grace;
+  std::optional<std::uint64_t> default_time_budget_ms, default_deadline_ms;
+  std::optional<std::uint64_t> write_timeout_ms;
   std::optional<std::size_t> cache_bytes;
   bool min_area = false, min_period = false, cls = false, packed = false;
   bool no_drop = false, all_faults = false, json = false, strict = false;
@@ -311,6 +319,23 @@ Args parse_args(int argc, char** argv, int first) {
     } else if (a == "--default-time-budget-ms") {
       args.default_time_budget_ms = parse_number(
           "--default-time-budget-ms", value("--default-time-budget-ms"),
+          std::numeric_limits<std::uint64_t>::max());
+    } else if (a == "--admission-queue") {
+      args.admission_queue = static_cast<unsigned>(parse_number(
+          "--admission-queue", value("--admission-queue"), 1u << 20));
+    } else if (a == "--default-deadline-ms") {
+      args.default_deadline_ms = parse_number(
+          "--default-deadline-ms", value("--default-deadline-ms"),
+          std::numeric_limits<std::uint64_t>::max());
+    } else if (a == "--watchdog-grace") {
+      args.watchdog_grace = static_cast<unsigned>(parse_number(
+          "--watchdog-grace", value("--watchdog-grace"), 1u << 10));
+      if (*args.watchdog_grace == 0) {
+        usage("--watchdog-grace must be at least 1");
+      }
+    } else if (a == "--write-timeout-ms") {
+      args.write_timeout_ms = parse_number(
+          "--write-timeout-ms", value("--write-timeout-ms"),
           std::numeric_limits<std::uint64_t>::max());
     } else if (a == "--cache-bytes") {
       args.cache_bytes = static_cast<std::size_t>(
@@ -663,7 +688,11 @@ int cmd_serve(const Args& args) {
   serve::ServeOptions opt;
   opt.threads = args.threads.value_or(0);
   opt.max_inflight = args.max_inflight.value_or(0);
+  opt.admission_queue = args.admission_queue.value_or(0);
   opt.default_time_budget_ms = args.default_time_budget_ms.value_or(0);
+  opt.default_deadline_ms = args.default_deadline_ms.value_or(0);
+  if (args.watchdog_grace) opt.watchdog_grace = *args.watchdog_grace;
+  if (args.write_timeout_ms) opt.write_timeout_ms = *args.write_timeout_ms;
   if (args.cache_bytes) opt.cache_bytes = *args.cache_bytes;
   serve::Server server(opt);
   if (args.socket) {
@@ -677,10 +706,15 @@ int cmd_serve(const Args& args) {
   const serve::ServeStats s = server.stats();
   std::fprintf(stderr,
                "rtv serve: drained; %llu jobs accepted, %llu ok, %llu "
-               "errors, cache %llu hits / %llu misses\n",
+               "errors, %llu rejected (%llu shed), %llu watchdog kills "
+               "(%llu wedged), cache %llu hits / %llu misses\n",
                static_cast<unsigned long long>(s.jobs_accepted),
                static_cast<unsigned long long>(s.jobs_done),
                static_cast<unsigned long long>(s.jobs_failed),
+               static_cast<unsigned long long>(s.jobs_rejected),
+               static_cast<unsigned long long>(s.jobs_shed),
+               static_cast<unsigned long long>(s.watchdog_kills),
+               static_cast<unsigned long long>(s.watchdog_wedged),
                static_cast<unsigned long long>(s.cache.hits),
                static_cast<unsigned long long>(s.cache.misses));
   return kExitOk;
