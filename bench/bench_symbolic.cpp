@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "bdd/cls_bdd.hpp"
 #include "bdd/equivalence.hpp"
 #include "bdd/symbolic.hpp"
 #include "gen/iscas.hpp"
@@ -274,6 +275,268 @@ void emit_bench_json(const std::vector<WorkloadRow>& rows) {
   std::printf("wrote %s (schema ok)\n", path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic reordering + GC report (BENCH_reorder.json)
+//
+// Three contracts, all self-validated before the binary exits:
+//   * unlock — a pair-matcher CLS-equivalence whose interleaving-hostile
+//     input order exhausts kDefaultBddNodeLimit under the fixed order must
+//     be PROVEN once on-pressure sifting + GC are enabled;
+//   * peak_reduction — peak live nodes on the L=36 partitioned-reachability
+//     workload must drop >= 2x with GC + reordering on (same state count);
+//   * fast_path — having GC + reordering available but idle (trigger at the
+//     node limit) must cost <= 10% (+2 ms grace) on the L=28 fast path; the
+//     on-pressure time is reported honestly but not gated, since a sift's
+//     fixed cost dominates a millisecond-scale workload.
+
+constexpr double kRequiredPeakReduction = 2.0;
+constexpr double kMaxFastPathOverhead = 1.10;
+constexpr double kFastPathGraceMs = 2.0;
+
+/// OR_i (x_i AND x_{i+n}) with the pairs separated by n in the input
+/// order — linear-sized interleaved, ~2^n under the construction order.
+/// `reversed` flips the OR association so the two CLS sides differ
+/// structurally while staying equivalent.
+Netlist pair_matcher(unsigned n, bool reversed) {
+  Netlist nl;
+  std::vector<NodeId> ins;
+  ins.reserve(2 * n);
+  for (unsigned i = 0; i < 2 * n; ++i) {
+    ins.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  const NodeId out = nl.add_output("match");
+  std::vector<NodeId> ands;
+  ands.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const NodeId g = nl.add_gate(CellKind::kAnd, 2, "p" + std::to_string(i));
+    nl.connect(PortRef(ins[i], 0), PinRef(g, 0));
+    nl.connect(PortRef(ins[i + n], 0), PinRef(g, 1));
+    ands.push_back(g);
+  }
+  const NodeId any = nl.add_gate(CellKind::kOr, n, "any");
+  for (unsigned i = 0; i < n; ++i) {
+    nl.connect(PortRef(ands[reversed ? n - 1 - i : i], 0), PinRef(any, i));
+  }
+  nl.connect(PortRef(any, 0), PinRef(out, 0));
+  nl.check_valid(/*require_junction_normal=*/true);
+  return nl;
+}
+
+struct ReorderReport {
+  // unlock
+  std::string fixed_verdict;
+  double fixed_ms = 0.0;
+  std::string tuned_verdict;
+  double tuned_ms = 0.0;
+  std::uint64_t tuned_gc_runs = 0;
+  std::uint64_t tuned_reorder_runs = 0;
+  std::size_t tuned_peak_live = 0;
+  // peak_reduction (L=36)
+  std::size_t base_peak_nodes = 0;
+  std::size_t tuned_peak_live_nodes = 0;
+  double peak_reduction = 0.0;
+  std::string states_cross_check = "MISMATCH";
+  // fast_path (L=28)
+  double base_ms = 0.0;
+  double idle_ms = 0.0;
+  double pressure_ms = 0.0;
+  double overhead = 0.0;
+};
+
+double reach_l_workload(const Netlist& n, const ReorderOptions& reorder,
+                        bool gc, double* states,
+                        BddManager::EngineStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SymbolicMachine sm(n, kDefaultBddNodeLimit, nullptr, kDefaultClusterNodeCap,
+                     reorder, gc);
+  BddManager& m = sm.manager();
+  const BddHandle init = m.protect(sm.state_cube(Bits(n.num_latches(), 0)));
+  const BddHandle reach = m.protect(sm.reachable(init.get()));
+  const double elapsed = ms_since(t0);
+  *states = sm.count_states(reach.get());
+  *stats = m.stats();
+  return elapsed;
+}
+
+ReorderReport run_reorder_report() {
+  ReorderReport r;
+
+  // unlock: fixed order exhausts, on-pressure sifting + GC proves.
+  const Netlist a = pair_matcher(24, false);
+  const Netlist b = pair_matcher(24, true);
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    const BddClsOutcome fixed = bdd_cls_equivalence(a, b, BddEquivOptions{});
+    r.fixed_ms = ms_since(t0);
+    r.fixed_verdict = to_string(fixed.verdict);
+    BddEquivOptions on;
+    on.gc = true;
+    on.reorder.mode = ReorderMode::kOnPressure;
+    t0 = std::chrono::steady_clock::now();
+    const BddClsOutcome tuned = bdd_cls_equivalence(a, b, on);
+    r.tuned_ms = ms_since(t0);
+    r.tuned_verdict = to_string(tuned.verdict);
+    r.tuned_gc_runs = tuned.engine.gc_runs;
+    r.tuned_reorder_runs = tuned.engine.reorder_runs;
+    r.tuned_peak_live = tuned.engine.peak_live_nodes;
+  }
+
+  // peak_reduction: L=36 partitioned reachability, arena peak (no GC ever
+  // shrinks it) vs peak LIVE set under collection + sifting.
+  {
+    const Netlist n36 = wide_random(36, 6);
+    double base_states = 0.0, tuned_states = 0.0;
+    BddManager::EngineStats base_stats, tuned_stats;
+    reach_l_workload(n36, ReorderOptions{}, false, &base_states, &base_stats);
+    ReorderOptions on;
+    on.mode = ReorderMode::kOnPressure;
+    reach_l_workload(n36, on, true, &tuned_states, &tuned_stats);
+    r.base_peak_nodes = base_stats.peak_nodes;
+    r.tuned_peak_live_nodes = tuned_stats.peak_live_nodes;
+    if (r.tuned_peak_live_nodes > 0) {
+      r.peak_reduction = static_cast<double>(r.base_peak_nodes) /
+                         static_cast<double>(r.tuned_peak_live_nodes);
+    }
+    r.states_cross_check = base_states == tuned_states ? "ok" : "MISMATCH";
+  }
+
+  // fast_path: best-of-3 per configuration; "idle" has both features on
+  // with the pressure trigger parked at the node limit.
+  {
+    const Netlist n28 = wide_random(28, 2);
+    ReorderOptions idle;
+    idle.mode = ReorderMode::kOnPressure;
+    idle.trigger_nodes = kDefaultBddNodeLimit;
+    ReorderOptions pressure;
+    pressure.mode = ReorderMode::kOnPressure;
+    double states = 0.0;
+    BddManager::EngineStats stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto best = [](double* slot, double value) {
+        if (*slot == 0.0 || value < *slot) *slot = value;
+      };
+      best(&r.base_ms,
+           reach_l_workload(n28, ReorderOptions{}, false, &states, &stats));
+      best(&r.idle_ms, reach_l_workload(n28, idle, true, &states, &stats));
+      best(&r.pressure_ms,
+           reach_l_workload(n28, pressure, true, &states, &stats));
+    }
+    r.overhead = r.idle_ms / r.base_ms;
+  }
+  return r;
+}
+
+std::string reorder_json_path() {
+  const char* v = std::getenv("RTV_BENCH_REORDER_JSON");
+  return (v != nullptr && v[0] != '\0') ? v : "BENCH_reorder.json";
+}
+
+std::string render_reorder_json(const ReorderReport& r) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"benchmark\": \"bdd_reorder\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n";
+  os << "  \"node_limit\": " << kDefaultBddNodeLimit << ",\n";
+  os << "  \"unlock\": {\n";
+  os << "    \"workload\": \"pair_matcher n=24 cls-equivalence\",\n";
+  os << "    \"fixed\": {\"verdict\": \"" << r.fixed_verdict
+     << "\", \"ms\": " << r.fixed_ms << "},\n";
+  os << "    \"tuned\": {\"verdict\": \"" << r.tuned_verdict
+     << "\", \"ms\": " << r.tuned_ms << ", \"gc_runs\": " << r.tuned_gc_runs
+     << ", \"reorder_runs\": " << r.tuned_reorder_runs
+     << ", \"peak_live_nodes\": " << r.tuned_peak_live << "}\n";
+  os << "  },\n";
+  os << "  \"peak_reduction\": {\n";
+  os << "    \"workload\": \"random L=36 partitioned reachability\",\n";
+  os << "    \"base_peak_nodes\": " << r.base_peak_nodes << ",\n";
+  os << "    \"tuned_peak_live_nodes\": " << r.tuned_peak_live_nodes << ",\n";
+  os << "    \"reduction\": " << r.peak_reduction << ",\n";
+  os << "    \"required\": " << kRequiredPeakReduction << ",\n";
+  os << "    \"states_cross_check\": \"" << r.states_cross_check << "\"\n";
+  os << "  },\n";
+  os << "  \"fast_path\": {\n";
+  os << "    \"workload\": \"random L=28 partitioned reachability\",\n";
+  os << "    \"base_ms\": " << r.base_ms << ",\n";
+  os << "    \"idle_ms\": " << r.idle_ms << ",\n";
+  os << "    \"pressure_ms\": " << r.pressure_ms << ",\n";
+  os << "    \"overhead\": " << r.overhead << ",\n";
+  os << "    \"max_overhead\": " << kMaxFastPathOverhead << ",\n";
+  os << "    \"grace_ms\": " << kFastPathGraceMs << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string validate_reorder_json(const std::string& text) {
+  for (const char* key :
+       {"\"benchmark\"", "\"schema_version\"", "\"node_limit\"",
+        "\"unlock\"", "\"fixed\"", "\"tuned\"", "\"verdict\"",
+        "\"peak_reduction\"", "\"base_peak_nodes\"",
+        "\"tuned_peak_live_nodes\"", "\"reduction\"",
+        "\"states_cross_check\"", "\"fast_path\"", "\"base_ms\"",
+        "\"idle_ms\"", "\"pressure_ms\"", "\"overhead\"", "\"gc_runs\"",
+        "\"reorder_runs\"", "\"peak_live_nodes\""}) {
+    if (text.find(key) == std::string::npos) {
+      return std::string("missing key ") + key;
+    }
+  }
+  const std::size_t fixed = text.find("\"fixed\"");
+  const std::size_t tuned = text.find("\"tuned\"");
+  if (text.find("\"verdict\": \"exhausted\"", fixed) != fixed + 10) {
+    return "fixed-order run did not exhaust the node limit";
+  }
+  if (text.find("\"verdict\": \"proven\"", tuned) != tuned + 10) {
+    return "reordering+GC run was not proven";
+  }
+  const std::size_t red = text.find("\"reduction\": ");
+  if (red == std::string::npos) return "missing reduction value";
+  if (std::atof(text.c_str() + red + 13) < kRequiredPeakReduction) {
+    return "L=36 peak live node reduction is below the required " +
+           std::to_string(kRequiredPeakReduction) + "x";
+  }
+  if (text.find("\"states_cross_check\": \"ok\"") == std::string::npos) {
+    return "reordered reachability disagrees with the default engine";
+  }
+  const std::size_t base = text.find("\"base_ms\": ");
+  const std::size_t idle = text.find("\"idle_ms\": ");
+  if (base == std::string::npos || idle == std::string::npos) {
+    return "missing fast-path timings";
+  }
+  const double base_ms = std::atof(text.c_str() + base + 11);
+  const double idle_ms = std::atof(text.c_str() + idle + 11);
+  if (idle_ms > base_ms * kMaxFastPathOverhead + kFastPathGraceMs) {
+    return "idle GC+reordering overhead " + std::to_string(idle_ms) +
+           " ms exceeds " + std::to_string(kMaxFastPathOverhead) + "x of " +
+           std::to_string(base_ms) + " ms (+2 ms grace) on the L=28 fast "
+           "path";
+  }
+  return "";
+}
+
+void emit_reorder_json(const ReorderReport& r) {
+  const std::string path = reorder_json_path();
+  {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    f << render_reorder_json(r);
+  }
+  std::ifstream f(path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  const std::string problem = validate_reorder_json(buffer.str());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "error: %s fails schema check: %s\n", path.c_str(),
+                 problem.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (schema ok)\n", path.c_str());
+}
+
 void print_path(const char* label, const PathResult& r) {
   if (r.status == "ok") {
     std::printf("  %-12s reach %9.2f ms (%10.4g states)  delay-2 %9.2f ms "
@@ -288,30 +551,65 @@ void print_path(const char* label, const PathResult& r) {
 
 }  // namespace
 
+bool reorder_only_mode() {
+  const char* v = std::getenv("RTV_BENCH_REORDER_ONLY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+void report_reorder() {
+  bench::heading("substrate / BDD reordering + GC",
+                 "on-pressure sifting unlocks order-hostile workloads; "
+                 "collection bounds peak live nodes; idle features stay free");
+  const ReorderReport r = run_reorder_report();
+  std::printf("unlock (pair_matcher n=24 cls-equivalence):\n");
+  std::printf("  fixed order   %-10s %9.1f ms\n", r.fixed_verdict.c_str(),
+              r.fixed_ms);
+  std::printf("  reorder+gc    %-10s %9.1f ms  (%llu collections, %llu "
+              "sifts, peak live %zu)\n",
+              r.tuned_verdict.c_str(), r.tuned_ms,
+              static_cast<unsigned long long>(r.tuned_gc_runs),
+              static_cast<unsigned long long>(r.tuned_reorder_runs),
+              r.tuned_peak_live);
+  std::printf("peak live nodes (random L=36 partitioned reachability):\n");
+  std::printf("  base arena %zu -> gc+reorder %zu  (%.1fx reduction, "
+              "states %s)\n",
+              r.base_peak_nodes, r.tuned_peak_live_nodes, r.peak_reduction,
+              r.states_cross_check.c_str());
+  std::printf("fast path (random L=28, best of 3):\n");
+  std::printf("  base %.1f ms, features idle %.1f ms (%.2fx), on-pressure "
+              "%.1f ms\n",
+              r.base_ms, r.idle_ms, r.overhead, r.pressure_ms);
+  emit_reorder_json(r);
+}
+
 void report() {
-  bench::heading("substrate / symbolic engine",
-                 "partitioned vs monolithic image computation — BDD "
-                 "reachability where 2^L enumeration stops scaling");
-  const std::vector<WorkloadRow> rows = run_report(smoke_mode());
-  for (const WorkloadRow& r : rows) {
-    std::printf("%s (%zu latches, %zu clusters)\n", r.name.c_str(),
-                r.latches, r.clusters);
-    print_path("partitioned", r.partitioned);
-    print_path("monolithic", r.monolithic);
-    if (r.speedup_reach > 0.0) {
-      std::printf("  %-12s %.1fx on reachable()  [cross-check %s]\n",
-                  "speedup", r.speedup_reach, r.cross_check.c_str());
+  if (!reorder_only_mode()) {
+    bench::heading("substrate / symbolic engine",
+                   "partitioned vs monolithic image computation — BDD "
+                   "reachability where 2^L enumeration stops scaling");
+    const std::vector<WorkloadRow> rows = run_report(smoke_mode());
+    for (const WorkloadRow& r : rows) {
+      std::printf("%s (%zu latches, %zu clusters)\n", r.name.c_str(),
+                  r.latches, r.clusters);
+      print_path("partitioned", r.partitioned);
+      print_path("monolithic", r.monolithic);
+      if (r.speedup_reach > 0.0) {
+        std::printf("  %-12s %.1fx on reachable()  [cross-check %s]\n",
+                    "speedup", r.speedup_reach, r.cross_check.c_str());
+      }
     }
+
+    // Symbolic implication on the paper pair.
+    SymbolicImplication sym(figure1_retimed(), figure1_original());
+    std::printf("\nsymbolic C ⊑ D on figure-1: %s, min delay %d "
+                "(matches the explicit STG result)\n",
+                sym.implies() ? "holds" : "fails",
+                sym.min_delay_for_implication(8));
+
+    emit_bench_json(rows);
   }
 
-  // Symbolic implication on the paper pair.
-  SymbolicImplication sym(figure1_retimed(), figure1_original());
-  std::printf("\nsymbolic C ⊑ D on figure-1: %s, min delay %d "
-              "(matches the explicit STG result)\n",
-              sym.implies() ? "holds" : "fails",
-              sym.min_delay_for_implication(8));
-
-  emit_bench_json(rows);
+  report_reorder();
 }
 
 namespace {

@@ -16,6 +16,12 @@ constexpr std::size_t kInitialUniqueEntries = std::size_t{1} << 13;
 constexpr std::size_t kInitialOpEntries = std::size_t{1} << 15;
 constexpr std::size_t kMaxAdaptiveOpEntries = std::size_t{1} << 21;
 
+/// Garbage-collection pacing: the first collection fires once the arena
+/// crosses kDefaultGcTrigger (or half a tiny node_limit), later ones at 2×
+/// the previous live size so a stable working set is not re-marked forever.
+constexpr std::size_t kMinGcTrigger = 1024;
+constexpr std::size_t kDefaultGcTrigger = std::size_t{1} << 15;
+
 /// 64-bit finalizer (splitmix64 tail): full avalanche so consecutive node
 /// refs spread over the whole table.
 inline std::uint64_t mix64(std::uint64_t x) {
@@ -34,6 +40,67 @@ inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// BddHandle
+
+BddHandle::BddHandle(BddManager* mgr, std::uint32_t ref) : mgr_(mgr) {
+  slot_ = mgr_->protect_slot(ref);
+}
+
+BddHandle::BddHandle(const BddHandle& other) : mgr_(other.mgr_) {
+  if (mgr_ != nullptr) slot_ = mgr_->protect_slot(other.get());
+}
+
+BddHandle::BddHandle(BddHandle&& other) noexcept
+    : mgr_(other.mgr_), slot_(other.slot_) {
+  other.mgr_ = nullptr;
+  other.slot_ = 0;
+}
+
+BddHandle& BddHandle::operator=(const BddHandle& other) {
+  if (this == &other) return *this;
+  reset();
+  mgr_ = other.mgr_;
+  if (mgr_ != nullptr) slot_ = mgr_->protect_slot(other.get());
+  return *this;
+}
+
+BddHandle& BddHandle::operator=(BddHandle&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  mgr_ = other.mgr_;
+  slot_ = other.slot_;
+  other.mgr_ = nullptr;
+  other.slot_ = 0;
+  return *this;
+}
+
+BddHandle::~BddHandle() { reset(); }
+
+std::uint32_t BddHandle::get() const {
+  RTV_REQUIRE(mgr_ != nullptr, "get() on a disengaged BddHandle");
+  return mgr_->root_at(slot_);
+}
+
+void BddHandle::reset() {
+  if (mgr_ != nullptr) {
+    mgr_->unprotect_slot(slot_);
+    mgr_ = nullptr;
+    slot_ = 0;
+  }
+}
+
+void BddHandle::reset(BddManager* mgr, std::uint32_t ref) {
+  // Protect the new root before releasing the old one so aliasing patterns
+  // (h.reset(m, op(h.get()))) never leave a window with nothing protected.
+  BddHandle next(mgr, ref);
+  reset();
+  *this = std::move(next);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / configuration
+
 BddManager::BddManager(unsigned num_vars, std::size_t node_limit,
                        std::size_t op_cache_entries)
     : num_vars_(num_vars), node_limit_(node_limit) {
@@ -51,31 +118,167 @@ BddManager::BddManager(unsigned num_vars, std::size_t node_limit,
   } else {
     ops_.assign(kInitialOpEntries, OpEntry{});
   }
+  var2level_.resize(num_vars);
+  level2var_.resize(num_vars);
+  groups_.resize(num_vars);
+  group_of_.resize(num_vars);
+  for (unsigned v = 0; v < num_vars; ++v) {
+    var2level_[v] = v;
+    level2var_[v] = v;
+    groups_[v] = {v};
+    group_of_[v] = v;
+  }
+  gc_trigger_ = std::min(kDefaultGcTrigger,
+                         std::max(node_limit_ / 2, kMinGcTrigger));
+  reorder_trigger_ = reorder_options_.trigger_nodes;
   var_refs_.resize(num_vars, kFalse);
   for (unsigned v = 0; v < num_vars; ++v) {
     var_refs_[v] = find_or_add(v, kFalse, kTrue);
   }
 }
 
-BddManager::Ref BddManager::var(unsigned v) {
-  RTV_REQUIRE(v < num_vars_, "BDD variable out of range");
-  return var_refs_[v];
+void BddManager::set_reorder_options(const ReorderOptions& options) {
+  RTV_REQUIRE(options.max_growth >= 1.0, "reorder max_growth must be >= 1");
+  reorder_options_ = options;
+  reorder_trigger_ = std::max<std::size_t>(options.trigger_nodes, 16);
 }
 
-BddManager::Ref BddManager::nvar(unsigned v) {
-  return ite(var(v), kFalse, kTrue);
+void BddManager::group_adjacent(unsigned first_var, unsigned count) {
+  RTV_REQUIRE(count >= 1 && first_var < num_vars_ &&
+                  first_var + count <= num_vars_,
+              "group_adjacent variable range out of bounds");
+  std::vector<unsigned> members;
+  for (unsigned v = first_var; v < first_var + count; ++v) {
+    RTV_REQUIRE(groups_[group_of_[v]].size() == 1,
+                "group_adjacent: variable already grouped");
+    members.push_back(v);
+  }
+  std::sort(members.begin(), members.end(), [this](unsigned a, unsigned b) {
+    return var2level_[a] < var2level_[b];
+  });
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    RTV_REQUIRE(var2level_[members[i]] == var2level_[members[i - 1]] + 1,
+                "group_adjacent: variables are not level-adjacent");
+  }
+  const std::uint32_t gid = group_of_[members.front()];
+  for (unsigned v : members) {
+    groups_[group_of_[v]].clear();
+    group_of_[v] = gid;
+  }
+  groups_[gid] = members;
 }
+
+void BddManager::check_invariants() const {
+  std::vector<bool> live(nodes_.size(), false);
+  live[kFalse] = true;
+  live[kTrue] = true;
+  for (const Ref v : var_refs_) mark_from(v, &live);
+  for (const Ref r : roots_) mark_from(r, &live);
+  const std::size_t mask = table_.size() - 1;
+  for (Ref r = 2; r < static_cast<Ref>(nodes_.size()); ++r) {
+    if (!live[r]) continue;
+    const Node& n = nodes_[r];
+    RTV_CHECK_MSG(n.lo != n.hi, "redundant node survives in the arena");
+    for (const Ref c : {n.lo, n.hi}) {
+      RTV_CHECK_MSG(c <= kTrue || var2level_[nodes_[c].var] >
+                                      var2level_[n.var],
+                    "child at or above its parent's level");
+    }
+    // The unique-table probe for this node's key must land on this node:
+    // anything else is a missing entry or a duplicate triple.
+    std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
+    while (table_[slot] != kEmptySlot && table_[slot] != r) {
+      const Node& o = nodes_[table_[slot]];
+      RTV_CHECK_MSG(o.var != n.var || o.lo != n.lo || o.hi != n.hi,
+                    "duplicate (var, lo, hi) triple in the unique table");
+      slot = (slot + 1) & mask;
+    }
+    RTV_CHECK_MSG(table_[slot] == r, "live node missing from the unique table");
+  }
+}
+
+BddManager::EngineStats BddManager::stats() const {
+  EngineStats s = stats_;
+  if (nodes_.size() > s.peak_nodes) s.peak_nodes = nodes_.size();
+  // Without a collection there is no live/dead distinction to report: the
+  // arena itself is the tightest known bound on the live set.
+  if (s.gc_runs == 0) s.peak_live_nodes = s.peak_nodes;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Root registry
+
+std::uint32_t BddManager::protect_slot(Ref f) {
+  if (!root_free_.empty()) {
+    const std::uint32_t slot = root_free_.back();
+    root_free_.pop_back();
+    roots_[slot] = f;
+    return slot;
+  }
+  roots_.push_back(f);
+  return static_cast<std::uint32_t>(roots_.size() - 1);
+}
+
+void BddManager::unprotect_slot(std::uint32_t slot) {
+  // Free slots park on kFalse: always a valid (terminal) root, so GC can
+  // mark the whole registry without consulting the free list.
+  roots_[slot] = kFalse;
+  root_free_.push_back(slot);
+}
+
+// ---------------------------------------------------------------------------
+// Unique table / op cache plumbing
 
 void BddManager::grow_unique_table() {
-  std::vector<Ref> bigger(table_.size() * 2, kEmptySlot);
-  const std::size_t mask = bigger.size() - 1;
-  for (Ref ref = 2; ref < nodes_.size(); ++ref) {
+  // Rehash the table's own entries (not the arena): during sifting the
+  // arena also holds unhashed dead nodes that must not be resurrected.
+  std::vector<Ref> old = std::move(table_);
+  table_.assign(old.size() * 2, kEmptySlot);
+  const std::size_t mask = table_.size() - 1;
+  for (Ref ref : old) {
+    if (ref == kEmptySlot) continue;
     const Node& n = nodes_[ref];
     std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
-    while (bigger[slot] != kEmptySlot) slot = (slot + 1) & mask;
-    bigger[slot] = ref;
+    while (table_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    table_[slot] = ref;
   }
-  table_ = std::move(bigger);
+}
+
+void BddManager::table_insert(Ref ref) {
+  const Node& n = nodes_[ref];
+  const std::size_t mask = table_.size() - 1;
+  std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
+  while (table_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+  table_[slot] = ref;
+  if (++table_used_ * 4 >= table_.size() * 3) grow_unique_table();
+}
+
+void BddManager::table_erase(Ref ref) {
+  const std::size_t mask = table_.size() - 1;
+  const Node& key = nodes_[ref];
+  std::size_t i = hash3(key.var, key.lo, key.hi) & mask;
+  while (table_[i] != ref) {
+    RTV_REQUIRE(table_[i] != kEmptySlot, "bdd: erasing an unhashed node");
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion keeps linear probing exact without tombstones:
+  // every entry after the hole moves back iff its home slot lies at or
+  // before the hole in probe order.
+  table_[i] = kEmptySlot;
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (table_[j] == kEmptySlot) break;
+    const Node& n = nodes_[table_[j]];
+    const std::size_t home = hash3(n.var, n.lo, n.hi) & mask;
+    if (((j - home) & mask) >= ((j - i) & mask)) {
+      table_[i] = table_[j];
+      table_[j] = kEmptySlot;
+      i = j;
+    }
+  }
+  --table_used_;
 }
 
 void BddManager::maybe_grow_op_cache() {
@@ -93,6 +296,10 @@ void BddManager::maybe_grow_op_cache() {
            mask] = e;
   }
   ops_ = std::move(bigger);
+}
+
+void BddManager::reset_op_cache(std::size_t entries) {
+  ops_.assign(entries, OpEntry{});
 }
 
 std::size_t BddManager::op_slot(std::uint32_t tag, Ref a, Ref b,
@@ -120,16 +327,19 @@ void BddManager::op_store(std::uint32_t tag, Ref a, Ref b, Ref c,
   e = OpEntry{a, b, c, tag, result};
 }
 
+// ---------------------------------------------------------------------------
+// Node allocation
+
 BddManager::Ref BddManager::find_or_add(unsigned var, Ref lo, Ref hi) {
   if (lo == hi) return lo;
-  std::size_t mask = table_.size() - 1;
+  const std::size_t mask = table_.size() - 1;
   std::size_t slot = hash3(var, lo, hi) & mask;
   while (table_[slot] != kEmptySlot) {
     const Node& n = nodes_[table_[slot]];
     if (n.var == var && n.lo == lo && n.hi == hi) return table_[slot];
     slot = (slot + 1) & mask;
   }
-  if (budget_ != nullptr) {
+  if (budget_ != nullptr && !in_reorder_) {
     budget_->note_bdd_nodes(nodes_.size());
     if (nodes_.size() >= budget_->limits().bdd_node_limit) {
       budget_->mark_exhausted(ResourceKind::kBddNodes);
@@ -143,19 +353,427 @@ BddManager::Ref BddManager::find_or_add(unsigned var, Ref lo, Ref hi) {
       budget_->checkpoint_or_throw("bdd/alloc");
     }
   }
-  if (nodes_.size() >= node_limit_) {
+  // Inside a reorder the per-swap headroom pre-check replaces both guards:
+  // an exception between table_erase and the in-place rewrite would corrupt
+  // the table, so swaps must never throw.
+  if (nodes_.size() >= node_limit_ && !in_reorder_) {
     throw CapacityError("BDD node limit exceeded: " +
                         std::to_string(nodes_.size()) + " nodes allocated, " +
                         "limit " + std::to_string(node_limit_));
   }
   nodes_.push_back(Node{var, lo, hi});
   const Ref ref = static_cast<Ref>(nodes_.size() - 1);
+  if (in_reorder_) {
+    ref_count_.resize(nodes_.size(), 0);
+    sift_root_.resize(nodes_.size(), false);
+    if (lo > kTrue) ++ref_count_[lo];
+    if (hi > kTrue) ++ref_count_[hi];
+    var_nodes_[var].push_back(ref);
+  }
   table_[slot] = ref;
   if (++table_used_ * 4 >= table_.size() * 3) {
     grow_unique_table();
     maybe_grow_op_cache();
   }
+  if (nodes_.size() > stats_.peak_nodes) stats_.peak_nodes = nodes_.size();
+  if (!in_reorder_) {
+    if (gc_enabled_ && nodes_.size() >= gc_trigger_) gc_pending_ = true;
+    if (reorder_options_.mode == ReorderMode::kOnPressure &&
+        nodes_.size() >= reorder_trigger_) {
+      reorder_pending_ = true;
+    }
+  }
   return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Safe-point maintenance
+
+void BddManager::enter_op(Ref* a, Ref* b, Ref* c) {
+  if (op_depth_ != 0 || in_reorder_) return;
+  if (!gc_pending_ && !reorder_pending_) return;
+  BddHandle ha, hb, hc;
+  if (a != nullptr) ha.reset(this, *a);
+  if (b != nullptr) hb.reset(this, *b);
+  if (c != nullptr) hc.reset(this, *c);
+  const bool do_reorder = reorder_pending_;
+  gc_pending_ = false;
+  reorder_pending_ = false;
+  if (do_reorder) {
+    reorder_now();
+  } else {
+    collect_now();
+  }
+  if (a != nullptr) *a = ha.get();
+  if (b != nullptr) *b = hb.get();
+  if (c != nullptr) *c = hc.get();
+}
+
+void BddManager::enter_op_refs(std::vector<Ref>* refs, Ref* a) {
+  if (op_depth_ != 0 || in_reorder_) return;
+  if (!gc_pending_ && !reorder_pending_) return;
+  std::vector<BddHandle> handles;
+  handles.reserve(refs->size());
+  for (Ref r : *refs) handles.emplace_back(this, r);
+  BddHandle ha;
+  if (a != nullptr) ha.reset(this, *a);
+  const bool do_reorder = reorder_pending_;
+  gc_pending_ = false;
+  reorder_pending_ = false;
+  if (do_reorder) {
+    reorder_now();
+  } else {
+    collect_now();
+  }
+  for (std::size_t i = 0; i < refs->size(); ++i) (*refs)[i] = handles[i].get();
+  if (a != nullptr) *a = ha.get();
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+
+void BddManager::mark_from(Ref root, std::vector<bool>* marked) const {
+  if (root <= kTrue || (*marked)[root]) return;
+  std::vector<Ref> stack{root};
+  (*marked)[root] = true;
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    for (const Ref c : {nodes_[r].lo, nodes_[r].hi}) {
+      if (c > kTrue && !(*marked)[c]) {
+        (*marked)[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+}
+
+std::size_t BddManager::collect_garbage() {
+  RTV_REQUIRE(op_depth_ == 0 && !in_reorder_,
+              "collect_garbage from inside an operation");
+  gc_pending_ = false;
+  return collect_now();
+}
+
+std::size_t BddManager::collect_now() {
+  if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/gc");
+  const std::size_t before = nodes_.size();
+  if (before > stats_.peak_nodes) stats_.peak_nodes = before;
+
+  std::vector<bool> marked(before, false);
+  marked[kFalse] = true;
+  marked[kTrue] = true;
+  for (const Ref v : var_refs_) mark_from(v, &marked);
+  for (const Ref r : roots_) mark_from(r, &marked);
+
+  // Forwarding map old ref -> compacted ref. Children may have larger
+  // indices than parents after reordering, so fwd is fully built before any
+  // node moves.
+  std::vector<Ref> fwd(before, kEmptySlot);
+  fwd[kFalse] = kFalse;
+  fwd[kTrue] = kTrue;
+  Ref next = 2;
+  for (Ref r = 2; r < before; ++r) {
+    if (marked[r]) fwd[r] = next++;
+  }
+  const std::size_t live = next;
+  const std::size_t reclaimed = before - live;
+
+  if (reclaimed > 0) {
+    for (Ref r = 2; r < before; ++r) {
+      if (!marked[r]) continue;
+      Node n = nodes_[r];
+      n.lo = fwd[n.lo];
+      n.hi = fwd[n.hi];
+      nodes_[fwd[r]] = n;
+    }
+    nodes_.resize(live);
+    nodes_.shrink_to_fit();
+    for (Ref& v : var_refs_) v = fwd[v];
+    for (Ref& r : roots_) r = fwd[r];
+    std::size_t want = kInitialUniqueEntries;
+    while (want * 3 < live * 4) want <<= 1;
+    table_.assign(want, kEmptySlot);
+    table_used_ = 0;
+    for (Ref r = 2; r < nodes_.size(); ++r) {
+      const Node& n = nodes_[r];
+      const std::size_t mask = table_.size() - 1;
+      std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
+      while (table_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+      table_[slot] = r;
+      ++table_used_;
+    }
+  }
+  // The op cache keys raw Refs, so it is garbage either way; an adaptively
+  // grown cache also shrinks back so a collapsed working set does not pin a
+  // huge cold cache (pinned caches keep their size for collision tests).
+  reset_op_cache(ops_size_pinned_ ? ops_.size() : kInitialOpEntries);
+
+  ++stats_.gc_runs;
+  stats_.nodes_reclaimed += reclaimed;
+  if (live > stats_.peak_live_nodes) stats_.peak_live_nodes = live;
+  // Next collection at 2× the surviving set (4× when this one was mostly
+  // futile) so a stable working set is not re-marked on every allocation.
+  gc_trigger_ = std::max(live * (reclaimed * 4 < before ? 4 : 2),
+                         kMinGcTrigger);
+  if (budget_ != nullptr) {
+    budget_->note_bdd_gc(reclaimed, live);
+  }
+  return reclaimed;
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic reordering (Rudell sifting)
+
+void BddManager::release_child(Ref child) {
+  if (child <= kTrue) return;
+  if (--ref_count_[child] > 0) return;
+  if (sift_root_[child]) return;
+  // Structurally dead and not externally protected: unhash now so the key
+  // cannot be resurrected, cascade into the children, and leave the arena
+  // slot as junk for the trailing collection.
+  table_erase(child);
+  const Node n = nodes_[child];
+  release_child(n.lo);
+  release_child(n.hi);
+}
+
+bool BddManager::node_is_dead(Ref ref) const {
+  return ref_count_[ref] == 0 && !sift_root_[ref];
+}
+
+std::size_t BddManager::swap_levels(unsigned level) {
+  const unsigned x = level2var_[level];
+  const unsigned y = level2var_[level + 1];
+  std::vector<Ref> xs;
+  xs.swap(var_nodes_[x]);
+  std::vector<Ref> interacting;
+  for (const Ref r : xs) {
+    // Buckets are lazy: skip entries that died or were rewritten away.
+    if (nodes_[r].var != x || node_is_dead(r)) continue;
+    const Node& n = nodes_[r];
+    const bool hits_y = (n.lo > kTrue && nodes_[n.lo].var == y) ||
+                        (n.hi > kTrue && nodes_[n.hi].var == y);
+    if (hits_y) {
+      interacting.push_back(r);
+    } else {
+      // Independent of y: the node rides along as its var's level moves.
+      var_nodes_[x].push_back(r);
+    }
+  }
+  // A swap must be atomic (no exceptions once keys are erased), so check
+  // worst-case headroom — two fresh nodes per rewritten one — up front and
+  // abort the whole sift cleanly if the arena cannot absorb it.
+  if (nodes_.size() + 2 * interacting.size() > node_limit_) {
+    for (const Ref r : interacting) var_nodes_[x].push_back(r);
+    sift_abort_ = true;
+    return table_used_;
+  }
+  // Unhash every node being rewritten first: their old keys reference var-y
+  // children and must not be findable while replacements are interned.
+  for (const Ref r : interacting) table_erase(r);
+  for (const Ref r : interacting) {
+    const Node n = nodes_[r];
+    Ref f00 = n.lo;
+    Ref f01 = n.lo;
+    if (n.lo > kTrue && nodes_[n.lo].var == y) {
+      f00 = nodes_[n.lo].lo;
+      f01 = nodes_[n.lo].hi;
+    }
+    Ref f10 = n.hi;
+    Ref f11 = n.hi;
+    if (n.hi > kTrue && nodes_[n.hi].var == y) {
+      f10 = nodes_[n.hi].lo;
+      f11 = nodes_[n.hi].hi;
+    }
+    const Ref new_lo = find_or_add(x, f00, f10);
+    const Ref new_hi = find_or_add(x, f01, f11);
+    // Rewrite r in place to top variable y: its Ref — and so every parent
+    // and external handle — stays valid across the swap.
+    if (new_lo > kTrue) ++ref_count_[new_lo];
+    if (new_hi > kTrue) ++ref_count_[new_hi];
+    nodes_[r] = Node{y, new_lo, new_hi};
+    table_insert(r);
+    var_nodes_[y].push_back(r);
+    release_child(n.lo);
+    release_child(n.hi);
+  }
+  level2var_[level] = y;
+  level2var_[level + 1] = x;
+  var2level_[x] = level + 1;
+  var2level_[y] = level;
+  return table_used_;
+}
+
+std::size_t BddManager::block_level_start(
+    const std::vector<std::uint32_t>& order, std::size_t index) const {
+  std::size_t level = 0;
+  for (std::size_t i = 0; i < index; ++i) level += groups_[order[i]].size();
+  return level;
+}
+
+void BddManager::swap_adjacent_blocks(unsigned top_start, std::size_t top_size,
+                                      std::size_t bottom_size) {
+  // Bubble each member of the upper block down past the lower block,
+  // bottom member first; group adjacency is restored when the move ends.
+  for (std::size_t i = 0; i < top_size; ++i) {
+    unsigned level = top_start + static_cast<unsigned>(top_size - 1 - i);
+    for (std::size_t k = 0; k < bottom_size; ++k) {
+      if (sift_abort_) return;
+      swap_levels(level);
+      ++level;
+    }
+  }
+}
+
+void BddManager::move_block(std::vector<std::uint32_t>* order,
+                            std::size_t index, bool down) {
+  const std::size_t upper = down ? index : index - 1;
+  swap_adjacent_blocks(
+      static_cast<unsigned>(block_level_start(*order, upper)),
+      groups_[(*order)[upper]].size(), groups_[(*order)[upper + 1]].size());
+  if (!sift_abort_) std::swap((*order)[upper], (*order)[upper + 1]);
+}
+
+void BddManager::sift_block(std::uint32_t gid,
+                            std::vector<std::uint32_t>* order) {
+  const std::size_t count = order->size();
+  std::size_t pos =
+      static_cast<std::size_t>(std::find(order->begin(), order->end(), gid) -
+                               order->begin());
+  std::size_t best = table_used_;
+  std::size_t best_pos = pos;
+  const double max_growth = reorder_options_.max_growth;
+  const auto too_big = [&](std::size_t cur) {
+    return static_cast<double>(cur) >
+           static_cast<double>(best) * max_growth;
+  };
+  // Explore downward to the bottom (or until the growth abort), then sweep
+  // up through the start toward the top, then settle at the best level.
+  while (pos + 1 < count && !sift_abort_) {
+    move_block(order, pos, /*down=*/true);
+    if (sift_abort_) return;
+    ++pos;
+    if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/reorder");
+    if (table_used_ < best) {
+      best = table_used_;
+      best_pos = pos;
+    } else if (too_big(table_used_)) {
+      break;
+    }
+  }
+  while (pos > 0 && !sift_abort_) {
+    // Moving back toward best_pos only retraces measured ground; the growth
+    // abort applies once the block explores above it.
+    if (pos <= best_pos && too_big(table_used_)) break;
+    move_block(order, pos, /*down=*/false);
+    if (sift_abort_) return;
+    --pos;
+    if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/reorder");
+    if (table_used_ < best) {
+      best = table_used_;
+      best_pos = pos;
+    }
+  }
+  while (pos < best_pos && !sift_abort_) {
+    move_block(order, pos, /*down=*/true);
+    ++pos;
+  }
+  while (pos > best_pos && !sift_abort_) {
+    move_block(order, pos, /*down=*/false);
+    --pos;
+  }
+}
+
+void BddManager::reorder() {
+  RTV_REQUIRE(op_depth_ == 0 && !in_reorder_,
+              "reorder from inside an operation");
+  gc_pending_ = false;
+  reorder_pending_ = false;
+  reorder_now();
+}
+
+void BddManager::reorder_now() {
+  // Collect first: sifting's structural reference counts are only exact
+  // when every arena node is live.
+  collect_now();
+  in_reorder_ = true;
+  sift_abort_ = false;
+  try {
+    ref_count_.assign(nodes_.size(), 0);
+    sift_root_.assign(nodes_.size(), false);
+    var_nodes_.assign(num_vars_, {});
+    for (Ref r = 2; r < nodes_.size(); ++r) {
+      const Node& n = nodes_[r];
+      if (n.lo > kTrue) ++ref_count_[n.lo];
+      if (n.hi > kTrue) ++ref_count_[n.hi];
+      var_nodes_[n.var].push_back(r);
+    }
+    for (const Ref v : var_refs_) sift_root_[v] = true;
+    for (const Ref r : roots_) {
+      if (r > kTrue) sift_root_[r] = true;
+    }
+
+    // Blocks (groups) in current level order, sifted largest-first: big
+    // levels have the most to gain and their wins help every later sift.
+    std::vector<std::uint32_t> order;
+    for (unsigned level = 0; level < num_vars_; ++level) {
+      const std::uint32_t gid = group_of_[level2var_[level]];
+      if (order.empty() || order.back() != gid) order.push_back(gid);
+    }
+    std::vector<std::uint32_t> by_size = order;
+    std::stable_sort(by_size.begin(), by_size.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       const auto pop = [this](std::uint32_t g) {
+                         std::size_t sum = 0;
+                         for (unsigned v : groups_[g]) {
+                           sum += var_nodes_[v].size();
+                         }
+                         return sum;
+                       };
+                       return pop(a) > pop(b);
+                     });
+    for (const std::uint32_t gid : by_size) {
+      if (sift_abort_) break;
+      sift_block(gid, &order);
+      if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/reorder");
+    }
+  } catch (...) {
+    // The table is consistent at every checkpoint; drop the scratch, make
+    // sure the trigger will not refire immediately, and unwind.
+    ref_count_.clear();
+    sift_root_.clear();
+    var_nodes_.clear();
+    in_reorder_ = false;
+    ++stats_.reorder_runs;
+    reorder_trigger_ =
+        std::max({reorder_options_.trigger_nodes, nodes_.size() * 2,
+                  std::size_t{16}});
+    throw;
+  }
+  ref_count_.clear();
+  sift_root_.clear();
+  var_nodes_.clear();
+  in_reorder_ = false;
+  ++stats_.reorder_runs;
+  if (budget_ != nullptr) budget_->note_bdd_reorder();
+  // Sweep the junk the swaps left behind and re-pace both triggers off the
+  // post-reorder live size.
+  collect_now();
+  reorder_trigger_ = std::max({reorder_options_.trigger_nodes,
+                               nodes_.size() * 2, std::size_t{16}});
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+
+BddManager::Ref BddManager::var(unsigned v) {
+  RTV_REQUIRE(v < num_vars_, "BDD variable out of range");
+  return var_refs_[v];
+}
+
+BddManager::Ref BddManager::nvar(unsigned v) {
+  return ite(var(v), kFalse, kTrue);
 }
 
 BddManager::Ref BddManager::cofactor(Ref f, unsigned v, bool value) const {
@@ -164,6 +782,42 @@ BddManager::Ref BddManager::cofactor(Ref f, unsigned v, bool value) const {
 }
 
 BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
+  enter_op(&f, &g, &h);
+  DepthGuard guard(this);
+  return ite_rec(f, g, h);
+}
+
+BddManager::Ref BddManager::bdd_xor(Ref f, Ref g) {
+  enter_op(&f, &g);
+  DepthGuard guard(this);
+  const Ref ng = ite_rec(g, kFalse, kTrue);
+  return ite_rec(f, ng, g);
+}
+
+BddManager::Ref BddManager::bdd_xnor(Ref f, Ref g) {
+  enter_op(&f, &g);
+  DepthGuard guard(this);
+  const Ref ng = ite_rec(g, kFalse, kTrue);
+  return ite_rec(f, g, ng);
+}
+
+BddManager::Ref BddManager::forall(Ref f, const std::vector<unsigned>& vars) {
+  enter_op(&f);
+  DepthGuard guard(this);
+  const Ref nf = ite_rec(f, kFalse, kTrue);
+  const Ref quantified = exists_rec(nf, make_cube(vars));
+  return ite_rec(quantified, kFalse, kTrue);
+}
+
+BddManager::Ref BddManager::forall_cube(Ref f, Ref cube) {
+  enter_op(&f, &cube);
+  DepthGuard guard(this);
+  const Ref nf = ite_rec(f, kFalse, kTrue);
+  const Ref quantified = exists_rec(nf, cube);
+  return ite_rec(quantified, kFalse, kTrue);
+}
+
+BddManager::Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
   // Terminal rules.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
@@ -173,11 +827,13 @@ BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
   Ref cached;
   if (op_find(kOpIte, f, g, h, &cached)) return cached;
 
-  const unsigned v = std::min({top_var(f), top_var(g), top_var(h)});
-  const Ref lo = ite(cofactor(f, v, false), cofactor(g, v, false),
-                     cofactor(h, v, false));
-  const Ref hi =
-      ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const unsigned level =
+      std::min({top_level(f), top_level(g), top_level(h)});
+  const unsigned v = level2var_[level];
+  const Ref lo = ite_rec(cofactor(f, v, false), cofactor(g, v, false),
+                         cofactor(h, v, false));
+  const Ref hi = ite_rec(cofactor(f, v, true), cofactor(g, v, true),
+                         cofactor(h, v, true));
   const Ref result = find_or_add(v, lo, hi);
   op_store(kOpIte, f, g, h, result);
   return result;
@@ -186,16 +842,25 @@ BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
 template <typename Op>
 BddManager::Ref BddManager::balanced_reduce(std::vector<Ref>& ops,
                                             Ref identity, Op&& op) {
+  // Each pairwise combine is its own public operation — NOT one fused op:
+  // a wide reduction over order-hostile operands can grow exponentially at
+  // intermediate levels, and only at operation entry can collection or
+  // sifting step in and deflate the accumulators. Operands therefore ride
+  // in handles so a combine's safe point cannot invalidate its neighbours.
   if (ops.empty()) return identity;
-  while (ops.size() > 1) {
+  std::vector<BddHandle> handles;
+  handles.reserve(ops.size());
+  for (const Ref r : ops) handles.emplace_back(this, r);
+  while (handles.size() > 1) {
     std::size_t out = 0;
-    for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
-      ops[out++] = op(ops[i], ops[i + 1]);
+    for (std::size_t i = 0; i + 1 < handles.size(); i += 2) {
+      const Ref combined = op(handles[i].get(), handles[i + 1].get());
+      handles[out++].reset(this, combined);
     }
-    if (ops.size() % 2 == 1) ops[out++] = ops.back();
-    ops.resize(out);
+    if (handles.size() % 2 == 1) handles[out++] = std::move(handles.back());
+    handles.resize(out);
   }
-  return ops[0];
+  return handles[0].get();
 }
 
 BddManager::Ref BddManager::bdd_and_many(std::vector<Ref> ops) {
@@ -214,27 +879,43 @@ BddManager::Ref BddManager::bdd_xor_many(std::vector<Ref> ops) {
 }
 
 BddManager::Ref BddManager::make_cube(const std::vector<unsigned>& vars) {
+  enter_op(nullptr);
+  DepthGuard guard(this);
   std::vector<unsigned> sorted = vars;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  // Deepest level first: cube chains must follow the current order.
+  std::sort(sorted.begin(), sorted.end(), [this](unsigned a, unsigned b) {
+    return var2level_[a] > var2level_[b];
+  });
   Ref cube = kTrue;
-  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
-    RTV_REQUIRE(*it < num_vars_, "cube variable out of range");
-    cube = find_or_add(*it, kFalse, cube);
+  for (const unsigned v : sorted) {
+    RTV_REQUIRE(v < num_vars_, "cube variable out of range");
+    cube = find_or_add(v, kFalse, cube);
   }
   return cube;
 }
 
 BddManager::Ref BddManager::exists(Ref f, const std::vector<unsigned>& vars) {
-  return exists_cube(f, make_cube(vars));
+  enter_op(&f);
+  DepthGuard guard(this);
+  return exists_rec(f, make_cube(vars));
 }
 
 BddManager::Ref BddManager::exists_cube(Ref f, Ref cube) {
+  enter_op(&f, &cube);
+  DepthGuard guard(this);
+  return exists_rec(f, cube);
+}
+
+BddManager::Ref BddManager::exists_rec(Ref f, Ref cube) {
   if (f <= kTrue) return f;
-  const unsigned fv = nodes_[f].var;
+  const unsigned flevel = top_level(f);
   // Quantified variables above f's top are don't-cares: skip them so the
   // cache keys stay maximally shareable.
-  while (cube > kTrue && nodes_[cube].var < fv) cube = nodes_[cube].hi;
+  while (cube > kTrue && var2level_[nodes_[cube].var] < flevel) {
+    cube = nodes_[cube].hi;
+  }
   if (cube == kTrue) return f;
 
   Ref cached;
@@ -242,17 +923,17 @@ BddManager::Ref BddManager::exists_cube(Ref f, Ref cube) {
 
   // Copy out of nodes_ before recursing: recursion may reallocate nodes_.
   const Node n = nodes_[f];
-  const unsigned cube_var = nodes_[cube].var;
+  const unsigned cube_level = var2level_[nodes_[cube].var];
   const Ref cube_rest = nodes_[cube].hi;
   Ref result;
-  if (cube_var == fv) {
-    const Ref lo = exists_cube(n.lo, cube_rest);
+  if (cube_level == flevel) {
+    const Ref lo = exists_rec(n.lo, cube_rest);
     // ∃v. f = f|v=0 ∨ f|v=1 — and an OR with kTrue needs no second branch.
-    result = lo == kTrue ? kTrue : bdd_or(lo, exists_cube(n.hi, cube_rest));
+    result = lo == kTrue ? kTrue : bdd_or(lo, exists_rec(n.hi, cube_rest));
   } else {
-    const Ref lo = exists_cube(n.lo, cube);
-    const Ref hi = exists_cube(n.hi, cube);
-    result = find_or_add(fv, lo, hi);
+    const Ref lo = exists_rec(n.lo, cube);
+    const Ref hi = exists_rec(n.hi, cube);
+    result = find_or_add(n.var, lo, hi);
   }
   op_store(kOpExists, f, cube, 0, result);
   return result;
@@ -260,39 +941,51 @@ BddManager::Ref BddManager::exists_cube(Ref f, Ref cube) {
 
 BddManager::Ref BddManager::and_exists(Ref f, Ref g,
                                        const std::vector<unsigned>& vars) {
-  return and_exists(f, g, make_cube(vars));
+  enter_op(&f, &g);
+  DepthGuard guard(this);
+  return and_exists_rec(f, g, make_cube(vars));
 }
 
 BddManager::Ref BddManager::and_exists(Ref f, Ref g, Ref cube) {
+  enter_op(&f, &g, &cube);
+  DepthGuard guard(this);
+  return and_exists_rec(f, g, cube);
+}
+
+BddManager::Ref BddManager::and_exists_rec(Ref f, Ref g, Ref cube) {
   if (f == kFalse || g == kFalse) return kFalse;
-  const unsigned top = std::min(top_var(f), top_var(g));
-  while (cube > kTrue && nodes_[cube].var < top) cube = nodes_[cube].hi;
+  const unsigned top = std::min(top_level(f), top_level(g));
+  while (cube > kTrue && var2level_[nodes_[cube].var] < top) {
+    cube = nodes_[cube].hi;
+  }
   if (cube == kTrue) return bdd_and(f, g);  // nothing left to quantify
-  if (f == g) return exists_cube(f, cube);
-  if (f == kTrue) return exists_cube(g, cube);
-  if (g == kTrue) return exists_cube(f, cube);
+  if (f == g) return exists_rec(f, cube);
+  if (f == kTrue) return exists_rec(g, cube);
+  if (g == kTrue) return exists_rec(f, cube);
   if (f > g) std::swap(f, g);  // AND commutes: canonical cache key
 
   Ref cached;
   if (op_find(kOpAndExists, f, g, cube, &cached)) return cached;
 
   // Copy out of nodes_ before recursing: recursion may reallocate nodes_.
-  const Ref f0 = cofactor(f, top, false);
-  const Ref f1 = cofactor(f, top, true);
-  const Ref g0 = cofactor(g, top, false);
-  const Ref g1 = cofactor(g, top, true);
-  const unsigned cube_var = nodes_[cube].var;
+  const unsigned v = level2var_[top];
+  const Ref f0 = cofactor(f, v, false);
+  const Ref f1 = cofactor(f, v, true);
+  const Ref g0 = cofactor(g, v, false);
+  const Ref g1 = cofactor(g, v, true);
+  const unsigned cube_level = var2level_[nodes_[cube].var];
   const Ref cube_rest = nodes_[cube].hi;
   Ref result;
-  if (cube_var == top) {
+  if (cube_level == top) {
     // ∃v. (f ∧ g) = (f0 ∧ g0)|∃rest ∨ (f1 ∧ g1)|∃rest, with kTrue
     // short-circuiting the sibling branch.
-    const Ref lo = and_exists(f0, g0, cube_rest);
-    result = lo == kTrue ? kTrue : bdd_or(lo, and_exists(f1, g1, cube_rest));
+    const Ref lo = and_exists_rec(f0, g0, cube_rest);
+    result =
+        lo == kTrue ? kTrue : bdd_or(lo, and_exists_rec(f1, g1, cube_rest));
   } else {
-    const Ref lo = and_exists(f0, g0, cube);
-    const Ref hi = and_exists(f1, g1, cube);
-    result = find_or_add(top, lo, hi);
+    const Ref lo = and_exists_rec(f0, g0, cube);
+    const Ref hi = and_exists_rec(f1, g1, cube);
+    result = find_or_add(v, lo, hi);
   }
   op_store(kOpAndExists, f, g, cube, result);
   return result;
@@ -300,8 +993,10 @@ BddManager::Ref BddManager::and_exists(Ref f, Ref g, Ref cube) {
 
 BddManager::Ref BddManager::rename(Ref f, const std::vector<unsigned>& map) {
   RTV_REQUIRE(map.size() == num_vars_, "rename map size mismatch");
-  // Monotonicity on the support (checked as we go: children always have
-  // larger mapped var than the parent).
+  enter_op(&f);
+  DepthGuard guard(this);
+  // Monotonicity in level order on the support (checked as we go: children
+  // always land strictly deeper than the parent's target level).
   std::unordered_map<Ref, Ref> cache;
   const auto recurse = [&](auto&& self, Ref node) -> Ref {
     if (node <= kTrue) return node;
@@ -312,7 +1007,8 @@ BddManager::Ref BddManager::rename(Ref f, const std::vector<unsigned>& map) {
     RTV_REQUIRE(target < num_vars_, "rename target out of range");
     const Ref lo = self(self, n.lo);
     const Ref hi = self(self, n.hi);
-    RTV_REQUIRE(top_var(lo) > target && top_var(hi) > target,
+    RTV_REQUIRE(top_level(lo) > var2level_[target] &&
+                    top_level(hi) > var2level_[target],
                 "rename map is not monotone on the support");
     const Ref result = find_or_add(target, lo, hi);
     cache.emplace(node, result);
@@ -325,6 +1021,9 @@ BddManager::Ref BddManager::compose(Ref f,
                                     const std::vector<Ref>& substitution) {
   RTV_REQUIRE(substitution.size() == num_vars_,
               "substitution vector size mismatch");
+  std::vector<Ref> subs = substitution;
+  enter_op_refs(&subs, &f);
+  DepthGuard guard(this);
   std::unordered_map<Ref, Ref> cache;
   const auto recurse = [&](auto&& self, Ref node) -> Ref {
     if (node <= kTrue) return node;
@@ -333,7 +1032,7 @@ BddManager::Ref BddManager::compose(Ref f,
     const Node n = nodes_[node];  // copy: ite below may reallocate nodes_
     const Ref lo = self(self, n.lo);
     const Ref hi = self(self, n.hi);
-    const Ref result = ite(substitution[n.var], hi, lo);
+    const Ref result = ite_rec(subs[n.var], hi, lo);
     cache.emplace(node, result);
     return result;
   };
@@ -352,7 +1051,7 @@ bool BddManager::evaluate(Ref f, const std::vector<bool>& assignment) const {
 double BddManager::count_sat(Ref f) const {
   // Density formulation: the fraction of satisfying assignments is
   // invariant under skipped (don't-care) variables, so no level-gap
-  // weighting is needed.
+  // weighting is needed — and no order dependence either.
   std::unordered_map<Ref, double> cache;
   const auto recurse = [&](auto&& self, Ref node) -> double {
     if (node == kFalse) return 0.0;

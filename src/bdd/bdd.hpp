@@ -20,10 +20,25 @@
 //     never materialises the full conjunction — the workhorse behind
 //     partitioned image computation in SymbolicMachine.
 //
-// Design notes: no complement edges and no garbage collection — nodes are
-// arena-allocated and live for the manager's lifetime, with a hard
-// node_limit guard (CapacityError) instead of reclamation. This keeps the
-// invariants tiny, and the experiment workloads comfortably fit.
+// Design notes: no complement edges, but the engine reclaims and reorders.
+//   * Garbage collection is mark-sweep over externally protected roots
+//     (BddHandle), compacting nodes_ and rebuilding the unique table; the
+//     lossy op cache is cleared (and an adaptively grown cache shrunk back)
+//     because its keys are raw Refs. GC runs only at operation entry — never
+//     mid-recursion — so internal temporaries on the C++ stack are safe.
+//   * Dynamic variable reordering is Rudell-style sifting: variables live at
+//     *levels* (var2level/level2var indirection), the primitive is an
+//     in-place adjacent-level swap that preserves every live Ref's identity,
+//     and each variable (or pinned group) is sifted to its best level under
+//     a growth-factor abort.
+//
+// The Ref contract with reclamation on: a raw Ref is only stable until the
+// next potentially-allocating call. Any Ref held across such a call must be
+// protected in a BddHandle, which GC remaps in place; unprotected Refs may
+// be collected (GC) — terminals and bare variables (var_refs) are permanent
+// and never move. With GC and reordering off (the default), Refs are stable
+// for the manager's lifetime exactly as before, with the hard node_limit
+// guard (CapacityError) as the only backstop.
 
 #include <cstdint>
 #include <vector>
@@ -32,6 +47,52 @@
 #include "util/error.hpp"
 
 namespace rtv {
+
+class BddManager;
+
+/// When sifting runs.
+enum class ReorderMode {
+  kOff,         ///< only explicit reorder() calls sift
+  kOnPressure,  ///< sift automatically when the table outgrows its trigger
+};
+
+/// Dynamic-reordering policy knobs (see BddManager::set_reorder_options).
+struct ReorderOptions {
+  ReorderMode mode = ReorderMode::kOff;
+  /// First automatic trigger (live nodes); after each reorder the next
+  /// trigger is 2× the post-reorder live size (never below this floor).
+  std::size_t trigger_nodes = std::size_t{1} << 14;
+  /// A variable stops sifting in a direction once the table exceeds
+  /// best_size × max_growth, CUDD's classic abort heuristic.
+  double max_growth = 1.2;
+};
+
+/// RAII protection of one BDD root. A live handle keeps its node (and the
+/// cone under it) out of garbage collection, and GC/reordering remap the
+/// handle in place — get() always returns the current Ref for the protected
+/// function. Copyable (protects again) and movable (transfers the slot).
+class BddHandle {
+ public:
+  BddHandle() = default;
+  BddHandle(BddManager* mgr, std::uint32_t ref);
+  BddHandle(const BddHandle& other);
+  BddHandle(BddHandle&& other) noexcept;
+  BddHandle& operator=(const BddHandle& other);
+  BddHandle& operator=(BddHandle&& other) noexcept;
+  ~BddHandle();
+
+  /// The protected function's current Ref (remapped across GCs).
+  std::uint32_t get() const;
+  bool engaged() const { return mgr_ != nullptr; }
+  BddManager* manager() const { return mgr_; }
+
+  void reset();
+  void reset(BddManager* mgr, std::uint32_t ref);
+
+ private:
+  BddManager* mgr_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
 
 class BddManager {
  public:
@@ -55,9 +116,47 @@ class BddManager {
   /// Node allocation then probes the budget's deadline/cancellation every
   /// few hundred nodes and honours its (possibly tighter) bdd_node_limit,
   /// throwing ResourceExhausted — which governed entry points catch and
-  /// degrade on — instead of CapacityError.
+  /// degrade on — instead of CapacityError. GC and sifting checkpoint the
+  /// same budget ("bdd/gc" / "bdd/reorder" sites) at table-consistent
+  /// boundaries, so exhaustion mid-collection or mid-sift unwinds cleanly.
   void set_budget(ResourceBudget* budget) { budget_ = budget; }
   ResourceBudget* budget() const { return budget_; }
+
+  /// Enables mark-sweep garbage collection on allocation pressure. Off by
+  /// default: with GC off no Ref is ever invalidated (legacy arena mode).
+  void set_gc_enabled(bool enabled) { gc_enabled_ = enabled; }
+  bool gc_enabled() const { return gc_enabled_; }
+
+  /// Sets the dynamic-reordering policy. kOnPressure sifts at the next
+  /// operation entry after the table crosses the trigger; explicit
+  /// reorder() works in any mode.
+  void set_reorder_options(const ReorderOptions& options);
+  const ReorderOptions& reorder_options() const { return reorder_options_; }
+
+  /// Explicit collection at a safe point (must not be called from inside an
+  /// operation). Returns the number of nodes reclaimed. Invalidates every
+  /// unprotected non-terminal, non-variable Ref; handles are remapped.
+  std::size_t collect_garbage();
+
+  /// Explicit full sifting pass (implies a collection first). Safe-point
+  /// only, like collect_garbage().
+  void reorder();
+
+  /// Pins `count` variables starting at first_var into one sifting group:
+  /// they stay level-adjacent (in their current relative order) through all
+  /// reordering. The vars must currently occupy adjacent levels. Used by
+  /// SymbolicMachine to keep current/next-state pairs interleaved, which
+  /// the partitioned image path's monotone rename depends on.
+  void group_adjacent(unsigned first_var, unsigned count);
+
+  /// Level indirection: level_of(v) is v's current depth from the root
+  /// (0 = topmost); variable_order() lists vars topmost-first.
+  unsigned level_of(unsigned var) const { return var2level_[var]; }
+  std::vector<unsigned> variable_order() const { return level2var_; }
+
+  /// Protects f (see BddHandle). Terminals and bare variables need no
+  /// protection but protecting them is valid and cheap.
+  BddHandle protect(Ref f) { return BddHandle(this, f); }
 
   /// The function of variable v / its complement.
   Ref var(unsigned v);
@@ -66,11 +165,15 @@ class BddManager {
   /// Shannon if-then-else — the universal connective.
   Ref ite(Ref f, Ref g, Ref h);
 
+  // The two-step connectives (xor/xnor, and forall below) are defined out of
+  // line as single operations: composing two public calls — ite(f, g,
+  // bdd_not(g)) — would let the inner call hit a GC/reorder safe point and
+  // silently invalidate the raw f and g already evaluated for the outer one.
   Ref bdd_not(Ref f) { return ite(f, kFalse, kTrue); }
   Ref bdd_and(Ref f, Ref g) { return ite(f, g, kFalse); }
   Ref bdd_or(Ref f, Ref g) { return ite(f, kTrue, g); }
-  Ref bdd_xor(Ref f, Ref g) { return ite(f, bdd_not(g), g); }
-  Ref bdd_xnor(Ref f, Ref g) { return ite(f, g, bdd_not(g)); }
+  Ref bdd_xor(Ref f, Ref g);
+  Ref bdd_xnor(Ref f, Ref g);
   Ref bdd_implies(Ref f, Ref g) { return ite(f, g, kTrue); }
 
   /// Wide-operand connectives by balanced tree reduction: combining
@@ -84,7 +187,8 @@ class BddManager {
   /// The positive cube v0 ∧ v1 ∧ ... of a variable set (duplicates fine,
   /// order irrelevant). Cubes are how quantifier sets are passed to the
   /// recursive operators: walking a cube costs one pointer chase per level
-  /// instead of a num_vars-sized lookup table per call.
+  /// instead of a num_vars-sized lookup table per call. Built deepest level
+  /// first, so cubes stay canonical under any variable order.
   Ref make_cube(const std::vector<unsigned>& vars);
 
   /// Existential quantification over a set of variables.
@@ -101,22 +205,19 @@ class BddManager {
   Ref and_exists(Ref f, Ref g, const std::vector<unsigned>& vars);
 
   /// Variable renaming v -> map[v] (identity where map[v] == v). The
-  /// mapping must be strictly monotone on the support of f and the target
-  /// variables must not occur in f outside the mapping's image — both are
-  /// checked; violations throw InvalidArgument.
+  /// mapping must be strictly monotone *in level order* on the support of f
+  /// and the target variables must not occur in f outside the mapping's
+  /// image — both are checked; violations throw InvalidArgument.
   Ref rename(Ref f, const std::vector<unsigned>& map);
 
   /// Simultaneous functional composition: substitutes every variable v in
   /// f by substitution[v] (use var(v) for identity).
   Ref compose(Ref f, const std::vector<Ref>& substitution);
 
-  /// Universal quantification (dual of exists).
-  Ref forall(Ref f, const std::vector<unsigned>& vars) {
-    return bdd_not(exists(bdd_not(f), vars));
-  }
-  Ref forall_cube(Ref f, Ref cube) {
-    return bdd_not(exists_cube(bdd_not(f), cube));
-  }
+  /// Universal quantification (dual of exists). Single operations for the
+  /// same safe-point reason as bdd_xor.
+  Ref forall(Ref f, const std::vector<unsigned>& vars);
+  Ref forall_cube(Ref f, Ref cube);
 
   /// Evaluates under a complete assignment (assignment[v] = value of v).
   bool evaluate(Ref f, const std::vector<bool>& assignment) const;
@@ -124,11 +225,11 @@ class BddManager {
   /// Number of satisfying assignments over variables [0, num_vars).
   double count_sat(Ref f) const;
 
-  /// Some satisfying assignment (lexicographically smallest by var order);
-  /// f must not be kFalse.
+  /// Some satisfying assignment (lexicographically smallest by the current
+  /// variable order); f must not be kFalse.
   std::vector<bool> pick_model(Ref f) const;
 
-  /// Variables in the support of f, ascending.
+  /// Variables in the support of f, ascending by variable id.
   std::vector<unsigned> support(Ref f) const;
 
   /// BDD node count of a single function (reachable nodes incl terminals).
@@ -145,7 +246,28 @@ class BddManager {
   std::size_t op_cache_entries() const { return ops_.size(); }
   std::size_t unique_table_entries() const { return table_.size(); }
 
+  /// Structural self-check for tests and debugging: every live node's
+  /// children sit at strictly deeper levels, the unique table holds no
+  /// duplicate (var, lo, hi) triple, and every node reachable from a
+  /// protected root or variable is findable through the table. Throws
+  /// InternalError on the first violation.
+  void check_invariants() const;
+
+  /// Reclamation/reordering observability, surfaced through ResourceUsage,
+  /// serve job stats and `rtv cls-equiv --json`.
+  struct EngineStats {
+    std::uint64_t gc_runs = 0;
+    std::uint64_t nodes_reclaimed = 0;
+    std::uint64_t reorder_runs = 0;
+    std::size_t peak_nodes = 0;       ///< max nodes_ ever allocated
+    std::size_t peak_live_nodes = 0;  ///< max live set seen at a GC (or
+                                      ///< peak_nodes if GC never ran)
+  };
+  EngineStats stats() const;
+
  private:
+  friend class BddHandle;
+
   struct Node {
     unsigned var;
     Ref lo;
@@ -170,14 +292,64 @@ class BddManager {
   unsigned top_var(Ref f) const {
     return f <= kTrue ? num_vars_ : nodes_[f].var;
   }
+  /// Depth of f's top variable in the current order (num_vars_ for
+  /// terminals). Every recursive operator branches on the *shallowest
+  /// level*, never the smallest var id — the one rule that makes the whole
+  /// package order-agnostic.
+  unsigned top_level(Ref f) const {
+    return f <= kTrue ? num_vars_ : var2level_[nodes_[f].var];
+  }
   Ref cofactor(Ref f, unsigned v, bool value) const;
   Ref find_or_add(unsigned var, Ref lo, Ref hi);
 
   void grow_unique_table();
   void maybe_grow_op_cache();
+  void reset_op_cache(std::size_t entries);
   std::size_t op_slot(std::uint32_t tag, Ref a, Ref b, Ref c) const;
   bool op_find(std::uint32_t tag, Ref a, Ref b, Ref c, Ref* result);
   void op_store(std::uint32_t tag, Ref a, Ref b, Ref c, Ref result);
+
+  /// Recursive cores (entered only through the public safe-point wrappers).
+  Ref ite_rec(Ref f, Ref g, Ref h);
+  Ref exists_rec(Ref f, Ref cube);
+  Ref and_exists_rec(Ref f, Ref g, Ref cube);
+
+  /// Safe-point maintenance: at the entry of a public operation (and only
+  /// at depth 0), run any pending GC/reorder after temporarily protecting
+  /// the operation's own arguments, then write the remapped Refs back.
+  void enter_op(Ref* a, Ref* b = nullptr, Ref* c = nullptr);
+  void enter_op_refs(std::vector<Ref>* refs, Ref* a);
+  struct DepthGuard {
+    explicit DepthGuard(BddManager* m) : m_(m) { ++m_->op_depth_; }
+    ~DepthGuard() { --m_->op_depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    BddManager* m_;
+  };
+
+  /// Root registry backing BddHandle.
+  std::uint32_t protect_slot(Ref f);
+  void unprotect_slot(std::uint32_t slot);
+  Ref root_at(std::uint32_t slot) const { return roots_[slot]; }
+
+  /// GC internals.
+  std::size_t collect_now();
+  void mark_from(Ref root, std::vector<bool>* marked) const;
+
+  /// Reordering internals.
+  void reorder_now();
+  void sift_block(std::uint32_t gid, std::vector<std::uint32_t>* order);
+  std::size_t swap_levels(unsigned level);
+  std::size_t block_level_start(const std::vector<std::uint32_t>& order,
+                                std::size_t index) const;
+  void swap_adjacent_blocks(unsigned top_start, std::size_t top_size,
+                            std::size_t bottom_size);
+  void move_block(std::vector<std::uint32_t>* order, std::size_t index,
+                  bool down);
+  void table_insert(Ref ref);
+  void table_erase(Ref ref);
+  void release_child(Ref child);
+  bool node_is_dead(Ref ref) const;
 
   template <typename Op>
   Ref balanced_reduce(std::vector<Ref>& ops, Ref identity, Op&& op);
@@ -187,6 +359,15 @@ class BddManager {
   ResourceBudget* budget_ = nullptr;
   std::vector<Node> nodes_;
   std::vector<Ref> var_refs_;
+
+  /// Current variable order (identity at construction).
+  std::vector<unsigned> var2level_;
+  std::vector<unsigned> level2var_;
+
+  /// Sifting groups: group_of_[v] indexes groups_; every group's members
+  /// occupy adjacent levels at all times (singletons for ungrouped vars).
+  std::vector<std::vector<unsigned>> groups_;
+  std::vector<std::uint32_t> group_of_;
 
   /// Open-addressed unique table: power-of-two array of node indices
   /// (kEmptySlot = free), linear probing, resized at 3/4 load. Keys live in
@@ -199,6 +380,29 @@ class BddManager {
   std::vector<OpEntry> ops_;
   bool ops_size_pinned_ = false;
   OpCacheStats op_stats_;
+
+  /// External roots (BddHandle slots) with an intrusive free list.
+  std::vector<Ref> roots_;
+  std::vector<std::uint32_t> root_free_;
+
+  /// Reclamation/reordering state.
+  bool gc_enabled_ = false;
+  ReorderOptions reorder_options_;
+  unsigned op_depth_ = 0;
+  bool gc_pending_ = false;
+  bool reorder_pending_ = false;
+  std::size_t gc_trigger_ = 0;       ///< next automatic GC threshold
+  std::size_t reorder_trigger_ = 0;  ///< next automatic sift threshold
+  bool in_reorder_ = false;
+  bool sift_abort_ = false;  ///< set when a swap would blow node_limit_
+
+  /// Sifting scratch (live only during reorder_now): structural reference
+  /// counts, permanently-protected bitset, and per-var node buckets.
+  std::vector<std::uint32_t> ref_count_;
+  std::vector<bool> sift_root_;
+  std::vector<std::vector<Ref>> var_nodes_;
+
+  EngineStats stats_;
 };
 
 }  // namespace rtv

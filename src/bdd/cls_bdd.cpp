@@ -16,8 +16,9 @@ using Ref = BddManager::Ref;
 /// concrete predecessor chain and reading the dual-rail input assignment of
 /// every step. rings[i] is the frontier first reached at step i.
 TritsSeq extract_counterexample(SymbolicMachine& machine,
-                                const std::vector<Ref>& rings, unsigned k,
-                                Ref bad_at_k, std::size_t original_inputs) {
+                                const std::vector<BddHandle>& rings,
+                                unsigned k, Ref bad_at_k,
+                                std::size_t original_inputs) {
   BddManager& mgr = machine.manager();
   const unsigned latches = machine.num_latches();
 
@@ -43,15 +44,20 @@ TritsSeq extract_counterexample(SymbolicMachine& machine,
 
   for (unsigned t = k; t-- > 0;) {
     // Predecessor constraint: in ring t, and every latch's next-state
-    // function matches the chosen successor bit.
-    std::vector<Ref> conjuncts;
+    // function matches the chosen successor bit. Conjuncts ride in handles:
+    // each bdd_not may collect/sift, invalidating the refs gathered so far.
+    std::vector<BddHandle> conjuncts;
     conjuncts.reserve(latches + 1);
     conjuncts.push_back(rings[t]);
     for (unsigned i = 0; i < latches; ++i) {
       const Ref f = machine.next_function(i);
-      conjuncts.push_back(successor[i] != 0 ? f : mgr.bdd_not(f));
+      conjuncts.push_back(
+          mgr.protect(successor[i] != 0 ? f : mgr.bdd_not(f)));
     }
-    const Ref pred = mgr.bdd_and_many(conjuncts);
+    std::vector<Ref> raw;
+    raw.reserve(conjuncts.size());
+    for (const BddHandle& h : conjuncts) raw.push_back(h.get());
+    const Ref pred = mgr.bdd_and_many(std::move(raw));
     RTV_CHECK_MSG(pred != BddManager::kFalse,
                   "backward cex walk lost the predecessor ring");
     model = mgr.pick_model(pred);
@@ -100,34 +106,44 @@ BddClsOutcome bdd_cls_equivalence(const Netlist& a, const Netlist& b,
     const Bits init_b = enc_b.all_x_state();
     init.insert(init.end(), init_b.begin(), init_b.end());
 
-    SymbolicMachine machine(miter.netlist, options.node_limit, budget);
+    SymbolicMachine machine(miter.netlist, options.node_limit, budget,
+                            kDefaultClusterNodeCap, options.reorder,
+                            options.gc);
     BddManager& mgr = machine.manager();
-    const Ref neq = machine.output_function(0);
+    const auto finish = [&]() {
+      outcome.bdd_nodes = mgr.num_nodes();
+      outcome.engine = mgr.stats();
+    };
 
-    std::vector<Ref> rings;
-    rings.push_back(machine.state_cube(init));
-    Ref total = rings.back();
+    std::vector<BddHandle> rings;
+    rings.push_back(mgr.protect(machine.state_cube(init)));
+    BddHandle total = rings.back();
 
     for (unsigned k = 0;; ++k) {
       if (budget != nullptr) budget->checkpoint_or_throw("bdd/cls-ring");
-      const Ref bad = mgr.bdd_and(rings[k], neq);
-      if (bad != BddManager::kFalse) {
+      // neq (output 0) is re-read each round: the handle inside the machine
+      // tracks it across collections, a raw copy here would not.
+      const BddHandle bad = mgr.protect(
+          mgr.bdd_and(rings[k].get(), machine.output_function(0)));
+      if (bad.get() != BddManager::kFalse) {
         outcome.equivalent = false;
         outcome.verdict = Verdict::kProven;
         outcome.iterations = k;
         outcome.counterexample = extract_counterexample(
-            machine, rings, k, bad, a.primary_inputs().size());
+            machine, rings, k, bad.get(), a.primary_inputs().size());
         std::ostringstream os;
         os << "symbolic reachability found a distinguishing sequence at "
               "depth "
            << k;
         outcome.note = os.str();
-        outcome.bdd_nodes = mgr.num_nodes();
+        finish();
         return outcome;
       }
-      const Ref next = machine.image(rings[k]);
-      const Ref frontier = mgr.bdd_and(next, mgr.bdd_not(total));
-      if (frontier == BddManager::kFalse) {
+      const BddHandle next = mgr.protect(machine.image(rings[k].get()));
+      const Ref not_total = mgr.bdd_not(total.get());
+      const BddHandle frontier =
+          mgr.protect(mgr.bdd_and(next.get(), not_total));
+      if (frontier.get() == BddManager::kFalse) {
         outcome.equivalent = true;
         outcome.verdict = Verdict::kProven;
         outcome.iterations = k + 1;
@@ -135,7 +151,7 @@ BddClsOutcome bdd_cls_equivalence(const Netlist& a, const Netlist& b,
         os << "reachability fixpoint after " << (k + 1)
            << " images; neq unreachable";
         outcome.note = os.str();
-        outcome.bdd_nodes = mgr.num_nodes();
+        finish();
         return outcome;
       }
       if (options.max_iterations != 0 && k + 1 >= options.max_iterations) {
@@ -146,10 +162,10 @@ BddClsOutcome bdd_cls_equivalence(const Netlist& a, const Netlist& b,
         os << "no difference within " << (k + 1)
            << " images (iteration cap hit before the fixpoint)";
         outcome.note = os.str();
-        outcome.bdd_nodes = mgr.num_nodes();
+        finish();
         return outcome;
       }
-      total = mgr.bdd_or(total, frontier);
+      total.reset(&mgr, mgr.bdd_or(total.get(), frontier.get()));
       rings.push_back(frontier);
     }
   } catch (const ResourceExhausted& e) {

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "bdd/bdd.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/vectors.hpp"
 #include "util/budget.hpp"
@@ -24,6 +25,10 @@ struct BddEquivOptions {
   std::size_t node_limit = kDefaultBddNodeLimit;
   /// Cap on image iterations; 0 = run to the fixpoint.
   unsigned max_iterations = 0;
+  /// Garbage collection on allocation pressure (off = legacy arena mode).
+  bool gc = false;
+  /// Dynamic variable reordering policy for the miter's manager.
+  ReorderOptions reorder;
 };
 
 struct BddClsOutcome {
@@ -34,6 +39,9 @@ struct BddClsOutcome {
   unsigned iterations = 0;
   /// BDD nodes in the manager when the verdict was reached.
   std::size_t bdd_nodes = 0;
+  /// Engine reclamation/reordering counters (BddManager::stats() at the
+  /// verdict; all zero when the run exhausted before the machine existed).
+  BddManager::EngineStats engine;
   /// Human-readable account of how the verdict was reached.
   std::string note;
 };

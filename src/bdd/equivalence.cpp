@@ -1,5 +1,10 @@
 #include "bdd/equivalence.hpp"
 
+// Same GC/reorder discipline as symbolic.cpp: long-lived Refs ride in
+// BddHandles, produced-then-consumed Refs are passed along with no
+// allocating call in between, and inner allocations feeding an expression
+// are hoisted into named locals (argument evaluation order is unspecified).
+
 namespace rtv {
 
 SymbolicImplication::SymbolicImplication(const Netlist& c, const Netlist& d,
@@ -15,61 +20,63 @@ SymbolicImplication::SymbolicImplication(const Netlist& c, const Netlist& d,
   for (unsigned j = 0; j < machine_->num_inputs(); ++j) {
     input_vars.push_back(machine_->input_var(j));
   }
-  input_cube_ = m.make_cube(input_vars);
+  input_cube_.reset(&m, m.make_cube(input_vars));
   std::vector<unsigned> d_state_vars;
   for (unsigned i = 0; i < pair_.b_latches; ++i) {
     d_state_vars.push_back(
         machine_->state_var(static_cast<unsigned>(pair_.a_latches) + i));
   }
-  d_state_cube_ = m.make_cube(d_state_vars);
+  d_state_cube_.reset(&m, m.make_cube(d_state_vars));
 }
 
 BddManager::Ref SymbolicImplication::forall_inputs(BddManager::Ref f) {
-  return machine_->manager().forall_cube(f, input_cube_);
+  return machine_->manager().forall_cube(f, input_cube_.get());
 }
 
 BddManager::Ref SymbolicImplication::equivalence_relation() {
-  if (relation_computed_) return relation_;
+  if (relation_.engaged()) return relation_.get();
   BddManager& m = machine_->manager();
 
   // E0: outputs agree for every input.
-  BddManager::Ref outputs_agree = BddManager::kTrue;
+  BddHandle outputs_agree = m.protect(BddManager::kTrue);
   for (std::size_t j = 0; j < pair_.a_outputs; ++j) {
-    outputs_agree = m.bdd_and(
-        outputs_agree,
+    const BddManager::Ref pair_eq =
         m.bdd_xnor(machine_->output_function(static_cast<unsigned>(j)),
                    machine_->output_function(
-                       static_cast<unsigned>(pair_.a_outputs + j))));
+                       static_cast<unsigned>(pair_.a_outputs + j)));
+    outputs_agree.reset(&m, m.bdd_and(outputs_agree.get(), pair_eq));
   }
-  BddManager::Ref relation = forall_inputs(outputs_agree);
-
-  // Substitution s_i -> delta_i(s, x) for the inductive step (inputs and
-  // next-state variables map to themselves; E_k has no such vars anyway).
-  std::vector<BddManager::Ref> substitution(m.num_vars());
-  for (unsigned v = 0; v < m.num_vars(); ++v) substitution[v] = m.var(v);
-  for (unsigned i = 0; i < machine_->num_latches(); ++i) {
-    substitution[machine_->state_var(i)] = machine_->next_function(i);
-  }
+  BddHandle relation = m.protect(forall_inputs(outputs_agree.get()));
 
   for (;;) {
     if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/fixpoint-iter");
-    const BddManager::Ref step =
-        forall_inputs(m.compose(relation, substitution));
-    const BddManager::Ref refined = m.bdd_and(relation, step);
-    if (refined == relation) break;
-    relation = refined;
+    // Substitution s_i -> delta_i(s, x) for the inductive step (inputs and
+    // next-state variables map to themselves; E_k has no such vars anyway).
+    // Rebuilt each round: the raw Refs go stale whenever an iteration
+    // collects or sifts.
+    std::vector<BddManager::Ref> substitution(m.num_vars());
+    for (unsigned v = 0; v < m.num_vars(); ++v) substitution[v] = m.var(v);
+    for (unsigned i = 0; i < machine_->num_latches(); ++i) {
+      substitution[machine_->state_var(i)] = machine_->next_function(i);
+    }
+    const BddManager::Ref composed = m.compose(relation.get(), substitution);
+    const BddManager::Ref step = forall_inputs(composed);
+    const BddManager::Ref refined = m.bdd_and(relation.get(), step);
+    if (refined == relation.get()) break;
+    relation.reset(&m, refined);
   }
   relation_ = relation;
-  relation_computed_ = true;
-  return relation_;
+  return relation_.get();
 }
 
 bool SymbolicImplication::all_covered(BddManager::Ref c_states) {
   BddManager& m = machine_->manager();
-  const BddManager::Ref has_match =
-      m.exists_cube(equivalence_relation(), d_state_cube_);
-  const BddManager::Ref uncovered =
-      m.bdd_and(c_states, m.bdd_not(has_match));
+  const BddHandle guard = m.protect(c_states);
+  const BddManager::Ref relation = equivalence_relation();
+  const BddHandle has_match =
+      m.protect(m.exists_cube(relation, d_state_cube_.get()));
+  const BddManager::Ref no_match = m.bdd_not(has_match.get());
+  const BddManager::Ref uncovered = m.bdd_and(guard.get(), no_match);
   return uncovered == BddManager::kFalse;
 }
 
@@ -79,14 +86,15 @@ int SymbolicImplication::min_delay_for_implication(unsigned max_cycles) {
   BddManager& m = machine_->manager();
   // The n-step image of all states in the paired machine factorizes as
   // delayed_C(s) ∧ delayed_D(t); project out the D component.
-  BddManager::Ref current = BddManager::kTrue;
+  BddHandle current = m.protect(BddManager::kTrue);
   for (unsigned n = 0; n <= max_cycles; ++n) {
     if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/delay-step");
-    const BddManager::Ref c_part = m.exists_cube(current, d_state_cube_);
+    const BddManager::Ref c_part =
+        m.exists_cube(current.get(), d_state_cube_.get());
     if (all_covered(c_part)) return static_cast<int>(n);
-    const BddManager::Ref next = machine_->image(current);
-    if (next == current) break;  // fixpoint: no further delay can help
-    current = next;
+    const BddManager::Ref next = machine_->image(current.get());
+    if (next == current.get()) break;  // fixpoint: no further delay can help
+    current.reset(&m, next);
   }
   return -1;
 }

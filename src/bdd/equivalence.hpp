@@ -49,11 +49,11 @@ class SymbolicImplication {
   ResourceBudget* budget_ = nullptr;
   std::unique_ptr<SymbolicMachine> machine_;
   /// Quantifier sets as cubes, built once (the recursive operators key
-  /// their shared lossy cache on the cube node, so reuse is free).
-  BddManager::Ref input_cube_ = BddManager::kTrue;
-  BddManager::Ref d_state_cube_ = BddManager::kTrue;
-  BddManager::Ref relation_ = BddManager::kFalse;
-  bool relation_computed_ = false;
+  /// their shared lossy cache on the cube node, so reuse is free). Held
+  /// through handles so the relation and cubes survive GC/reordering.
+  BddHandle input_cube_;
+  BddHandle d_state_cube_;
+  BddHandle relation_;  ///< disengaged until computed
 };
 
 }  // namespace rtv

@@ -6,12 +6,23 @@
 #include "sim/port_map.hpp"
 #include "util/bits.hpp"
 
+// GC/reorder discipline in this file: any Ref that must survive a
+// potentially-allocating manager call is held through a BddHandle; any Ref
+// produced by one call and consumed by the next is passed along immediately
+// with no allocating call in between (operation entry re-protects its own
+// arguments). Where two allocating calls feed one expression, the inner one
+// is hoisted into a named local first — C++ argument evaluation order is
+// unspecified, so `op(h.get(), alloc(...))` could read the handle before the
+// allocation invalidates the raw value it returned.
+
 namespace rtv {
 
 SymbolicMachine::SymbolicMachine(const Netlist& netlist,
                                  std::size_t node_limit,
                                  ResourceBudget* budget,
-                                 std::size_t cluster_node_cap)
+                                 std::size_t cluster_node_cap,
+                                 const ReorderOptions& reorder,
+                                 bool gc_enabled)
     : budget_(budget),
       num_latches_(static_cast<unsigned>(netlist.latches().size())),
       num_inputs_(static_cast<unsigned>(netlist.primary_inputs().size())),
@@ -22,11 +33,25 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
   mgr_ = std::make_unique<BddManager>(2 * num_latches_ + num_inputs_,
                                       node_limit);
   mgr_->set_budget(budget_);
+  // Pin each (sᵢ, s'ᵢ) pair as one sifting group before anything is built:
+  // the partitioned image path renames next-state to state variables, which
+  // is a monotone substitution exactly while every pair stays level-adjacent.
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    mgr_->group_adjacent(state_var(i), 2);
+  }
+  mgr_->set_reorder_options(reorder);
+  mgr_->set_gc_enabled(gc_enabled);
   BddManager& m = *mgr_;
 
-  // Evaluate the combinational cones over per-port BDDs.
+  // Evaluate the combinational cones over per-port BDDs. Every port value
+  // is a handle: with reordering on, a sift can fire between any two gate
+  // evaluations and must see every intermediate cone as a root.
   const PortMap ports(netlist);
-  std::vector<BddManager::Ref> values(ports.size(), BddManager::kFalse);
+  std::vector<BddHandle> values;
+  values.reserve(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    values.push_back(m.protect(BddManager::kFalse));
+  }
   std::vector<std::uint32_t> io_pos(netlist.num_slots(), 0);
   const auto fill = [&](const std::vector<NodeId>& ids) {
     for (std::uint32_t i = 0; i < ids.size(); ++i) io_pos[ids[i].value] = i;
@@ -35,34 +60,45 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
   fill(netlist.primary_outputs());
   fill(netlist.latches());
 
-  out_fn_.assign(num_outputs_, BddManager::kFalse);
-  next_fn_.assign(num_latches_, BddManager::kFalse);
+  out_fn_.reserve(num_outputs_);
+  for (unsigned j = 0; j < num_outputs_; ++j) {
+    out_fn_.push_back(m.protect(BddManager::kFalse));
+  }
+  next_fn_.reserve(num_latches_);
+  for (unsigned i = 0; i < num_latches_; ++i) {
+    next_fn_.push_back(m.protect(BddManager::kFalse));
+  }
 
   for (const NodeId id : combinational_topo_order(netlist)) {
     const Node& n = netlist.node(id);
     const std::uint32_t base = ports.index(PortRef(id, 0));
-    const auto value_of = [&](PortRef p) { return values[ports.index(p)]; };
+    const auto value_of = [&](PortRef p) {
+      return values[ports.index(p)].get();
+    };
+    const auto set = [&](std::uint32_t index, BddManager::Ref f) {
+      values[index].reset(&m, f);
+    };
     switch (n.kind) {
       case CellKind::kInput:
-        values[base] = m.var(input_var(io_pos[id.value]));
+        set(base, m.var(input_var(io_pos[id.value])));
         break;
       case CellKind::kLatch:
-        values[base] = m.var(state_var(io_pos[id.value]));
+        set(base, m.var(state_var(io_pos[id.value])));
         break;
       case CellKind::kOutput:
-        out_fn_[io_pos[id.value]] = value_of(n.fanin[0]);
+        out_fn_[io_pos[id.value]].reset(&m, value_of(n.fanin[0]));
         break;
       case CellKind::kConst0:
-        values[base] = BddManager::kFalse;
+        set(base, BddManager::kFalse);
         break;
       case CellKind::kConst1:
-        values[base] = BddManager::kTrue;
+        set(base, BddManager::kTrue);
         break;
       case CellKind::kBuf:
-        values[base] = value_of(n.fanin[0]);
+        set(base, value_of(n.fanin[0]));
         break;
       case CellKind::kNot:
-        values[base] = m.bdd_not(value_of(n.fanin[0]));
+        set(base, m.bdd_not(value_of(n.fanin[0])));
         break;
       case CellKind::kAnd:
       case CellKind::kNand:
@@ -72,7 +108,8 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
       case CellKind::kXnor: {
         // Balanced tree reduction over the fanin cone: pairwise combining
         // keeps intermediates small where a left fold grows one giant
-        // accumulator.
+        // accumulator. The operand vector is raw but handed to the *_many
+        // entry point in one step, which protects it before any maintenance.
         std::vector<BddManager::Ref> operands;
         operands.reserve(n.fanin.size());
         for (const PortRef& d : n.fanin) operands.push_back(value_of(d));
@@ -98,17 +135,17 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
             acc = m.bdd_xor_many(std::move(operands));
             break;
         }
-        values[base] = invert ? m.bdd_not(acc) : acc;
+        set(base, invert ? m.bdd_not(acc) : acc);
         break;
       }
       case CellKind::kMux:
-        values[base] = m.ite(value_of(n.fanin[0]), value_of(n.fanin[2]),
-                             value_of(n.fanin[1]));
+        set(base, m.ite(value_of(n.fanin[0]), value_of(n.fanin[2]),
+                        value_of(n.fanin[1])));
         break;
       case CellKind::kJunc: {
         const BddManager::Ref v = value_of(n.fanin[0]);
         for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
-          values[base + p] = v;
+          set(base + p, v);
         }
         break;
       }
@@ -118,18 +155,21 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
         // per-minterm rebuild from kTrue redid pin 0..k-1 work 2^(pins-k)
         // times) and collects per-output minterm lists for one balanced OR
         // at the end. The 2^pins walk is budget-checkpointed — it was an
-        // unbounded stretch between checkpoints.
+        // unbounded stretch between checkpoints. Cubes ride in handles: the
+        // lo-branch recursion can collect or sift while the parent frame
+        // still needs its cube for the hi branch.
         const TruthTable& t = netlist.table(n.table);
-        std::vector<BddManager::Ref> pins(n.num_pins());
+        std::vector<BddHandle> pins;
+        pins.reserve(n.num_pins());
         for (std::uint32_t pin = 0; pin < n.num_pins(); ++pin) {
-          pins[pin] = value_of(n.fanin[pin]);
+          pins.push_back(m.protect(value_of(n.fanin[pin])));
         }
-        std::vector<std::vector<BddManager::Ref>> minterms(n.num_ports());
+        std::vector<std::vector<BddHandle>> minterms(n.num_ports());
         std::uint64_t leaves = 0;
         const auto expand = [&](auto&& self, std::uint32_t pin,
                                 std::uint64_t x,
-                                BddManager::Ref cube) -> void {
-          if (cube == BddManager::kFalse) return;  // dead prefix
+                                const BddHandle& cube) -> void {
+          if (cube.get() == BddManager::kFalse) return;  // dead prefix
           if (pin == n.num_pins()) {
             if (budget_ != nullptr && (++leaves & 255u) == 0) {
               budget_->checkpoint_or_throw("bdd/table-minterms");
@@ -139,13 +179,19 @@ SymbolicMachine::SymbolicMachine(const Netlist& netlist,
             }
             return;
           }
-          self(self, pin + 1, x, m.bdd_and(cube, m.bdd_not(pins[pin])));
-          self(self, pin + 1, x | (std::uint64_t{1} << pin),
-               m.bdd_and(cube, pins[pin]));
+          const BddManager::Ref npin = m.bdd_not(pins[pin].get());
+          const BddHandle lo = m.protect(m.bdd_and(cube.get(), npin));
+          self(self, pin + 1, x, lo);
+          const BddHandle hi =
+              m.protect(m.bdd_and(cube.get(), pins[pin].get()));
+          self(self, pin + 1, x | (std::uint64_t{1} << pin), hi);
         };
-        expand(expand, 0, 0, BddManager::kTrue);
+        expand(expand, 0, 0, m.protect(BddManager::kTrue));
         for (std::uint32_t p = 0; p < n.num_ports(); ++p) {
-          values[base + p] = m.bdd_or_many(std::move(minterms[p]));
+          std::vector<BddManager::Ref> terms;
+          terms.reserve(minterms[p].size());
+          for (const BddHandle& h : minterms[p]) terms.push_back(h.get());
+          set(base + p, m.bdd_or_many(std::move(terms)));
         }
         break;
       }
@@ -179,17 +225,19 @@ void SymbolicMachine::build_partition(std::size_t cluster_node_cap) {
   // cap (a cluster is closed before it would exceed the cap; a single
   // oversized conjunct still gets its own cluster).
   for (unsigned i = 0; i < num_latches_; ++i) {
-    const BddManager::Ref conjunct =
-        m.bdd_xnor(m.var(next_var(i)), next_fn_[i]);
-    const std::size_t conjunct_size = m.size(conjunct);
+    const BddManager::Ref nv = m.var(next_var(i));
+    const BddHandle conjunct =
+        m.protect(m.bdd_xnor(nv, next_fn_[i].get()));
+    const std::size_t conjunct_size = m.size(conjunct.get());
     if (partition_.empty() ||
-        m.size(partition_.back().relation) + conjunct_size >
+        m.size(partition_.back().relation.get()) + conjunct_size >
             cluster_node_cap) {
-      partition_.push_back(TransitionCluster{conjunct, BddManager::kTrue,
-                                             {i}});
+      partition_.push_back(TransitionCluster{
+          conjunct, m.protect(BddManager::kTrue), {i}});
     } else {
       TransitionCluster& cluster = partition_.back();
-      cluster.relation = m.bdd_and(cluster.relation, conjunct);
+      cluster.relation.reset(
+          &m, m.bdd_and(cluster.relation.get(), conjunct.get()));
       cluster.latches.push_back(i);
     }
   }
@@ -202,7 +250,7 @@ void SymbolicMachine::build_partition(std::size_t cluster_node_cap) {
   // before the chain starts.
   std::vector<int> last_cluster(m.num_vars(), -1);
   for (std::size_t k = 0; k < partition_.size(); ++k) {
-    for (const unsigned v : m.support(partition_[k].relation)) {
+    for (const unsigned v : m.support(partition_[k].relation.get())) {
       last_cluster[v] = static_cast<int>(k);
     }
   }
@@ -215,63 +263,71 @@ void SymbolicMachine::build_partition(std::size_t cluster_node_cap) {
       schedule[static_cast<std::size_t>(last_cluster[v])].push_back(v);
     }
   }
-  pre_quantify_cube_ = m.make_cube(pre_quantify);
+  pre_quantify_cube_.reset(&m, m.make_cube(pre_quantify));
   for (std::size_t k = 0; k < partition_.size(); ++k) {
-    partition_[k].quantify_cube = m.make_cube(schedule[k]);
+    partition_[k].quantify_cube.reset(&m, m.make_cube(schedule[k]));
   }
 }
 
 BddManager::Ref SymbolicMachine::transition() {
-  if (transition_ == BddManager::kFalse) {  // T is never kFalse: unbuilt
+  if (!transition_.engaged()) {
     std::vector<BddManager::Ref> clusters;
     clusters.reserve(partition_.size());
     for (const TransitionCluster& c : partition_) {
-      clusters.push_back(c.relation);
+      clusters.push_back(c.relation.get());
     }
-    transition_ = mgr_->bdd_and_many(std::move(clusters));
+    transition_.reset(mgr_.get(), mgr_->bdd_and_many(std::move(clusters)));
   }
-  return transition_;
+  return transition_.get();
 }
 
 BddManager::Ref SymbolicMachine::state_cube(const Bits& state) {
   RTV_REQUIRE(state.size() == num_latches_, "state vector size mismatch");
-  BddManager::Ref cube = BddManager::kTrue;
+  BddManager& m = *mgr_;
+  BddHandle cube = m.protect(BddManager::kTrue);
   for (unsigned i = num_latches_; i-- > 0;) {
-    cube = mgr_->bdd_and(state[i] != 0 ? mgr_->var(state_var(i))
-                                       : mgr_->nvar(state_var(i)),
-                         cube);
+    const BddManager::Ref lit =
+        state[i] != 0 ? m.var(state_var(i)) : m.nvar(state_var(i));
+    cube.reset(&m, m.bdd_and(lit, cube.get()));
   }
-  return cube;
+  return cube.get();
 }
 
 BddManager::Ref SymbolicMachine::image(BddManager::Ref states) {
   BddManager& m = *mgr_;
-  BddManager::Ref acc = m.exists_cube(states, pre_quantify_cube_);
+  BddHandle acc =
+      m.protect(m.exists_cube(states, pre_quantify_cube_.get()));
   for (const TransitionCluster& cluster : partition_) {
-    acc = m.and_exists(acc, cluster.relation, cluster.quantify_cube);
+    acc.reset(&m, m.and_exists(acc.get(), cluster.relation.get(),
+                               cluster.quantify_cube.get()));
   }
-  return m.rename(acc, rename_ns_);
+  return m.rename(acc.get(), rename_ns_);
 }
 
 BddManager::Ref SymbolicMachine::image_monolithic(BddManager::Ref states) {
-  const BddManager::Ref conj = mgr_->bdd_and(states, transition());
-  const BddManager::Ref next = mgr_->exists(conj, quantify_sx_);
-  return mgr_->rename(next, rename_ns_);
+  BddManager& m = *mgr_;
+  const BddHandle s = m.protect(states);
+  const BddManager::Ref t = transition();  // may build T (allocating)
+  const BddManager::Ref conj = m.bdd_and(s.get(), t);
+  const BddManager::Ref next = m.exists(conj, quantify_sx_);
+  return m.rename(next, rename_ns_);
 }
 
 BddManager::Ref SymbolicMachine::fixpoint_from(BddManager::Ref init,
                                                bool monolithic) {
-  BddManager::Ref frontier = init;
-  BddManager::Ref all = init;
-  while (frontier != BddManager::kFalse) {
+  BddManager& m = *mgr_;
+  BddHandle frontier = m.protect(init);
+  BddHandle all = m.protect(init);
+  while (frontier.get() != BddManager::kFalse) {
     if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/reach-iter");
-    const BddManager::Ref next =
-        monolithic ? image_monolithic(frontier) : image(frontier);
-    const BddManager::Ref fresh = mgr_->bdd_and(next, mgr_->bdd_not(all));
-    all = mgr_->bdd_or(all, fresh);
+    const BddHandle next = m.protect(
+        monolithic ? image_monolithic(frontier.get()) : image(frontier.get()));
+    const BddManager::Ref not_all = m.bdd_not(all.get());
+    const BddHandle fresh = m.protect(m.bdd_and(next.get(), not_all));
+    all.reset(&m, m.bdd_or(all.get(), fresh.get()));
     frontier = fresh;
   }
-  return all;
+  return all.get();
 }
 
 BddManager::Ref SymbolicMachine::reachable(BddManager::Ref init) {
@@ -283,14 +339,15 @@ BddManager::Ref SymbolicMachine::reachable_monolithic(BddManager::Ref init) {
 }
 
 BddManager::Ref SymbolicMachine::states_after_delay(unsigned cycles) {
-  BddManager::Ref current = all_states();
+  BddManager& m = *mgr_;
+  BddHandle current = m.protect(all_states());
   for (unsigned k = 0; k < cycles; ++k) {
     if (budget_ != nullptr) budget_->checkpoint_or_throw("bdd/delay-iter");
-    const BddManager::Ref next = image(current);
-    if (next == current) break;  // monotone chain hit its fixpoint
-    current = next;
+    const BddManager::Ref next = image(current.get());
+    if (next == current.get()) break;  // monotone chain hit its fixpoint
+    current.reset(&m, next);
   }
-  return current;
+  return current.get();
 }
 
 double SymbolicMachine::count_states(BddManager::Ref states) {
@@ -305,9 +362,7 @@ double SymbolicMachine::count_states(BddManager::Ref states) {
 SymbolicExactSimulator::SymbolicExactSimulator(const Netlist& netlist,
                                                std::size_t node_limit)
     : machine_(netlist, node_limit) {
-  BddManager& m = machine_.manager();
-  substitution_.resize(m.num_vars());
-  for (unsigned v = 0; v < m.num_vars(); ++v) substitution_[v] = m.var(v);
+  substitution_.resize(machine_.manager().num_vars());
   reset_all_powerup();
 }
 
@@ -319,17 +374,18 @@ void SymbolicExactSimulator::reset_from_ternary(const Trits& state) {
   RTV_REQUIRE(state.size() == machine_.num_latches(),
               "state vector size mismatch");
   BddManager& m = machine_.manager();
-  state_fn_.assign(machine_.num_latches(), BddManager::kFalse);
+  state_fn_.clear();
+  state_fn_.reserve(machine_.num_latches());
   for (unsigned i = 0; i < machine_.num_latches(); ++i) {
     switch (state[i]) {
       case Trit::kZero:
-        state_fn_[i] = BddManager::kFalse;
+        state_fn_.push_back(m.protect(BddManager::kFalse));
         break;
       case Trit::kOne:
-        state_fn_[i] = BddManager::kTrue;
+        state_fn_.push_back(m.protect(BddManager::kTrue));
         break;
       case Trit::kX:
-        state_fn_[i] = m.var(machine_.state_var(i));
+        state_fn_.push_back(m.protect(m.var(machine_.state_var(i))));
         break;
     }
   }
@@ -340,18 +396,25 @@ Trits SymbolicExactSimulator::step(const Bits& inputs) {
               "input vector size mismatch");
   BddManager& m = machine_.manager();
   // Substitute each state variable by the current symbolic latch value and
-  // each input variable by this cycle's constant. Every state/input slot is
-  // overwritten below, so the hoisted vector needs no re-initialisation.
-  for (unsigned i = 0; i < machine_.num_latches(); ++i) {
-    substitution_[machine_.state_var(i)] = state_fn_[i];
-  }
-  for (unsigned j = 0; j < machine_.num_inputs(); ++j) {
-    substitution_[machine_.input_var(j)] =
-        inputs[j] != 0 ? BddManager::kTrue : BddManager::kFalse;
-  }
+  // each input variable by this cycle's constant; every other slot is the
+  // identity. Raw Refs in the substitution go stale whenever a compose
+  // collects or sifts, so the vector is refreshed from the handles before
+  // every compose call (cheap: num_vars slot writes against a full
+  // composition).
+  const auto refresh = [&]() {
+    for (unsigned v = 0; v < m.num_vars(); ++v) substitution_[v] = m.var(v);
+    for (unsigned i = 0; i < machine_.num_latches(); ++i) {
+      substitution_[machine_.state_var(i)] = state_fn_[i].get();
+    }
+    for (unsigned j = 0; j < machine_.num_inputs(); ++j) {
+      substitution_[machine_.input_var(j)] =
+          inputs[j] != 0 ? BddManager::kTrue : BddManager::kFalse;
+    }
+  };
 
   Trits outs(machine_.num_outputs(), Trit::kX);
   for (unsigned j = 0; j < machine_.num_outputs(); ++j) {
+    refresh();
     const BddManager::Ref f =
         m.compose(machine_.output_function(j), substitution_);
     if (f == BddManager::kTrue) {
@@ -360,9 +423,12 @@ Trits SymbolicExactSimulator::step(const Bits& inputs) {
       outs[j] = Trit::kZero;
     }
   }
-  std::vector<BddManager::Ref> next(machine_.num_latches());
+  std::vector<BddHandle> next;
+  next.reserve(machine_.num_latches());
   for (unsigned i = 0; i < machine_.num_latches(); ++i) {
-    next[i] = m.compose(machine_.next_function(i), substitution_);
+    refresh();
+    next.push_back(
+        m.protect(m.compose(machine_.next_function(i), substitution_)));
   }
   state_fn_ = std::move(next);
   return outs;
@@ -378,9 +444,9 @@ TritsSeq SymbolicExactSimulator::run(const BitsSeq& inputs) {
 Trits SymbolicExactSimulator::state_abstraction() const {
   Trits result(machine_.num_latches(), Trit::kX);
   for (unsigned i = 0; i < machine_.num_latches(); ++i) {
-    if (state_fn_[i] == BddManager::kTrue) {
+    if (state_fn_[i].get() == BddManager::kTrue) {
       result[i] = Trit::kOne;
-    } else if (state_fn_[i] == BddManager::kFalse) {
+    } else if (state_fn_[i].get() == BddManager::kFalse) {
       result[i] = Trit::kZero;
     }
   }
@@ -392,12 +458,14 @@ bool symbolically_equivalent_from(const Netlist& a, const Bits& state_a,
                                   std::size_t node_limit) {
   const Miter miter = build_miter(a, b);
   SymbolicMachine machine(miter.netlist, node_limit);
+  BddManager& m = machine.manager();
   Bits joint = state_a;
   joint.insert(joint.end(), state_b.begin(), state_b.end());
-  const BddManager::Ref reach = machine.reachable(machine.state_cube(joint));
+  const BddHandle reach =
+      m.protect(machine.reachable(machine.state_cube(joint)));
   // Disagreement: some reachable state and input with neq = 1.
   const BddManager::Ref bad =
-      machine.manager().bdd_and(reach, machine.output_function(0));
+      m.bdd_and(reach.get(), machine.output_function(0));
   return bad == BddManager::kFalse;
 }
 

@@ -6,7 +6,9 @@
 //
 // Variable order: current-state bit i at 2i, next-state bit i at 2i+1
 // (interleaved, so the transition relation stays small), primary input j at
-// 2L + j.
+// 2L + j. Each (2i, 2i+1) pair is pinned as one sifting group, so dynamic
+// reordering can move pairs freely without breaking the interleaving the
+// partitioned image path's monotone rename depends on.
 //
 // The transition relation is kept PARTITIONED: the per-latch conjuncts
 // s'ᵢ ↔ fᵢ(s, x) are clustered under a node-size cap and image computation
@@ -15,6 +17,12 @@
 // (early quantification). The monolithic T(s, x, s') is still available —
 // lazily built — as the reference path the partitioned result is
 // cross-checked against in the tests.
+//
+// Every long-lived BDD root (cone functions, clusters, cubes, the lazy T)
+// is held through a BddHandle, so the machine is safe to run with garbage
+// collection and dynamic reordering enabled on its manager. Refs returned
+// by the query methods below follow the manager's contract: stable until
+// the next potentially-allocating call, protect to hold longer.
 
 #include <memory>
 
@@ -38,11 +46,15 @@ class SymbolicMachine {
   /// allocation, table-cell minterm expansion and each image iteration
   /// probe the budget and throw ResourceExhausted when it is blown —
   /// callers that own the budget catch at the phase boundary and degrade.
+  /// `reorder`/`gc_enabled` configure the manager before any cone is built,
+  /// so an unlucky initial order can already be sifted away mid-construction.
   explicit SymbolicMachine(const Netlist& netlist,
                            std::size_t node_limit = kDefaultBddNodeLimit,
                            ResourceBudget* budget = nullptr,
                            std::size_t cluster_node_cap =
-                               kDefaultClusterNodeCap);
+                               kDefaultClusterNodeCap,
+                           const ReorderOptions& reorder = {},
+                           bool gc_enabled = false);
 
   BddManager& manager() { return *mgr_; }
   unsigned num_latches() const { return num_latches_; }
@@ -54,9 +66,13 @@ class SymbolicMachine {
   unsigned input_var(unsigned j) const { return 2 * num_latches_ + j; }
 
   /// Next-state function of latch i over (state, input) variables.
-  BddManager::Ref next_function(unsigned i) const { return next_fn_[i]; }
+  BddManager::Ref next_function(unsigned i) const {
+    return next_fn_[i].get();
+  }
   /// Output function j over (state, input) variables.
-  BddManager::Ref output_function(unsigned j) const { return out_fn_[j]; }
+  BddManager::Ref output_function(unsigned j) const {
+    return out_fn_[j].get();
+  }
 
   /// Monolithic transition relation T(s, x, s') = ∧ᵢ (s'ᵢ ↔ fᵢ(s, x)).
   /// Built lazily (balanced conjunction of the partition's clusters) on
@@ -69,8 +85,8 @@ class SymbolicMachine {
   /// (each variable is quantified at the LAST cluster whose support
   /// contains it — after that it is dead).
   struct TransitionCluster {
-    BddManager::Ref relation;
-    BddManager::Ref quantify_cube;
+    BddHandle relation;
+    BddHandle quantify_cube;
     std::vector<unsigned> latches;  ///< member latch indices (introspection)
   };
   const std::vector<TransitionCluster>& partition() const {
@@ -112,13 +128,13 @@ class SymbolicMachine {
   unsigned num_latches_;
   unsigned num_inputs_;
   unsigned num_outputs_;
-  std::vector<BddManager::Ref> next_fn_;
-  std::vector<BddManager::Ref> out_fn_;
-  BddManager::Ref transition_ = BddManager::kFalse;  ///< lazy; kFalse=unbuilt
+  std::vector<BddHandle> next_fn_;
+  std::vector<BddHandle> out_fn_;
+  BddHandle transition_;  ///< lazy; disengaged = unbuilt
   std::vector<TransitionCluster> partition_;
   /// Quantifiable (state/input) vars in no cluster's support: quantified
   /// away from the source set before the and-exists chain starts.
-  BddManager::Ref pre_quantify_cube_ = BddManager::kTrue;
+  BddHandle pre_quantify_cube_;
   std::vector<unsigned> quantify_sx_;   // state + input vars (monolithic)
   std::vector<unsigned> rename_ns_;     // next-state -> state map
 };
@@ -163,10 +179,10 @@ class SymbolicExactSimulator {
 
  private:
   SymbolicMachine machine_;
-  std::vector<BddManager::Ref> state_fn_;  ///< per latch, over state vars
+  std::vector<BddHandle> state_fn_;  ///< per latch, over state vars
   /// Reused substitution vector for step(): next-state slots stay identity
-  /// forever; state/input slots are overwritten each cycle (hoisted out of
-  /// step — it was rebuilt from scratch every cycle).
+  /// forever; state/input slots are overwritten each cycle before use
+  /// (hoisted out of step — it was rebuilt from scratch every cycle).
   std::vector<BddManager::Ref> substitution_;
 };
 

@@ -193,6 +193,13 @@ ClsEquivalenceResult run_portfolio(const Netlist& a, const Netlist& b,
   merged.steps = bdd_usage.steps + sat_usage.steps;
   merged.peak_bdd_nodes =
       std::max(bdd_usage.peak_bdd_nodes, sat_usage.peak_bdd_nodes);
+  merged.bdd_gc_runs = bdd_usage.bdd_gc_runs + sat_usage.bdd_gc_runs;
+  merged.bdd_nodes_reclaimed =
+      bdd_usage.bdd_nodes_reclaimed + sat_usage.bdd_nodes_reclaimed;
+  merged.bdd_reorder_runs =
+      bdd_usage.bdd_reorder_runs + sat_usage.bdd_reorder_runs;
+  merged.peak_live_bdd_nodes =
+      std::max(bdd_usage.peak_live_bdd_nodes, sat_usage.peak_live_bdd_nodes);
 
   ClsEquivalenceResult result;
   if (bdd_conclusive || sat_conclusive) {

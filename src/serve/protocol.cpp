@@ -39,6 +39,14 @@ JsonValue::Object usage_object(const ResourceUsage& usage) {
                  JsonValue(static_cast<double>(usage.peak_bdd_nodes)));
   o.emplace_back("state_pairs",
                  JsonValue(static_cast<double>(usage.state_pairs)));
+  o.emplace_back("bdd_gc_runs",
+                 JsonValue(static_cast<double>(usage.bdd_gc_runs)));
+  o.emplace_back("bdd_nodes_reclaimed",
+                 JsonValue(static_cast<double>(usage.bdd_nodes_reclaimed)));
+  o.emplace_back("bdd_reorder_runs",
+                 JsonValue(static_cast<double>(usage.bdd_reorder_runs)));
+  o.emplace_back("peak_live_bdd_nodes",
+                 JsonValue(static_cast<double>(usage.peak_live_bdd_nodes)));
   o.emplace_back("exhausted", JsonValue(usage.exhausted));
   o.emplace_back("blown", usage.blown
                               ? JsonValue(std::string(to_string(*usage.blown)))
@@ -320,7 +328,9 @@ std::string validate_response(const JsonValue& document) {
   if (const JsonValue* usage = stats->find("usage")) {
     if (!usage->is_object()) return "\"stats.usage\" must be an object";
     for (const char* key : {"wall_ms", "steps", "peak_bdd_nodes",
-                            "state_pairs"}) {
+                            "state_pairs", "bdd_gc_runs",
+                            "bdd_nodes_reclaimed", "bdd_reorder_runs",
+                            "peak_live_bdd_nodes"}) {
       const JsonValue* u = usage->find(key);
       if (u == nullptr || !u->is_number()) {
         return std::string("\"stats.usage.") + key + "\" must be a number";

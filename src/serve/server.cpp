@@ -811,7 +811,8 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
                                          std::string* design_id) {
   check_option_keys(request.options,
                     {"backend", "max_branching", "max_pairs",
-                     "random_sequences", "random_length", "seed"});
+                     "random_sequences", "random_length", "seed", "bdd_gc",
+                     "bdd_reorder"});
   const auto a = resolve_design(request.design_text, request.design_id,
                                 &stats->cache_hit);
   *design_id = a->design_id();
@@ -845,6 +846,16 @@ JsonValue Server::handle_cls_equivalence(const JobRequest& request,
   }
   if (const auto v = option_uint(request.options, "seed")) {
     options.explicit_opts.seed = *v;
+  }
+  if (const auto v = option_bool(request.options, "bdd_gc")) {
+    options.bdd.gc = *v;
+  }
+  if (const auto mode = option_string(request.options, "bdd_reorder")) {
+    if (*mode == "pressure") {
+      options.bdd.reorder.mode = ReorderMode::kOnPressure;
+    } else if (*mode != "off") {
+      bad_option("option \"bdd_reorder\" must be \"off\" or \"pressure\"");
+    }
   }
 
   ResourceBudget budget = ResourceBudget::with_deadline(

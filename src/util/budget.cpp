@@ -42,6 +42,11 @@ std::string ResourceUsage::summary() const {
   os << std::fixed << wall_ms << " ms, " << steps << " steps";
   if (peak_bdd_nodes > 0) os << ", " << peak_bdd_nodes << " BDD nodes";
   if (state_pairs > 0) os << ", " << state_pairs << " state pairs";
+  if (bdd_gc_runs > 0) {
+    os << ", " << bdd_gc_runs << " GC (" << bdd_nodes_reclaimed
+       << " reclaimed, " << peak_live_bdd_nodes << " peak live)";
+  }
+  if (bdd_reorder_runs > 0) os << ", " << bdd_reorder_runs << " reorders";
   if (exhausted) {
     os << "; EXHAUSTED (" << (blown ? to_string(*blown) : "?") << ")";
   }
@@ -106,6 +111,20 @@ void ResourceBudget::note_bdd_nodes(std::size_t nodes) {
   }
 }
 
+void ResourceBudget::note_bdd_gc(std::uint64_t reclaimed, std::size_t live) {
+  bdd_gc_runs_.fetch_add(1, std::memory_order_relaxed);
+  bdd_nodes_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  std::size_t prev = peak_live_bdd_nodes_.load(std::memory_order_relaxed);
+  while (prev < live &&
+         !peak_live_bdd_nodes_.compare_exchange_weak(
+             prev, live, std::memory_order_relaxed)) {
+  }
+}
+
+void ResourceBudget::note_bdd_reorder() {
+  bdd_reorder_runs_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ResourceBudget::mark_exhausted(ResourceKind kind) {
   int expected = -1;
   blown_.compare_exchange_strong(expected, static_cast<int>(kind),
@@ -130,6 +149,12 @@ ResourceUsage ResourceBudget::usage() const {
   u.steps = steps_.load(std::memory_order_relaxed);
   u.peak_bdd_nodes = peak_bdd_nodes_.load(std::memory_order_relaxed);
   u.state_pairs = peak_pairs_.load(std::memory_order_relaxed);
+  u.bdd_gc_runs = bdd_gc_runs_.load(std::memory_order_relaxed);
+  u.bdd_nodes_reclaimed =
+      bdd_nodes_reclaimed_.load(std::memory_order_relaxed);
+  u.bdd_reorder_runs = bdd_reorder_runs_.load(std::memory_order_relaxed);
+  u.peak_live_bdd_nodes =
+      peak_live_bdd_nodes_.load(std::memory_order_relaxed);
   u.blown = blown();
   u.exhausted = u.blown.has_value();
   return u;

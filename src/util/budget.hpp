@@ -81,6 +81,12 @@ struct ResourceUsage {
   std::uint64_t steps = 0;
   std::size_t peak_bdd_nodes = 0;
   std::size_t state_pairs = 0;
+  /// BDD engine reclamation/reordering counters (all zero when the engine
+  /// ran in legacy arena mode — GC and sifting off).
+  std::uint64_t bdd_gc_runs = 0;
+  std::uint64_t bdd_nodes_reclaimed = 0;
+  std::uint64_t bdd_reorder_runs = 0;
+  std::size_t peak_live_bdd_nodes = 0;  ///< max live set seen at a GC
   bool exhausted = false;
   std::optional<ResourceKind> blown;  ///< set iff exhausted
 
@@ -171,6 +177,12 @@ class ResourceBudget {
   /// BddManager against limits().bdd_node_limit).
   void note_bdd_nodes(std::size_t nodes);
 
+  /// Records one BDD garbage collection (nodes reclaimed + live survivors)
+  /// / one sifting pass. Called by BddManager when a budget is attached so
+  /// governed entry points surface the engine's reclamation counters.
+  void note_bdd_gc(std::uint64_t reclaimed, std::size_t live);
+  void note_bdd_reorder();
+
   /// Flips the budget to exhausted with the given reason (idempotent: the
   /// first reason wins). Used by BddManager and the injection harness.
   void mark_exhausted(ResourceKind kind);
@@ -201,6 +213,10 @@ class ResourceBudget {
   std::atomic<std::uint64_t> steps_{0};
   std::atomic<std::size_t> peak_bdd_nodes_{0};
   std::atomic<std::size_t> peak_pairs_{0};
+  std::atomic<std::uint64_t> bdd_gc_runs_{0};
+  std::atomic<std::uint64_t> bdd_nodes_reclaimed_{0};
+  std::atomic<std::uint64_t> bdd_reorder_runs_{0};
+  std::atomic<std::size_t> peak_live_bdd_nodes_{0};
   std::atomic<int> blown_{-1};  ///< -1 = ok, else static_cast<ResourceKind>
 };
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "core/flow.hpp"
 #include "core/validator.hpp"
 #include "fault/fault.hpp"
@@ -34,6 +35,12 @@ struct WorkloadReport {
   FlowReport flow;
   FaultSimResult faultsim;
   std::size_t faultsim_faults = 0;
+  /// BDD reclamation under budget: did a trip mid-collection or mid-sift
+  /// leave the table sound and protected roots semantically intact?
+  bool bdd_exhausted = false;
+  bool bdd_invariants_ok = false;
+  bool bdd_kept_ok = false;
+  BddManager::EngineStats bdd_stats;
 };
 
 WorkloadReport run_workload() {
@@ -78,6 +85,69 @@ WorkloadReport run_workload() {
     opt.mode = FaultSimMode::kExact;
     opt.threads = 1;
     w.faultsim = fault_simulate(n, faults, tests, opt);
+  }
+
+  // bdd: reclamation + sifting under budget. Cube churn with a small arena
+  // crosses the automatic GC and reorder triggers; the explicit calls at
+  // the end pin the "bdd/gc" and "bdd/reorder" sites into the census even
+  // when a trip cuts the churn short. Whatever happens, the unique table
+  // must stay structurally sound and the protected round-0 function must
+  // keep its denotation — a budget trip at a collection or sift boundary
+  // is allowed to abandon work, never to corrupt survivors.
+  {
+    constexpr unsigned kVars = 14;
+    ResourceBudget budget;  // unlimited, but still drives fault injection
+    BddManager m(kVars, /*node_limit=*/std::size_t{1} << 14);
+    m.set_budget(&budget);
+    m.set_gc_enabled(true);
+    ReorderOptions ro;
+    ro.mode = ReorderMode::kOnPressure;
+    ro.trigger_nodes = 1024;
+    m.set_reorder_options(ro);
+    Rng rng(23);
+    BddHandle kept;
+    std::vector<std::vector<bool>> samples;
+    std::vector<bool> expected;
+    try {
+      for (int round = 0; round < 10; ++round) {
+        BddHandle f = m.protect(BddManager::kFalse);
+        for (int c = 0; c < 12; ++c) {
+          BddHandle cube = m.protect(BddManager::kTrue);
+          for (int j = 0; j < 6; ++j) {
+            const unsigned v = static_cast<unsigned>(rng.index(kVars));
+            const BddManager::Ref lit = rng.coin() ? m.var(v) : m.nvar(v);
+            cube.reset(&m, m.bdd_and(lit, cube.get()));
+          }
+          f.reset(&m, m.bdd_or(f.get(), cube.get()));
+        }
+        if (round == 0) {
+          kept = f;
+          for (int s = 0; s < 32; ++s) {
+            std::vector<bool> assignment(kVars);
+            for (unsigned v = 0; v < kVars; ++v) assignment[v] = rng.coin();
+            expected.push_back(m.evaluate(kept.get(), assignment));
+            samples.push_back(std::move(assignment));
+          }
+        }
+      }
+      m.collect_garbage();
+      m.reorder();
+    } catch (const ResourceExhausted&) {
+      w.bdd_exhausted = true;
+    }
+    w.bdd_stats = m.stats();
+    w.bdd_invariants_ok = true;
+    try {
+      m.check_invariants();
+    } catch (const InternalError&) {
+      w.bdd_invariants_ok = false;
+    }
+    w.bdd_kept_ok = true;
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      if (m.evaluate(kept.get(), samples[s]) != expected[s]) {
+        w.bdd_kept_ok = false;
+      }
+    }
   }
   return w;
 }
@@ -162,6 +232,15 @@ void expect_well_formed(const WorkloadReport& w, std::uint64_t trip_point) {
     }
   }
   EXPECT_EQ(detected, r.num_detected);
+
+  // -- bdd -------------------------------------------------------------
+  // A trip at a "bdd/gc" or "bdd/reorder" (or "bdd/alloc") checkpoint may
+  // abandon the collection or sift, but never at the price of table
+  // integrity or a protected root's semantics.
+  EXPECT_TRUE(w.bdd_invariants_ok)
+      << "budget trip corrupted the BDD unique table";
+  EXPECT_TRUE(w.bdd_kept_ok)
+      << "budget trip changed a protected function's denotation";
 }
 
 TEST(FaultInjectSweep, CensusCoversTheRequiredInjectionSurface) {
@@ -172,26 +251,36 @@ TEST(FaultInjectSweep, CensusCoversTheRequiredInjectionSurface) {
   const std::vector<std::string> sites = fault_inject::sites_seen();
   fault_inject::disarm();
 
-  // Untripped, the workload must succeed outright.
+  // Untripped, the workload must succeed outright — and the BDD phase must
+  // have actually collected and sifted, or the sweep would never exercise
+  // the maintenance checkpoints it exists to trip.
   EXPECT_EQ(w.validation.verdict, Verdict::kProven);
   EXPECT_TRUE(w.flow.accepted());
   EXPECT_TRUE(w.faultsim.complete);
+  EXPECT_FALSE(w.bdd_exhausted);
+  EXPECT_GE(w.bdd_stats.gc_runs, 1u);
+  EXPECT_GE(w.bdd_stats.reorder_runs, 1u);
 
   // The acceptance bar: the full run exposes at least 30 injection points,
   // across several distinct subsystems.
   EXPECT_GE(total, 30u);
   EXPECT_GE(sites.size(), 8u);
   std::size_t cls_sites = 0, stg_sites = 0, flow_sites = 0, fault_sites = 0;
+  bool saw_bdd_gc = false, saw_bdd_reorder = false;
   for (const std::string& s : sites) {
     cls_sites += s.rfind("cls/", 0) == 0;
     stg_sites += s.rfind("stg/", 0) == 0;
     flow_sites += s.rfind("flow/", 0) == 0;
     fault_sites += s.rfind("fault/", 0) == 0;
+    saw_bdd_gc |= s == "bdd/gc";
+    saw_bdd_reorder |= s == "bdd/reorder";
   }
   EXPECT_GT(cls_sites, 0u) << "no CLS checkpoints seen";
   EXPECT_GT(stg_sites, 0u) << "no STG checkpoints seen";
   EXPECT_GT(flow_sites, 0u) << "no flow checkpoints seen";
   EXPECT_GT(fault_sites, 0u) << "no fault-engine checkpoints seen";
+  EXPECT_TRUE(saw_bdd_gc) << "no BDD collection checkpoint seen";
+  EXPECT_TRUE(saw_bdd_reorder) << "no BDD sifting checkpoint seen";
 }
 
 TEST(FaultInjectSweep, EveryInjectionPointDegradesGracefully) {

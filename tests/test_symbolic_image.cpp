@@ -151,10 +151,10 @@ TEST(SymbolicImage, QuantificationScheduleCoversEveryVariableOnce) {
     std::vector<int> times_scheduled(m.num_vars(), 0);
     const auto& clusters = sm.partition();
     for (std::size_t k = 0; k < clusters.size(); ++k) {
-      for (const unsigned v : m.support(clusters[k].quantify_cube)) {
+      for (const unsigned v : m.support(clusters[k].quantify_cube.get())) {
         ++times_scheduled[v];
         for (std::size_t later = k + 1; later < clusters.size(); ++later) {
-          const auto sup = m.support(clusters[later].relation);
+          const auto sup = m.support(clusters[later].relation.get());
           EXPECT_FALSE(std::find(sup.begin(), sup.end(), v) != sup.end())
               << "var " << v << " scheduled at cluster " << k
               << " but alive in cluster " << later;

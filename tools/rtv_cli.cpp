@@ -23,6 +23,7 @@
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "fault/fault_sim.hpp"
 #include "io/blif.hpp"
 #include "io/dot_export.hpp"
+#include "io/json.hpp"
 #include "io/rnl_format.hpp"
 #include "io/vcd.hpp"
 #include "retime/apply.hpp"
@@ -97,7 +99,7 @@ enum ExitCode : int {
                " [-o OUT]\n"
                "  rtv reset <design>                find a CLS reset sequence\n"
                "  rtv equiv <a> <b>                 symbolic C ⊑ D + min delay\n"
-               "  rtv cls-equiv <a> <b> [--backend B] [--seed S]\n"
+               "  rtv cls-equiv <a> <b> [--backend B] [--seed S] [--json]\n"
                "      CLS equivalence from all-X (Thm 5.1); exit 0 iff"
                " equivalent\n"
                "  rtv faultsim <design> [--mode exact|sampled|cls]"
@@ -130,6 +132,17 @@ enum ExitCode : int {
                "                       (engine matrix in docs/backends.md;\n"
                "                       every backend tries the static\n"
                "                       ternary-fixpoint proof first)\n"
+               "\n"
+               "BDD engine (validate, flow, cls-equiv with --backend bdd or"
+               " portfolio):\n"
+               "  --bdd-gc MODE        on | off (default): reclaim dead"
+               " nodes\n"
+               "                       under allocation pressure instead of\n"
+               "                       exhausting on the node cap\n"
+               "  --bdd-reorder MODE   off (default) | pressure: Rudell\n"
+               "                       sifting of the variable order when"
+               " the\n"
+               "                       unique table crosses its trigger\n"
                "\n"
                "resource governance (validate, flow, cls-equiv, faultsim):\n"
                "  --time-budget-ms N   wall-clock budget (0 = unlimited)\n"
@@ -194,6 +207,7 @@ void save_design(const Netlist& n, const std::string& path) {
 struct Args {
   std::vector<std::string> positional;
   std::optional<std::string> inputs, state, out, vcd, mode, plan, backend;
+  std::optional<std::string> bdd_gc, bdd_reorder;
   std::optional<int> period;
   std::optional<unsigned> threads, random, cycles, sample_lanes;
   std::optional<std::uint64_t> seed;
@@ -221,6 +235,27 @@ ResourceLimits limits_from_args(const Args& args) {
   limits.step_quota = args.step_quota.value_or(0);
   if (args.node_limit) limits.bdd_node_limit = *args.node_limit;
   return limits;
+}
+
+/// --bdd-gc / --bdd-reorder into the BDD backend's engine options (defaults
+/// preserve the legacy arena behavior: no collection, fixed order).
+BddEquivOptions bdd_options_from_args(const Args& args) {
+  BddEquivOptions bdd;
+  if (args.bdd_gc) {
+    if (*args.bdd_gc == "on") {
+      bdd.gc = true;
+    } else if (*args.bdd_gc != "off") {
+      usage("--bdd-gc must be on or off");
+    }
+  }
+  if (args.bdd_reorder) {
+    if (*args.bdd_reorder == "pressure") {
+      bdd.reorder.mode = ReorderMode::kOnPressure;
+    } else if (*args.bdd_reorder != "off") {
+      usage("--bdd-reorder must be off or pressure");
+    }
+  }
+  return bdd;
 }
 
 /// --backend selection for the CLS-equivalence gate (default: explicit).
@@ -268,6 +303,10 @@ Args parse_args(int argc, char** argv, int first) {
       args.plan = value("--plan");
     } else if (a == "--backend") {
       args.backend = value("--backend");
+    } else if (a == "--bdd-gc") {
+      args.bdd_gc = value("--bdd-gc");
+    } else if (a == "--bdd-reorder") {
+      args.bdd_reorder = value("--bdd-reorder");
     } else if (a == "--max-k") {
       args.max_k = static_cast<std::size_t>(parse_number(
           "--max-k", value("--max-k"), std::numeric_limits<std::size_t>::max()));
@@ -518,6 +557,7 @@ int cmd_validate(const Args& args) {
   const RetimeGraph g = RetimeGraph::from_netlist(n);
   ValidationOptions opt;
   opt.verify.backend = backend_from_args(args);
+  opt.verify.bdd = bdd_options_from_args(args);
   opt.budget = limits_from_args(args);
   const RetimingValidation v =
       validate_retiming(n, g, solve_lags(g, args), opt);
@@ -586,6 +626,7 @@ int cmd_flow(const Args& args) {
   if (args.min_period) opt.objective = FlowOptions::Objective::kMinPeriod;
   if (args.period) opt.objective = FlowOptions::Objective::kMinAreaAtMinPeriod;
   opt.verify.backend = backend_from_args(args);
+  opt.verify.bdd = bdd_options_from_args(args);
   opt.budget = limits_from_args(args);
   const FlowReport r = run_synthesis_flow(n, opt);
   std::printf("%s\n", r.summary().c_str());
@@ -728,12 +769,40 @@ int cmd_cls_equiv(const Args& args) {
   const Netlist b = load_design(args.positional[1]);
   VerifyOptions opt;
   opt.backend = backend_from_args(args);
+  opt.bdd = bdd_options_from_args(args);
   if (args.seed) opt.explicit_opts.seed = *args.seed;
   ResourceBudget budget(limits_from_args(args));
   const ClsEquivalenceResult r = verify_cls_equivalence(a, b, opt, &budget);
-  std::printf("%s\n", r.summary().c_str());
-  std::printf("decided by: %s (%s)\n", to_string(r.decided_by),
-              r.decided_reason.c_str());
+  if (args.json) {
+    const ResourceUsage& u = r.usage;
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"equivalent\": " << (r.equivalent ? "true" : "false") << ",\n"
+       << "  \"verdict\": \"" << to_string(r.verdict) << "\",\n"
+       << "  \"exhaustive\": " << (r.exhaustive ? "true" : "false") << ",\n"
+       << "  \"decided_by\": \"" << to_string(r.decided_by) << "\",\n"
+       << "  \"decided_reason\": \"" << json_escape(r.decided_reason)
+       << "\",\n"
+       << "  \"counterexample_cycles\": "
+       << (r.counterexample ? static_cast<long long>(r.counterexample->size())
+                            : -1)
+       << ",\n"
+       << "  \"usage\": {\"wall_ms\": " << r.usage.wall_ms
+       << ", \"steps\": " << u.steps
+       << ", \"peak_bdd_nodes\": " << u.peak_bdd_nodes
+       << ", \"state_pairs\": " << u.state_pairs
+       << ", \"bdd_gc_runs\": " << u.bdd_gc_runs
+       << ", \"bdd_nodes_reclaimed\": " << u.bdd_nodes_reclaimed
+       << ", \"bdd_reorder_runs\": " << u.bdd_reorder_runs
+       << ", \"peak_live_bdd_nodes\": " << u.peak_live_bdd_nodes
+       << ", \"exhausted\": " << (u.exhausted ? "true" : "false") << "}\n"
+       << "}\n";
+    std::fputs(os.str().c_str(), stdout);
+  } else {
+    std::printf("%s\n", r.summary().c_str());
+    std::printf("decided by: %s (%s)\n", to_string(r.decided_by),
+                r.decided_reason.c_str());
+  }
   if (r.verdict == Verdict::kExhausted) {
     if (args.fail_on_exhaust) exhausted_failure(r.usage);
     return kExitVerdictFalse;  // undecided is never a pass
